@@ -1,0 +1,45 @@
+//! Criterion benchmark: whole-overlay construction, parallel versus
+//! sequential, across network sizes (the Section 4.3 complexity experiment
+//! as a wall-clock measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_sim::config::SimConfig;
+use pgrid_sim::construction::construct;
+use pgrid_sim::sequential::construct_sequentially;
+use pgrid_workload::distributions::Distribution;
+
+fn config(n: usize) -> SimConfig {
+    SimConfig {
+        n_peers: n,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Pareto { shape: 1.0 },
+        seed: 1,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_parallel_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_parallel");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| construct(&config(n)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction_sequential");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| construct_sequentially(&config(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_construction, bench_sequential_construction);
+criterion_main!(benches);

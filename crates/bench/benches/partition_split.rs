@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark: cost of one decentralized bisection for the
+//! different partitioning strategies (the ablation behind Figures 4/5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_partition::discrete::{simulate_split, Knowledge, SplitConfig, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_split_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_split");
+    group.sample_size(20);
+    for strategy in [Strategy::Aep, Strategy::AepCorrected, Strategy::Autonomous, Strategy::Heuristic] {
+        group.bench_with_input(
+            BenchmarkId::new("strategy", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                let config = SplitConfig {
+                    n_peers: 1000,
+                    p: 0.4,
+                    knowledge: Knowledge::Sampled(10),
+                    strategy,
+                };
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    simulate_split(&config, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_split_skew");
+    group.sample_size(20);
+    for &p in &[0.5, 0.3, 0.1] {
+        group.bench_with_input(BenchmarkId::new("p", format!("{p}")), &p, |b, &p| {
+            let config = SplitConfig {
+                n_peers: 1000,
+                p,
+                knowledge: Knowledge::Exact,
+                strategy: Strategy::Aep,
+            };
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                simulate_split(&config, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_strategies, bench_split_skew);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark: lookup and range-query routing cost on a constructed
+//! overlay (the operational-phase performance behind the Section 5.2 search
+//! statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_core::key::Key;
+use pgrid_core::routing::PeerId;
+use pgrid_core::search::{lookup, range_query};
+use pgrid_sim::config::SimConfig;
+use pgrid_sim::construction::{construct, ConstructedOverlay};
+use pgrid_workload::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn overlay(n: usize) -> ConstructedOverlay {
+    construct(&SimConfig {
+        n_peers: n,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed: 2,
+        ..SimConfig::default()
+    })
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    for &n in &[128usize, 256, 512] {
+        let net = overlay(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let key = net.original_entries[rng.gen_range(0..net.original_entries.len())].key;
+                lookup(&net, PeerId(rng.gen_range(0..n as u64)), key, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(30);
+    let net = overlay(256);
+    for &width in &[0.01f64, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::new("width", format!("{width}")), &width, |b, &width| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                let start: f64 = rng.gen_range(0.0..1.0 - width);
+                range_query(
+                    &net,
+                    PeerId(rng.gen_range(0..256u64)),
+                    Key::from_fraction(start),
+                    Key::from_fraction(start + width),
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_range_query);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! # pgrid-bench
+//!
+//! Benchmark and figure-regeneration harness of the P-Grid reproduction.
+//!
+//! * The Criterion benches under `benches/` measure the primitive costs
+//!   (single bisection, whole construction, lookups) and double as the
+//!   scaling/ablation experiments of `DESIGN.md`.
+//! * The `figures` binary regenerates every table and figure of the paper's
+//!   evaluation section as plain-text series (see `EXPERIMENTS.md`).
+//!
+//! This library only contains small formatting helpers shared between the
+//! two.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Formats a row of floating-point cells with a fixed label column, used by
+/// the `figures` binary for its aligned text tables.
+pub fn format_row(label: &str, cells: &[f64]) -> String {
+    let mut out = format!("{label:<14}");
+    for cell in cells {
+        out.push_str(&format!(" {cell:>10.3}"));
+    }
+    out
+}
+
+/// Formats a header row matching [`format_row`].
+pub fn format_header(label: &str, columns: &[String]) -> String {
+    let mut out = format!("{label:<14}");
+    for column in columns {
+        out.push_str(&format!(" {column:>10}"));
+    }
+    out
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_aligned() {
+        let header = format_header("p", &["a".to_string(), "b".to_string()]);
+        let row = format_row("0.5", &[1.0, 2.0]);
+        assert_eq!(header.len(), row.len());
+    }
+
+    #[test]
+    fn statistics_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! Error types of the core crate.
+
+use std::fmt;
+
+/// Errors produced by overlay operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OverlayError {
+    /// A lookup could not be routed to a responsible peer.
+    RoutingFailed {
+        /// Level at which no usable reference was available.
+        level: usize,
+    },
+    /// An operation referenced a peer that does not exist.
+    UnknownPeer(u64),
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::RoutingFailed { level } => {
+                write!(f, "routing failed: no usable reference at level {level}")
+            }
+            OverlayError::UnknownPeer(id) => write!(f, "unknown peer P{id}"),
+            OverlayError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            OverlayError::RoutingFailed { level: 3 }.to_string(),
+            "routing failed: no usable reference at level 3"
+        );
+        assert_eq!(OverlayError::UnknownPeer(7).to_string(), "unknown peer P7");
+        assert!(OverlayError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+}

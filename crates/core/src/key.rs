@@ -1,0 +1,194 @@
+//! Data keys of the overlay.
+//!
+//! The paper assumes data keys are taken from the key space `[0, 1)`
+//! (Section 2.1).  We represent a key as a 64-bit fixed-point fraction:
+//! `Key(raw)` denotes the real value `raw / 2^64`.  This gives an exact,
+//! totally ordered representation whose binary expansion is directly the
+//! sequence of trie bits used by prefix routing, which keeps the trie logic
+//! free of floating point edge cases while still being convertible from and
+//! to `f64` for workload generators.
+
+use std::fmt;
+
+/// A data key in the key space `[0, 1)`, stored as a 64-bit fixed-point
+/// fraction (`value = raw / 2^64`).
+///
+/// The most significant bit of `raw` is the first trie bit (`0` = left half
+/// of the key space, `1` = right half), the next bit selects the quarter,
+/// and so on.  Order on `Key` is identical to the numeric order of the
+/// represented fractions, so order-preserving indexing (range queries over
+/// the original attribute domain) is preserved by construction.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The smallest key, `0.0`.
+    pub const MIN: Key = Key(0);
+    /// The largest representable key, `1 - 2^-64`.
+    pub const MAX: Key = Key(u64::MAX);
+
+    /// Number of addressable bits in a key.
+    pub const BITS: usize = 64;
+
+    /// Creates a key from a fraction in `[0, 1)`.
+    ///
+    /// Values below `0.0` are clamped to `0.0` and values at or above `1.0`
+    /// are clamped to the largest representable key.  `NaN` maps to `0.0`.
+    pub fn from_fraction(x: f64) -> Key {
+        if !(x > 0.0) {
+            return Key::MIN;
+        }
+        if x >= 1.0 {
+            return Key::MAX;
+        }
+        // 2^64 as f64; the multiplication may round up to exactly 2^64 for
+        // values extremely close to 1.0, so saturate.
+        let scaled = x * 18_446_744_073_709_551_616.0;
+        if scaled >= 18_446_744_073_709_551_616.0 {
+            Key::MAX
+        } else {
+            Key(scaled as u64)
+        }
+    }
+
+    /// Returns the key as a fraction in `[0, 1)`.
+    pub fn as_fraction(self) -> f64 {
+        self.0 as f64 / 18_446_744_073_709_551_616.0
+    }
+
+    /// Returns bit `i` of the key (bit 0 is the most significant bit, i.e.
+    /// the first trie level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Key::BITS`.
+    #[inline]
+    pub fn bit(self, i: usize) -> bool {
+        assert!(i < Self::BITS, "bit index {i} out of range");
+        (self.0 >> (Self::BITS - 1 - i)) & 1 == 1
+    }
+
+    /// Builds a key from a textual identifier by mapping its first bytes
+    /// into the key space in lexicographic order.
+    ///
+    /// This is the order-preserving mapping used for the inverted-file /
+    /// information-retrieval scenario of the paper: lexicographically
+    /// adjacent terms map to numerically adjacent keys, so prefix and range
+    /// queries over terms become key-range queries in the overlay.
+    pub fn from_str_ordered(s: &str) -> Key {
+        let mut raw: u64 = 0;
+        let bytes = s.as_bytes();
+        for i in 0..8 {
+            raw <<= 8;
+            if i < bytes.len() {
+                raw |= bytes[i] as u64;
+            }
+        }
+        Key(raw)
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:.6})", self.as_fraction())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_fraction())
+    }
+}
+
+impl From<f64> for Key {
+    fn from(x: f64) -> Self {
+        Key::from_fraction(x)
+    }
+}
+
+/// Identifier of a data item (e.g. a document holding the indexed term).
+///
+/// The overlay indexes `(Key, DataId)` pairs; the `DataId` is opaque payload
+/// from the overlay's point of view.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct DataId(pub u64);
+
+/// A single indexed entry: a key together with the identifier of the data
+/// item it refers to (a posting in the inverted-file use case).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataEntry {
+    /// The indexing key in `[0, 1)`.
+    pub key: Key,
+    /// The referenced data item.
+    pub id: DataId,
+}
+
+impl DataEntry {
+    /// Convenience constructor.
+    pub fn new(key: Key, id: DataId) -> Self {
+        DataEntry { key, id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_roundtrip_is_close() {
+        for &x in &[0.0, 0.1, 0.25, 0.5, 0.75, 0.999999, 0.33333333] {
+            let k = Key::from_fraction(x);
+            assert!((k.as_fraction() - x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        assert_eq!(Key::from_fraction(-0.5), Key::MIN);
+        assert_eq!(Key::from_fraction(1.0), Key::MAX);
+        assert_eq!(Key::from_fraction(2.0), Key::MAX);
+        assert_eq!(Key::from_fraction(f64::NAN), Key::MIN);
+    }
+
+    #[test]
+    fn bits_follow_binary_expansion() {
+        // 0.5 = 0.1000...b
+        let half = Key::from_fraction(0.5);
+        assert!(half.bit(0));
+        assert!(!half.bit(1));
+        // 0.25 = 0.01b
+        let quarter = Key::from_fraction(0.25);
+        assert!(!quarter.bit(0));
+        assert!(quarter.bit(1));
+        assert!(!quarter.bit(2));
+        // 0.75 = 0.11b
+        let threequarter = Key::from_fraction(0.75);
+        assert!(threequarter.bit(0));
+        assert!(threequarter.bit(1));
+    }
+
+    #[test]
+    fn ordering_matches_fractions() {
+        let a = Key::from_fraction(0.2);
+        let b = Key::from_fraction(0.4);
+        let c = Key::from_fraction(0.400001);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn string_mapping_is_order_preserving() {
+        let apple = Key::from_str_ordered("apple");
+        let banana = Key::from_str_ordered("banana");
+        let bananas = Key::from_str_ordered("bananas");
+        let cherry = Key::from_str_ordered("cherry");
+        assert!(apple < banana);
+        assert!(banana < bananas);
+        assert!(bananas < cherry);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bit_out_of_range_panics() {
+        Key::MIN.bit(64);
+    }
+}

@@ -1,0 +1,352 @@
+//! Local key store of a peer.
+//!
+//! Every peer locally stores the `(key, data-id)` entries it is responsible
+//! for (and, before and during overlay construction, the entries it happens
+//! to hold).  Construction decisions in the paper are driven entirely by the
+//! locally stored keys — the fraction of keys falling into the two halves of
+//! the current partition is the estimator `p̂` of the data skew `p` — so the
+//! store supports cheap range counting, splitting along a path bit, and
+//! uniform sampling.
+
+use crate::key::{DataEntry, Key};
+use crate::path::Path;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Ordered local store of indexed entries.
+///
+/// Entries are kept in a `BTreeSet` ordered by `(key, id)` so that range
+/// queries and per-partition counting are logarithmic plus output size.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeyStore {
+    entries: BTreeSet<DataEntry>,
+}
+
+impl KeyStore {
+    /// Creates an empty store.
+    pub fn new() -> KeyStore {
+        KeyStore::default()
+    }
+
+    /// Builds a store from an iterator of entries.
+    pub fn from_entries<I: IntoIterator<Item = DataEntry>>(entries: I) -> KeyStore {
+        KeyStore {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Inserts an entry; returns `true` if it was not present before.
+    pub fn insert(&mut self, entry: DataEntry) -> bool {
+        self.entries.insert(entry)
+    }
+
+    /// Removes an entry; returns `true` if it was present.
+    pub fn remove(&mut self, entry: &DataEntry) -> bool {
+        self.entries.remove(entry)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the given entry is stored.
+    pub fn contains(&self, entry: &DataEntry) -> bool {
+        self.entries.contains(entry)
+    }
+
+    /// Whether any entry with the given key is stored.
+    pub fn contains_key(&self, key: Key) -> bool {
+        self.range(key, key).next().is_some()
+    }
+
+    /// Iterator over all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterator over entries whose key lies in the **inclusive** range
+    /// `[lo, hi]`.
+    pub fn range(&self, lo: Key, hi: Key) -> impl Iterator<Item = &DataEntry> {
+        let start = DataEntry {
+            key: lo,
+            id: crate::key::DataId(0),
+        };
+        let end = DataEntry {
+            key: hi,
+            id: crate::key::DataId(u64::MAX),
+        };
+        self.entries.range(start..=end)
+    }
+
+    /// Number of entries covered by the given partition path.
+    pub fn count_in(&self, path: &Path) -> usize {
+        self.range(path.lower_key(), path.upper_key()).count()
+    }
+
+    /// Splits off and returns all entries **not** covered by `path`,
+    /// retaining only the covered ones.
+    ///
+    /// This is the "split the key space and exchange content" interaction of
+    /// Figure 2: after two peers agree to extend their paths with opposite
+    /// bits, each keeps the entries of its new partition and hands the rest
+    /// to the other peer.
+    pub fn split_retain(&mut self, path: &Path) -> Vec<DataEntry> {
+        let (keep, give): (BTreeSet<DataEntry>, BTreeSet<DataEntry>) =
+            self.entries.iter().copied().partition(|e| path.covers(e.key));
+        self.entries = keep;
+        give.into_iter().collect()
+    }
+
+    /// Merges another peer's entries into this store (the "become replicas
+    /// and reconcile content" interaction), returning the number of entries
+    /// that were actually new.
+    pub fn merge_from<I: IntoIterator<Item = DataEntry>>(&mut self, entries: I) -> usize {
+        let mut added = 0;
+        for e in entries {
+            if self.entries.insert(e) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Draws `count` entries uniformly at random (without replacement) from
+    /// the entries covered by `path`.  If fewer are available, all of them
+    /// are returned.
+    ///
+    /// The paper's error analysis (Section 3.2) models exactly this: peers
+    /// estimate the load ratio `p` of a partition from a small uniform
+    /// sample of their locally stored keys.
+    pub fn sample_in<R: Rng + ?Sized>(&self, path: &Path, count: usize, rng: &mut R) -> Vec<DataEntry> {
+        let mut covered: Vec<DataEntry> = self.range(path.lower_key(), path.upper_key()).copied().collect();
+        covered.shuffle(rng);
+        covered.truncate(count);
+        covered
+    }
+
+    /// Estimates, from at most `sample_size` locally stored keys inside
+    /// `path`, the fraction of that partition's load falling into the
+    /// **lower** half (`path + 0`).
+    ///
+    /// Returns `None` if no local key falls inside `path` (the peer has no
+    /// information at all).  With `sample_size == usize::MAX` this is the
+    /// exact local fraction.
+    pub fn estimate_lower_fraction<R: Rng + ?Sized>(
+        &self,
+        path: &Path,
+        sample_size: usize,
+        rng: &mut R,
+    ) -> Option<f64> {
+        let sample = if sample_size == usize::MAX {
+            self.range(path.lower_key(), path.upper_key()).copied().collect::<Vec<_>>()
+        } else {
+            self.sample_in(path, sample_size, rng)
+        };
+        if sample.is_empty() {
+            return None;
+        }
+        let lower = path.child(false);
+        let in_lower = sample.iter().filter(|e| lower.covers(e.key)).count();
+        Some(in_lower as f64 / sample.len() as f64)
+    }
+
+    /// A copy of this store restricted to the entries covered by `path`.
+    pub fn restricted(&self, path: &Path) -> KeyStore {
+        KeyStore::from_entries(self.range(path.lower_key(), path.upper_key()).copied())
+    }
+
+    /// The smallest and largest key stored within `path`, if any.
+    ///
+    /// A partition whose span is a single point (all stored entries share one
+    /// key, e.g. the postings of one very popular index term) cannot be
+    /// balanced by bisection; callers use this to detect that case.
+    pub fn key_span_in(&self, path: &Path) -> Option<(Key, Key)> {
+        let mut iter = self.range(path.lower_key(), path.upper_key());
+        let first = iter.next()?.key;
+        let last = iter.last().map(|e| e.key).unwrap_or(first);
+        Some((first, last))
+    }
+
+    /// All stored keys (with multiplicity per distinct `(key, id)` entry).
+    pub fn keys(&self) -> Vec<Key> {
+        self.entries.iter().map(|e| e.key).collect()
+    }
+
+    /// Removes and returns all entries, leaving the store empty.
+    pub fn drain(&mut self) -> Vec<DataEntry> {
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Size of the set intersection with another store (number of common
+    /// entries).  Used by the replica-count estimator (Section 4.2).
+    pub fn intersection_size(&self, other: &KeyStore) -> usize {
+        if self.len() <= other.len() {
+            self.entries.iter().filter(|e| other.entries.contains(e)).count()
+        } else {
+            other.entries.iter().filter(|e| self.entries.contains(e)).count()
+        }
+    }
+
+    /// Size of the set union with another store.
+    pub fn union_size(&self, other: &KeyStore) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// Entries present in `other` but missing here (what anti-entropy would
+    /// pull from a replica).
+    pub fn missing_from(&self, other: &KeyStore) -> Vec<DataEntry> {
+        other
+            .entries
+            .iter()
+            .filter(|e| !self.entries.contains(e))
+            .copied()
+            .collect()
+    }
+}
+
+impl FromIterator<DataEntry> for KeyStore {
+    fn from_iter<T: IntoIterator<Item = DataEntry>>(iter: T) -> Self {
+        KeyStore::from_entries(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::DataId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn entry(x: f64, id: u64) -> DataEntry {
+        DataEntry::new(Key::from_fraction(x), DataId(id))
+    }
+
+    fn store_with(fracs: &[f64]) -> KeyStore {
+        fracs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| entry(x, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = KeyStore::new();
+        assert!(s.insert(entry(0.3, 1)));
+        assert!(!s.insert(entry(0.3, 1)));
+        assert!(s.contains(&entry(0.3, 1)));
+        assert!(s.contains_key(Key::from_fraction(0.3)));
+        assert!(!s.contains_key(Key::from_fraction(0.31)));
+        assert!(s.remove(&entry(0.3, 1)));
+        assert!(!s.remove(&entry(0.3, 1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn range_is_inclusive_and_ordered() {
+        let s = store_with(&[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let got: Vec<f64> = s
+            .range(Key::from_fraction(0.2), Key::from_fraction(0.4))
+            .map(|e| e.key.as_fraction())
+            .collect();
+        assert_eq!(got.len(), 3);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn count_in_partition() {
+        let s = store_with(&[0.1, 0.2, 0.3, 0.6, 0.7, 0.9]);
+        assert_eq!(s.count_in(&Path::root()), 6);
+        assert_eq!(s.count_in(&Path::parse("0")), 3);
+        assert_eq!(s.count_in(&Path::parse("1")), 3);
+        assert_eq!(s.count_in(&Path::parse("11")), 1);
+    }
+
+    #[test]
+    fn split_retain_partitions_entries() {
+        let mut s = store_with(&[0.1, 0.2, 0.3, 0.6, 0.7, 0.9]);
+        let given = s.split_retain(&Path::parse("0"));
+        assert_eq!(s.len(), 3);
+        assert_eq!(given.len(), 3);
+        assert!(s.iter().all(|e| e.key.as_fraction() < 0.5));
+        assert!(given.iter().all(|e| e.key.as_fraction() >= 0.5));
+    }
+
+    #[test]
+    fn merge_counts_new_entries() {
+        let mut a = store_with(&[0.1, 0.2]);
+        let b = store_with(&[0.2, 0.3]);
+        // ids differ per store_with, so construct explicit overlap
+        let mut a2 = KeyStore::new();
+        a2.insert(entry(0.1, 1));
+        a2.insert(entry(0.2, 2));
+        let added = a2.merge_from(vec![entry(0.2, 2), entry(0.3, 3)]);
+        assert_eq!(added, 1);
+        assert_eq!(a2.len(), 3);
+        // also exercise missing_from
+        let missing = a.missing_from(&b);
+        assert_eq!(missing.len(), 2);
+        a.merge_from(missing);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn estimate_lower_fraction_exact_and_sampled() {
+        let s = store_with(&[0.1, 0.2, 0.3, 0.6, 0.7, 0.8, 0.85, 0.9]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let exact = s
+            .estimate_lower_fraction(&Path::root(), usize::MAX, &mut rng)
+            .unwrap();
+        assert!((exact - 3.0 / 8.0).abs() < 1e-12);
+        let sampled = s.estimate_lower_fraction(&Path::root(), 4, &mut rng).unwrap();
+        assert!((0.0..=1.0).contains(&sampled));
+        assert!(s
+            .estimate_lower_fraction(&Path::parse("111111"), 4, &mut rng)
+            .is_none()
+            || s.count_in(&Path::parse("111111")) > 0);
+    }
+
+    #[test]
+    fn overlap_statistics() {
+        let mut a = KeyStore::new();
+        let mut b = KeyStore::new();
+        for i in 0..10 {
+            a.insert(entry(i as f64 / 20.0, i));
+        }
+        for i in 5..15 {
+            b.insert(entry(i as f64 / 20.0, i));
+        }
+        assert_eq!(a.intersection_size(&b), 5);
+        assert_eq!(b.intersection_size(&a), 5);
+        assert_eq!(a.union_size(&b), 15);
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let s = store_with(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let sample = s.sample_in(&Path::root(), 5, &mut rng);
+        assert_eq!(sample.len(), 5);
+        let mut dedup = sample.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        // asking for more than available returns everything
+        assert_eq!(s.sample_in(&Path::root(), 100, &mut rng).len(), 8);
+    }
+
+    #[test]
+    fn drain_empties_store() {
+        let mut s = store_with(&[0.1, 0.9]);
+        let all = s.drain();
+        assert_eq!(all.len(), 2);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # pgrid-net
+//!
+//! Message-level deployment runtime for the reproduction of *"Indexing
+//! data-oriented overlay networks"* (VLDB 2005).
+//!
+//! Whereas `pgrid-sim` drives peer state directly (for fast, large
+//! parameter sweeps), this crate makes peers communicate exclusively through
+//! an encoded wire protocol over an emulated wide-area network with latency,
+//! jitter and message loss — the substitute for the paper's PlanetLab
+//! deployment.  The [`experiment`] module reproduces the timeline of
+//! Section 5 (join → replicate → construct → query → churn) and produces the
+//! time series behind Figures 7, 8 and 9 plus the summary statistics of
+//! Section 5.2.
+//!
+//! ```
+//! use pgrid_net::prelude::*;
+//!
+//! let mut runtime = Runtime::new(NetConfig { n_peers: 16, ..NetConfig::default() });
+//! for peer in 0..16 {
+//!     runtime.join_peer(peer, 4);
+//! }
+//! assert_eq!(runtime.online_count(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod message;
+pub mod runtime;
+
+/// Lower bound on the balanced-split probability, mirroring the whole-system
+/// simulator (`pgrid-sim`): without it, the first split of an extremely
+/// skewed partition would require an unbounded number of encounters.
+pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 = 0.02;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::experiment::{run_deployment, DeploymentReport, MinuteSample, Timeline};
+    pub use crate::message::{ExchangeOutcome, Message};
+    pub use crate::runtime::{NetConfig, NetMetrics, Node, QueryRecord, Runtime};
+}

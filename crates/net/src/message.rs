@@ -1,0 +1,441 @@
+//! Wire protocol of the deployment runtime.
+//!
+//! Peers only communicate through these messages; the encoded size of every
+//! message is what the bandwidth accounting of the Figure 8 experiment
+//! measures.  The codec is a simple hand-rolled binary format over
+//! [`bytes`]: self-describing enough for tests, compact enough that the
+//! byte counts are meaningful.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pgrid_core::key::{DataEntry, DataId, Key};
+use pgrid_core::path::Path;
+use pgrid_core::routing::PeerId;
+
+/// A protocol message exchanged between peers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// A joining peer announces itself to the bootstrap peer.
+    Join {
+        /// The joining peer.
+        peer: PeerId,
+    },
+    /// The bootstrap peer's answer: a sample of already known peers that the
+    /// joiner can use as its unstructured-overlay neighbours.
+    JoinAck {
+        /// Known peers.
+        neighbours: Vec<PeerId>,
+    },
+    /// Replication-phase push of a peer's original entries to a random peer.
+    Replicate {
+        /// The entries to store redundantly.
+        entries: Vec<DataEntry>,
+    },
+    /// Construction interaction request: the initiator presents its path and
+    /// the entries of its current partition so the contacted peer can take a
+    /// local decision (split / replicate / refer).
+    Exchange {
+        /// Initiator's identifier.
+        from: PeerId,
+        /// Initiator's current path.
+        path: Path,
+        /// Initiator's entries restricted to its current partition.
+        entries: Vec<DataEntry>,
+    },
+    /// Reply to [`Message::Exchange`].
+    ExchangeReply {
+        /// Responder's identifier.
+        from: PeerId,
+        /// Responder's path at the time of the reply.
+        path: Path,
+        /// The decision taken.
+        outcome: ExchangeOutcome,
+    },
+    /// Key lookup travelling through the overlay.
+    Query {
+        /// Peer that issued the query (receives the response directly).
+        origin: PeerId,
+        /// Query identifier for latency bookkeeping at the origin.
+        id: u64,
+        /// The requested key.
+        key: Key,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Answer to a [`Message::Query`], sent directly to the origin.
+    QueryResponse {
+        /// Query identifier.
+        id: u64,
+        /// Entries with the requested key held by the responsible peer.
+        entries: Vec<DataEntry>,
+        /// Total forwarding hops the query took.
+        hops: u32,
+        /// Whether a responsible peer was reached.
+        found: bool,
+    },
+}
+
+/// Decision taken by the contacted peer of an [`Message::Exchange`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExchangeOutcome {
+    /// Split the common partition: the initiator takes `initiator_bit`, the
+    /// responder the complement; `entries` are the responder's entries that
+    /// now belong to the initiator's side.
+    Split {
+        /// The partition (path) the split decision applies to; the initiator
+        /// only acts on the reply if this is still its current path, which
+        /// protects against stale replies racing with concurrent exchanges.
+        partition: Path,
+        /// The bit the initiator extends its path with.
+        initiator_bit: bool,
+        /// Entries handed over to the initiator.
+        entries: Vec<DataEntry>,
+        /// A peer responsible for the complementary side, for the
+        /// initiator's routing table when it joins the responder's own side
+        /// (when the initiator takes the opposite side the responder itself
+        /// is the reference and this is `None`).
+        complement: Option<(PeerId, Path)>,
+    },
+    /// Become replicas: `entries` are the entries the initiator was missing.
+    Replicate {
+        /// Entries handed to the initiator.
+        entries: Vec<DataEntry>,
+    },
+    /// The peers belong to different partitions: the responder refers the
+    /// initiator to a peer closer to its partition.
+    Refer {
+        /// The referred peer.
+        peer: PeerId,
+        /// That peer's path as known by the responder.
+        path: Path,
+    },
+    /// Nothing useful could be done.
+    Nothing,
+}
+
+impl Message {
+    /// Encodes the message into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Message::Join { peer } => {
+                buf.put_u8(0);
+                buf.put_u64(peer.0);
+            }
+            Message::JoinAck { neighbours } => {
+                buf.put_u8(1);
+                buf.put_u32(neighbours.len() as u32);
+                for n in neighbours {
+                    buf.put_u64(n.0);
+                }
+            }
+            Message::Replicate { entries } => {
+                buf.put_u8(2);
+                put_entries(&mut buf, entries);
+            }
+            Message::Exchange { from, path, entries } => {
+                buf.put_u8(3);
+                buf.put_u64(from.0);
+                put_path(&mut buf, path);
+                put_entries(&mut buf, entries);
+            }
+            Message::ExchangeReply { from, path, outcome } => {
+                buf.put_u8(4);
+                buf.put_u64(from.0);
+                put_path(&mut buf, path);
+                match outcome {
+                    ExchangeOutcome::Split { partition, initiator_bit, entries, complement } => {
+                        buf.put_u8(0);
+                        put_path(&mut buf, partition);
+                        buf.put_u8(*initiator_bit as u8);
+                        put_entries(&mut buf, entries);
+                        match complement {
+                            Some((peer, path)) => {
+                                buf.put_u8(1);
+                                buf.put_u64(peer.0);
+                                put_path(&mut buf, path);
+                            }
+                            None => buf.put_u8(0),
+                        }
+                    }
+                    ExchangeOutcome::Replicate { entries } => {
+                        buf.put_u8(1);
+                        put_entries(&mut buf, entries);
+                    }
+                    ExchangeOutcome::Refer { peer, path } => {
+                        buf.put_u8(2);
+                        buf.put_u64(peer.0);
+                        put_path(&mut buf, path);
+                    }
+                    ExchangeOutcome::Nothing => buf.put_u8(3),
+                }
+            }
+            Message::Query { origin, id, key, hops } => {
+                buf.put_u8(5);
+                buf.put_u64(origin.0);
+                buf.put_u64(*id);
+                buf.put_u64(key.0);
+                buf.put_u32(*hops);
+            }
+            Message::QueryResponse { id, entries, hops, found } => {
+                buf.put_u8(6);
+                buf.put_u64(*id);
+                put_entries(&mut buf, entries);
+                buf.put_u32(*hops);
+                buf.put_u8(*found as u8);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message previously produced by [`Message::encode`].
+    ///
+    /// Returns `None` for malformed input.
+    pub fn decode(mut data: Bytes) -> Option<Message> {
+        if data.remaining() < 1 {
+            return None;
+        }
+        let tag = data.get_u8();
+        Some(match tag {
+            0 => Message::Join {
+                peer: PeerId(checked_u64(&mut data)?),
+            },
+            1 => {
+                let n = checked_u32(&mut data)? as usize;
+                let mut neighbours = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    neighbours.push(PeerId(checked_u64(&mut data)?));
+                }
+                Message::JoinAck { neighbours }
+            }
+            2 => Message::Replicate {
+                entries: get_entries(&mut data)?,
+            },
+            3 => Message::Exchange {
+                from: PeerId(checked_u64(&mut data)?),
+                path: get_path(&mut data)?,
+                entries: get_entries(&mut data)?,
+            },
+            4 => {
+                let from = PeerId(checked_u64(&mut data)?);
+                let path = get_path(&mut data)?;
+                let outcome_tag = if data.remaining() >= 1 { data.get_u8() } else { return None };
+                let outcome = match outcome_tag {
+                    0 => {
+                        let partition = get_path(&mut data)?;
+                        let initiator_bit = checked_u8(&mut data)? != 0;
+                        let entries = get_entries(&mut data)?;
+                        let complement = if checked_u8(&mut data)? != 0 {
+                            Some((PeerId(checked_u64(&mut data)?), get_path(&mut data)?))
+                        } else {
+                            None
+                        };
+                        ExchangeOutcome::Split { partition, initiator_bit, entries, complement }
+                    }
+                    1 => ExchangeOutcome::Replicate {
+                        entries: get_entries(&mut data)?,
+                    },
+                    2 => ExchangeOutcome::Refer {
+                        peer: PeerId(checked_u64(&mut data)?),
+                        path: get_path(&mut data)?,
+                    },
+                    3 => ExchangeOutcome::Nothing,
+                    _ => return None,
+                };
+                Message::ExchangeReply { from, path, outcome }
+            }
+            5 => Message::Query {
+                origin: PeerId(checked_u64(&mut data)?),
+                id: checked_u64(&mut data)?,
+                key: Key(checked_u64(&mut data)?),
+                hops: checked_u32(&mut data)?,
+            },
+            6 => Message::QueryResponse {
+                id: checked_u64(&mut data)?,
+                entries: get_entries(&mut data)?,
+                hops: checked_u32(&mut data)?,
+                found: checked_u8(&mut data)? != 0,
+            },
+            _ => return None,
+        })
+    }
+
+    /// Size of the encoded message in bytes (what the bandwidth accounting
+    /// charges for this message).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Whether this message belongs to the query traffic class (everything
+    /// else is maintenance traffic in the Figure 8 breakdown).
+    pub fn is_query_traffic(&self) -> bool {
+        matches!(self, Message::Query { .. } | Message::QueryResponse { .. })
+    }
+}
+
+fn put_path(buf: &mut BytesMut, path: &Path) {
+    buf.put_u8(path.len() as u8);
+    let mut bits: u64 = 0;
+    for (i, b) in path.bits_iter().enumerate() {
+        if b {
+            bits |= 1 << (63 - i);
+        }
+    }
+    buf.put_u64(bits);
+}
+
+fn get_path(data: &mut Bytes) -> Option<Path> {
+    let len = checked_u8(data)? as usize;
+    if len > pgrid_core::path::MAX_PATH_LEN {
+        return None;
+    }
+    let bits = checked_u64(data)?;
+    let mut path = Path::root();
+    for i in 0..len {
+        path = path.child((bits >> (63 - i)) & 1 == 1);
+    }
+    Some(path)
+}
+
+fn put_entries(buf: &mut BytesMut, entries: &[DataEntry]) {
+    buf.put_u32(entries.len() as u32);
+    for e in entries {
+        buf.put_u64(e.key.0);
+        buf.put_u64(e.id.0);
+    }
+}
+
+fn get_entries(data: &mut Bytes) -> Option<Vec<DataEntry>> {
+    let n = checked_u32(data)? as usize;
+    if n > 1_000_000 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let key = Key(checked_u64(data)?);
+        let id = DataId(checked_u64(data)?);
+        entries.push(DataEntry::new(key, id));
+    }
+    Some(entries)
+}
+
+fn checked_u64(data: &mut Bytes) -> Option<u64> {
+    (data.remaining() >= 8).then(|| data.get_u64())
+}
+
+fn checked_u32(data: &mut Bytes) -> Option<u32> {
+    (data.remaining() >= 4).then(|| data.get_u32())
+}
+
+fn checked_u8(data: &mut Bytes) -> Option<u8> {
+    (data.remaining() >= 1).then(|| data.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u64) -> Vec<DataEntry> {
+        (0..n)
+            .map(|i| DataEntry::new(Key::from_fraction(i as f64 / 100.0), DataId(i)))
+            .collect()
+    }
+
+    fn roundtrip(message: Message) {
+        let encoded = message.encode();
+        let decoded = Message::decode(encoded).expect("decode");
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        roundtrip(Message::Join { peer: PeerId(42) });
+        roundtrip(Message::JoinAck {
+            neighbours: vec![PeerId(1), PeerId(2), PeerId(3)],
+        });
+        roundtrip(Message::Replicate { entries: entries(5) });
+        roundtrip(Message::Exchange {
+            from: PeerId(7),
+            path: Path::parse("0101"),
+            entries: entries(3),
+        });
+        for outcome in [
+            ExchangeOutcome::Split {
+                partition: Path::parse("01"),
+                initiator_bit: true,
+                entries: entries(4),
+                complement: None,
+            },
+            ExchangeOutcome::Split {
+                partition: Path::root(),
+                initiator_bit: false,
+                entries: entries(2),
+                complement: Some((PeerId(5), Path::parse("10"))),
+            },
+            ExchangeOutcome::Replicate { entries: entries(2) },
+            ExchangeOutcome::Refer {
+                peer: PeerId(9),
+                path: Path::parse("110"),
+            },
+            ExchangeOutcome::Nothing,
+        ] {
+            roundtrip(Message::ExchangeReply {
+                from: PeerId(8),
+                path: Path::parse("01"),
+                outcome,
+            });
+        }
+        roundtrip(Message::Query {
+            origin: PeerId(3),
+            id: 77,
+            key: Key::from_fraction(0.33),
+            hops: 2,
+        });
+        roundtrip(Message::QueryResponse {
+            id: 77,
+            entries: entries(1),
+            hops: 3,
+            found: true,
+        });
+    }
+
+    #[test]
+    fn wire_size_grows_with_payload() {
+        let small = Message::Replicate { entries: entries(1) };
+        let large = Message::Replicate { entries: entries(100) };
+        assert!(large.wire_size() > small.wire_size() + 99 * 16 - 1);
+    }
+
+    #[test]
+    fn traffic_classification() {
+        assert!(Message::Query {
+            origin: PeerId(0),
+            id: 0,
+            key: Key::MIN,
+            hops: 0
+        }
+        .is_query_traffic());
+        assert!(!Message::Join { peer: PeerId(0) }.is_query_traffic());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(Message::decode(Bytes::from_static(&[])).is_none());
+        assert!(Message::decode(Bytes::from_static(&[99])).is_none());
+        assert!(Message::decode(Bytes::from_static(&[0, 1, 2])).is_none());
+        // truncated entry list
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u32(10);
+        buf.put_u64(1);
+        assert!(Message::decode(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn empty_path_roundtrips() {
+        roundtrip(Message::Exchange {
+            from: PeerId(1),
+            path: Path::root(),
+            entries: Vec::new(),
+        });
+    }
+}

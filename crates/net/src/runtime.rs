@@ -1,0 +1,1059 @@
+//! Event-driven deployment runtime.
+//!
+//! Every peer is an isolated state machine that communicates exclusively
+//! through encoded [`Message`]s delivered over an emulated wide-area network
+//! with per-message latency, jitter and loss.  This replaces the paper's
+//! PlanetLab testbed: the protocol code paths are the same as a socket-based
+//! deployment would execute (peers act only on messages), while the network
+//! conditions are emulated so experiments stay reproducible.
+
+use crate::message::{ExchangeOutcome, Message};
+use pgrid_core::key::DataEntry;
+use pgrid_core::path::Path;
+use pgrid_core::peer::PeerState;
+use pgrid_core::reference::BalanceParams;
+use pgrid_core::routing::{PeerId, RoutingEntry};
+use pgrid_core::store::KeyStore;
+use pgrid_partition::probabilities::effective_probabilities;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Milliseconds of virtual time.
+pub type Millis = u64;
+
+/// Configuration of the emulated network and protocol constants.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Number of peers.
+    pub n_peers: usize,
+    /// Keys initially held per peer.
+    pub keys_per_peer: usize,
+    /// Minimum replication factor.
+    pub n_min: usize,
+    /// Storage bound; `None` uses `keys_per_peer * n_min`.
+    pub delta_max: Option<usize>,
+    /// Minimum one-way message latency in milliseconds.
+    pub latency_min_ms: u64,
+    /// Maximum one-way message latency in milliseconds.
+    pub latency_max_ms: u64,
+    /// Probability that a message is lost in transit.
+    pub loss_probability: f64,
+    /// Interval between construction ticks of a peer.
+    pub construct_interval_ms: u64,
+    /// Query timeout (a query unanswered for this long counts as failed).
+    pub query_timeout_ms: u64,
+    /// Routing table fanout.
+    pub routing_fanout: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// The key distribution.
+    pub distribution: pgrid_workload::distributions::Distribution,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            n_peers: 128,
+            keys_per_peer: 10,
+            n_min: 5,
+            delta_max: None,
+            latency_min_ms: 20,
+            latency_max_ms: 250,
+            loss_probability: 0.01,
+            construct_interval_ms: 5_000,
+            query_timeout_ms: 20_000,
+            routing_fanout: 5,
+            seed: 0xBEEF,
+            distribution: pgrid_workload::distributions::Distribution::Text {
+                vocabulary: 5_000,
+                exponent: 1.0,
+            },
+        }
+    }
+}
+
+impl NetConfig {
+    /// Effective balance parameters.
+    pub fn balance_params(&self) -> BalanceParams {
+        match self.delta_max {
+            Some(d) => BalanceParams::new(d, self.n_min),
+            None => BalanceParams::recommended(self.keys_per_peer as f64, self.n_min),
+        }
+    }
+}
+
+/// One peer of the deployment.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Overlay state (path, store, routing table, replica list).
+    pub state: PeerState,
+    /// Unstructured-overlay neighbours (bootstrap contacts).
+    pub neighbours: Vec<PeerId>,
+    /// Whether the peer participates in construction ticks.
+    pub constructing: bool,
+    /// Consecutive fruitless exchanges.
+    pub fruitless: u32,
+    /// Whether the peer has joined the network at all.
+    pub joined: bool,
+}
+
+/// Classified bandwidth counters for one time bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BandwidthSample {
+    /// Bytes of maintenance traffic (join, replicate, exchange).
+    pub maintenance_bytes: usize,
+    /// Bytes of query traffic.
+    pub query_bytes: usize,
+}
+
+/// Record of one issued query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryRecord {
+    /// Virtual time the query was issued.
+    pub issued_at: Millis,
+    /// Latency in milliseconds (`None` while outstanding or after timeout).
+    pub latency_ms: Option<Millis>,
+    /// Hops reported by the response.
+    pub hops: u32,
+    /// Whether the query succeeded.
+    pub success: bool,
+}
+
+/// Aggregate statistics collected by the runtime.
+#[derive(Clone, Debug, Default)]
+pub struct NetMetrics {
+    /// Bandwidth per one-minute bucket of virtual time.
+    pub bandwidth_per_minute: HashMap<u64, BandwidthSample>,
+    /// All issued queries.
+    pub queries: Vec<QueryRecord>,
+    /// Messages lost in transit.
+    pub messages_lost: usize,
+    /// Messages delivered.
+    pub messages_delivered: usize,
+    /// Messages dropped because the destination was offline.
+    pub messages_to_offline: usize,
+}
+
+impl NetMetrics {
+    fn account(&mut self, now: Millis, message: &Message) {
+        let bucket = now / 60_000;
+        let entry = self.bandwidth_per_minute.entry(bucket).or_default();
+        let size = message.wire_size();
+        if message.is_query_traffic() {
+            entry.query_bytes += size;
+        } else {
+            entry.maintenance_bytes += size;
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { to: usize, message: Message },
+    ConstructTick { peer: usize },
+    QueryTimeout { query_id: u64 },
+    GoOffline { peer: usize },
+    GoOnline { peer: usize },
+}
+
+struct Event {
+    time: Millis,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The deployment runtime: peers, emulated network and virtual clock.
+pub struct Runtime {
+    /// Configuration.
+    pub config: NetConfig,
+    /// Balance parameters derived from the configuration.
+    pub params: BalanceParams,
+    /// All peers (index = peer id).
+    pub nodes: Vec<Node>,
+    /// Collected metrics.
+    pub metrics: NetMetrics,
+    /// The original entries assigned to peers (ground truth for queries).
+    pub original_entries: Vec<DataEntry>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: Millis,
+    seq: u64,
+    next_query_id: u64,
+    outstanding_queries: HashMap<u64, usize>,
+    rng: StdRng,
+}
+
+impl Runtime {
+    /// Creates a runtime with `n_peers` peers, each pre-loaded with
+    /// `keys_per_peer` keys from the configured distribution.  Peers start
+    /// offline/not-joined; the experiment driver joins them over time.
+    pub fn new(config: NetConfig) -> Runtime {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let params = config.balance_params();
+        let mut nodes = Vec::with_capacity(config.n_peers);
+        let mut original_entries = Vec::new();
+        for i in 0..config.n_peers {
+            let mut state = PeerState::new(PeerId(i as u64), config.routing_fanout);
+            for j in 0..config.keys_per_peer {
+                let entry = DataEntry::new(
+                    config.distribution.sample(&mut rng),
+                    pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
+                );
+                state.store.insert(entry);
+                original_entries.push(entry);
+            }
+            state.online = false;
+            nodes.push(Node {
+                state,
+                neighbours: Vec::new(),
+                constructing: false,
+                fruitless: 0,
+                joined: false,
+            });
+        }
+        Runtime {
+            config,
+            params,
+            nodes,
+            metrics: NetMetrics::default(),
+            original_entries,
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            next_query_id: 0,
+            outstanding_queries: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now(&self) -> Millis {
+        self.now
+    }
+
+    /// Number of peers currently online.
+    pub fn online_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.joined && n.state.online).count()
+    }
+
+    fn schedule(&mut self, time: Millis, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Sends a message over the emulated network: accounts its bandwidth,
+    /// possibly loses it, and otherwise delivers it after a random latency.
+    fn send(&mut self, to: usize, message: Message) {
+        self.metrics.account(self.now, &message);
+        if self.rng.gen_bool(self.config.loss_probability.clamp(0.0, 1.0)) {
+            self.metrics.messages_lost += 1;
+            return;
+        }
+        let latency = self
+            .rng
+            .gen_range(self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms));
+        let time = self.now + latency;
+        self.schedule(time, EventKind::Deliver { to, message });
+    }
+
+    // ----- experiment-facing control actions --------------------------------
+
+    /// Brings a peer online and connects it to `fanout` random already-online
+    /// peers (its unstructured-overlay neighbours), as the bootstrap phase of
+    /// Section 5.1 does.
+    pub fn join_peer(&mut self, peer: usize, fanout: usize) {
+        let online: Vec<PeerId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.joined && n.state.online)
+            .map(|n| n.state.id)
+            .collect();
+        let node = &mut self.nodes[peer];
+        node.joined = true;
+        node.state.online = true;
+        let mut neighbours = online;
+        neighbours.shuffle(&mut self.rng);
+        neighbours.truncate(fanout);
+        // Simulate the join handshake traffic.
+        if let Some(first) = neighbours.first() {
+            let join = Message::Join {
+                peer: PeerId(peer as u64),
+            };
+            self.metrics.account(self.now, &join);
+            let ack = Message::JoinAck {
+                neighbours: neighbours.clone(),
+            };
+            self.metrics.account(self.now, &ack);
+            let _ = first;
+        }
+        self.nodes[peer].neighbours = neighbours;
+        // Symmetric neighbour links keep the unstructured overlay connected.
+        for n in self.nodes[peer].neighbours.clone() {
+            let other = n.0 as usize;
+            if !self.nodes[other].neighbours.contains(&PeerId(peer as u64)) {
+                self.nodes[other].neighbours.push(PeerId(peer as u64));
+            }
+        }
+    }
+
+    /// Replicates every online peer's original entries to `n_min` random
+    /// neighbours-of-neighbours (the replication phase).
+    pub fn replication_phase(&mut self) {
+        let n_min = self.config.n_min;
+        for peer in 0..self.nodes.len() {
+            if !self.nodes[peer].state.online {
+                continue;
+            }
+            let entries: Vec<DataEntry> = self.nodes[peer].state.store.iter().copied().collect();
+            for _ in 0..n_min {
+                if let Some(target) = self.random_contact(peer) {
+                    self.send(target, Message::Replicate { entries: entries.clone() });
+                }
+            }
+        }
+    }
+
+    /// Starts periodic construction ticks on every online peer.
+    pub fn start_construction(&mut self) {
+        for peer in 0..self.nodes.len() {
+            if self.nodes[peer].state.online {
+                self.nodes[peer].constructing = true;
+                let jitter = self.rng.gen_range(0..self.config.construct_interval_ms.max(1));
+                self.schedule(self.now + jitter, EventKind::ConstructTick { peer });
+            }
+        }
+    }
+
+    /// Issues a lookup for `key` from a random online peer; the result is
+    /// recorded in [`NetMetrics::queries`].
+    pub fn issue_query(&mut self, key: pgrid_core::key::Key) {
+        let online: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.joined && n.state.online)
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            return;
+        }
+        let origin = online[self.rng.gen_range(0..online.len())];
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        let record_index = self.metrics.queries.len();
+        self.metrics.queries.push(QueryRecord {
+            issued_at: self.now,
+            latency_ms: None,
+            hops: 0,
+            success: false,
+        });
+        self.outstanding_queries.insert(id, record_index);
+        self.schedule(self.now + self.config.query_timeout_ms, EventKind::QueryTimeout { query_id: id });
+        // The origin handles the query locally first (it might be
+        // responsible itself); otherwise it forwards it.
+        let message = Message::Query {
+            origin: PeerId(origin as u64),
+            id,
+            key,
+            hops: 0,
+        };
+        self.handle_query(origin, message);
+    }
+
+    /// Takes a peer offline at `at` and brings it back `downtime` later
+    /// (the churn pattern of the final experiment phase).
+    pub fn schedule_churn(&mut self, peer: usize, at: Millis, downtime: Millis) {
+        self.schedule(at, EventKind::GoOffline { peer });
+        self.schedule(at + downtime, EventKind::GoOnline { peer });
+    }
+
+    /// Advances virtual time to `until`, processing all events in order.
+    pub fn run_until(&mut self, until: Millis) {
+        loop {
+            let next_time = match self.queue.peek() {
+                Some(Reverse(event)) => event.time,
+                None => break,
+            };
+            if next_time > until {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked above");
+            self.now = event.time.max(self.now);
+            self.dispatch(event.kind);
+        }
+        self.now = self.now.max(until);
+    }
+
+    // ----- event dispatch ----------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Deliver { to, message } => {
+                if !self.nodes[to].state.online {
+                    self.metrics.messages_to_offline += 1;
+                    return;
+                }
+                self.metrics.messages_delivered += 1;
+                self.handle_message(to, message);
+            }
+            EventKind::ConstructTick { peer } => self.construct_tick(peer),
+            EventKind::QueryTimeout { query_id } => {
+                if let Some(record) = self.outstanding_queries.remove(&query_id) {
+                    // The record keeps success = false and latency = None.
+                    let _ = record;
+                }
+            }
+            EventKind::GoOffline { peer } => {
+                self.nodes[peer].state.online = false;
+            }
+            EventKind::GoOnline { peer } => {
+                if self.nodes[peer].joined {
+                    self.nodes[peer].state.online = true;
+                }
+            }
+        }
+    }
+
+    fn handle_message(&mut self, to: usize, message: Message) {
+        match message {
+            Message::Join { .. } | Message::JoinAck { .. } => {
+                // Join traffic is handled synchronously in `join_peer`; these
+                // messages only exist for bandwidth accounting.
+            }
+            Message::Replicate { entries } => {
+                self.nodes[to].state.store.merge_from(entries);
+            }
+            Message::Exchange { from, path, entries } => {
+                let reply = self.decide_exchange(to, from, path, &entries);
+                let responder_path = self.nodes[to].state.path;
+                self.send(
+                    from.0 as usize,
+                    Message::ExchangeReply {
+                        from: PeerId(to as u64),
+                        path: responder_path,
+                        outcome: reply,
+                    },
+                );
+            }
+            Message::ExchangeReply { from, path, outcome } => {
+                self.apply_exchange_reply(to, from, path, outcome);
+            }
+            Message::Query { origin, id, key, hops } => {
+                self.handle_query_message(to, origin, id, key, hops);
+            }
+            Message::QueryResponse { id, entries, hops, found } => {
+                if let Some(record_index) = self.outstanding_queries.remove(&id) {
+                    let record = &mut self.metrics.queries[record_index];
+                    record.latency_ms = Some(self.now - record.issued_at);
+                    record.hops = hops;
+                    record.success = found && !entries.is_empty();
+                }
+                let _ = to;
+            }
+        }
+    }
+
+    // ----- construction protocol ---------------------------------------------
+
+    fn construct_tick(&mut self, peer: usize) {
+        if !self.nodes[peer].state.online || !self.nodes[peer].constructing {
+            return;
+        }
+        // Back off after repeated fruitless exchanges unless the local store
+        // clearly indicates an overloaded, still splittable partition.  A
+        // backed-off peer does not stop entirely: it keeps exchanging at a
+        // much lower rate, which provides the background anti-entropy that
+        // keeps replicas converged during the operational phase (and shows
+        // up as the residual maintenance bandwidth of Figure 8).
+        let node = &self.nodes[peer];
+        let backing_off = node.fruitless >= 4 && !locally_overloaded(&node.state, &self.params);
+        if let Some(target) = self.random_contact(peer) {
+            let state = &self.nodes[peer].state;
+            let entries: Vec<DataEntry> =
+                state.store.restricted(&state.path).iter().copied().collect();
+            let message = Message::Exchange {
+                from: PeerId(peer as u64),
+                path: state.path,
+                entries,
+            };
+            self.send(target, message);
+        }
+        let interval = if backing_off {
+            self.config.construct_interval_ms * 10
+        } else {
+            self.config.construct_interval_ms
+        };
+        let jitter = self.rng.gen_range(0..interval.max(1));
+        self.schedule(self.now + interval + jitter, EventKind::ConstructTick { peer });
+    }
+
+    /// The contacted peer's local decision for an exchange (Figure 2).
+    fn decide_exchange(
+        &mut self,
+        responder: usize,
+        initiator: PeerId,
+        initiator_path: Path,
+        initiator_entries: &[DataEntry],
+    ) -> ExchangeOutcome {
+        let responder_path = self.nodes[responder].state.path;
+        let same_partition = responder_path.is_prefix_of(&initiator_path)
+            || initiator_path.is_prefix_of(&responder_path);
+
+        if !same_partition {
+            // Refer the initiator to a peer for its own side, and learn a
+            // reference ourselves.
+            let level = responder_path.common_prefix_len(&initiator_path);
+            {
+                let rng = &mut self.rng;
+                self.nodes[responder]
+                    .state
+                    .learn_reference(initiator, initiator_path, rng);
+            }
+            let referred = {
+                let node = &self.nodes[responder];
+                node.state.routing.level(level).iter().map(|e| (e.peer, e.path)).collect::<Vec<_>>()
+            };
+            return match referred.choose(&mut self.rng) {
+                Some(&(peer, path)) if peer != initiator => ExchangeOutcome::Refer { peer, path },
+                _ => ExchangeOutcome::Nothing,
+            };
+        }
+
+        // Work on the shallower of the two paths.
+        let partition = if responder_path.len() <= initiator_path.len() {
+            responder_path
+        } else {
+            initiator_path
+        };
+        let initiator_store = KeyStore::from_entries(
+            initiator_entries
+                .iter()
+                .copied()
+                .filter(|e| partition.covers(e.key)),
+        );
+        let responder_store = self.nodes[responder].state.store.restricted(&partition);
+        let assessment = assess(&initiator_store, &responder_store, &partition, &self.params);
+
+        if !assessment.overloaded {
+            if responder_path == initiator_path {
+                // Become replicas: hand over what the initiator is missing.
+                let missing = initiator_store.missing_from(&responder_store);
+                let initiator_id = initiator;
+                if !self.nodes[responder].state.replicas.contains(&initiator_id) {
+                    self.nodes[responder].state.replicas.push(initiator_id);
+                }
+                // Also pull what the responder is missing (it arrived with
+                // the request).
+                self.nodes[responder].state.store.merge_from(
+                    responder_store.missing_from(&initiator_store),
+                );
+                return ExchangeOutcome::Replicate { entries: missing };
+            }
+            return ExchangeOutcome::Nothing;
+        }
+
+        // Overloaded: split.  Decide sides with the AEP probabilities
+        // evaluated at the observed load ratio.
+        let (alpha, q0, q1) = effective_probabilities(assessment.p_lower);
+
+        if responder_path.len() == initiator_path.len() {
+            // Balanced split between two undecided peers: happens with
+            // probability alpha (floored as in the simulator), sides chosen
+            // uniformly at random.
+            if !self
+                .rng
+                .gen_bool(alpha.max(crate::MIN_BALANCED_SPLIT_PROBABILITY).clamp(0.0, 1.0))
+            {
+                return ExchangeOutcome::Nothing;
+            }
+            let initiator_takes_zero = self.rng.gen_bool(0.5);
+            // The responder extends its own path with the complementary bit.
+            let responder_bit = initiator_takes_zero;
+            let rng = &mut self.rng;
+            let handover = self.nodes[responder].state.split_towards(
+                responder_bit,
+                RoutingEntry {
+                    peer: initiator,
+                    path: partition.child(!responder_bit),
+                },
+                rng,
+            );
+            // Keep the initiator's entries that belong to our new side.
+            let own_path = self.nodes[responder].state.path;
+            self.nodes[responder]
+                .state
+                .store
+                .merge_from(initiator_entries.iter().copied().filter(|e| own_path.covers(e.key)));
+            return ExchangeOutcome::Split {
+                partition,
+                initiator_bit: !responder_bit,
+                entries: handover,
+                complement: None,
+            };
+        }
+
+        if responder_path.len() > initiator_path.len() {
+            // The initiator lags behind a peer (us) that has already decided
+            // at this level: apply the decided-peer rules (cases 3/4) on its
+            // behalf and ship the entries of its new side.
+            let responder_bit = responder_path.bit(partition.len());
+            let opposite_probability = if responder_bit { q0 } else { q1 };
+            let initiator_bit = if self.rng.gen_bool(opposite_probability.clamp(0.0, 1.0)) {
+                !responder_bit
+            } else {
+                responder_bit
+            };
+            // When the initiator joins the responder's own side it needs a
+            // reference to the complementary subtree, which the responder has
+            // in its routing table for this level.
+            let complement = if initiator_bit == responder_bit {
+                let refs = self.nodes[responder].state.routing.level(partition.len());
+                match refs.choose(&mut self.rng) {
+                    Some(entry) => Some((entry.peer, entry.path)),
+                    None => return ExchangeOutcome::Nothing,
+                }
+            } else {
+                None
+            };
+            let initiator_new_path = partition.child(initiator_bit);
+            let handover: Vec<DataEntry> = responder_store
+                .iter()
+                .copied()
+                .filter(|e| initiator_new_path.covers(e.key))
+                .collect();
+            return ExchangeOutcome::Split {
+                partition,
+                initiator_bit,
+                entries: handover,
+                complement,
+            };
+        }
+
+        // The responder itself lags behind the initiator: catch up locally
+        // using the initiator as the already-decided peer.  Only the
+        // opposite-side decision can be completed here (it yields the
+        // initiator as the routing reference); for the same-side decision we
+        // would need one of the initiator's references, so we simply wait for
+        // a later exchange.
+        let ahead_bit = initiator_path.bit(partition.len());
+        let opposite_probability = if ahead_bit { q0 } else { q1 };
+        if self.rng.gen_bool(opposite_probability.clamp(0.0, 1.0)) {
+            let rng = &mut self.rng;
+            let shipped = self.nodes[responder].state.split_towards(
+                !ahead_bit,
+                RoutingEntry {
+                    peer: initiator,
+                    path: initiator_path,
+                },
+                rng,
+            );
+            // The shipped entries belong to the initiator's half of the
+            // partition; hand them over with the reply.
+            ExchangeOutcome::Replicate { entries: shipped }
+        } else {
+            ExchangeOutcome::Nothing
+        }
+    }
+
+    /// The initiator applies the responder's decision.
+    fn apply_exchange_reply(
+        &mut self,
+        initiator: usize,
+        responder: PeerId,
+        responder_path: Path,
+        outcome: ExchangeOutcome,
+    ) {
+        // Always learn a routing reference from the encounter if possible.
+        {
+            let rng = &mut self.rng;
+            self.nodes[initiator]
+                .state
+                .learn_reference(responder, responder_path, rng);
+        }
+        match outcome {
+            ExchangeOutcome::Nothing => {
+                self.nodes[initiator].fruitless += 1;
+            }
+            ExchangeOutcome::Refer { peer, path } => {
+                let rng = &mut self.rng;
+                self.nodes[initiator].state.learn_reference(peer, path, rng);
+                self.nodes[initiator].fruitless += 1;
+            }
+            ExchangeOutcome::Replicate { entries } => {
+                let added = self.nodes[initiator].state.store.merge_from(entries);
+                if !self.nodes[initiator].state.replicas.contains(&responder) {
+                    self.nodes[initiator].state.replicas.push(responder);
+                }
+                if added == 0 {
+                    self.nodes[initiator].fruitless += 1;
+                } else {
+                    self.nodes[initiator].fruitless = 0;
+                }
+            }
+            ExchangeOutcome::Split { partition, initiator_bit, entries, complement } => {
+                let node_path = self.nodes[initiator].state.path;
+                // The decision applies to the partition the responder saw in
+                // the request; if the initiator has moved on in the meantime
+                // (a concurrent exchange extended its path) the reply is
+                // stale and must be ignored.
+                if node_path == partition {
+                    // Reference for the complementary subtree: the responder
+                    // itself when we took the opposite side, otherwise the
+                    // complement peer it referred us to.
+                    let reference = match complement {
+                        Some((peer, path)) => RoutingEntry { peer, path },
+                        None => RoutingEntry {
+                            peer: responder,
+                            path: if responder_path.len() > node_path.len() {
+                                responder_path
+                            } else {
+                                node_path.child(!initiator_bit)
+                            },
+                        },
+                    };
+                    let shipped = {
+                        let rng = &mut self.rng;
+                        self.nodes[initiator]
+                            .state
+                            .split_towards(initiator_bit, reference, rng)
+                    };
+                    self.nodes[initiator].state.store.merge_from(entries);
+                    // Hand the entries of the other side back to the
+                    // responder (content exchange).
+                    if !shipped.is_empty() {
+                        self.send(responder.0 as usize, Message::Replicate { entries: shipped });
+                    }
+                    self.nodes[initiator].fruitless = 0;
+                } else {
+                    self.nodes[initiator].fruitless += 1;
+                }
+            }
+        }
+    }
+
+    // ----- query routing -------------------------------------------------------
+
+    fn handle_query(&mut self, at: usize, message: Message) {
+        self.handle_message(at, message);
+    }
+
+    fn handle_query_message(
+        &mut self,
+        at: usize,
+        origin: PeerId,
+        id: u64,
+        key: pgrid_core::key::Key,
+        hops: u32,
+    ) {
+        let path = self.nodes[at].state.path;
+        let mismatch = (0..path.len()).find(|&i| path.bit(i) != key.bit(i));
+        match mismatch {
+            None => {
+                // Responsible peer: answer directly to the origin.  If this
+                // replica happens to miss the entry (it may still be in
+                // transit from the construction phase), try an online
+                // replica of the same partition before giving up — that is
+                // exactly what the structural replication is for.
+                let entries: Vec<DataEntry> =
+                    self.nodes[at].state.store.range(key, key).copied().collect();
+                if entries.is_empty() && (hops as usize) < pgrid_core::search::MAX_HOPS {
+                    let replicas: Vec<PeerId> = self.nodes[at].state.replicas.clone();
+                    let next = replicas
+                        .iter()
+                        .copied()
+                        .find(|p| p.0 as usize != at && self.nodes[p.0 as usize].state.online);
+                    if let Some(peer) = next {
+                        self.send(
+                            peer.0 as usize,
+                            Message::Query {
+                                origin,
+                                id,
+                                key,
+                                hops: hops + 1,
+                            },
+                        );
+                        return;
+                    }
+                }
+                let found = !entries.is_empty();
+                self.send(
+                    origin.0 as usize,
+                    Message::QueryResponse { id, entries, hops, found },
+                );
+            }
+            Some(level) => {
+                // Forward to an online reference at the mismatch level;
+                // offline targets are detected (failed connection) and an
+                // alternative is tried, as a socket implementation would.
+                let mut refs: Vec<PeerId> = self.nodes[at]
+                    .state
+                    .routing
+                    .level(level)
+                    .iter()
+                    .map(|e| e.peer)
+                    .collect();
+                refs.shuffle(&mut self.rng);
+                let next = refs
+                    .into_iter()
+                    .find(|p| self.nodes[p.0 as usize].state.online);
+                match next {
+                    Some(peer) => {
+                        if hops as usize > pgrid_core::search::MAX_HOPS {
+                            self.send(
+                                origin.0 as usize,
+                                Message::QueryResponse {
+                                    id,
+                                    entries: Vec::new(),
+                                    hops,
+                                    found: false,
+                                },
+                            );
+                            return;
+                        }
+                        self.send(
+                            peer.0 as usize,
+                            Message::Query {
+                                origin,
+                                id,
+                                key,
+                                hops: hops + 1,
+                            },
+                        );
+                    }
+                    None => {
+                        self.send(
+                            origin.0 as usize,
+                            Message::QueryResponse {
+                                id,
+                                entries: Vec::new(),
+                                hops,
+                                found: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- helpers ---------------------------------------------------------------
+
+    /// Approximates a uniform random peer sample by a short random walk over
+    /// the unstructured neighbour lists.
+    fn random_contact(&mut self, from: usize) -> Option<usize> {
+        let mut current = from;
+        for _ in 0..6 {
+            let neighbours = &self.nodes[current].neighbours;
+            if neighbours.is_empty() {
+                break;
+            }
+            let pick = neighbours[self.rng.gen_range(0..neighbours.len())].0 as usize;
+            current = pick;
+        }
+        if current == from {
+            // Fall back to a direct neighbour.
+            let neighbours = &self.nodes[from].neighbours;
+            if neighbours.is_empty() {
+                return None;
+            }
+            current = neighbours[self.rng.gen_range(0..neighbours.len())].0 as usize;
+        }
+        (current != from).then_some(current)
+    }
+}
+
+/// Local overload assessment shared by the responder's exchange decision
+/// (same capture–recapture estimate as the simulator, see
+/// `pgrid-sim::construction`).
+struct Assessment {
+    overloaded: bool,
+    p_lower: f64,
+}
+
+fn assess(a: &KeyStore, b: &KeyStore, partition: &Path, params: &BalanceParams) -> Assessment {
+    let count_a = a.len();
+    let count_b = b.len();
+    let overlap = a.intersection_size(b);
+    let union = count_a + count_b - overlap;
+    let estimated_keys = if count_a == 0 || count_b == 0 {
+        union as f64
+    } else if overlap == 0 {
+        union as f64 * 4.0
+    } else {
+        ((count_a as f64 * count_b as f64) / overlap as f64).max(union as f64)
+    };
+    let replicas = params.n_min as f64 * estimated_keys / params.delta_max as f64;
+    let lower = partition.child(false);
+    let in_lower = a.count_in(&lower) + b.count_in(&lower);
+    let total = count_a + count_b;
+    let p_lower = if total == 0 {
+        0.5
+    } else {
+        (in_lower as f64 / total as f64).clamp(1e-3, 1.0 - 1e-3)
+    };
+    let splittable = match (a.key_span_in(partition), b.key_span_in(partition)) {
+        (Some((lo_a, hi_a)), Some((lo_b, hi_b))) => lo_a.min(lo_b) != hi_a.max(hi_b),
+        (Some((lo, hi)), None) | (None, Some((lo, hi))) => lo != hi,
+        (None, None) => false,
+    };
+    Assessment {
+        overloaded: splittable
+            && estimated_keys > params.delta_max as f64
+            && replicas >= 2.0 * params.n_min as f64,
+        p_lower,
+    }
+}
+
+fn locally_overloaded(state: &PeerState, params: &BalanceParams) -> bool {
+    let load = state.responsible_load();
+    if load < 2 * params.delta_max {
+        return false;
+    }
+    matches!(state.store.key_span_in(&state.path), Some((lo, hi)) if lo != hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_runtime() -> Runtime {
+        Runtime::new(NetConfig {
+            n_peers: 48,
+            seed: 3,
+            ..NetConfig::default()
+        })
+    }
+
+    #[test]
+    fn peers_join_and_form_an_unstructured_overlay() {
+        let mut rt = small_runtime();
+        for i in 0..48 {
+            rt.join_peer(i, 4);
+        }
+        assert_eq!(rt.online_count(), 48);
+        // every peer except the very first has neighbours
+        let lonely = rt.nodes.iter().filter(|n| n.neighbours.is_empty()).count();
+        assert!(lonely <= 1, "{lonely} peers without neighbours");
+    }
+
+    #[test]
+    fn construction_builds_a_trie_over_messages() {
+        let mut rt = small_runtime();
+        for i in 0..48 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(10_000);
+        rt.start_construction();
+        rt.run_until(400_000);
+        let max_depth = rt.nodes.iter().map(|n| n.state.path.len()).max().unwrap();
+        assert!(max_depth >= 2, "max depth {max_depth}");
+        // routing tables stay consistent with paths
+        for node in &rt.nodes {
+            assert!(node.state.invariants_hold());
+        }
+        assert!(rt.metrics.messages_delivered > 100);
+    }
+
+    #[test]
+    fn queries_succeed_after_construction() {
+        let mut rt = small_runtime();
+        for i in 0..48 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(10_000);
+        rt.start_construction();
+        rt.run_until(400_000);
+        // query for existing keys
+        let keys: Vec<_> = rt.original_entries.iter().map(|e| e.key).collect();
+        for i in 0..100 {
+            rt.issue_query(keys[i * 3 % keys.len()]);
+            rt.run_until(rt.now() + 2_000);
+        }
+        rt.run_until(rt.now() + 30_000);
+        let done: Vec<_> = rt.metrics.queries.iter().collect();
+        assert_eq!(done.len(), 100);
+        let successes = done.iter().filter(|q| q.success).count();
+        assert!(successes >= 85, "only {successes}/100 queries succeeded");
+        let answered = done.iter().filter(|q| q.latency_ms.is_some()).count();
+        assert!(answered >= 90, "only {answered}/100 queries answered");
+    }
+
+    #[test]
+    fn bandwidth_is_accounted_per_class() {
+        let mut rt = small_runtime();
+        for i in 0..48 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(20_000);
+        let maintenance: usize = rt
+            .metrics
+            .bandwidth_per_minute
+            .values()
+            .map(|b| b.maintenance_bytes)
+            .sum();
+        assert!(maintenance > 1_000);
+        let query: usize = rt
+            .metrics
+            .bandwidth_per_minute
+            .values()
+            .map(|b| b.query_bytes)
+            .sum();
+        assert_eq!(query, 0);
+    }
+
+    #[test]
+    fn churn_takes_peers_offline_and_back() {
+        let mut rt = small_runtime();
+        for i in 0..48 {
+            rt.join_peer(i, 4);
+        }
+        rt.schedule_churn(0, 1_000, 5_000);
+        rt.schedule_churn(1, 1_000, 5_000);
+        rt.run_until(2_000);
+        assert_eq!(rt.online_count(), 46);
+        rt.run_until(10_000);
+        assert_eq!(rt.online_count(), 48);
+    }
+
+    #[test]
+    fn lost_messages_are_counted() {
+        let mut rt = Runtime::new(NetConfig {
+            n_peers: 16,
+            loss_probability: 1.0,
+            ..NetConfig::default()
+        });
+        for i in 0..16 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(5_000);
+        assert!(rt.metrics.messages_lost > 0);
+        assert_eq!(rt.metrics.messages_delivered, 0);
+    }
+}

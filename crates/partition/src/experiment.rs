@@ -1,0 +1,245 @@
+//! Batch experiment runner for the partitioning-level figures.
+//!
+//! Section 3.3 of the paper validates the analytical model by numerical
+//! simulation of five models — MVA, SAM, AEP, COR and AUT — for `n = 1000`
+//! peers, sample size `s = 10` and 100 repetitions per load ratio `p`.
+//! Figure 4 reports the deviation of the mean number of minority-side peers
+//! from the expected value `n * p`; Figure 5 reports the mean total number
+//! of interactions.  This module reproduces both series.
+
+use crate::discrete::{simulate_split, Knowledge, SplitConfig, Strategy};
+use crate::model::{mva_outcome, sam_outcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default experiment parameters of Section 3.3.
+pub const DEFAULT_PEERS: usize = 1000;
+/// Default sample size of Section 3.3.
+pub const DEFAULT_SAMPLE_SIZE: usize = 10;
+/// Default repetitions of Section 3.3.
+pub const DEFAULT_REPETITIONS: usize = 100;
+
+/// Aggregated result of one model at one load ratio.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ModelStats {
+    /// Mean number of minority-side (`0`) peers minus the expectation `n*p`
+    /// (the quantity plotted in Figure 4).
+    pub mean_deviation: f64,
+    /// Standard deviation of the minority-side count across repetitions.
+    pub std_deviation: f64,
+    /// Mean total number of interactions (the quantity of Figure 5).
+    pub mean_interactions: f64,
+}
+
+/// One row of the Figure 4 / Figure 5 data: all five models evaluated at the
+/// same load ratio.
+#[derive(Copy, Clone, Debug)]
+pub struct PartitioningRow {
+    /// The load ratio `p` of the minority side.
+    pub p: f64,
+    /// Mean-value model with exact knowledge of `p`.
+    pub mva: ModelStats,
+    /// Mean-value model with sampled knowledge (uncorrected).
+    pub sam: ModelStats,
+    /// Discrete simulation of AEP with sampled knowledge (uncorrected).
+    pub aep: ModelStats,
+    /// Discrete simulation of AEP with corrected probabilities.
+    pub cor: ModelStats,
+    /// Discrete simulation of autonomous partitioning.
+    pub aut: ModelStats,
+}
+
+/// Configuration of a Figure 4/5 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Number of peers per bisection (`n`).
+    pub n_peers: usize,
+    /// Sample size for estimating `p`.
+    pub sample_size: usize,
+    /// Repetitions per `(model, p)` point.
+    pub repetitions: usize,
+    /// The load ratios to evaluate.
+    pub ratios: Vec<f64>,
+    /// Base random seed (each repetition derives its own seed from it).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n_peers: DEFAULT_PEERS,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            repetitions: DEFAULT_REPETITIONS,
+            ratios: (1..=10).map(|i| i as f64 * 0.05).collect(),
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// Runs the sweep and returns one row per requested load ratio.
+pub fn run_sweep(config: &SweepConfig) -> Vec<PartitioningRow> {
+    config
+        .ratios
+        .iter()
+        .map(|&p| run_point(config, p))
+        .collect()
+}
+
+/// Evaluates all five models at one load ratio.
+pub fn run_point(config: &SweepConfig, p: f64) -> PartitioningRow {
+    let n = config.n_peers;
+    let expected = n as f64 * p;
+
+    // Analytical models: deterministic, no repetitions needed.
+    let mva_out = mva_outcome(p);
+    let mva = ModelStats {
+        mean_deviation: n as f64 * mva_out.minority_fraction - expected,
+        std_deviation: 0.0,
+        mean_interactions: n as f64 * mva_out.interactions_per_peer,
+    };
+    let sam_out = sam_outcome(p, config.sample_size);
+    let sam = ModelStats {
+        mean_deviation: n as f64 * sam_out.minority_fraction - expected,
+        std_deviation: 0.0,
+        mean_interactions: n as f64 * sam_out.interactions_per_peer,
+    };
+
+    let aep = run_discrete(config, p, Strategy::Aep, 1);
+    let cor = run_discrete(config, p, Strategy::AepCorrected, 2);
+    let aut = run_discrete(config, p, Strategy::Autonomous, 3);
+
+    PartitioningRow {
+        p,
+        mva,
+        sam,
+        aep,
+        cor,
+        aut,
+    }
+}
+
+fn run_discrete(config: &SweepConfig, p: f64, strategy: Strategy, salt: u64) -> ModelStats {
+    let n = config.n_peers;
+    let expected = n as f64 * p;
+    let split_config = SplitConfig {
+        n_peers: n,
+        p,
+        knowledge: Knowledge::Sampled(config.sample_size),
+        strategy,
+    };
+    let mut counts = Vec::with_capacity(config.repetitions);
+    let mut interactions = Vec::with_capacity(config.repetitions);
+    for rep in 0..config.repetitions {
+        let seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt * 1_000_003 + rep as u64)
+            .wrapping_add((p * 1e6) as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = simulate_split(&split_config, &mut rng);
+        counts.push(out.n0 as f64);
+        interactions.push(out.interactions as f64);
+    }
+    let mean_count = mean(&counts);
+    ModelStats {
+        mean_deviation: mean_count - expected,
+        std_deviation: std_dev(&counts, mean_count),
+        mean_interactions: mean(&interactions),
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn std_dev(xs: &[f64], mean: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            n_peers: 300,
+            sample_size: 10,
+            repetitions: 15,
+            ratios: vec![0.2, 0.35, 0.5],
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_row_per_ratio() {
+        let rows = run_sweep(&small_config());
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].p - 0.2).abs() < 1e-12);
+        assert!((rows[2].p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mva_deviation_is_negligible() {
+        let rows = run_sweep(&small_config());
+        for row in &rows {
+            assert!(
+                row.mva.mean_deviation.abs() < 1.5,
+                "MVA deviation should be ~0, got {} at p = {}",
+                row.mva.mean_deviation,
+                row.p
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_models_land_near_expectation() {
+        let rows = run_sweep(&small_config());
+        for row in &rows {
+            // all deviations are bounded by a few percent of n
+            for (name, stats) in [("aep", row.aep), ("cor", row.cor), ("aut", row.aut)] {
+                assert!(
+                    stats.mean_deviation.abs() < 0.08 * 300.0,
+                    "{name} deviates too much at p = {}: {}",
+                    row.p,
+                    stats.mean_deviation
+                );
+                assert!(stats.mean_interactions > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn aep_interactions_do_not_depend_on_p_above_critical() {
+        let config = SweepConfig {
+            ratios: vec![0.35, 0.45, 0.5],
+            repetitions: 10,
+            n_peers: 400,
+            ..small_config()
+        };
+        let rows = run_sweep(&config);
+        let base = rows[0].mva.mean_interactions;
+        for row in &rows {
+            assert!(
+                (row.mva.mean_interactions - base).abs() < 0.05 * base,
+                "interactions should be ~constant above the critical ratio"
+            );
+        }
+    }
+
+    #[test]
+    fn aut_costs_more_than_aep_for_balanced_ratios() {
+        let config = SweepConfig {
+            ratios: vec![0.5],
+            repetitions: 10,
+            ..small_config()
+        };
+        let rows = run_sweep(&config);
+        assert!(rows[0].aut.mean_interactions > rows[0].aep.mean_interactions);
+    }
+}

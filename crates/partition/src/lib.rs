@@ -1,0 +1,56 @@
+//! # pgrid-partition
+//!
+//! Decentralized key space partitioning — the algorithmic core of
+//! *"Indexing data-oriented overlay networks"* (VLDB 2005).
+//!
+//! The problem solved here (Section 3 of the paper): a set of peers holding
+//! data keys from a common partition must each decide, through random
+//! pairwise interactions only, which half of the partition to become
+//! responsible for, such that
+//!
+//! 1. the *fraction* of peers choosing each half matches the fraction of
+//!    data keys in that half (proportional replication), and
+//! 2. every peer ends up knowing at least one peer of the other half
+//!    (referential integrity), so routing tables can be built.
+//!
+//! The crate provides:
+//!
+//! * [`probabilities`] — the adaptive-eager-partitioning (AEP) decision
+//!   probabilities `alpha(p)` and `q(p)`, their closed forms, numerical
+//!   inversion, the critical ratio `1 - ln 2`, and the sampling-bias
+//!   corrected variants (Eqs. 9/10);
+//! * [`model`] — the mean-value (fluid) model of the interaction process
+//!   (MVA and SAM curves of Figures 4/5);
+//! * [`discrete`] — discrete Monte-Carlo simulation of a single bisection
+//!   for the eager, autonomous, AEP, corrected-AEP and heuristic strategies;
+//! * [`experiment`] — batch sweeps reproducing the Figure 4/5 series.
+//!
+//! ```
+//! use pgrid_partition::prelude::*;
+//!
+//! // The exact decision probabilities for a 70/30 skewed partition …
+//! let probs = DecisionProbabilities::for_ratio(0.3);
+//! assert!(probs.alpha < 1.0 && probs.q == 0.0);
+//!
+//! // … realise the requested ratio in the fluid model.
+//! let outcome = fluid_outcome(probs.alpha, probs.q);
+//! assert!((outcome.minority_fraction - 0.3).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod discrete;
+pub mod experiment;
+pub mod model;
+pub mod probabilities;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::discrete::{simulate_split, Knowledge, SplitConfig, SplitOutcome, Strategy};
+    pub use crate::experiment::{run_sweep, PartitioningRow, SweepConfig};
+    pub use crate::model::{fluid_outcome, mva_outcome, sam_outcome, FluidOutcome};
+    pub use crate::probabilities::{
+        alpha_of_p, alpha_second_derivative, q_of_p, DecisionProbabilities, P_CRITICAL,
+    };
+}

@@ -1,0 +1,109 @@
+//! Simulation configuration.
+
+use pgrid_core::reference::BalanceParams;
+use pgrid_workload::distributions::Distribution;
+
+/// Which probability functions the construction uses for its split
+/// decisions — the knob behind the "theory vs. heuristics" experiment
+/// (Figure 6d) and the corrected-probability ablation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ConstructionStrategy {
+    /// Exact AEP probabilities.
+    Aep,
+    /// Sampling-bias corrected AEP probabilities.
+    AepCorrected,
+    /// The heuristic probability functions of Figure 6d.
+    Heuristic,
+}
+
+/// Configuration of a whole-system construction simulation.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of peers in the network.
+    pub n_peers: usize,
+    /// Number of data keys initially assigned to every peer (the paper uses
+    /// 10 in both the simulation study and the PlanetLab deployment).
+    pub keys_per_peer: usize,
+    /// Minimum replication factor `n_min`.
+    pub n_min: usize,
+    /// Maximum storage load `delta_max`; `None` derives the paper's
+    /// experimental choice `keys_per_peer * n_min` (Figure 6 uses
+    /// `delta_max = 10 * n_min` with 10 keys per peer).
+    pub delta_max: Option<usize>,
+    /// The key distribution of the workload.
+    pub distribution: Distribution,
+    /// Probability functions used for split decisions.
+    pub strategy: ConstructionStrategy,
+    /// Maximum number of routing references kept per level.
+    pub routing_fanout: usize,
+    /// Number of consecutive fruitless interactions after which a peer stops
+    /// initiating and waits to be contacted (the paper suggests a small
+    /// constant, e.g. 2).
+    pub max_fruitless_attempts: u32,
+    /// Maximum number of refer hops followed within one initiated
+    /// interaction before giving up.
+    pub max_refer_hops: usize,
+    /// Hard bound on construction rounds (safety net; the process terminates
+    /// by itself long before this for sane configurations).
+    pub max_rounds: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_peers: 256,
+            keys_per_peer: 10,
+            n_min: 5,
+            delta_max: None,
+            distribution: Distribution::Uniform,
+            strategy: ConstructionStrategy::Aep,
+            routing_fanout: 5,
+            max_fruitless_attempts: 2,
+            max_refer_hops: 6,
+            max_rounds: 400,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The balance parameters (`delta_max`, `n_min`) in effect for this
+    /// configuration, deriving `delta_max` from the paper's recommendation
+    /// when not set explicitly.
+    pub fn balance_params(&self) -> BalanceParams {
+        match self.delta_max {
+            Some(d) => BalanceParams::new(d, self.n_min),
+            None => BalanceParams::recommended(self.keys_per_peer as f64, self.n_min),
+        }
+    }
+
+    /// Total number of distinct data keys in the network before replication.
+    pub fn total_keys(&self) -> usize {
+        self.n_peers * self.keys_per_peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_derives_paper_parameters() {
+        let config = SimConfig::default();
+        let params = config.balance_params();
+        assert_eq!(params.n_min, 5);
+        assert_eq!(params.delta_max, 50); // 10 keys/peer * n_min, as in Figure 6
+        assert_eq!(config.total_keys(), 2560);
+    }
+
+    #[test]
+    fn explicit_delta_max_wins() {
+        let config = SimConfig {
+            delta_max: Some(100),
+            ..SimConfig::default()
+        };
+        assert_eq!(config.balance_params().delta_max, 100);
+    }
+}

@@ -1,0 +1,73 @@
+//! Metrics collected by the construction simulator.
+
+/// Counters accumulated while constructing the overlay.
+#[derive(Clone, Debug, Default)]
+pub struct ConstructionMetrics {
+    /// Interactions initiated (one per contacted peer, including refer hops).
+    pub interactions: usize,
+    /// Interactions that resulted in no state change.
+    pub fruitless_interactions: usize,
+    /// Number of refer hops performed.
+    pub refer_hops: usize,
+    /// Number of balanced or unbalanced splits performed (path extensions).
+    pub splits: usize,
+    /// Number of replicate/reconcile interactions.
+    pub replications: usize,
+    /// Data keys moved over the network during the replication phase.
+    pub replication_keys_moved: usize,
+    /// Data keys moved during construction (splits and reconciliation).
+    pub construction_keys_moved: usize,
+    /// Number of parallel rounds until quiescence (the latency proxy).
+    pub rounds: usize,
+    /// Per-peer count of interactions initiated.
+    pub per_peer_interactions: Vec<usize>,
+}
+
+impl ConstructionMetrics {
+    /// Creates counters for `n` peers.
+    pub fn new(n: usize) -> Self {
+        ConstructionMetrics {
+            per_peer_interactions: vec![0; n],
+            ..ConstructionMetrics::default()
+        }
+    }
+
+    /// Total keys moved (replication plus construction).
+    pub fn total_keys_moved(&self) -> usize {
+        self.replication_keys_moved + self.construction_keys_moved
+    }
+
+    /// Mean interactions initiated per peer.
+    pub fn interactions_per_peer(&self) -> f64 {
+        if self.per_peer_interactions.is_empty() {
+            return 0.0;
+        }
+        self.interactions as f64 / self.per_peer_interactions.len() as f64
+    }
+
+    /// Mean keys moved per peer.
+    pub fn keys_moved_per_peer(&self) -> f64 {
+        if self.per_peer_interactions.is_empty() {
+            return 0.0;
+        }
+        self.total_keys_moved() as f64 / self.per_peer_interactions.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_peer_averages() {
+        let mut m = ConstructionMetrics::new(4);
+        m.interactions = 8;
+        m.replication_keys_moved = 20;
+        m.construction_keys_moved = 12;
+        assert_eq!(m.total_keys_moved(), 32);
+        assert!((m.interactions_per_peer() - 2.0).abs() < 1e-12);
+        assert!((m.keys_moved_per_peer() - 8.0).abs() < 1e-12);
+        let empty = ConstructionMetrics::default();
+        assert_eq!(empty.interactions_per_peer(), 0.0);
+    }
+}

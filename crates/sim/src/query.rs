@@ -1,0 +1,239 @@
+//! Query evaluation on a constructed overlay.
+//!
+//! Used for the search-performance statistics of Section 5.2: number of
+//! query hops (≈ half the mean path length), success rate (95–100% even
+//! under churn), and range-query behaviour.
+
+use crate::construction::ConstructedOverlay;
+use pgrid_core::routing::PeerId;
+use pgrid_core::search::{lookup, range_query, LookupStatus};
+use pgrid_workload::queries::Query;
+use rand::Rng;
+
+/// Aggregated statistics of a query batch.
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Queries issued.
+    pub issued: usize,
+    /// Queries that reached a responsible peer (and, for lookups on existing
+    /// keys, returned at least one entry).
+    pub successful: usize,
+    /// Total hops over all queries.
+    pub total_hops: usize,
+    /// Maximum hops of any single query.
+    pub max_hops: usize,
+    /// Hops of each query (for latency distributions).
+    pub hops: Vec<usize>,
+}
+
+impl QueryStats {
+    /// Fraction of successful queries.
+    pub fn success_rate(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.successful as f64 / self.issued as f64
+    }
+
+    /// Mean hops per query.
+    pub fn mean_hops(&self) -> f64 {
+        if self.issued == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / self.issued as f64
+    }
+}
+
+/// Runs a batch of queries against the overlay, each starting from a random
+/// online peer.  A lookup counts as successful when routing reaches a
+/// responsible peer; a range query when the traversal completes.
+pub fn run_queries<R: Rng + ?Sized>(
+    overlay: &ConstructedOverlay,
+    queries: &[Query],
+    rng: &mut R,
+) -> QueryStats {
+    let online: Vec<usize> = overlay
+        .peers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.online)
+        .map(|(i, _)| i)
+        .collect();
+    let mut stats = QueryStats::default();
+    if online.is_empty() {
+        stats.issued = queries.len();
+        return stats;
+    }
+    for query in queries {
+        let start = PeerId(online[rng.gen_range(0..online.len())] as u64);
+        stats.issued += 1;
+        match query {
+            Query::Lookup(key) => {
+                let res = lookup(overlay, start, *key, rng);
+                stats.total_hops += res.hops;
+                stats.max_hops = stats.max_hops.max(res.hops);
+                stats.hops.push(res.hops);
+                if matches!(res.status, LookupStatus::Found { .. }) {
+                    stats.successful += 1;
+                }
+            }
+            Query::Range(lo, hi) => {
+                let res = range_query(overlay, start, *lo, *hi, rng);
+                stats.total_hops += res.hops;
+                stats.max_hops = stats.max_hops.max(res.hops);
+                stats.hops.push(res.hops);
+                if res.complete {
+                    stats.successful += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Fraction of the original entries that can actually be retrieved by
+/// looking up their key (data availability, as opposed to pure routing
+/// success).
+pub fn data_availability<R: Rng + ?Sized>(
+    overlay: &ConstructedOverlay,
+    sample: usize,
+    rng: &mut R,
+) -> f64 {
+    if overlay.original_entries.is_empty() {
+        return 1.0;
+    }
+    let online: Vec<usize> = overlay
+        .peers
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.online)
+        .map(|(i, _)| i)
+        .collect();
+    if online.is_empty() {
+        return 0.0;
+    }
+    let mut found = 0usize;
+    let total = sample.min(overlay.original_entries.len());
+    for _ in 0..total {
+        let entry = overlay.original_entries[rng.gen_range(0..overlay.original_entries.len())];
+        let start = PeerId(online[rng.gen_range(0..online.len())] as u64);
+        let res = lookup(overlay, start, entry.key, rng);
+        if res.entries.iter().any(|e| *e == entry) {
+            found += 1;
+        }
+    }
+    found as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::construction::construct;
+    use pgrid_workload::queries::{generate_queries, QueryWorkloadConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn overlay() -> ConstructedOverlay {
+        construct(&SimConfig {
+            n_peers: 128,
+            seed: 11,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn lookups_succeed_on_a_healthy_overlay() {
+        let overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
+        let queries = generate_queries(
+            &QueryWorkloadConfig {
+                count: 300,
+                range_fraction: 0.0,
+                existing_fraction: 1.0,
+                ..QueryWorkloadConfig::default()
+            },
+            &keys,
+            &mut rng,
+        );
+        let stats = run_queries(&overlay, &queries, &mut rng);
+        assert_eq!(stats.issued, 300);
+        assert!(stats.success_rate() > 0.95, "success {}", stats.success_rate());
+        assert!(stats.mean_hops() <= overlay.mean_depth() + 1.0);
+    }
+
+    #[test]
+    fn mean_hops_is_about_half_the_mean_path_length() {
+        // Section 5.2: "the number of query hops per query is approx. half
+        // of the mean path length".
+        let overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
+        let queries = generate_queries(
+            &QueryWorkloadConfig {
+                count: 500,
+                range_fraction: 0.0,
+                existing_fraction: 1.0,
+                ..QueryWorkloadConfig::default()
+            },
+            &keys,
+            &mut rng,
+        );
+        let stats = run_queries(&overlay, &queries, &mut rng);
+        let ratio = stats.mean_hops() / overlay.mean_depth().max(1e-9);
+        assert!(
+            ratio > 0.25 && ratio < 0.95,
+            "hops/path ratio {ratio} outside the expected band"
+        );
+    }
+
+    #[test]
+    fn range_queries_collect_entries_in_order() {
+        let overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries = vec![Query::Range(
+            pgrid_core::key::Key::from_fraction(0.2),
+            pgrid_core::key::Key::from_fraction(0.4),
+        )];
+        let stats = run_queries(&overlay, &queries, &mut rng);
+        assert_eq!(stats.issued, 1);
+        assert!(stats.successful == 1, "range query should complete");
+    }
+
+    #[test]
+    fn data_availability_is_high() {
+        let overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(4);
+        let availability = data_availability(&overlay, 300, &mut rng);
+        assert!(availability > 0.9, "availability {availability}");
+    }
+
+    #[test]
+    fn churn_degrades_gracefully() {
+        let mut overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Take 25% of the peers offline.
+        for (i, peer) in overlay.peers.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                peer.online = false;
+            }
+        }
+        let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
+        let queries = generate_queries(
+            &QueryWorkloadConfig {
+                count: 300,
+                range_fraction: 0.0,
+                existing_fraction: 1.0,
+                ..QueryWorkloadConfig::default()
+            },
+            &keys,
+            &mut rng,
+        );
+        let stats = run_queries(&overlay, &queries, &mut rng);
+        // With n_min ≈ 5 replicas per partition and multiple routing
+        // references, a quarter of the peers failing should barely dent the
+        // success rate (the paper reports 95–100% under churn).
+        assert!(stats.success_rate() > 0.85, "success {}", stats.success_rate());
+    }
+}

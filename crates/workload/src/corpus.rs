@@ -1,0 +1,289 @@
+//! Synthetic document corpus for the peer-to-peer information-retrieval
+//! scenario.
+//!
+//! The paper motivates overlay (re-)construction with a distributed inverted
+//! file: documents are spread over peers, terms are extracted, and a
+//! dedicated overlay indexes `(term, document)` postings so that keyword and
+//! prefix searches route to the peers responsible for the term's key range.
+//! The Alvis collection used by the authors is not available, so this module
+//! generates a corpus with the statistical properties that matter for the
+//! experiments: a Zipfian vocabulary, documents of varying length, and an
+//! order-preserving term → key mapping.
+
+use crate::distributions::ZipfSampler;
+use pgrid_core::key::{DataEntry, DataId, Key};
+use rand::Rng;
+
+/// A single synthetic document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// Document identifier.
+    pub id: DataId,
+    /// Extracted index terms (with duplicates removed).
+    pub terms: Vec<String>,
+}
+
+/// A synthetic document corpus with a Zipfian vocabulary.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// The vocabulary, lexicographically sorted.
+    pub vocabulary: Vec<String>,
+    /// The documents.
+    pub documents: Vec<Document>,
+}
+
+/// Parameters of corpus generation.
+#[derive(Copy, Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of documents to generate.
+    pub documents: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent of term popularity.
+    pub zipf_exponent: f64,
+    /// Terms drawn per document (before deduplication).
+    pub terms_per_document: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            documents: 500,
+            vocabulary: 2000,
+            zipf_exponent: 1.0,
+            terms_per_document: 20,
+        }
+    }
+}
+
+impl Corpus {
+    /// Generates a corpus.
+    pub fn generate<R: Rng + ?Sized>(config: &CorpusConfig, rng: &mut R) -> Corpus {
+        assert!(config.vocabulary > 0 && config.documents > 0);
+        let vocabulary: Vec<String> = (0..config.vocabulary).map(synthetic_term).collect();
+        // `synthetic_term` generates terms in lexicographic order already,
+        // but sort defensively so the order-preserving mapping is exact.
+        let mut sorted = vocabulary.clone();
+        sorted.sort();
+        let sampler = ZipfSampler::new(config.vocabulary, config.zipf_exponent);
+        let documents = (0..config.documents)
+            .map(|doc_idx| {
+                let mut terms: Vec<String> = (0..config.terms_per_document)
+                    .map(|_| {
+                        // Zipf ranks are scrambled over the vocabulary so that
+                        // popular terms are spread across the alphabet.
+                        let rank = sampler.sample(rng) as u64;
+                        let slot =
+                            (rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % config.vocabulary as u64) as usize;
+                        sorted[slot].clone()
+                    })
+                    .collect();
+                terms.sort();
+                terms.dedup();
+                Document {
+                    id: DataId(doc_idx as u64),
+                    terms,
+                }
+            })
+            .collect();
+        Corpus {
+            vocabulary: sorted,
+            documents,
+        }
+    }
+
+    /// Total number of `(term, document)` postings in the corpus.
+    pub fn num_postings(&self) -> usize {
+        self.documents.iter().map(|d| d.terms.len()).sum()
+    }
+
+    /// Builds the complete inverted-file posting list as overlay index
+    /// entries: one `(key(term), document)` entry per posting.
+    pub fn postings(&self) -> Vec<DataEntry> {
+        self.documents
+            .iter()
+            .flat_map(|doc| {
+                doc.terms
+                    .iter()
+                    .map(move |t| DataEntry::new(term_key(t), doc.id))
+            })
+            .collect()
+    }
+
+    /// Splits the documents round-robin over `n` peers and returns, for each
+    /// peer, the postings of its local documents — the starting state of the
+    /// index construction (each peer indexes its own documents locally).
+    pub fn partition_postings(&self, n: usize) -> Vec<Vec<DataEntry>> {
+        assert!(n > 0);
+        let mut per_peer = vec![Vec::new(); n];
+        for (i, doc) in self.documents.iter().enumerate() {
+            let peer = i % n;
+            for term in &doc.terms {
+                per_peer[peer].push(DataEntry::new(term_key(term), doc.id));
+            }
+        }
+        per_peer
+    }
+
+    /// The documents containing the given term (ground truth for query
+    /// correctness checks).
+    pub fn documents_with_term(&self, term: &str) -> Vec<DataId> {
+        self.documents
+            .iter()
+            .filter(|d| d.terms.iter().any(|t| t == term))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// The documents containing any term with the given prefix (ground truth
+    /// for prefix/range query checks).
+    pub fn documents_with_prefix(&self, prefix: &str) -> Vec<DataId> {
+        let mut ids: Vec<DataId> = self
+            .documents
+            .iter()
+            .filter(|d| d.terms.iter().any(|t| t.starts_with(prefix)))
+            .map(|d| d.id)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Maps an index term to its overlay key, preserving lexicographic order.
+pub fn term_key(term: &str) -> Key {
+    Key::from_str_ordered(term)
+}
+
+/// The key range covered by all terms with the given prefix, suitable for an
+/// overlay range query.
+pub fn prefix_key_range(prefix: &str) -> (Key, Key) {
+    let lo = Key::from_str_ordered(prefix);
+    // Upper bound: the prefix followed by the maximal byte, padded — i.e.
+    // the largest key any extension of the prefix can map to.
+    let mut upper_bytes = [0xFFu8; 8];
+    let prefix_bytes = prefix.as_bytes();
+    for (i, b) in prefix_bytes.iter().take(8).enumerate() {
+        upper_bytes[i] = *b;
+    }
+    let hi = Key(u64::from_be_bytes(upper_bytes));
+    (lo, hi)
+}
+
+/// Generates the `i`-th synthetic term.  Terms are five-letter strings in
+/// lexicographic order (`aaaaa`, `aaaab`, …) so that term order and key
+/// order coincide trivially.
+fn synthetic_term(i: usize) -> String {
+    let mut term = String::with_capacity(5);
+    let mut n = i;
+    for _ in 0..5 {
+        term.insert(0, (b'a' + (n % 26) as u8) as char);
+        n /= 26;
+    }
+    term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_corpus() -> Corpus {
+        let mut rng = StdRng::seed_from_u64(42);
+        Corpus::generate(
+            &CorpusConfig {
+                documents: 100,
+                vocabulary: 300,
+                zipf_exponent: 1.0,
+                terms_per_document: 12,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let corpus = small_corpus();
+        assert_eq!(corpus.documents.len(), 100);
+        assert_eq!(corpus.vocabulary.len(), 300);
+        assert!(corpus.num_postings() > 0);
+        assert!(corpus.num_postings() <= 100 * 12);
+        // vocabulary is sorted
+        assert!(corpus.vocabulary.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn postings_match_documents() {
+        let corpus = small_corpus();
+        let postings = corpus.postings();
+        assert_eq!(postings.len(), corpus.num_postings());
+        // every posting's key corresponds to a vocabulary term of that doc
+        let doc0 = &corpus.documents[0];
+        let doc0_postings: Vec<_> = postings.iter().filter(|e| e.id == doc0.id).collect();
+        assert_eq!(doc0_postings.len(), doc0.terms.len());
+    }
+
+    #[test]
+    fn term_keys_preserve_lexicographic_order() {
+        let corpus = small_corpus();
+        for pair in corpus.vocabulary.windows(2) {
+            assert!(term_key(&pair[0]) < term_key(&pair[1]));
+        }
+    }
+
+    #[test]
+    fn partitioning_covers_all_postings() {
+        let corpus = small_corpus();
+        let per_peer = corpus.partition_postings(16);
+        assert_eq!(per_peer.len(), 16);
+        let total: usize = per_peer.iter().map(Vec::len).sum();
+        assert_eq!(total, corpus.num_postings());
+    }
+
+    #[test]
+    fn ground_truth_queries_are_consistent() {
+        let corpus = small_corpus();
+        // pick an existing term from the corpus
+        let term = corpus.documents[0].terms[0].clone();
+        let with_term = corpus.documents_with_term(&term);
+        assert!(with_term.contains(&corpus.documents[0].id));
+        let with_prefix = corpus.documents_with_prefix(&term[..2]);
+        assert!(with_term.iter().all(|id| with_prefix.contains(id)));
+    }
+
+    #[test]
+    fn prefix_range_covers_exactly_matching_terms() {
+        let (lo, hi) = prefix_key_range("ab");
+        assert!(term_key("abzzz") >= lo && term_key("abzzz") <= hi);
+        assert!(term_key("abaaa") >= lo);
+        assert!(term_key("acaaa") > hi);
+        assert!(term_key("aazzz") < lo);
+    }
+
+    #[test]
+    fn zipf_vocabulary_is_reused_heavily() {
+        let corpus = small_corpus();
+        // Count term occurrences; the most frequent term should appear in
+        // far more documents than the median one.
+        use std::collections::HashMap;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for doc in &corpus.documents {
+            for t in &doc.terms {
+                *counts.entry(t.as_str()).or_default() += 1;
+            }
+        }
+        let mut values: Vec<usize> = counts.values().copied().collect();
+        values.sort_unstable();
+        let max = *values.last().unwrap();
+        let median = values[values.len() / 2];
+        assert!(max >= 4 * median, "max {max}, median {median}");
+    }
+
+    #[test]
+    fn synthetic_terms_are_lexicographically_increasing() {
+        for i in 1..1000 {
+            assert!(synthetic_term(i - 1) < synthetic_term(i));
+        }
+    }
+}

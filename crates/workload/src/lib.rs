@@ -1,0 +1,33 @@
+//! # pgrid-workload
+//!
+//! Workload generators for the reproduction of *"Indexing data-oriented
+//! overlay networks"* (VLDB 2005): the key distributions of the paper's
+//! simulation study (uniform, Pareto, normal, text-retrieval), a synthetic
+//! document corpus for the peer-to-peer inverted-file scenario, and query
+//! workload generation for the deployment experiments.
+//!
+//! ```
+//! use pgrid_workload::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // The six workloads of the paper's Figure 6.
+//! for dist in Distribution::paper_suite() {
+//!     let keys = dist.sample_many(100, &mut rng);
+//!     assert_eq!(keys.len(), 100);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod distributions;
+pub mod queries;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::corpus::{prefix_key_range, term_key, Corpus, CorpusConfig, Document};
+    pub use crate::distributions::{Distribution, ZipfSampler};
+    pub use crate::queries::{generate_queries, Query, QueryWorkloadConfig};
+}

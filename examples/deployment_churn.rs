@@ -1,0 +1,61 @@
+//! Message-level deployment with churn: a scaled-down PlanetLab experiment.
+//!
+//! ```text
+//! cargo run -p pgrid --example deployment_churn
+//! ```
+//!
+//! Runs the full deployment timeline of the paper's Section 5 — join,
+//! replicate, construct, query, churn — on the emulated wide-area network
+//! and prints the per-minute time series behind Figures 7, 8 and 9 together
+//! with the summary statistics of Section 5.2.
+
+use pgrid::prelude::*;
+
+fn main() {
+    let config = NetConfig {
+        n_peers: 96,
+        keys_per_peer: 10,
+        n_min: 5,
+        latency_min_ms: 20,
+        latency_max_ms: 250,
+        loss_probability: 0.01,
+        seed: 4,
+        ..NetConfig::default()
+    };
+    let timeline = Timeline::default();
+    println!(
+        "running the deployment experiment: {} peers, phases join<{} replicate<{} construct<{} query<{} churn<{} (minutes)",
+        config.n_peers,
+        timeline.join_end_min,
+        timeline.replicate_end_min,
+        timeline.construct_end_min,
+        timeline.query_end_min,
+        timeline.end_min
+    );
+    let report = run_deployment(&config, &timeline);
+
+    println!("\n minute | online | maint B/s | query B/s | latency s (std)");
+    println!(" ------ | ------ | --------- | --------- | ---------------");
+    for sample in report.timeline.iter().step_by(5) {
+        println!(
+            " {:>6} | {:>6} | {:>9.1} | {:>9.1} | {:>6.2} ({:.2})",
+            sample.minute,
+            sample.peers_online,
+            sample.maintenance_bps,
+            sample.query_bps,
+            sample.query_latency_mean_s,
+            sample.query_latency_std_s
+        );
+    }
+
+    println!("\nsummary (compare with Section 5.2 of the paper):");
+    println!("  load-balance deviation : {:.3}", report.balance_deviation);
+    println!("  mean path length       : {:.2}", report.mean_path_length);
+    println!("  mean query hops        : {:.2}", report.mean_query_hops);
+    println!("  query success rate     : {:.1}%", 100.0 * report.query_success_rate);
+    println!("  mean replication       : {:.2}", report.mean_replication);
+    println!(
+        "  total bandwidth        : {} maintenance bytes, {} query bytes",
+        report.total_maintenance_bytes, report.total_query_bytes
+    );
+}

@@ -1,0 +1,59 @@
+//! Re-indexing: rebuilding the overlay from scratch, in parallel versus
+//! sequentially.
+//!
+//! ```text
+//! cargo run -p pgrid --example reindexing
+//! ```
+//!
+//! The paper's motivation: when the indexing method changes (new key
+//! extraction, new term selection), the existing overlay becomes useless and
+//! a new one has to be constructed from scratch.  The standard maintenance
+//! model inserts peers one at a time, which serialises the work; the paper's
+//! construction runs fully in parallel.  This example rebuilds the same
+//! index with both strategies and compares messages and construction
+//! latency.
+
+use pgrid::prelude::*;
+
+fn main() {
+    for &n_peers in &[128usize, 256, 512] {
+        // "Old" index: uniform keys.  "New" indexing method: a skewed
+        // extraction function (Pareto), requiring a fresh overlay.
+        let config = SimConfig {
+            n_peers,
+            keys_per_peer: 10,
+            n_min: 5,
+            distribution: Distribution::Pareto { shape: 1.0 },
+            seed: 7,
+            ..SimConfig::default()
+        };
+
+        // Parallel construction from scratch (this paper).
+        let parallel = construct(&config);
+        // Sequential join-based construction (standard maintenance model).
+        let sequential = construct_sequentially(&config);
+
+        println!("== {n_peers} peers ==");
+        println!(
+            "  parallel:   {:>6} interactions, {:>4} rounds of latency, mean depth {:.2}",
+            parallel.metrics.interactions,
+            parallel.metrics.rounds,
+            parallel.mean_depth()
+        );
+        println!(
+            "  sequential: {:>6} messages,     {:>6} serial steps of latency, mean depth {:.2}",
+            sequential.messages,
+            sequential.latency,
+            sequential
+                .peers
+                .iter()
+                .map(|p| p.path.len() as f64)
+                .sum::<f64>()
+                / sequential.peers.len() as f64
+        );
+        println!(
+            "  latency advantage of the parallel construction: {:.1}x",
+            sequential.latency as f64 / parallel.metrics.rounds.max(1) as f64
+        );
+    }
+}

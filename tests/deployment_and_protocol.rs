@@ -1,0 +1,135 @@
+//! Integration tests for the message-level deployment runtime
+//! (`pgrid-net`): the protocol must build the same kind of overlay as the
+//! direct simulator, survive message loss and churn, and its codec must be
+//! loss-free for arbitrary messages.
+
+use pgrid::net::message::{ExchangeOutcome, Message};
+use pgrid::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn deployment_and_simulator_agree_on_overlay_shape() {
+    // Same parameters, two very different execution models: direct state
+    // manipulation (pgrid-sim) versus message passing over a lossy network
+    // (pgrid-net).  Both must converge to tries of comparable depth and
+    // balance.
+    let sim_overlay = construct(&SimConfig {
+        n_peers: 64,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed: 31,
+        ..SimConfig::default()
+    });
+    let report = run_deployment(
+        &NetConfig {
+            n_peers: 64,
+            keys_per_peer: 10,
+            n_min: 5,
+            distribution: Distribution::Uniform,
+            seed: 31,
+            ..NetConfig::default()
+        },
+        &Timeline::default(),
+    );
+    let sim_depth = sim_overlay.mean_depth();
+    let net_depth = report.mean_path_length;
+    assert!(
+        (sim_depth - net_depth).abs() < 2.0,
+        "simulator depth {sim_depth:.2} vs deployment depth {net_depth:.2}"
+    );
+    assert!(report.balance_deviation < 1.5);
+    assert!(report.query_success_rate > 0.8);
+}
+
+#[test]
+fn deployment_keeps_replication_and_hops_in_the_papers_ballpark() {
+    let report = run_deployment(
+        &NetConfig {
+            n_peers: 80,
+            seed: 17,
+            ..NetConfig::default()
+        },
+        &Timeline::default(),
+    );
+    // Section 5.2: hops ≈ half the mean path length, replication ≈ n_min.
+    assert!(report.mean_query_hops < report.mean_path_length);
+    assert!(report.mean_replication >= 1.5);
+    // bandwidth accounting must have recorded both traffic classes
+    assert!(report.total_maintenance_bytes > 0);
+    assert!(report.total_query_bytes > 0);
+}
+
+#[test]
+fn construction_survives_heavy_message_loss() {
+    let report = run_deployment(
+        &NetConfig {
+            n_peers: 48,
+            loss_probability: 0.15,
+            seed: 5,
+            ..NetConfig::default()
+        },
+        &Timeline::default(),
+    );
+    // With 15% message loss the overlay must still form and most queries
+    // must still succeed (redundant references and replicas absorb the loss).
+    assert!(report.mean_path_length > 1.0);
+    assert!(
+        report.query_success_rate > 0.6,
+        "success rate {} under heavy loss",
+        report.query_success_rate
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_message_codec_roundtrips(
+        peer in 0u64..1_000_000,
+        key_bits in any::<u64>(),
+        hops in 0u32..200,
+        n_entries in 0usize..64,
+        path_bits in any::<u64>(),
+        path_len in 0usize..16,
+    ) {
+        let path = {
+            let mut p = Path::root();
+            for i in 0..path_len {
+                p = p.child((path_bits >> i) & 1 == 1);
+            }
+            p
+        };
+        let entries: Vec<DataEntry> = (0..n_entries)
+            .map(|i| DataEntry::new(Key(key_bits.wrapping_add(i as u64)), DataId(i as u64)))
+            .collect();
+        let messages = vec![
+            Message::Join { peer: PeerId(peer) },
+            Message::Replicate { entries: entries.clone() },
+            Message::Exchange { from: PeerId(peer), path, entries: entries.clone() },
+            Message::ExchangeReply {
+                from: PeerId(peer),
+                path,
+                outcome: ExchangeOutcome::Split {
+                    partition: path,
+                    initiator_bit: hops % 2 == 0,
+                    entries: entries.clone(),
+                    complement: Some((PeerId(peer ^ 7), path)),
+                },
+            },
+            Message::Query { origin: PeerId(peer), id: key_bits, key: Key(key_bits), hops },
+            Message::QueryResponse { id: key_bits, entries, hops, found: hops % 3 == 0 },
+        ];
+        for message in messages {
+            let decoded = Message::decode(message.encode());
+            prop_assert_eq!(decoded, Some(message));
+        }
+    }
+
+    #[test]
+    fn prop_codec_rejects_or_parses_garbage_without_panicking(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must never panic; it may either fail or
+        // happen to parse into some message.
+        let _ = Message::decode(bytes::Bytes::from(data));
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests tying the analytical model of `pgrid-partition` to the
+//! discrete simulation and to the whole-system construction: the theory of
+//! Section 3 must predict what the implementations do.
+
+use pgrid::partition::discrete::{simulate_split, Knowledge, SplitConfig, Strategy};
+use pgrid::partition::model::{fluid_outcome, mva_outcome};
+use pgrid::partition::probabilities::{alpha_of_p, q_of_p, P_CRITICAL};
+use pgrid::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn discrete_simulation_matches_the_fluid_model() {
+    // The mean outcome of the discrete AEP simulation with exact knowledge
+    // must match the mean-value model within Monte-Carlo error.
+    for &p in &[0.15, 0.3, 0.4, 0.5] {
+        let config = SplitConfig {
+            n_peers: 2000,
+            p,
+            knowledge: Knowledge::Exact,
+            strategy: Strategy::Aep,
+        };
+        let reps = 20;
+        let mut fraction_sum = 0.0;
+        let mut interactions_sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let out = simulate_split(&config, &mut rng);
+            fraction_sum += out.fraction0();
+            interactions_sum += out.interactions as f64 / config.n_peers as f64;
+        }
+        let mean_fraction = fraction_sum / reps as f64;
+        let mean_interactions = interactions_sum / reps as f64;
+        let model = mva_outcome(p);
+        assert!(
+            (mean_fraction - model.minority_fraction).abs() < 0.02,
+            "p = {p}: discrete {mean_fraction:.3} vs model {:.3}",
+            model.minority_fraction
+        );
+        assert!(
+            (mean_interactions - model.interactions_per_peer).abs()
+                < 0.35 * model.interactions_per_peer,
+            "p = {p}: discrete {mean_interactions:.3} interactions/peer vs model {:.3}",
+            model.interactions_per_peer
+        );
+    }
+}
+
+#[test]
+fn interactions_are_flat_above_the_critical_ratio_and_rise_below() {
+    // The paper's key property of AEP (below Eq. 1): the number of
+    // interactions does not depend on the skew as long as p >= 1 - ln 2, and
+    // grows once balanced splits have to be suppressed.
+    let cost = |p: f64| mva_outcome(p).interactions_per_peer;
+    let at_half = cost(0.5);
+    assert!((cost(0.35) - at_half).abs() < 0.01);
+    assert!((cost(0.45) - at_half).abs() < 0.01);
+    assert!(cost(0.15) > 1.3 * at_half);
+    assert!(cost(0.05) > cost(0.15));
+}
+
+#[test]
+fn whole_system_construction_inherits_the_theory() {
+    // For a uniform workload every bisection is a p = 1/2 split; the number
+    // of interactions per peer of the whole construction therefore grows
+    // with the trie depth (the log^2 complexity argument of Section 4.3),
+    // not with the network size directly.
+    let overlay_small = construct(&SimConfig {
+        n_peers: 64,
+        seed: 2,
+        ..SimConfig::default()
+    });
+    let overlay_large = construct(&SimConfig {
+        n_peers: 256,
+        seed: 2,
+        ..SimConfig::default()
+    });
+    let per_peer_small = overlay_small.metrics.interactions_per_peer();
+    let per_peer_large = overlay_large.metrics.interactions_per_peer();
+    // 4x the peers -> 2 more trie levels -> per-peer cost grows, but far
+    // less than proportionally to the network size.
+    assert!(per_peer_large > per_peer_small * 0.8);
+    assert!(
+        per_peer_large < per_peer_small * 3.0,
+        "per-peer interactions should not explode: {per_peer_small:.1} -> {per_peer_large:.1}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_probability_functions_partition_the_ratio_domain(p in 0.01f64..0.5) {
+        let alpha = alpha_of_p(p);
+        let q = q_of_p(p);
+        prop_assert!(alpha > 0.0 && alpha <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&q));
+        if p < P_CRITICAL {
+            prop_assert!(q == 0.0, "below the critical ratio only alpha is reduced");
+        } else {
+            prop_assert!((alpha - 1.0).abs() < 1e-9, "above the critical ratio alpha stays 1");
+        }
+        // plugging the probabilities into the fluid model recovers p
+        let out = fluid_outcome(alpha.max(1e-6), q);
+        prop_assert!((out.minority_fraction - p).abs() < 5e-3);
+    }
+
+    #[test]
+    fn prop_discrete_split_always_decides_everyone(p in 0.05f64..0.95, seed in 0u64..50) {
+        let config = SplitConfig {
+            n_peers: 300,
+            p,
+            knowledge: Knowledge::Sampled(10),
+            strategy: Strategy::Aep,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = simulate_split(&config, &mut rng);
+        prop_assert_eq!(out.n0 + out.n1, 300);
+        prop_assert!(out.referential_integrity);
+    }
+}
