@@ -41,5 +41,9 @@ fn bench_sequential_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_construction, bench_sequential_construction);
+criterion_group!(
+    benches,
+    bench_parallel_construction,
+    bench_sequential_construction
+);
 criterion_main!(benches);

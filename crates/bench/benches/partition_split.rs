@@ -9,7 +9,12 @@ use rand::SeedableRng;
 fn bench_split_strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_split");
     group.sample_size(20);
-    for strategy in [Strategy::Aep, Strategy::AepCorrected, Strategy::Autonomous, Strategy::Heuristic] {
+    for strategy in [
+        Strategy::Aep,
+        Strategy::AepCorrected,
+        Strategy::Autonomous,
+        Strategy::Heuristic,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("strategy", format!("{strategy:?}")),
             &strategy,

@@ -43,19 +43,23 @@ fn bench_range_query(c: &mut Criterion) {
     group.sample_size(30);
     let net = overlay(256);
     for &width in &[0.01f64, 0.05, 0.2] {
-        group.bench_with_input(BenchmarkId::new("width", format!("{width}")), &width, |b, &width| {
-            let mut rng = StdRng::seed_from_u64(4);
-            b.iter(|| {
-                let start: f64 = rng.gen_range(0.0..1.0 - width);
-                range_query(
-                    &net,
-                    PeerId(rng.gen_range(0..256u64)),
-                    Key::from_fraction(start),
-                    Key::from_fraction(start + width),
-                    &mut rng,
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("width", format!("{width}")),
+            &width,
+            |b, &width| {
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| {
+                    let start: f64 = rng.gen_range(0.0..1.0 - width);
+                    range_query(
+                        &net,
+                        PeerId(rng.gen_range(0..256u64)),
+                        Key::from_fraction(start),
+                        Key::from_fraction(start + width),
+                        &mut rng,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -50,8 +50,16 @@ impl Effort {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let effort = if quick { Effort::quick() } else { Effort::full() };
-    let requested: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let effort = if quick {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+    let requested: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--quick")
+        .collect();
     let all = requested.is_empty() || requested.contains(&"all");
     let want = |name: &str| all || requested.contains(&name);
 
@@ -84,12 +92,21 @@ fn main() {
 /// Figure 3: curvature of the balanced-split probability.
 fn fig3() {
     println!("\n=== Figure 3: decision probabilities and their curvature ===");
-    println!("{}", format_header("p", &["alpha(p)".into(), "q(p)".into(), "alpha''(p)".into()]));
+    println!(
+        "{}",
+        format_header(
+            "p",
+            &["alpha(p)".into(), "q(p)".into(), "alpha''(p)".into()]
+        )
+    );
     for i in 1..=30 {
         let p = i as f64 / 100.0;
         println!(
             "{}",
-            format_row(&format!("{p:.2}"), &[alpha_of_p(p), q_of_p(p), alpha_second_derivative(p)])
+            format_row(
+                &format!("{p:.2}"),
+                &[alpha_of_p(p), q_of_p(p), alpha_second_derivative(p)]
+            )
         );
     }
     println!("(the curvature explodes approaching the critical ratio 1 - ln 2 ≈ 0.307,");
@@ -99,7 +116,10 @@ fn fig3() {
 /// Figures 4 and 5: deviation from the expected split and interaction counts
 /// for the five partitioning models.
 fn fig4_fig5(effort: &Effort) {
-    println!("\n=== Figures 4 & 5: one bisection, n = 1000 peers, sample size 10, {} repetitions ===", effort.partition_repetitions);
+    println!(
+        "\n=== Figures 4 & 5: one bisection, n = 1000 peers, sample size 10, {} repetitions ===",
+        effort.partition_repetitions
+    );
     let config = SweepConfig {
         repetitions: effort.partition_repetitions,
         ..SweepConfig::default()
@@ -108,7 +128,16 @@ fn fig4_fig5(effort: &Effort) {
     println!("\nFigure 4 — mean(peers on side 0) - n*p:");
     println!(
         "{}",
-        format_header("p", &["MVA".into(), "SAM".into(), "AEP".into(), "COR".into(), "AUT".into()])
+        format_header(
+            "p",
+            &[
+                "MVA".into(),
+                "SAM".into(),
+                "AEP".into(),
+                "COR".into(),
+                "AUT".into()
+            ]
+        )
     );
     for row in &rows {
         println!(
@@ -128,7 +157,16 @@ fn fig4_fig5(effort: &Effort) {
     println!("\nFigure 5 — mean total number of interactions:");
     println!(
         "{}",
-        format_header("p", &["MVA".into(), "SAM".into(), "AEP".into(), "COR".into(), "AUT".into()])
+        format_header(
+            "p",
+            &[
+                "MVA".into(),
+                "SAM".into(),
+                "AEP".into(),
+                "COR".into(),
+                "AUT".into()
+            ]
+        )
     );
     for row in &rows {
         println!(
@@ -154,8 +192,17 @@ fn fig6_population(effort: &Effort) {
         "\n=== Figures 6a / 6e / 6f: populations {:?}, n_min = 5, delta_max = 10*n_min, {} repetitions ===",
         effort.populations, effort.repetitions
     );
-    let rows = population_sweep(&effort.populations, 5, effort.repetitions, ConstructionStrategy::Aep, 0xF16);
-    let labels: Vec<String> = Distribution::paper_suite().iter().map(|d| d.label()).collect();
+    let rows = population_sweep(
+        &effort.populations,
+        5,
+        effort.repetitions,
+        ConstructionStrategy::Aep,
+        0xF16,
+    );
+    let labels: Vec<String> = Distribution::paper_suite()
+        .iter()
+        .map(|d| d.label())
+        .collect();
     for (title, value) in [
         ("Figure 6a — load-balance deviation", 0usize),
         ("Figure 6e — interactions per peer", 1),
@@ -188,7 +235,10 @@ fn fig6b(effort: &Effort) {
     println!("\n=== Figure 6b: deviation for n = 256, n_min in {{5, 10, 15, 20, 25}} ===");
     let n_peers = *effort.populations.first().unwrap_or(&256);
     let rows = replication_sweep(n_peers, &[5, 10, 15, 20, 25], effort.repetitions, 0xF6B);
-    let labels: Vec<String> = Distribution::paper_suite().iter().map(|d| d.label()).collect();
+    let labels: Vec<String> = Distribution::paper_suite()
+        .iter()
+        .map(|d| d.label())
+        .collect();
     println!("{}", format_header("n_min", &labels));
     for &n_min in &[5usize, 10, 15, 20, 25] {
         let cells: Vec<f64> = Distribution::paper_suite()
@@ -210,7 +260,10 @@ fn fig6c(effort: &Effort) {
     println!("\n=== Figure 6c: deviation for n = 256, delta_max in {{10, 20, 30}} * n_min ===");
     let n_peers = *effort.populations.first().unwrap_or(&256);
     let rows = sample_size_sweep(n_peers, 5, &[10, 20, 30], effort.repetitions, 0xF6C);
-    let labels: Vec<String> = Distribution::paper_suite().iter().map(|d| d.label()).collect();
+    let labels: Vec<String> = Distribution::paper_suite()
+        .iter()
+        .map(|d| d.label())
+        .collect();
     println!("{}", format_header("delta/n_min", &labels));
     for &m in &[10usize, 20, 30] {
         let cells: Vec<f64> = Distribution::paper_suite()
@@ -228,12 +281,20 @@ fn fig6c(effort: &Effort) {
 
 /// Figure 6d: theoretically derived probabilities versus heuristics.
 fn fig6d(effort: &Effort) {
-    println!("\n=== Figure 6d: theory vs. heuristic probabilities (deviation, n_min = 5 and 10) ===");
+    println!(
+        "\n=== Figure 6d: theory vs. heuristic probabilities (deviation, n_min = 5 and 10) ==="
+    );
     let n_peers = *effort.populations.first().unwrap_or(&256);
-    let labels: Vec<String> = Distribution::paper_suite().iter().map(|d| d.label()).collect();
+    let labels: Vec<String> = Distribution::paper_suite()
+        .iter()
+        .map(|d| d.label())
+        .collect();
     println!("{}", format_header("variant", &labels));
     for &n_min in &[5usize, 10] {
-        for (name, strategy) in [("theory", ConstructionStrategy::Aep), ("heuristic", ConstructionStrategy::Heuristic)] {
+        for (name, strategy) in [
+            ("theory", ConstructionStrategy::Aep),
+            ("heuristic", ConstructionStrategy::Heuristic),
+        ] {
             let cells: Vec<f64> = Distribution::paper_suite()
                 .iter()
                 .map(|d| {
@@ -352,11 +413,26 @@ fn deployment(effort: &Effort) {
         .collect();
 
     println!("\nSection 5.2 summary (paper values in parentheses):");
-    println!("  load-balance deviation : {:.3}   (paper: 0.39 deployment / 0.38 simulation)", report.balance_deviation);
-    println!("  mean path length       : {:.2}   (paper: slightly below 6 at ~300 peers)", report.mean_path_length);
-    println!("  mean query hops        : {:.2}   (paper: ≈ 3, about half the path length)", report.mean_query_hops);
-    println!("  query success rate     : {:.1}%  (paper: 95–100% even under churn)", 100.0 * report.query_success_rate);
-    println!("  mean replication       : {:.2}   (paper: ≈ 5)", report.mean_replication);
+    println!(
+        "  load-balance deviation : {:.3}   (paper: 0.39 deployment / 0.38 simulation)",
+        report.balance_deviation
+    );
+    println!(
+        "  mean path length       : {:.2}   (paper: slightly below 6 at ~300 peers)",
+        report.mean_path_length
+    );
+    println!(
+        "  mean query hops        : {:.2}   (paper: ≈ 3, about half the path length)",
+        report.mean_query_hops
+    );
+    println!(
+        "  query success rate     : {:.1}%  (paper: 95–100% even under churn)",
+        100.0 * report.query_success_rate
+    );
+    println!(
+        "  mean replication       : {:.2}   (paper: ≈ 5)",
+        report.mean_replication
+    );
     println!(
         "  query latency          : {:.2}s ± {:.2}s stable phase, {:.2}s ± {:.2}s under churn",
         mean(&query_phase),

@@ -48,7 +48,10 @@ pub struct BalanceReport {
 ///
 /// `peer_paths` are the final paths of all peers produced by the
 /// decentralized construction.
-pub fn compare_to_reference(reference: &ReferencePartitioning, peer_paths: &[Path]) -> BalanceReport {
+pub fn compare_to_reference(
+    reference: &ReferencePartitioning,
+    peer_paths: &[Path],
+) -> BalanceReport {
     let mut leaves: Vec<LeafComparison> = reference
         .leaves
         .iter()
@@ -112,7 +115,11 @@ pub fn storage_stats(loads: &[usize]) -> StorageStats {
     }
     let n = loads.len() as f64;
     let mean = loads.iter().sum::<usize>() as f64 / n;
-    let var = loads.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     StorageStats {
         min: *loads.iter().min().unwrap(),
         max: *loads.iter().max().unwrap(),

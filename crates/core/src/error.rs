@@ -41,6 +41,8 @@ mod tests {
             "routing failed: no usable reference at level 3"
         );
         assert_eq!(OverlayError::UnknownPeer(7).to_string(), "unknown peer P7");
-        assert!(OverlayError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(OverlayError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

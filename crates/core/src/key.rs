@@ -35,7 +35,7 @@ impl Key {
     /// Values below `0.0` are clamped to `0.0` and values at or above `1.0`
     /// are clamped to the largest representable key.  `NaN` maps to `0.0`.
     pub fn from_fraction(x: f64) -> Key {
-        if !(x > 0.0) {
+        if x.is_nan() || x <= 0.0 {
             return Key::MIN;
         }
         if x >= 1.0 {

@@ -21,6 +21,9 @@
 //!   over any [`search::NetworkView`];
 //! * [`reference`] — the global reference partitioner (Algorithm 1) that
 //!   defines optimal load balancing;
+//! * [`exchange`] — the shared split/replicate/refer exchange engine of
+//!   Figure 2: partition assessment, adaptive decision probabilities and
+//!   decision application, used identically by both runtimes;
 //! * [`balance`] — the load-balance deviation metric of Section 4.4;
 //! * [`replication`] — replica-count estimation from key-set overlap and
 //!   anti-entropy reconciliation;
@@ -48,6 +51,7 @@
 
 pub mod balance;
 pub mod error;
+pub mod exchange;
 pub mod key;
 pub mod path;
 pub mod peer;
@@ -62,6 +66,7 @@ pub mod trie;
 pub mod prelude {
     pub use crate::balance::{compare_to_reference, BalanceReport};
     pub use crate::error::OverlayError;
+    pub use crate::exchange::{Assessment, ExchangeDecision, ExchangeEngine, ProbabilityStrategy};
     pub use crate::key::{DataEntry, DataId, Key};
     pub use crate::path::Path;
     pub use crate::peer::PeerState;

@@ -89,7 +89,11 @@ impl Path {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len(), "path bit {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len(),
+            "path bit {i} out of range (len {})",
+            self.len
+        );
         (self.bits >> (63 - i)) & 1 == 1
     }
 
@@ -185,7 +189,7 @@ impl Path {
     pub fn interval(&self) -> (f64, f64) {
         let width = 2f64.powi(-(self.len() as i32));
         let lower = (self.bits >> (64 - self.len().max(1) as u32)) as f64 * width;
-        if self.len() == 0 {
+        if self.is_empty() {
             (0.0, 1.0)
         } else {
             (lower, lower + width)
@@ -248,7 +252,7 @@ impl fmt::Debug for Path {
 
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.len() == 0 {
+        if self.is_empty() {
             return write!(f, "ε");
         }
         for b in self.bits_iter() {

@@ -202,7 +202,9 @@ mod tests {
     use super::*;
 
     fn uniform_keys(n: usize) -> Vec<Key> {
-        (0..n).map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64)).collect()
+        (0..n)
+            .map(|i| Key::from_fraction((i as f64 + 0.5) / n as f64))
+            .collect()
     }
 
     fn skewed_keys(n: usize) -> Vec<Key> {
@@ -255,7 +257,10 @@ mod tests {
         let depths: Vec<usize> = r.leaves.iter().map(|l| l.path.len()).collect();
         let min = *depths.iter().min().unwrap();
         let max = *depths.iter().max().unwrap();
-        assert!(max - min <= 1, "uniform trie should be balanced: {min}..{max}");
+        assert!(
+            max - min <= 1,
+            "uniform trie should be balanced: {min}..{max}"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
         let a = store(0..100);
         let b = store(50..150);
         let est = estimate_replica_count(&a, &b, 5).unwrap();
-        assert!(est > 5.0, "estimate {est} should exceed the replication factor");
+        assert!(
+            est > 5.0,
+            "estimate {est} should exceed the replication factor"
+        );
         assert!(est.is_finite());
     }
 

@@ -213,7 +213,9 @@ pub fn range_query<N: NetworkView, R: Rng + ?Sized>(
             }
         };
         result.partitions_visited += 1;
-        let path = net.path_of(responsible).expect("responsible peer must have a path");
+        let path = net
+            .path_of(responsible)
+            .expect("responsible peer must have a path");
         if let Some(store) = net.store_of(responsible) {
             for e in store.range(cursor.max(lo), hi.min(path.upper_key())) {
                 if seen.insert(*e) {
@@ -258,7 +260,13 @@ mod tests {
         fn routing_refs(&self, peer: PeerId, level: usize) -> Vec<(PeerId, Path)> {
             self.peers
                 .get(&peer)
-                .map(|p| p.routing.level(level).iter().map(|e| (e.peer, e.path)).collect())
+                .map(|p| {
+                    p.routing
+                        .level(level)
+                        .iter()
+                        .map(|e| (e.peer, e.path))
+                        .collect()
+                })
                 .unwrap_or_default()
         }
         fn is_online(&self, peer: PeerId) -> bool {

@@ -98,8 +98,11 @@ impl KeyStore {
     /// bits, each keeps the entries of its new partition and hands the rest
     /// to the other peer.
     pub fn split_retain(&mut self, path: &Path) -> Vec<DataEntry> {
-        let (keep, give): (BTreeSet<DataEntry>, BTreeSet<DataEntry>) =
-            self.entries.iter().copied().partition(|e| path.covers(e.key));
+        let (keep, give): (BTreeSet<DataEntry>, BTreeSet<DataEntry>) = self
+            .entries
+            .iter()
+            .copied()
+            .partition(|e| path.covers(e.key));
         self.entries = keep;
         give.into_iter().collect()
     }
@@ -124,8 +127,16 @@ impl KeyStore {
     /// The paper's error analysis (Section 3.2) models exactly this: peers
     /// estimate the load ratio `p` of a partition from a small uniform
     /// sample of their locally stored keys.
-    pub fn sample_in<R: Rng + ?Sized>(&self, path: &Path, count: usize, rng: &mut R) -> Vec<DataEntry> {
-        let mut covered: Vec<DataEntry> = self.range(path.lower_key(), path.upper_key()).copied().collect();
+    pub fn sample_in<R: Rng + ?Sized>(
+        &self,
+        path: &Path,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<DataEntry> {
+        let mut covered: Vec<DataEntry> = self
+            .range(path.lower_key(), path.upper_key())
+            .copied()
+            .collect();
         covered.shuffle(rng);
         covered.truncate(count);
         covered
@@ -145,7 +156,9 @@ impl KeyStore {
         rng: &mut R,
     ) -> Option<f64> {
         let sample = if sample_size == usize::MAX {
-            self.range(path.lower_key(), path.upper_key()).copied().collect::<Vec<_>>()
+            self.range(path.lower_key(), path.upper_key())
+                .copied()
+                .collect::<Vec<_>>()
         } else {
             self.sample_in(path, sample_size, rng)
         };
@@ -188,9 +201,16 @@ impl KeyStore {
     /// entries).  Used by the replica-count estimator (Section 4.2).
     pub fn intersection_size(&self, other: &KeyStore) -> usize {
         if self.len() <= other.len() {
-            self.entries.iter().filter(|e| other.entries.contains(e)).count()
+            self.entries
+                .iter()
+                .filter(|e| other.entries.contains(e))
+                .count()
         } else {
-            other.entries.iter().filter(|e| self.entries.contains(e)).count()
+            other
+                .entries
+                .iter()
+                .filter(|e| self.entries.contains(e))
+                .count()
         }
     }
 
@@ -305,12 +325,15 @@ mod tests {
             .estimate_lower_fraction(&Path::root(), usize::MAX, &mut rng)
             .unwrap();
         assert!((exact - 3.0 / 8.0).abs() < 1e-12);
-        let sampled = s.estimate_lower_fraction(&Path::root(), 4, &mut rng).unwrap();
+        let sampled = s
+            .estimate_lower_fraction(&Path::root(), 4, &mut rng)
+            .unwrap();
         assert!((0.0..=1.0).contains(&sampled));
-        assert!(s
-            .estimate_lower_fraction(&Path::parse("111111"), 4, &mut rng)
-            .is_none()
-            || s.count_in(&Path::parse("111111")) > 0);
+        assert!(
+            s.estimate_lower_fraction(&Path::parse("111111"), 4, &mut rng)
+                .is_none()
+                || s.count_in(&Path::parse("111111")) > 0
+        );
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn peer_count_histogram() {
-        let paths = vec![
+        let paths = [
             Path::parse("00"),
             Path::parse("00"),
             Path::parse("01"),

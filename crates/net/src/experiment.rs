@@ -119,7 +119,8 @@ pub fn run_deployment(config: &NetConfig, timeline: &Timeline) -> DeploymentRepo
     // Each peer queries every 1–2 minutes, as in the paper.
     let mut next_query = runtime.now();
     while runtime.now() < query_end {
-        let step = control_rng.gen_range(60_000 / config.n_peers as u64 / 2..=60_000 / config.n_peers as u64);
+        let step = control_rng
+            .gen_range(60_000 / config.n_peers as u64 / 2..=60_000 / config.n_peers as u64);
         next_query += step.max(1);
         runtime.run_until(next_query);
         let key = keys[control_rng.gen_range(0..keys.len())];
@@ -137,7 +138,8 @@ pub fn run_deployment(config: &NetConfig, timeline: &Timeline) -> DeploymentRepo
         }
     }
     while runtime.now() < churn_end {
-        let step = control_rng.gen_range(60_000 / config.n_peers as u64 / 2..=60_000 / config.n_peers as u64);
+        let step = control_rng
+            .gen_range(60_000 / config.n_peers as u64 / 2..=60_000 / config.n_peers as u64);
         next_query += step.max(1);
         runtime.run_until(next_query.min(churn_end));
         if runtime.now() >= churn_end {
@@ -180,7 +182,8 @@ fn build_report(runtime: &Runtime, timeline: &Timeline) -> DeploymentReport {
         let (mean, std) = match latencies {
             Some(values) if !values.is_empty() => {
                 let mean = values.iter().sum::<f64>() / values.len() as f64;
-                let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+                let var =
+                    values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
                 (mean, var.sqrt())
             }
             _ => (0.0, 0.0),
@@ -204,14 +207,24 @@ fn build_report(runtime: &Runtime, timeline: &Timeline) -> DeploymentReport {
 
     // Final overlay quality.
     let keys: Vec<_> = runtime.original_entries.iter().map(|e| e.key).collect();
-    let reference = ReferencePartitioning::compute(&keys, runtime.config.n_peers, runtime.params);
+    let reference = ReferencePartitioning::compute(&keys, runtime.config.n_peers, runtime.params());
     let paths: Vec<_> = runtime.nodes.iter().map(|n| n.state.path).collect();
     let balance = compare_to_reference(&reference, &paths);
     let mean_path_length =
         paths.iter().map(|p| p.len() as f64).sum::<f64>() / paths.len().max(1) as f64;
 
-    let successful: Vec<_> = runtime.metrics.queries.iter().filter(|q| q.success).collect();
-    let answered = runtime.metrics.queries.iter().filter(|q| q.latency_ms.is_some()).count();
+    let successful: Vec<_> = runtime
+        .metrics
+        .queries
+        .iter()
+        .filter(|q| q.success)
+        .collect();
+    let answered = runtime
+        .metrics
+        .queries
+        .iter()
+        .filter(|q| q.latency_ms.is_some())
+        .count();
     let mean_query_hops = if successful.is_empty() {
         0.0
     } else {
@@ -228,7 +241,10 @@ fn build_report(runtime: &Runtime, timeline: &Timeline) -> DeploymentReport {
     let mean_replication = if replication_factors.is_empty() {
         0.0
     } else {
-        replication_factors.iter().map(|(_, &n)| n as f64).sum::<f64>()
+        replication_factors
+            .iter()
+            .map(|(_, &n)| n as f64)
+            .sum::<f64>()
             / replication_factors.len() as f64
     };
 
@@ -284,13 +300,17 @@ mod tests {
         let construction_bw: f64 = report
             .timeline
             .iter()
-            .filter(|s| s.minute > timeline.replicate_end_min && s.minute <= timeline.construct_end_min)
+            .filter(|s| {
+                s.minute > timeline.replicate_end_min && s.minute <= timeline.construct_end_min
+            })
             .map(|s| s.maintenance_bps)
             .sum();
         let query_phase_maintenance: f64 = report
             .timeline
             .iter()
-            .filter(|s| s.minute > timeline.construct_end_min + 5 && s.minute <= timeline.query_end_min)
+            .filter(|s| {
+                s.minute > timeline.construct_end_min + 5 && s.minute <= timeline.query_end_min
+            })
             .map(|s| s.maintenance_bps)
             .sum();
         assert!(

@@ -29,10 +29,10 @@ pub mod experiment;
 pub mod message;
 pub mod runtime;
 
-/// Lower bound on the balanced-split probability, mirroring the whole-system
-/// simulator (`pgrid-sim`): without it, the first split of an extremely
-/// skewed partition would require an unbounded number of encounters.
-pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 = 0.02;
+/// Lower bound on the balanced-split probability.
+#[deprecated(note = "moved to pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY")]
+pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
+    pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {

@@ -132,18 +132,31 @@ impl Message {
                 buf.put_u8(2);
                 put_entries(&mut buf, entries);
             }
-            Message::Exchange { from, path, entries } => {
+            Message::Exchange {
+                from,
+                path,
+                entries,
+            } => {
                 buf.put_u8(3);
                 buf.put_u64(from.0);
                 put_path(&mut buf, path);
                 put_entries(&mut buf, entries);
             }
-            Message::ExchangeReply { from, path, outcome } => {
+            Message::ExchangeReply {
+                from,
+                path,
+                outcome,
+            } => {
                 buf.put_u8(4);
                 buf.put_u64(from.0);
                 put_path(&mut buf, path);
                 match outcome {
-                    ExchangeOutcome::Split { partition, initiator_bit, entries, complement } => {
+                    ExchangeOutcome::Split {
+                        partition,
+                        initiator_bit,
+                        entries,
+                        complement,
+                    } => {
                         buf.put_u8(0);
                         put_path(&mut buf, partition);
                         buf.put_u8(*initiator_bit as u8);
@@ -169,14 +182,24 @@ impl Message {
                     ExchangeOutcome::Nothing => buf.put_u8(3),
                 }
             }
-            Message::Query { origin, id, key, hops } => {
+            Message::Query {
+                origin,
+                id,
+                key,
+                hops,
+            } => {
                 buf.put_u8(5);
                 buf.put_u64(origin.0);
                 buf.put_u64(*id);
                 buf.put_u64(key.0);
                 buf.put_u32(*hops);
             }
-            Message::QueryResponse { id, entries, hops, found } => {
+            Message::QueryResponse {
+                id,
+                entries,
+                hops,
+                found,
+            } => {
                 buf.put_u8(6);
                 buf.put_u64(*id);
                 put_entries(&mut buf, entries);
@@ -218,7 +241,11 @@ impl Message {
             4 => {
                 let from = PeerId(checked_u64(&mut data)?);
                 let path = get_path(&mut data)?;
-                let outcome_tag = if data.remaining() >= 1 { data.get_u8() } else { return None };
+                let outcome_tag = if data.remaining() >= 1 {
+                    data.get_u8()
+                } else {
+                    return None;
+                };
                 let outcome = match outcome_tag {
                     0 => {
                         let partition = get_path(&mut data)?;
@@ -229,7 +256,12 @@ impl Message {
                         } else {
                             None
                         };
-                        ExchangeOutcome::Split { partition, initiator_bit, entries, complement }
+                        ExchangeOutcome::Split {
+                            partition,
+                            initiator_bit,
+                            entries,
+                            complement,
+                        }
                     }
                     1 => ExchangeOutcome::Replicate {
                         entries: get_entries(&mut data)?,
@@ -241,7 +273,11 @@ impl Message {
                     3 => ExchangeOutcome::Nothing,
                     _ => return None,
                 };
-                Message::ExchangeReply { from, path, outcome }
+                Message::ExchangeReply {
+                    from,
+                    path,
+                    outcome,
+                }
             }
             5 => Message::Query {
                 origin: PeerId(checked_u64(&mut data)?),
@@ -352,7 +388,9 @@ mod tests {
         roundtrip(Message::JoinAck {
             neighbours: vec![PeerId(1), PeerId(2), PeerId(3)],
         });
-        roundtrip(Message::Replicate { entries: entries(5) });
+        roundtrip(Message::Replicate {
+            entries: entries(5),
+        });
         roundtrip(Message::Exchange {
             from: PeerId(7),
             path: Path::parse("0101"),
@@ -371,7 +409,9 @@ mod tests {
                 entries: entries(2),
                 complement: Some((PeerId(5), Path::parse("10"))),
             },
-            ExchangeOutcome::Replicate { entries: entries(2) },
+            ExchangeOutcome::Replicate {
+                entries: entries(2),
+            },
             ExchangeOutcome::Refer {
                 peer: PeerId(9),
                 path: Path::parse("110"),
@@ -400,8 +440,12 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_payload() {
-        let small = Message::Replicate { entries: entries(1) };
-        let large = Message::Replicate { entries: entries(100) };
+        let small = Message::Replicate {
+            entries: entries(1),
+        };
+        let large = Message::Replicate {
+            entries: entries(100),
+        };
         assert!(large.wire_size() > small.wire_size() + 99 * 16 - 1);
     }
 

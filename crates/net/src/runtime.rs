@@ -8,13 +8,13 @@
 //! conditions are emulated so experiments stay reproducible.
 
 use crate::message::{ExchangeOutcome, Message};
+use pgrid_core::exchange::{ExchangeDecision, ExchangeEngine};
 use pgrid_core::key::DataEntry;
 use pgrid_core::path::Path;
 use pgrid_core::peer::PeerState;
 use pgrid_core::reference::BalanceParams;
 use pgrid_core::routing::{PeerId, RoutingEntry};
 use pgrid_core::store::KeyStore;
-use pgrid_partition::probabilities::effective_probabilities;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -186,14 +186,13 @@ impl Ord for Event {
 pub struct Runtime {
     /// Configuration.
     pub config: NetConfig,
-    /// Balance parameters derived from the configuration.
-    pub params: BalanceParams,
     /// All peers (index = peer id).
     pub nodes: Vec<Node>,
     /// Collected metrics.
     pub metrics: NetMetrics,
     /// The original entries assigned to peers (ground truth for queries).
     pub original_entries: Vec<DataEntry>,
+    engine: ExchangeEngine,
     queue: BinaryHeap<Reverse<Event>>,
     now: Millis,
     seq: u64,
@@ -232,10 +231,10 @@ impl Runtime {
         }
         Runtime {
             config,
-            params,
             nodes,
             metrics: NetMetrics::default(),
             original_entries,
+            engine: ExchangeEngine::new(params),
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
@@ -245,6 +244,12 @@ impl Runtime {
         }
     }
 
+    /// Balance parameters the exchange engine decides with (derived from
+    /// the configuration; the engine owns the single copy).
+    pub fn params(&self) -> BalanceParams {
+        *self.engine.params()
+    }
+
     /// Current virtual time in milliseconds.
     pub fn now(&self) -> Millis {
         self.now
@@ -252,7 +257,10 @@ impl Runtime {
 
     /// Number of peers currently online.
     pub fn online_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.joined && n.state.online).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.joined && n.state.online)
+            .count()
     }
 
     fn schedule(&mut self, time: Millis, kind: EventKind) {
@@ -268,13 +276,16 @@ impl Runtime {
     /// possibly loses it, and otherwise delivers it after a random latency.
     fn send(&mut self, to: usize, message: Message) {
         self.metrics.account(self.now, &message);
-        if self.rng.gen_bool(self.config.loss_probability.clamp(0.0, 1.0)) {
+        if self
+            .rng
+            .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
+        {
             self.metrics.messages_lost += 1;
             return;
         }
-        let latency = self
-            .rng
-            .gen_range(self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms));
+        let latency = self.rng.gen_range(
+            self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms),
+        );
         let time = self.now + latency;
         self.schedule(time, EventKind::Deliver { to, message });
     }
@@ -330,7 +341,12 @@ impl Runtime {
             let entries: Vec<DataEntry> = self.nodes[peer].state.store.iter().copied().collect();
             for _ in 0..n_min {
                 if let Some(target) = self.random_contact(peer) {
-                    self.send(target, Message::Replicate { entries: entries.clone() });
+                    self.send(
+                        target,
+                        Message::Replicate {
+                            entries: entries.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -341,7 +357,9 @@ impl Runtime {
         for peer in 0..self.nodes.len() {
             if self.nodes[peer].state.online {
                 self.nodes[peer].constructing = true;
-                let jitter = self.rng.gen_range(0..self.config.construct_interval_ms.max(1));
+                let jitter = self
+                    .rng
+                    .gen_range(0..self.config.construct_interval_ms.max(1));
                 self.schedule(self.now + jitter, EventKind::ConstructTick { peer });
             }
         }
@@ -371,7 +389,10 @@ impl Runtime {
             success: false,
         });
         self.outstanding_queries.insert(id, record_index);
-        self.schedule(self.now + self.config.query_timeout_ms, EventKind::QueryTimeout { query_id: id });
+        self.schedule(
+            self.now + self.config.query_timeout_ms,
+            EventKind::QueryTimeout { query_id: id },
+        );
         // The origin handles the query locally first (it might be
         // responsible itself); otherwise it forwards it.
         let message = Message::Query {
@@ -392,12 +413,8 @@ impl Runtime {
 
     /// Advances virtual time to `until`, processing all events in order.
     pub fn run_until(&mut self, until: Millis) {
-        loop {
-            let next_time = match self.queue.peek() {
-                Some(Reverse(event)) => event.time,
-                None => break,
-            };
-            if next_time > until {
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.time > until {
                 break;
             }
             let Reverse(event) = self.queue.pop().expect("peeked above");
@@ -446,7 +463,11 @@ impl Runtime {
             Message::Replicate { entries } => {
                 self.nodes[to].state.store.merge_from(entries);
             }
-            Message::Exchange { from, path, entries } => {
+            Message::Exchange {
+                from,
+                path,
+                entries,
+            } => {
                 let reply = self.decide_exchange(to, from, path, &entries);
                 let responder_path = self.nodes[to].state.path;
                 self.send(
@@ -458,13 +479,27 @@ impl Runtime {
                     },
                 );
             }
-            Message::ExchangeReply { from, path, outcome } => {
+            Message::ExchangeReply {
+                from,
+                path,
+                outcome,
+            } => {
                 self.apply_exchange_reply(to, from, path, outcome);
             }
-            Message::Query { origin, id, key, hops } => {
+            Message::Query {
+                origin,
+                id,
+                key,
+                hops,
+            } => {
                 self.handle_query_message(to, origin, id, key, hops);
             }
-            Message::QueryResponse { id, entries, hops, found } => {
+            Message::QueryResponse {
+                id,
+                entries,
+                hops,
+                found,
+            } => {
                 if let Some(record_index) = self.outstanding_queries.remove(&id) {
                     let record = &mut self.metrics.queries[record_index];
                     record.latency_ms = Some(self.now - record.issued_at);
@@ -489,11 +524,15 @@ impl Runtime {
         // keeps replicas converged during the operational phase (and shows
         // up as the residual maintenance bandwidth of Figure 8).
         let node = &self.nodes[peer];
-        let backing_off = node.fruitless >= 4 && !locally_overloaded(&node.state, &self.params);
+        let backing_off = node.fruitless >= 4 && !self.engine.locally_overloaded(&node.state);
         if let Some(target) = self.random_contact(peer) {
             let state = &self.nodes[peer].state;
-            let entries: Vec<DataEntry> =
-                state.store.restricted(&state.path).iter().copied().collect();
+            let entries: Vec<DataEntry> = state
+                .store
+                .restricted(&state.path)
+                .iter()
+                .copied()
+                .collect();
             let message = Message::Exchange {
                 from: PeerId(peer as u64),
                 path: state.path,
@@ -507,10 +546,19 @@ impl Runtime {
             self.config.construct_interval_ms
         };
         let jitter = self.rng.gen_range(0..interval.max(1));
-        self.schedule(self.now + interval + jitter, EventKind::ConstructTick { peer });
+        self.schedule(
+            self.now + interval + jitter,
+            EventKind::ConstructTick { peer },
+        );
     }
 
     /// The contacted peer's local decision for an exchange (Figure 2).
+    ///
+    /// The protocol decision — assessment, probabilities and the random
+    /// draw — is delegated to the shared [`pgrid_core::exchange`] engine;
+    /// this method only translates the resulting [`ExchangeDecision`] into
+    /// the wire protocol's [`ExchangeOutcome`] and the responder-side state
+    /// transition.
     fn decide_exchange(
         &mut self,
         responder: usize,
@@ -519,10 +567,8 @@ impl Runtime {
         initiator_entries: &[DataEntry],
     ) -> ExchangeOutcome {
         let responder_path = self.nodes[responder].state.path;
-        let same_partition = responder_path.is_prefix_of(&initiator_path)
-            || initiator_path.is_prefix_of(&responder_path);
 
-        if !same_partition {
+        if ExchangeEngine::refer_level(&responder_path, &initiator_path).is_some() {
             // Refer the initiator to a peer for its own side, and learn a
             // reference ourselves.
             let level = responder_path.common_prefix_len(&initiator_path);
@@ -534,7 +580,12 @@ impl Runtime {
             }
             let referred = {
                 let node = &self.nodes[responder];
-                node.state.routing.level(level).iter().map(|e| (e.peer, e.path)).collect::<Vec<_>>()
+                node.state
+                    .routing
+                    .level(level)
+                    .iter()
+                    .map(|e| (e.peer, e.path))
+                    .collect::<Vec<_>>()
             };
             return match referred.choose(&mut self.rng) {
                 Some(&(peer, path)) if peer != initiator => ExchangeOutcome::Refer { peer, path },
@@ -542,7 +593,8 @@ impl Runtime {
             };
         }
 
-        // Work on the shallower of the two paths.
+        // Work on the shallower of the two paths; the engine decides on
+        // behalf of the shallower ("lagging") peer.
         let partition = if responder_path.len() <= initiator_path.len() {
             responder_path
         } else {
@@ -555,77 +607,83 @@ impl Runtime {
                 .filter(|e| partition.covers(e.key)),
         );
         let responder_store = self.nodes[responder].state.store.restricted(&partition);
-        let assessment = assess(&initiator_store, &responder_store, &partition, &self.params);
-
-        if !assessment.overloaded {
-            if responder_path == initiator_path {
-                // Become replicas: hand over what the initiator is missing.
-                let missing = initiator_store.missing_from(&responder_store);
-                let initiator_id = initiator;
-                if !self.nodes[responder].state.replicas.contains(&initiator_id) {
-                    self.nodes[responder].state.replicas.push(initiator_id);
-                }
-                // Also pull what the responder is missing (it arrived with
-                // the request).
-                self.nodes[responder].state.store.merge_from(
-                    responder_store.missing_from(&initiator_store),
-                );
-                return ExchangeOutcome::Replicate { entries: missing };
-            }
-            return ExchangeOutcome::Nothing;
-        }
-
-        // Overloaded: split.  Decide sides with the AEP probabilities
-        // evaluated at the observed load ratio.
-        let (alpha, q0, q1) = effective_probabilities(assessment.p_lower);
+        let assessment = self
+            .engine
+            .assess(&initiator_store, &responder_store, &partition);
 
         if responder_path.len() == initiator_path.len() {
-            // Balanced split between two undecided peers: happens with
-            // probability alpha (floored as in the simulator), sides chosen
-            // uniformly at random.
-            if !self
-                .rng
-                .gen_bool(alpha.max(crate::MIN_BALANCED_SPLIT_PROBABILITY).clamp(0.0, 1.0))
-            {
-                return ExchangeOutcome::Nothing;
-            }
-            let initiator_takes_zero = self.rng.gen_bool(0.5);
-            // The responder extends its own path with the complementary bit.
-            let responder_bit = initiator_takes_zero;
-            let rng = &mut self.rng;
-            let handover = self.nodes[responder].state.split_towards(
-                responder_bit,
-                RoutingEntry {
-                    peer: initiator,
-                    path: partition.child(!responder_bit),
-                },
-                rng,
-            );
-            // Keep the initiator's entries that belong to our new side.
-            let own_path = self.nodes[responder].state.path;
-            self.nodes[responder]
-                .state
-                .store
-                .merge_from(initiator_entries.iter().copied().filter(|e| own_path.covers(e.key)));
-            return ExchangeOutcome::Split {
-                partition,
-                initiator_bit: !responder_bit,
-                entries: handover,
-                complement: None,
+            // Two undecided peers at the same level.
+            let decision =
+                self.engine
+                    .decide(initiator_path, responder_path, &assessment, &mut self.rng);
+            return match decision {
+                ExchangeDecision::Replicate => {
+                    // Become replicas: hand over what the initiator is
+                    // missing, pull what the responder is missing (it
+                    // arrived with the request).
+                    let missing = initiator_store.missing_from(&responder_store);
+                    if !self.nodes[responder].state.replicas.contains(&initiator) {
+                        self.nodes[responder].state.replicas.push(initiator);
+                    }
+                    self.nodes[responder]
+                        .state
+                        .store
+                        .merge_from(responder_store.missing_from(&initiator_store));
+                    ExchangeOutcome::Replicate { entries: missing }
+                }
+                ExchangeDecision::Split {
+                    bit: initiator_bit,
+                    balanced: true,
+                    ..
+                } => {
+                    // The responder extends its own path with the
+                    // complementary bit and hands over the initiator's side.
+                    let responder_bit = !initiator_bit;
+                    let rng = &mut self.rng;
+                    let handover = self.nodes[responder].state.split_towards(
+                        responder_bit,
+                        RoutingEntry {
+                            peer: initiator,
+                            path: partition.child(initiator_bit),
+                        },
+                        rng,
+                    );
+                    // Keep the initiator's entries that belong to our new
+                    // side.
+                    let own_path = self.nodes[responder].state.path;
+                    self.nodes[responder].state.store.merge_from(
+                        initiator_entries
+                            .iter()
+                            .copied()
+                            .filter(|e| own_path.covers(e.key)),
+                    );
+                    ExchangeOutcome::Split {
+                        partition,
+                        initiator_bit,
+                        entries: handover,
+                        complement: None,
+                    }
+                }
+                _ => ExchangeOutcome::Nothing,
             };
         }
 
         if responder_path.len() > initiator_path.len() {
             // The initiator lags behind a peer (us) that has already decided
-            // at this level: apply the decided-peer rules (cases 3/4) on its
-            // behalf and ship the entries of its new side.
-            let responder_bit = responder_path.bit(partition.len());
-            let opposite_probability = if responder_bit { q0 } else { q1 };
-            let initiator_bit = if self.rng.gen_bool(opposite_probability.clamp(0.0, 1.0)) {
-                !responder_bit
-            } else {
-                responder_bit
+            // at this level: the engine applies the decided-peer rules
+            // (cases 3/4) on its behalf; we ship the entries of its new side.
+            let decision =
+                self.engine
+                    .decide(initiator_path, responder_path, &assessment, &mut self.rng);
+            let ExchangeDecision::Split {
+                bit: initiator_bit,
+                balanced: false,
+                ..
+            } = decision
+            else {
+                return ExchangeOutcome::Nothing;
             };
+            let responder_bit = responder_path.bit(partition.len());
             // When the initiator joins the responder's own side it needs a
             // reference to the complementary subtree, which the responder has
             // in its routing table for this level.
@@ -658,23 +716,30 @@ impl Runtime {
         // initiator as the routing reference); for the same-side decision we
         // would need one of the initiator's references, so we simply wait for
         // a later exchange.
+        let decision =
+            self.engine
+                .decide(responder_path, initiator_path, &assessment, &mut self.rng);
         let ahead_bit = initiator_path.bit(partition.len());
-        let opposite_probability = if ahead_bit { q0 } else { q1 };
-        if self.rng.gen_bool(opposite_probability.clamp(0.0, 1.0)) {
-            let rng = &mut self.rng;
-            let shipped = self.nodes[responder].state.split_towards(
-                !ahead_bit,
-                RoutingEntry {
-                    peer: initiator,
-                    path: initiator_path,
-                },
-                rng,
-            );
-            // The shipped entries belong to the initiator's half of the
-            // partition; hand them over with the reply.
-            ExchangeOutcome::Replicate { entries: shipped }
-        } else {
-            ExchangeOutcome::Nothing
+        match decision {
+            ExchangeDecision::Split {
+                bit,
+                balanced: false,
+                ..
+            } if bit != ahead_bit => {
+                let rng = &mut self.rng;
+                let shipped = self.nodes[responder].state.split_towards(
+                    bit,
+                    RoutingEntry {
+                        peer: initiator,
+                        path: initiator_path,
+                    },
+                    rng,
+                );
+                // The shipped entries belong to the initiator's half of the
+                // partition; hand them over with the reply.
+                ExchangeOutcome::Replicate { entries: shipped }
+            }
+            _ => ExchangeOutcome::Nothing,
         }
     }
 
@@ -713,7 +778,12 @@ impl Runtime {
                     self.nodes[initiator].fruitless = 0;
                 }
             }
-            ExchangeOutcome::Split { partition, initiator_bit, entries, complement } => {
+            ExchangeOutcome::Split {
+                partition,
+                initiator_bit,
+                entries,
+                complement,
+            } => {
                 let node_path = self.nodes[initiator].state.path;
                 // The decision applies to the partition the responder saw in
                 // the request; if the initiator has moved on in the meantime
@@ -744,7 +814,10 @@ impl Runtime {
                     // Hand the entries of the other side back to the
                     // responder (content exchange).
                     if !shipped.is_empty() {
-                        self.send(responder.0 as usize, Message::Replicate { entries: shipped });
+                        self.send(
+                            responder.0 as usize,
+                            Message::Replicate { entries: shipped },
+                        );
                     }
                     self.nodes[initiator].fruitless = 0;
                 } else {
@@ -777,8 +850,12 @@ impl Runtime {
                 // transit from the construction phase), try an online
                 // replica of the same partition before giving up — that is
                 // exactly what the structural replication is for.
-                let entries: Vec<DataEntry> =
-                    self.nodes[at].state.store.range(key, key).copied().collect();
+                let entries: Vec<DataEntry> = self.nodes[at]
+                    .state
+                    .store
+                    .range(key, key)
+                    .copied()
+                    .collect();
                 if entries.is_empty() && (hops as usize) < pgrid_core::search::MAX_HOPS {
                     let replicas: Vec<PeerId> = self.nodes[at].state.replicas.clone();
                     let next = replicas
@@ -801,7 +878,12 @@ impl Runtime {
                 let found = !entries.is_empty();
                 self.send(
                     origin.0 as usize,
-                    Message::QueryResponse { id, entries, hops, found },
+                    Message::QueryResponse {
+                        id,
+                        entries,
+                        hops,
+                        found,
+                    },
                 );
             }
             Some(level) => {
@@ -883,56 +965,6 @@ impl Runtime {
         }
         (current != from).then_some(current)
     }
-}
-
-/// Local overload assessment shared by the responder's exchange decision
-/// (same capture–recapture estimate as the simulator, see
-/// `pgrid-sim::construction`).
-struct Assessment {
-    overloaded: bool,
-    p_lower: f64,
-}
-
-fn assess(a: &KeyStore, b: &KeyStore, partition: &Path, params: &BalanceParams) -> Assessment {
-    let count_a = a.len();
-    let count_b = b.len();
-    let overlap = a.intersection_size(b);
-    let union = count_a + count_b - overlap;
-    let estimated_keys = if count_a == 0 || count_b == 0 {
-        union as f64
-    } else if overlap == 0 {
-        union as f64 * 4.0
-    } else {
-        ((count_a as f64 * count_b as f64) / overlap as f64).max(union as f64)
-    };
-    let replicas = params.n_min as f64 * estimated_keys / params.delta_max as f64;
-    let lower = partition.child(false);
-    let in_lower = a.count_in(&lower) + b.count_in(&lower);
-    let total = count_a + count_b;
-    let p_lower = if total == 0 {
-        0.5
-    } else {
-        (in_lower as f64 / total as f64).clamp(1e-3, 1.0 - 1e-3)
-    };
-    let splittable = match (a.key_span_in(partition), b.key_span_in(partition)) {
-        (Some((lo_a, hi_a)), Some((lo_b, hi_b))) => lo_a.min(lo_b) != hi_a.max(hi_b),
-        (Some((lo, hi)), None) | (None, Some((lo, hi))) => lo != hi,
-        (None, None) => false,
-    };
-    Assessment {
-        overloaded: splittable
-            && estimated_keys > params.delta_max as f64
-            && replicas >= 2.0 * params.n_min as f64,
-        p_lower,
-    }
-}
-
-fn locally_overloaded(state: &PeerState, params: &BalanceParams) -> bool {
-    let load = state.responsible_load();
-    if load < 2 * params.delta_max {
-        return false;
-    }
-    matches!(state.store.key_span_in(&state.path), Some((lo, hi)) if lo != hi)
 }
 
 #[cfg(test)]

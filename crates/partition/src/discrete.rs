@@ -112,9 +112,14 @@ fn side_probabilities(strategy: Strategy, estimate: f64, sample_size: usize) -> 
         Strategy::Aep | Strategy::AepCorrected | Strategy::Heuristic => {
             let (alpha, q0, q1) = match strategy {
                 Strategy::Aep => effective_probabilities(p),
-                Strategy::AepCorrected => {
-                    corrected_effective(p, if sample_size == usize::MAX { 1 } else { sample_size })
-                }
+                Strategy::AepCorrected => corrected_effective(
+                    p,
+                    if sample_size == usize::MAX {
+                        1
+                    } else {
+                        sample_size
+                    },
+                ),
                 Strategy::Heuristic => heuristic_effective(p),
                 _ => unreachable!(),
             };
@@ -326,7 +331,10 @@ mod tests {
     }
 
     fn mean_fraction(strategy: Strategy, p: f64, knowledge: Knowledge, reps: u64) -> f64 {
-        (0..reps).map(|s| run(strategy, p, knowledge, s).fraction0()).sum::<f64>() / reps as f64
+        (0..reps)
+            .map(|s| run(strategy, p, knowledge, s).fraction0())
+            .sum::<f64>()
+            / reps as f64
     }
 
     #[test]
@@ -337,7 +345,12 @@ mod tests {
 
     #[test]
     fn all_peers_decide_and_hold_references() {
-        for strategy in [Strategy::Eager, Strategy::Aep, Strategy::AepCorrected, Strategy::Heuristic] {
+        for strategy in [
+            Strategy::Eager,
+            Strategy::Aep,
+            Strategy::AepCorrected,
+            Strategy::Heuristic,
+        ] {
             let out = run(strategy, 0.4, Knowledge::Sampled(10), 7);
             assert_eq!(out.n0 + out.n1, 1000, "{strategy:?}");
             assert!(out.referential_integrity, "{strategy:?}");

@@ -72,7 +72,10 @@ pub fn fluid_outcome3_with_step(alpha: f64, q0: f64, q1: f64, h: f64) -> FluidOu
         let k2 = deriv(add(state, scale(k1, h / 2.0)));
         let k3 = deriv(add(state, scale(k2, h / 2.0)));
         let k4 = deriv(add(state, scale(k3, h)));
-        let delta = scale(add(add(k1, scale(k2, 2.0)), add(scale(k3, 2.0), k4)), h / 6.0);
+        let delta = scale(
+            add(add(k1, scale(k2, 2.0)), add(scale(k3, 2.0), k4)),
+            h / 6.0,
+        );
         if state[0] + delta[0] < 0.0 {
             // Linear interpolation of the crossing time within this step.
             let frac = state[0] / -delta[0];
@@ -240,7 +243,10 @@ mod tests {
             .iter()
             .map(|&p| (cor_outcome(p, 10).minority_fraction - p).abs())
             .sum();
-        assert!(bias_sam > 5e-3, "expected a visible sampling bias, got {bias_sam}");
+        assert!(
+            bias_sam > 5e-3,
+            "expected a visible sampling bias, got {bias_sam}"
+        );
         assert!(
             bias_cor < bias_sam,
             "correction should reduce bias: {bias_cor} vs {bias_sam}"

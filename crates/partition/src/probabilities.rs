@@ -162,7 +162,11 @@ impl DecisionProbabilities {
     /// Panics unless `0 < p < 1`.
     pub fn for_ratio(p: f64) -> DecisionProbabilities {
         assert!(p > 0.0 && p < 1.0, "p must lie strictly inside (0, 1): {p}");
-        let (p_min, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
+        let (p_min, mirrored) = if p <= 0.5 {
+            (p, false)
+        } else {
+            (1.0 - p, true)
+        };
         if p_min >= P_CRITICAL {
             DecisionProbabilities {
                 alpha: 1.0,
@@ -186,7 +190,11 @@ impl DecisionProbabilities {
     /// in `p`.
     pub fn heuristic(p: f64) -> DecisionProbabilities {
         assert!(p > 0.0 && p < 1.0, "p must lie strictly inside (0, 1): {p}");
-        let (p_min, mirrored) = if p <= 0.5 { (p, false) } else { (1.0 - p, true) };
+        let (p_min, mirrored) = if p <= 0.5 {
+            (p, false)
+        } else {
+            (1.0 - p, true)
+        };
         DecisionProbabilities {
             alpha: 1.0,
             q: (2.0 * p_min).clamp(0.0, 1.0),
@@ -288,7 +296,8 @@ pub fn corrected_effective(x: f64, sample_size: usize) -> (f64, f64, f64) {
 pub fn corrected_grid_cached(sample_size: usize) -> std::sync::Arc<Vec<(f64, f64, f64)>> {
     use std::collections::HashMap;
     use std::sync::{Arc, Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<(f64, f64, f64)>>>>> = OnceLock::new();
+    type Grid = Arc<Vec<(f64, f64, f64)>>;
+    static CACHE: OnceLock<Mutex<HashMap<usize, Grid>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(found) = cache.lock().expect("grid cache poisoned").get(&sample_size) {
         return Arc::clone(found);
@@ -418,9 +427,17 @@ pub fn bernstein(f: fn(f64) -> f64, x: f64, s: usize) -> f64 {
             log += ((s - i) as f64).ln() - ((i + 1) as f64).ln();
         }
         let pmf = if x <= 0.0 {
-            if j == 0 { 1.0 } else { 0.0 }
+            if j == 0 {
+                1.0
+            } else {
+                0.0
+            }
         } else if x >= 1.0 {
-            if j == s { 1.0 } else { 0.0 }
+            if j == s {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             (log + j as f64 * x.ln() + (s - j) as f64 * (1.0 - x).ln()).exp()
         };
@@ -551,7 +568,10 @@ mod tests {
             let q = q_of_p(p);
             let a = alpha_of_p(p);
             assert!(q + 1e-12 >= last_q, "q must be non-decreasing at p = {p}");
-            assert!(a + 1e-9 >= last_alpha, "alpha must be non-decreasing at p = {p}");
+            assert!(
+                a + 1e-9 >= last_alpha,
+                "alpha must be non-decreasing at p = {p}"
+            );
             last_q = q;
             last_alpha = a;
         }
@@ -597,16 +617,23 @@ mod tests {
         assert_eq!(grid.len(), s + 1);
         let mut total_difference = 0.0;
         for (j, &(alpha, q0, q1)) in grid.iter().enumerate() {
-            assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range at node {j}");
+            assert!(
+                alpha > 0.0 && alpha <= 1.0,
+                "alpha out of range at node {j}"
+            );
             assert!((0.0..=1.0).contains(&q0), "q0 out of range at node {j}");
             assert!((0.0..=1.0).contains(&q1), "q1 out of range at node {j}");
             let exact = effective_probabilities(j as f64 / s as f64);
-            total_difference += (alpha - exact.0).abs() + (q0 - exact.1).abs() + (q1 - exact.2).abs();
+            total_difference +=
+                (alpha - exact.0).abs() + (q0 - exact.1).abs() + (q1 - exact.2).abs();
         }
         // The correction has to actually change something to be able to
         // cancel the sampling bias (the cancellation itself is verified at
         // the outcome level in the model tests).
-        assert!(total_difference > 0.05, "correction did nothing: {total_difference}");
+        assert!(
+            total_difference > 0.05,
+            "correction did nothing: {total_difference}"
+        );
     }
 
     #[test]
@@ -622,7 +649,10 @@ mod tests {
         assert!((h.q - 1.0).abs() < 1e-12);
         let h = DecisionProbabilities::heuristic(0.4);
         let exact = DecisionProbabilities::for_ratio(0.4);
-        assert!((h.q - exact.q).abs() > 0.01, "heuristic should differ from exact");
+        assert!(
+            (h.q - exact.q).abs() > 0.01,
+            "heuristic should differ from exact"
+        );
     }
 
     proptest! {

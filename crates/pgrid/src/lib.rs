@@ -12,7 +12,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `pgrid-core` | keys, paths, routing tables, peer state, search, reference partitioner, balance metric |
+//! | [`core`] | `pgrid-core` | keys, paths, routing tables, peer state, search, reference partitioner, balance metric, and the shared split/replicate/refer exchange engine ([`core::exchange`]) both runtimes delegate to |
 //! | [`partition`] | `pgrid-partition` | AEP decision probabilities, mean-value models, discrete split simulation |
 //! | [`workload`] | `pgrid-workload` | key distributions, synthetic corpus, query workloads |
 //! | [`sim`] | `pgrid-sim` | whole-system construction simulator, sequential baseline, query evaluation |

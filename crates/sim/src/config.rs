@@ -6,15 +6,10 @@ use pgrid_workload::distributions::Distribution;
 /// Which probability functions the construction uses for its split
 /// decisions — the knob behind the "theory vs. heuristics" experiment
 /// (Figure 6d) and the corrected-probability ablation.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum ConstructionStrategy {
-    /// Exact AEP probabilities.
-    Aep,
-    /// Sampling-bias corrected AEP probabilities.
-    AepCorrected,
-    /// The heuristic probability functions of Figure 6d.
-    Heuristic,
-}
+///
+/// This is the shared [`pgrid_core::exchange::ProbabilityStrategy`] under
+/// its historical simulator name.
+pub use pgrid_core::exchange::ProbabilityStrategy as ConstructionStrategy;
 
 /// Configuration of a whole-system construction simulation.
 #[derive(Clone, Debug)]

@@ -22,26 +22,25 @@
 //! random peers) precedes the partitioning, exactly as in the deployment
 //! timeline of Section 5.1.
 
-use crate::config::{ConstructionStrategy, SimConfig};
+use crate::config::SimConfig;
 use crate::metrics::ConstructionMetrics;
 use crate::unstructured::UnstructuredOverlay;
+use pgrid_core::exchange::{self, ExchangeDecision, ExchangeEngine};
 use pgrid_core::key::DataEntry;
 use pgrid_core::path::Path;
 use pgrid_core::peer::PeerState;
 use pgrid_core::reference::BalanceParams;
-use pgrid_core::routing::{PeerId, RoutingEntry};
+use pgrid_core::routing::PeerId;
 use pgrid_core::search::NetworkView;
 use pgrid_core::store::KeyStore;
-use pgrid_partition::probabilities::{
-    corrected_effective, effective_probabilities, heuristic_effective,
-};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-/// Lower bound on the balanced-split probability used by the whole-system
-/// construction (see the comment at its use site).
-pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 = 0.02;
+/// Lower bound on the balanced-split probability.
+#[deprecated(note = "moved to pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY")]
+pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
+    pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY;
 
 /// The constructed overlay network: all peer states plus the metrics of the
 /// construction run.
@@ -123,6 +122,7 @@ impl NetworkView for ConstructedOverlay {
 pub fn construct(config: &SimConfig) -> ConstructedOverlay {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let params = config.balance_params();
+    let engine = ExchangeEngine::with_strategy(params, config.strategy);
 
     // --- Initial data assignment -----------------------------------------
     let mut peers: Vec<PeerState> = (0..config.n_peers)
@@ -134,7 +134,10 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
         let mut own = Vec::with_capacity(config.keys_per_peer);
         for j in 0..config.keys_per_peer {
             let key = config.distribution.sample(&mut rng);
-            let entry = DataEntry::new(key, pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64));
+            let entry = DataEntry::new(
+                key,
+                pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
+            );
             peer.store.insert(entry);
             original_entries.push(entry);
             own.push(entry);
@@ -150,8 +153,7 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
     // key exists `n_min + 1` times in the network before partitioning starts
     // (Section 4.2).  Only the original entries are forwarded; entries
     // received from other peers are not re-replicated.
-    for i in 0..config.n_peers {
-        let entries = &per_peer_originals[i];
+    for (i, entries) in per_peer_originals.iter().enumerate() {
         let mut targets = Vec::new();
         while targets.len() < config.n_min {
             let t = overlay_graph.sample_other(i, &mut rng);
@@ -183,7 +185,7 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
                 &mut peers,
                 &overlay_graph,
                 config,
-                &params,
+                &engine,
                 &mut metrics,
                 &mut active,
                 &mut rng,
@@ -199,7 +201,7 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
                 // those keys are actually separable by a bisection) it keeps
                 // initiating interactions.
                 if fruitless[i] >= config.max_fruitless_attempts
-                    && !locally_wants_split(&peers[i], &params)
+                    && !engine.locally_overloaded(&peers[i])
                 {
                     active[i] = false;
                 }
@@ -230,7 +232,7 @@ fn initiate_interaction<R: Rng + ?Sized>(
     peers: &mut [PeerState],
     overlay: &UnstructuredOverlay,
     config: &SimConfig,
-    params: &BalanceParams,
+    engine: &ExchangeEngine,
     metrics: &mut ConstructionMetrics,
     active: &mut [bool],
     rng: &mut R,
@@ -245,7 +247,7 @@ fn initiate_interaction<R: Rng + ?Sized>(
         }
         let same_partition = peers[i].shares_partition_with(&peers[target].path);
         if same_partition {
-            return local_interaction(i, target, peers, config, params, metrics, active, rng);
+            return local_interaction(i, target, peers, engine, metrics, active, rng);
         }
         // Different partitions: both peers learn a routing reference at the
         // divergence level, then the contacted peer refers the initiator to
@@ -284,14 +286,13 @@ fn initiate_interaction<R: Rng + ?Sized>(
 }
 
 /// A local interaction between two peers of the same partition (or where one
-/// path is a prefix of the other): split, decide, or replicate.
-#[allow(clippy::too_many_arguments)]
+/// path is a prefix of the other): assess, decide, and apply through the
+/// shared [`pgrid_core::exchange`] engine.
 fn local_interaction<R: Rng + ?Sized>(
     a: usize,
     b: usize,
     peers: &mut [PeerState],
-    config: &SimConfig,
-    params: &BalanceParams,
+    engine: &ExchangeEngine,
     metrics: &mut ConstructionMetrics,
     active: &mut [bool],
     rng: &mut R,
@@ -306,316 +307,62 @@ fn local_interaction<R: Rng + ?Sized>(
     };
     let partition = peers[lagging].path;
 
-    if peers[lagging].path == peers[ahead].path {
-        same_level_interaction(lagging, ahead, partition, peers, config, params, metrics, active, rng)
-    } else {
-        catch_up_interaction(lagging, ahead, partition, peers, config, params, metrics, active, rng)
-    }
-}
+    let store_lagging = peers[lagging].store.restricted(&partition);
+    let store_ahead = peers[ahead].store.restricted(&partition);
+    let assessment = engine.assess(&store_lagging, &store_ahead, &partition);
+    let decision = engine.decide(peers[lagging].path, peers[ahead].path, &assessment, rng);
 
-/// Both peers are exactly at the same partition: either split it (AEP
-/// balanced split) or become replicas.
-#[allow(clippy::too_many_arguments)]
-fn same_level_interaction<R: Rng + ?Sized>(
-    a: usize,
-    b: usize,
-    partition: Path,
-    peers: &mut [PeerState],
-    config: &SimConfig,
-    params: &BalanceParams,
-    metrics: &mut ConstructionMetrics,
-    active: &mut [bool],
-    rng: &mut R,
-) -> bool {
-    let (overloaded, p_hat, _replicas) = assess_partition(a, b, &partition, peers, params);
+    // A same-side catch-up split needs a reference to the complementary
+    // subtree, drawn from the ahead peer's routing table at this level
+    // (guaranteed to exist because the ahead peer obtained one when it
+    // extended its own path).
+    let complement = match decision {
+        ExchangeDecision::Split {
+            partition,
+            bit,
+            balanced: false,
+        } if bit == peers[ahead].path.bit(partition.len()) => peers[ahead]
+            .routing
+            .level(partition.len())
+            .choose(rng)
+            .copied(),
+        _ => None,
+    };
 
-    if overloaded && partition.len() < pgrid_core::path::MAX_PATH_LEN {
-        let (alpha, _, _) = decision_probabilities(config, p_hat, sample_count(a, b, &partition, peers));
-        // For extremely skewed partitions the theoretical balanced-split
-        // probability becomes vanishingly small and the first split of a
-        // partition would take an unbounded number of encounters.  The
-        // whole-system construction floors it at a small constant; the
-        // resulting slight over-provisioning of nearly empty partitions is
-        // the "dispersion" effect the paper acknowledges for very skewed
-        // distributions (Section 2.2).
-        let alpha = alpha.max(MIN_BALANCED_SPLIT_PROBABILITY);
-        if rng.gen_bool(alpha.clamp(0.0, 1.0)) {
-            // Balanced split: one peer takes each side (uniformly at random,
-            // as the analysis of Section 3 assumes).
-            let a_takes_zero = rng.gen_bool(0.5);
-            let (zero_peer, one_peer) = if a_takes_zero { (a, b) } else { (b, a) };
-            perform_split(zero_peer, one_peer, partition, peers, metrics, rng);
-            active[a] = true;
-            active[b] = true;
-            return true;
+    let (peer_lagging, peer_ahead) = two_peers(peers, lagging, ahead);
+    let outcome = exchange::apply_decision(&decision, peer_lagging, peer_ahead, complement, rng);
+
+    metrics.splits += outcome.splits;
+    metrics.replications += outcome.replications;
+    metrics.construction_keys_moved += outcome.keys_moved;
+    // Keys of a same-side catch-up belong to the complementary subtree's
+    // reference peer (content exchange of Figure 2).
+    if let Some((reference, entries)) = outcome.forwarded {
+        let recipient = reference.peer.0 as usize;
+        if recipient < peers.len() {
+            peers[recipient].store.merge_from(entries);
         }
-        metrics.fruitless_interactions += 1;
-        return false;
     }
 
-    // Not overloaded: become replicas and reconcile contents.
-    let (store_a, store_b) = two_stores(peers, a, b);
-    let outcome = pgrid_core::replication::reconcile(store_a, store_b);
-    metrics.construction_keys_moved += outcome.total_transferred();
-    metrics.replications += 1;
-    let id_a = peers[a].id;
-    let id_b = peers[b].id;
-    if !peers[a].replicas.contains(&id_b) {
-        peers[a].replicas.push(id_b);
-    }
-    if !peers[b].replicas.contains(&id_a) {
-        peers[b].replicas.push(id_a);
-    }
-    if outcome.total_transferred() > 0 {
-        active[a] = true;
-        active[b] = true;
+    if outcome.useful {
+        active[lagging] = true;
+        active[ahead] = true;
         true
     } else {
-        // Fully synchronised copies: nothing learned (the termination signal
-        // of Section 4.2).
         metrics.fruitless_interactions += 1;
         false
     }
 }
 
-/// The lagging peer meets a peer that has already decided at the lagging
-/// peer's level: apply the AEP decided-peer rules (cases 3/4 of the
-/// algorithm in Section 3.1).
-#[allow(clippy::too_many_arguments)]
-fn catch_up_interaction<R: Rng + ?Sized>(
-    lagging: usize,
-    ahead: usize,
-    partition: Path,
-    peers: &mut [PeerState],
-    config: &SimConfig,
-    params: &BalanceParams,
-    metrics: &mut ConstructionMetrics,
-    active: &mut [bool],
-    rng: &mut R,
-) -> bool {
-    let level = partition.len();
-    let ahead_bit = peers[ahead].path.bit(level);
-
-    // The partition was split by others, so it must have been overloaded;
-    // still verify from local information to avoid splitting partitions that
-    // were split by mistake and to keep the storage criterion in charge.
-    let (overloaded, p_hat, _) = assess_partition(lagging, ahead, &partition, peers, params);
-    if !overloaded {
-        // Lagging peer sees no reason to split; reconcile what it can and
-        // wait (it keeps only keys of its own partition, which is a prefix
-        // of the ahead peer's, so pull nothing).
-        metrics.fruitless_interactions += 1;
-        return false;
-    }
-
-    let (_, q0, q1) = decision_probabilities(config, p_hat, sample_count(lagging, ahead, &partition, peers));
-    let opposite_probability = if ahead_bit { q0 } else { q1 };
-    let take_opposite = rng.gen_bool(opposite_probability.clamp(0.0, 1.0));
-    let chosen_bit = if take_opposite { !ahead_bit } else { ahead_bit };
-
-    // Reference for the complementary side: the ahead peer itself when we
-    // take the opposite side, otherwise one of the ahead peer's routing
-    // references at this level (guaranteed to exist because the ahead peer
-    // obtained one when it extended its own path).
-    let reference = if take_opposite {
-        Some(RoutingEntry {
-            peer: peers[ahead].id,
-            path: peers[ahead].path,
-        })
-    } else {
-        peers[ahead].routing.level(level).choose(rng).copied()
-    };
-    let reference = match reference {
-        Some(r) => r,
-        None => {
-            metrics.fruitless_interactions += 1;
-            return false;
-        }
-    };
-
-    // Extend the path and ship the keys of the other side to the reference
-    // peer (content exchange of Figure 2).
-    let shipped = peers[lagging].split_towards(chosen_bit, reference, rng);
-    metrics.splits += 1;
-    metrics.construction_keys_moved += shipped.len();
-    let recipient = reference.peer.0 as usize;
-    if recipient < peers.len() {
-        peers[recipient].store.merge_from(shipped);
-    }
-    // If we joined the ahead peer's side, also reconcile with it so replicas
-    // converge quickly.
-    if !take_opposite && peers[lagging].path == peers[ahead].path {
-        let (store_l, store_a) = two_stores(peers, lagging, ahead);
-        let outcome = pgrid_core::replication::reconcile(store_l, store_a);
-        metrics.construction_keys_moved += outcome.total_transferred();
-        let id_l = peers[lagging].id;
-        let id_a = peers[ahead].id;
-        if !peers[lagging].replicas.contains(&id_a) {
-            peers[lagging].replicas.push(id_a);
-        }
-        if !peers[ahead].replicas.contains(&id_l) {
-            peers[ahead].replicas.push(id_l);
-        }
-    }
-    active[lagging] = true;
-    active[ahead] = true;
-    true
-}
-
-/// Performs a balanced split between two peers of the same partition.
-fn perform_split<R: Rng + ?Sized>(
-    zero_peer: usize,
-    one_peer: usize,
-    partition: Path,
-    peers: &mut [PeerState],
-    metrics: &mut ConstructionMetrics,
-    rng: &mut R,
-) {
-    let zero_id = peers[zero_peer].id;
-    let one_id = peers[one_peer].id;
-    let zero_path = partition.child(false);
-    let one_path = partition.child(true);
-
-    let to_one = peers[zero_peer].split_towards(
-        false,
-        RoutingEntry {
-            peer: one_id,
-            path: one_path,
-        },
-        rng,
-    );
-    let to_zero = peers[one_peer].split_towards(
-        true,
-        RoutingEntry {
-            peer: zero_id,
-            path: zero_path,
-        },
-        rng,
-    );
-    metrics.construction_keys_moved += to_one.len() + to_zero.len();
-    peers[one_peer].store.merge_from(to_one);
-    peers[zero_peer].store.merge_from(to_zero);
-    metrics.splits += 2;
-}
-
-/// Estimates whether the partition is overloaded and what fraction of its
-/// keys lies in the lower half, from the two interacting peers' local
-/// stores only (Section 4.2).
-///
-/// The number of distinct keys in the partition is estimated by
-/// capture–recapture over the two stores: if the partition holds `D` keys
-/// and the peers hold `|K1|` and `|K2|` of them, the expected overlap is
-/// `|K1| |K2| / D`, so `D̂ = |K1| |K2| / |K1 ∩ K2|` (never below the
-/// observed union).  The equivalent replica-count estimate is
-/// `m̂ = n_min D̂ / delta_max` — the paper's worked example ("two identical
-/// stores of size delta_max imply n_min replicas") — and the partition is
-/// split while `D̂ > delta_max` and `m̂ >= 2 n_min`, mirroring lines 1–2 of
-/// the global `Partition` algorithm.  Unlike a naive overlap-only replica
-/// count, this estimate is robust against the store growth caused by
-/// anti-entropy reconciliation and key shipments during construction.
-fn assess_partition(
-    a: usize,
-    b: usize,
-    partition: &Path,
-    peers: &[PeerState],
-    params: &BalanceParams,
-) -> (bool, f64, f64) {
-    // Only the keys inside the current partition carry information about it;
-    // leftovers from earlier levels are ignored for the estimates.
-    let store_a = peers[a].store.restricted(partition);
-    let store_b = peers[b].store.restricted(partition);
-    let count_a = store_a.len();
-    let count_b = store_b.len();
-    let overlap = store_a.intersection_size(&store_b);
-    let union = count_a + count_b - overlap;
-
-    // Capture–recapture estimate of the distinct keys in the partition.
-    let estimated_keys = if count_a == 0 || count_b == 0 {
-        union as f64
-    } else if overlap == 0 {
-        // No overlap carries no upper bound on D; treat as "much larger than
-        // what we can see".
-        (union as f64) * 4.0
-    } else {
-        ((count_a as f64 * count_b as f64) / overlap as f64).max(union as f64)
-    };
-    let replicas = params.n_min as f64 * estimated_keys / params.delta_max as f64;
-
-    // Load ratio of the lower half, estimated from the union of both stores
-    // restricted to the partition (the "sample" of Section 3.2 — its size is
-    // bounded by delta_max via the storage balancing itself).
-    let lower = partition.child(false);
-    let in_lower = store_a.count_in(&lower) + store_b.count_in(&lower);
-    let total = count_a + count_b;
-    let p_hat = if total == 0 {
-        0.5
-    } else {
-        (in_lower as f64 / total as f64).clamp(1e-3, 1.0 - 1e-3)
-    };
-
-    // A bisection is only useful if it can eventually separate data: a
-    // partition whose observed entries all share a single key value (e.g.
-    // the postings of one very popular index term) can never be balanced by
-    // bisection at any depth, so it is left alone regardless of its size.
-    let splittable = match (store_a.key_span_in(partition), store_b.key_span_in(partition)) {
-        (Some((lo_a, hi_a)), Some((lo_b, hi_b))) => lo_a.min(lo_b) != hi_a.max(hi_b),
-        (Some((lo, hi)), None) | (None, Some((lo, hi))) => lo != hi,
-        (None, None) => false,
-    };
-
-    let overloaded = splittable
-        && estimated_keys > params.delta_max as f64
-        && replicas >= 2.0 * params.n_min as f64;
-    (overloaded, p_hat, replicas)
-}
-
-/// Whether a peer's own store gives it reason to keep pushing for a split of
-/// its partition: clearly more keys than the storage bound, spread over both
-/// halves of the partition.
-fn locally_wants_split(peer: &PeerState, params: &BalanceParams) -> bool {
-    let load = peer.responsible_load();
-    if load < 2 * params.delta_max {
-        return false;
-    }
-    match peer.store.key_span_in(&peer.path) {
-        Some((lo, hi)) => lo != hi,
-        None => false,
-    }
-}
-
-/// Number of local keys that went into the ratio estimate (used to pick the
-/// correction grid for the corrected strategy).
-fn sample_count(a: usize, b: usize, partition: &Path, peers: &[PeerState]) -> usize {
-    (peers[a].store.count_in(partition) + peers[b].store.count_in(partition)).max(1)
-}
-
-/// Maps the configured strategy to effective decision probabilities.
-fn decision_probabilities(config: &SimConfig, p_hat: f64, samples: usize) -> (f64, f64, f64) {
-    match config.strategy {
-        ConstructionStrategy::Aep => effective_probabilities(p_hat),
-        ConstructionStrategy::Heuristic => heuristic_effective(p_hat),
-        ConstructionStrategy::AepCorrected => {
-            // Bucket the sample size so the correction grids are reused
-            // across interactions instead of being recomputed for every
-            // distinct store size.
-            let bucket = [5usize, 10, 20, 40, 80]
-                .into_iter()
-                .min_by_key(|&b| b.abs_diff(samples))
-                .unwrap_or(10);
-            corrected_effective(p_hat, bucket)
-        }
-    }
-}
-
-/// Borrows two distinct peers' stores mutably.
-fn two_stores(peers: &mut [PeerState], a: usize, b: usize) -> (&mut KeyStore, &mut KeyStore) {
+/// Borrows two distinct peers mutably out of the slice.
+fn two_peers(peers: &mut [PeerState], a: usize, b: usize) -> (&mut PeerState, &mut PeerState) {
     assert!(a != b);
     if a < b {
         let (left, right) = peers.split_at_mut(b);
-        (&mut left[a].store, &mut right[0].store)
+        (&mut left[a], &mut right[0])
     } else {
         let (left, right) = peers.split_at_mut(a);
-        (&mut right[0].store, &mut left[b].store)
+        (&mut right[0], &mut left[b])
     }
 }
 
@@ -652,7 +399,10 @@ mod tests {
         for entry in &overlay.original_entries {
             // No entry may be dropped from the network entirely.
             let held_somewhere = overlay.peers.iter().any(|p| p.store.contains(entry));
-            assert!(held_somewhere, "entry {entry:?} vanished during construction");
+            assert!(
+                held_somewhere,
+                "entry {entry:?} vanished during construction"
+            );
             // Almost every entry must be stored at a peer responsible for it
             // (the paper reports 95–100% query success; the residual misses
             // are keys still "in transit" at non-responsible replicas).
@@ -718,8 +468,7 @@ mod tests {
             };
             let overlay = construct(&config);
             let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
-            let reference =
-                ReferencePartitioning::compute(&keys, config.n_peers, overlay.params);
+            let reference = ReferencePartitioning::compute(&keys, config.n_peers, overlay.params);
             let report = compare_to_reference(&reference, &overlay.peer_paths());
             assert!(
                 report.deviation < 1.5,

@@ -40,8 +40,8 @@ pub mod prelude {
     pub use crate::metrics::ConstructionMetrics;
     pub use crate::query::{data_availability, run_queries, QueryStats};
     pub use crate::runner::{
-        population_sweep, replication_sweep, run_repeated, sample_size_sweep,
-        theory_vs_heuristics, ConstructionResult,
+        population_sweep, replication_sweep, run_repeated, sample_size_sweep, theory_vs_heuristics,
+        ConstructionResult,
     };
     pub use crate::sequential::{construct_sequentially, SequentialOutcome};
     pub use crate::unstructured::{run_initiation_vote, UnstructuredOverlay, VoteOutcome};

@@ -118,7 +118,7 @@ pub fn data_availability<R: Rng + ?Sized>(
         let entry = overlay.original_entries[rng.gen_range(0..overlay.original_entries.len())];
         let start = PeerId(online[rng.gen_range(0..online.len())] as u64);
         let res = lookup(overlay, start, entry.key, rng);
-        if res.entries.iter().any(|e| *e == entry) {
+        if res.entries.contains(&entry) {
             found += 1;
         }
     }
@@ -159,7 +159,11 @@ mod tests {
         );
         let stats = run_queries(&overlay, &queries, &mut rng);
         assert_eq!(stats.issued, 300);
-        assert!(stats.success_rate() > 0.95, "success {}", stats.success_rate());
+        assert!(
+            stats.success_rate() > 0.95,
+            "success {}",
+            stats.success_rate()
+        );
         assert!(stats.mean_hops() <= overlay.mean_depth() + 1.0);
     }
 
@@ -234,6 +238,10 @@ mod tests {
         // With n_min ≈ 5 replicas per partition and multiple routing
         // references, a quarter of the peers failing should barely dent the
         // success rate (the paper reports 95–100% under churn).
-        assert!(stats.success_rate() > 0.85, "success {}", stats.success_rate());
+        assert!(
+            stats.success_rate() > 0.85,
+            "success {}",
+            stats.success_rate()
+        );
     }
 }

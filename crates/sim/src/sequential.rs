@@ -81,14 +81,14 @@ fn construct_sequentially_with_rng<R: Rng + ?Sized>(
     }
     peers.push(first);
 
-    for i in 1..config.n_peers {
+    for (i, data) in all_data.iter().enumerate().skip(1) {
         let mut joiner = PeerState::new(PeerId(i as u64), config.routing_fanout);
-        for e in &all_data[i] {
+        for e in data {
             joiner.store.insert(*e);
         }
         // Route from a random bootstrap peer to the partition covering one of
         // the joiner's keys (or a random key if it has none).
-        let target_key = all_data[i]
+        let target_key = data
             .first()
             .map(|e| e.key)
             .unwrap_or_else(|| pgrid_core::key::Key::from_fraction(rng.gen::<f64>()));
@@ -188,7 +188,8 @@ fn construct_sequentially_with_rng<R: Rng + ?Sized>(
             // that the host's view of the partition load grows with the data
             // brought in by joining peers (this is what eventually triggers
             // splits in the sequential model).
-            let outcome = pgrid_core::replication::reconcile(&mut peers[current].store, &mut joiner.store);
+            let outcome =
+                pgrid_core::replication::reconcile(&mut peers[current].store, &mut joiner.store);
             keys_moved += outcome.total_transferred();
             let host_idx = current;
             let joiner_id = joiner.id;

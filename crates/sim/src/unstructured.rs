@@ -197,13 +197,13 @@ pub fn run_initiation_vote<R: Rng + ?Sized>(
     let mut yes = 0;
     let mut no = 0;
     let mut total_keys = 0;
-    for peer in 0..overlay.len() {
+    for &peer_keys in keys_per_peer.iter().take(overlay.len()) {
         if rng.gen_bool(approval.clamp(0.0, 1.0)) {
             yes += 1;
         } else {
             no += 1;
         }
-        total_keys += keys_per_peer[peer];
+        total_keys += peer_keys;
     }
     // Replies travel back along the flood tree: one message per peer, plus
     // the final decision flood.
@@ -236,8 +236,11 @@ mod tests {
     fn degree_is_roughly_as_requested() {
         let mut rng = StdRng::seed_from_u64(2);
         let overlay = UnstructuredOverlay::random(200, 8, &mut rng);
-        let avg: f64 = (0..200).map(|i| overlay.neighbours(i).len() as f64).sum::<f64>() / 200.0;
-        assert!(avg >= 6.0 && avg <= 16.0, "avg degree {avg}");
+        let avg: f64 = (0..200)
+            .map(|i| overlay.neighbours(i).len() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((6.0..=16.0).contains(&avg), "avg degree {avg}");
     }
 
     #[test]

@@ -314,7 +314,10 @@ mod tests {
             "the 10 hottest terms should carry >20% of the postings, got {top_10}"
         );
         let occupied = slot_counts.iter().filter(|&&c| c > 0).count();
-        assert!(occupied < vocabulary, "some slots must stay empty under Zipf sampling");
+        assert!(
+            occupied < vocabulary,
+            "some slots must stay empty under Zipf sampling"
+        );
     }
 
     #[test]

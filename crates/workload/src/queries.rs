@@ -88,7 +88,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn population() -> Vec<Key> {
-        (0..100).map(|i| Key::from_fraction(i as f64 / 100.0)).collect()
+        (0..100)
+            .map(|i| Key::from_fraction(i as f64 / 100.0))
+            .collect()
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn main() {
     println!("  load-balance deviation : {:.3}", report.balance_deviation);
     println!("  mean path length       : {:.2}", report.mean_path_length);
     println!("  mean query hops        : {:.2}", report.mean_query_hops);
-    println!("  query success rate     : {:.1}%", 100.0 * report.query_success_rate);
+    println!(
+        "  query success rate     : {:.1}%",
+        100.0 * report.query_success_rate
+    );
     println!("  mean replication       : {:.2}", report.mean_replication);
     println!(
         "  total bandwidth        : {} maintenance bytes, {} query bytes",

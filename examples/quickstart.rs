@@ -24,8 +24,12 @@ fn main() {
         seed: 42,
         ..SimConfig::default()
     };
-    println!("constructing a {}-peer overlay ({} keys, n_min = {}) ...",
-        config.n_peers, config.total_keys(), config.n_min);
+    println!(
+        "constructing a {}-peer overlay ({} keys, n_min = {}) ...",
+        config.n_peers,
+        config.total_keys(),
+        config.n_min
+    );
     let overlay = construct(&config);
     println!(
         "  finished in {} rounds, {} interactions ({:.1} per peer), {} keys moved",

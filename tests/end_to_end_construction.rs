@@ -34,12 +34,19 @@ fn every_paper_workload_yields_a_consistent_queryable_overlay() {
             }
         }
         // the overlay must actually partition the key space
-        assert!(overlay.max_depth() >= 2, "{dist}: overlay did not specialise");
+        assert!(
+            overlay.max_depth() >= 2,
+            "{dist}: overlay did not specialise"
+        );
         // load balance within a loose factor of the optimum
         let keys: Vec<Key> = overlay.original_entries.iter().map(|e| e.key).collect();
         let reference = ReferencePartitioning::compute(&keys, 96, overlay.params);
         let report = compare_to_reference(&reference, &overlay.peer_paths());
-        assert!(report.deviation < 1.5, "{dist}: deviation {}", report.deviation);
+        assert!(
+            report.deviation < 1.5,
+            "{dist}: deviation {}",
+            report.deviation
+        );
         // queries on existing keys succeed
         let mut rng = StdRng::seed_from_u64(5);
         let queries = generate_queries(

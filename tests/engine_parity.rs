@@ -1,0 +1,226 @@
+//! Cross-engine parity: the whole-system simulator (`pgrid-sim`) and the
+//! message-level deployment runtime (`pgrid-net`) must run the *same*
+//! construction protocol.
+//!
+//! Since the exchange-engine refactor both delegate every
+//! assess/probability/decision step to `pgrid_core::exchange`; these tests
+//! lock that in from the outside:
+//!
+//! 1. on a scripted encounter trace, an engine configured the simulator's
+//!    way (from a [`SimConfig`]) and one configured the runtime's way
+//!    (from a [`NetConfig`]) produce *identical* [`ExchangeDecision`]
+//!    sequences for the same random seed.  This pins the engine's
+//!    decision surface and the two crates' *configuration* paths into it
+//!    (equal parameters, equal strategy, seed-stable decisions); whether
+//!    each runtime actually routes its interactions through the engine is
+//!    enforced structurally (the duplicated logic is deleted — neither
+//!    crate defines an assessment any more) and behaviorally by test 2;
+//! 2. full constructions under both execution models — each through its
+//!    own public entry point (`construct` / `run_deployment`) — converge
+//!    to balance deviations within a fixed tolerance of each other.
+
+use pgrid::core::exchange::ExchangeDecision;
+use pgrid::core::key::{DataEntry, DataId};
+use pgrid::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A key at relative position `f in [0, 1)` inside `partition`.
+fn key_in(partition: &Path, f: f64) -> Key {
+    let lo = partition.lower_key().as_fraction();
+    let width = 1.0 / (1u64 << partition.len()) as f64;
+    Key::from_fraction(lo + f * width)
+}
+
+/// A store of `count` keys inside `partition`, with ids drawn from
+/// `0..id_space` so two stores over the same partition overlap partially
+/// (what the capture–recapture estimator feeds on).
+fn scripted_store<R: Rng + ?Sized>(
+    partition: &Path,
+    count: usize,
+    id_space: u64,
+    rng: &mut R,
+) -> KeyStore {
+    KeyStore::from_entries((0..count).map(|_| {
+        let id = rng.gen_range(0..id_space);
+        // Key position derived from the id so equal ids mean equal entries.
+        let f = (id as f64 + 0.5) / id_space as f64;
+        DataEntry::new(key_in(partition, f), DataId(id))
+    }))
+}
+
+/// One scripted encounter: the two peers' paths plus their
+/// partition-restricted stores.
+struct Encounter {
+    lagging_path: Path,
+    ahead_path: Path,
+    store_a: KeyStore,
+    store_b: KeyStore,
+}
+
+/// A deterministic trace covering all encounter shapes: same-level meetings
+/// over balanced and skewed partitions (small and large), catch-up meetings
+/// and diverging-path referrals.
+fn scripted_trace(seed: u64, length: usize) -> Vec<Encounter> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let partitions = ["", "0", "1", "01", "10", "110"];
+    (0..length)
+        .map(|i| {
+            let partition = Path::parse(partitions[i % partitions.len()]);
+            let (lagging_path, ahead_path) = match i % 4 {
+                // Two undecided peers of the same partition.
+                0 | 1 => (partition, partition),
+                // A lagging peer meeting one that already decided here.
+                2 => (partition, partition.child(rng.gen_bool(0.5))),
+                // Diverging paths: referral.
+                _ => (partition.child(false), partition.child(true)),
+            };
+            // Alternate between clearly overloaded (big stores, shared id
+            // space) and clearly underloaded encounters, with varying skew.
+            let count = if i % 3 == 0 { 4 } else { 60 + (i % 5) * 17 };
+            let id_space = (count as u64 * 3) / 2;
+            let store_a = scripted_store(&partition, count, id_space, &mut rng);
+            let store_b = scripted_store(&partition, count, id_space, &mut rng);
+            Encounter {
+                lagging_path,
+                ahead_path,
+                store_a,
+                store_b,
+            }
+        })
+        .collect()
+}
+
+fn decision_kind(decision: &ExchangeDecision) -> &'static str {
+    match decision {
+        ExchangeDecision::Split { balanced: true, .. } => "split-balanced",
+        ExchangeDecision::Split {
+            balanced: false, ..
+        } => "split-catch-up",
+        ExchangeDecision::Replicate => "replicate",
+        ExchangeDecision::Refer { .. } => "refer",
+        ExchangeDecision::Nothing => "nothing",
+    }
+}
+
+#[test]
+fn both_engine_configurations_make_identical_decisions_on_a_scripted_trace() {
+    // The engine as the simulator builds it …
+    let sim_config = SimConfig {
+        keys_per_peer: 10,
+        n_min: 5,
+        ..SimConfig::default()
+    };
+    let sim_engine =
+        ExchangeEngine::with_strategy(sim_config.balance_params(), sim_config.strategy);
+    // … and as the deployment runtime builds it (AEP strategy), from a
+    // NetConfig with the same balance parameters.
+    let net_config = NetConfig {
+        keys_per_peer: 10,
+        n_min: 5,
+        ..NetConfig::default()
+    };
+    let net_engine = ExchangeEngine::new(net_config.balance_params());
+    assert_eq!(sim_engine.params(), net_engine.params());
+    assert_eq!(sim_engine.strategy(), net_engine.strategy());
+
+    let trace = scripted_trace(0xA11CE, 240);
+    let mut rng_sim = StdRng::seed_from_u64(7);
+    let mut rng_net = StdRng::seed_from_u64(7);
+    let mut sim_distribution: HashMap<&'static str, usize> = HashMap::new();
+    let mut net_distribution: HashMap<&'static str, usize> = HashMap::new();
+
+    for (i, encounter) in trace.iter().enumerate() {
+        let assessment_sim = sim_engine.assess(
+            &encounter.store_a,
+            &encounter.store_b,
+            &encounter.lagging_path,
+        );
+        let assessment_net = net_engine.assess(
+            &encounter.store_a,
+            &encounter.store_b,
+            &encounter.lagging_path,
+        );
+        assert_eq!(
+            assessment_sim, assessment_net,
+            "assessment diverged at encounter {i}"
+        );
+
+        let decision_sim = sim_engine.decide(
+            encounter.lagging_path,
+            encounter.ahead_path,
+            &assessment_sim,
+            &mut rng_sim,
+        );
+        let decision_net = net_engine.decide(
+            encounter.lagging_path,
+            encounter.ahead_path,
+            &assessment_net,
+            &mut rng_net,
+        );
+        assert_eq!(
+            decision_sim, decision_net,
+            "decision diverged at encounter {i}"
+        );
+        *sim_distribution
+            .entry(decision_kind(&decision_sim))
+            .or_default() += 1;
+        *net_distribution
+            .entry(decision_kind(&decision_net))
+            .or_default() += 1;
+    }
+
+    assert_eq!(sim_distribution, net_distribution);
+    // The trace must actually exercise the whole decision surface.
+    for kind in [
+        "split-balanced",
+        "split-catch-up",
+        "replicate",
+        "refer",
+        "nothing",
+    ] {
+        assert!(
+            sim_distribution.get(kind).copied().unwrap_or(0) > 0,
+            "scripted trace never produced a {kind} decision: {sim_distribution:?}"
+        );
+    }
+}
+
+#[test]
+fn simulator_and_deployment_converge_to_comparable_balance() {
+    let n_peers = 64;
+    let seed = 31;
+
+    let overlay = construct(&SimConfig {
+        n_peers,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed,
+        ..SimConfig::default()
+    });
+    let keys: Vec<Key> = overlay.original_entries.iter().map(|e| e.key).collect();
+    let reference = ReferencePartitioning::compute(&keys, n_peers, overlay.params);
+    let sim_deviation = compare_to_reference(&reference, &overlay.peer_paths()).deviation;
+
+    let report = run_deployment(
+        &NetConfig {
+            n_peers,
+            keys_per_peer: 10,
+            n_min: 5,
+            distribution: Distribution::Uniform,
+            seed,
+            ..NetConfig::default()
+        },
+        &Timeline::default(),
+    );
+    let net_deviation = report.balance_deviation;
+
+    assert!(sim_deviation < 1.5, "simulator deviation {sim_deviation}");
+    assert!(net_deviation < 1.5, "deployment deviation {net_deviation}");
+    assert!(
+        (sim_deviation - net_deviation).abs() < 0.75,
+        "engines disagree on balance: simulator {sim_deviation:.3} vs deployment {net_deviation:.3}"
+    );
+}

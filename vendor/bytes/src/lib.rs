@@ -1,0 +1,237 @@
+//! Self-contained stand-in for the `bytes` crate (API subset).
+//!
+//! The build environment of this repository has no access to a crate
+//! registry, so the workspace vendors the small surface its wire codec
+//! uses: [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits with
+//! big-endian integer accessors, matching the upstream semantics.
+
+#![warn(rust_2018_idioms)]
+
+use std::sync::Arc;
+
+/// Read access to a contiguous buffer with an internal cursor.
+pub trait Buf {
+    /// Number of bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.remaining()`.
+    fn advance(&mut self, n: usize);
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        let value = self.chunk()[0];
+        self.advance(1);
+        value
+    }
+
+    /// Consumes four bytes as a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Consumes eight bytes as a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+/// Write access to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+/// A cheaply cloneable immutable byte buffer with a consuming cursor.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    cursor: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+            cursor: 0,
+        }
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+            cursor: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+            cursor: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.cursor += n;
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with a capacity hint.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the written bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u32(0x1234_5678);
+        buf.put_u64(0x1122_3344_5566_7788);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u32(), 0x1234_5678);
+        assert_eq!(bytes.get_u64(), 0x1122_3344_5566_7788);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn cursor_survives_clone_and_equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        a.get_u8();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, Bytes::from(vec![2, 3, 4]));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advancing_past_the_end_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        b.advance(2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Self-contained stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment of this repository has no access to a crate
+//! registry, so the workspace vendors the surface its property tests use:
+//! the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! header, range and [`any`] strategies, [`collection::vec`], and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] assertions.
+//!
+//! Unlike the real proptest there is no shrinking and no failure
+//! persistence: each test simply runs `cases` deterministic random cases
+//! (seeded per test from the test name) and panics on the first failing
+//! case, printing the case number.
+
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Number of cases to run per property and related knobs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running the given number of cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates values over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample_value(&self, rng: &mut rand::rngs::StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rand::rngs::StdRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut rand::rngs::StdRng) -> f64 {
+        rand::Rng::gen::<f64>(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $( #[test] fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                // Seed per test name so cases differ between properties but
+                // stay reproducible across runs.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf29ce484222325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100000001b3)
+                    });
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample_value(&($strategy), &mut rng); )+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(error) = outcome {
+                        panic!("proptest {} failed at case {case}: {error}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.25f64..0.75, z in any::<u8>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y), "y = {}", y);
+            let _ = z;
+        }
+
+        #[test]
+        fn vectors_respect_the_size_range(v in crate::collection::vec(any::<u8>(), 0..9)) {
+            prop_assert!(v.len() < 9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    #[test]
+    fn prop_assertions_produce_errors_not_panics() {
+        fn check(x: u64) -> TestCaseResult {
+            prop_assert!(x > 100, "x = {}", x);
+            prop_assert_eq!(x % 2, 1);
+            Ok(())
+        }
+        assert!(check(5).is_err());
+        assert!(check(101).is_ok());
+        assert!(check(102).is_err());
+    }
+}
