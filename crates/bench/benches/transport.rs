@@ -1,0 +1,99 @@
+//! Criterion benchmark: transport throughput in messages per second —
+//! loopback vs TCP, with and without per-tick batching.
+//!
+//! Each iteration pushes a fixed batch of realistic `Exchange` messages
+//! from one peer to another and drains the receiving side.  "batched"
+//! packs all messages of an iteration into a single frame (what the
+//! deployment runtime does per tick and destination); "unbatched" sends
+//! one frame per message.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgrid_core::key::{DataEntry, DataId, Key};
+use pgrid_core::path::Path;
+use pgrid_core::routing::PeerId;
+use pgrid_net::message::Message;
+use pgrid_transport::frame::encode_frame;
+use pgrid_transport::loopback::LoopbackTransport;
+use pgrid_transport::tcp::TcpTransport;
+use pgrid_transport::Transport;
+
+/// Messages per iteration (one construction tick's worth of exchanges for
+/// a mid-sized deployment).
+const BATCH: usize = 64;
+
+fn payloads() -> Vec<Bytes> {
+    (0..BATCH)
+        .map(|i| {
+            let entries: Vec<DataEntry> = (0..10)
+                .map(|j| {
+                    DataEntry::new(
+                        Key::from_fraction((i * 10 + j) as f64 / (BATCH * 10) as f64),
+                        DataId((i * 10 + j) as u64),
+                    )
+                })
+                .collect();
+            Message::Exchange {
+                from: PeerId(0),
+                path: Path::parse("0101"),
+                entries,
+            }
+            .encode()
+        })
+        .collect()
+}
+
+/// Sends the payloads as `frames` pre-encoded frames and drains them back
+/// out of the transport, returning the number of delivered frames.
+fn pump<T: Transport>(transport: &mut T, to: PeerId, frames: &[Bytes]) -> usize {
+    for frame in frames {
+        transport
+            .send(0, to, frame.clone())
+            .expect("send must succeed");
+    }
+    let mut delivered = 0;
+    while delivered < frames.len() {
+        delivered += transport.poll(u64::MAX).len();
+        if delivered < frames.len() && transport.is_realtime() {
+            std::thread::yield_now();
+        }
+    }
+    delivered
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_msgs");
+    group.sample_size(30);
+
+    let single = payloads();
+    let batched_frames = vec![encode_frame(&single)];
+    let unbatched_frames: Vec<Bytes> = single
+        .iter()
+        .map(|p| encode_frame(std::slice::from_ref(p)))
+        .collect();
+
+    for (mode, frames) in [
+        ("batched", &batched_frames),
+        ("unbatched", &unbatched_frames),
+    ] {
+        group.bench_with_input(BenchmarkId::new("loopback", mode), frames, |b, frames| {
+            let mut transport = LoopbackTransport::instant();
+            let to = PeerId(1);
+            transport.register(to).expect("register");
+            b.iter(|| pump(&mut transport, to, frames));
+        });
+        group.bench_with_input(BenchmarkId::new("tcp", mode), frames, |b, frames| {
+            let mut transport = TcpTransport::new();
+            let to = PeerId(1);
+            transport.register(to).expect("register");
+            // Warm the connection up front so the bench measures the
+            // steady state, not the handshake.
+            pump(&mut transport, to, &frames[..1]);
+            b.iter(|| pump(&mut transport, to, frames));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

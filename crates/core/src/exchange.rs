@@ -31,7 +31,7 @@ use crate::path::{Path, MAX_PATH_LEN};
 use crate::peer::PeerState;
 use crate::reference::BalanceParams;
 use crate::routing::RoutingEntry;
-use crate::store::KeyStore;
+use crate::store::StoreRead;
 use pgrid_partition::probabilities::{
     corrected_effective, effective_probabilities, heuristic_effective,
 };
@@ -203,11 +203,15 @@ impl ExchangeEngine {
 
     /// Assesses the shared `partition` from the two peers' stores, which
     /// must already be restricted to `partition` (see
-    /// [`KeyStore::restricted`]).
-    pub fn assess(&self, a: &KeyStore, b: &KeyStore, partition: &Path) -> Assessment {
+    /// [`crate::store::KeyStore::restricted`]).
+    ///
+    /// Accepts any [`StoreRead`] — an owned `KeyStore` or the zero-copy
+    /// [`crate::store::RestrictedView`] both runtimes assess through — and
+    /// produces identical numbers for identical entry sets either way.
+    pub fn assess(&self, a: &impl StoreRead, b: &impl StoreRead, partition: &Path) -> Assessment {
         let count_a = a.len();
         let count_b = b.len();
-        let overlap = a.intersection_size(b);
+        let overlap = a.intersection_size_with(b);
         let union = count_a + count_b - overlap;
 
         // Capture–recapture estimate of the distinct keys in the partition.
@@ -477,6 +481,7 @@ mod tests {
     use super::*;
     use crate::key::{DataId, Key};
     use crate::routing::PeerId;
+    use crate::store::KeyStore;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -74,6 +74,6 @@ pub mod prelude {
     pub use crate::replication::{estimate_replica_count, reconcile};
     pub use crate::routing::{PeerId, RoutingEntry, RoutingTable};
     pub use crate::search::{lookup, range_query, LookupResult, NetworkView, RangeResult};
-    pub use crate::store::KeyStore;
+    pub use crate::store::{KeyStore, RestrictedView, StoreRead};
     pub use crate::trie::PartitionTrie;
 }

@@ -14,6 +14,54 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::BTreeSet;
 
+/// Read-only access to a set of entries, implemented both by the owning
+/// [`KeyStore`] and by the borrowed [`RestrictedView`].
+///
+/// The exchange engine's partition assessment only ever *reads* the two
+/// interacting stores, so it is written against this trait; that lets the
+/// hot construction path hand it zero-copy range views instead of cloning a
+/// `BTreeSet` per interaction.
+pub trait StoreRead {
+    /// Number of entries.
+    fn len(&self) -> usize;
+
+    /// Whether there are no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the given entry is present.
+    fn contains(&self, entry: &DataEntry) -> bool;
+
+    /// Iterator over all entries in key order.
+    fn entries(&self) -> impl Iterator<Item = &DataEntry>;
+
+    /// Number of entries covered by the given partition path.
+    fn count_in(&self, path: &Path) -> usize;
+
+    /// The smallest and largest key stored within `path`, if any.
+    fn key_span_in(&self, path: &Path) -> Option<(Key, Key)>;
+
+    /// Size of the set intersection with another readable store (number of
+    /// common entries).
+    fn intersection_size_with(&self, other: &impl StoreRead) -> usize {
+        if self.len() <= other.len() {
+            self.entries().filter(|e| other.contains(e)).count()
+        } else {
+            other.entries().filter(|e| self.contains(e)).count()
+        }
+    }
+
+    /// Entries of `self` that are missing in `target` (what anti-entropy
+    /// would push from here to there).
+    fn missing_in(&self, target: &impl StoreRead) -> Vec<DataEntry> {
+        self.entries()
+            .filter(|e| !target.contains(e))
+            .copied()
+            .collect()
+    }
+}
+
 /// Ordered local store of indexed entries.
 ///
 /// Entries are kept in a `BTreeSet` ordered by `(key, id)` so that range
@@ -170,8 +218,26 @@ impl KeyStore {
         Some(in_lower as f64 / sample.len() as f64)
     }
 
-    /// A copy of this store restricted to the entries covered by `path`.
-    pub fn restricted(&self, path: &Path) -> KeyStore {
+    /// A borrowed view of this store restricted to the entries covered by
+    /// `path`.
+    ///
+    /// The view implements [`StoreRead`] over the partition's key range
+    /// without copying anything; construction interactions assess partitions
+    /// through it, which removes the per-interaction `BTreeSet` clone from
+    /// the hot path.
+    pub fn restricted(&self, path: &Path) -> RestrictedView<'_> {
+        RestrictedView {
+            set: &self.entries,
+            lo: path.lower_key(),
+            hi: path.upper_key(),
+            len: std::cell::Cell::new(None),
+        }
+    }
+
+    /// An owned copy of this store restricted to the entries covered by
+    /// `path` (only needed when the restriction must outlive the store
+    /// borrow; interactions use the zero-copy [`KeyStore::restricted`]).
+    pub fn restricted_owned(&self, path: &Path) -> KeyStore {
         KeyStore::from_entries(self.range(path.lower_key(), path.upper_key()).copied())
     }
 
@@ -199,19 +265,11 @@ impl KeyStore {
 
     /// Size of the set intersection with another store (number of common
     /// entries).  Used by the replica-count estimator (Section 4.2).
+    ///
+    /// Thin wrapper over [`StoreRead::intersection_size_with`] so the
+    /// size-ordered intersection algorithm exists once.
     pub fn intersection_size(&self, other: &KeyStore) -> usize {
-        if self.len() <= other.len() {
-            self.entries
-                .iter()
-                .filter(|e| other.entries.contains(e))
-                .count()
-        } else {
-            other
-                .entries
-                .iter()
-                .filter(|e| self.entries.contains(e))
-                .count()
-        }
+        self.intersection_size_with(other)
     }
 
     /// Size of the set union with another store.
@@ -220,14 +278,104 @@ impl KeyStore {
     }
 
     /// Entries present in `other` but missing here (what anti-entropy would
-    /// pull from a replica).
+    /// pull from a replica); the mirror image of [`StoreRead::missing_in`].
     pub fn missing_from(&self, other: &KeyStore) -> Vec<DataEntry> {
-        other
-            .entries
-            .iter()
-            .filter(|e| !self.entries.contains(e))
-            .copied()
-            .collect()
+        other.missing_in(self)
+    }
+}
+
+impl StoreRead for KeyStore {
+    fn len(&self) -> usize {
+        KeyStore::len(self)
+    }
+
+    fn contains(&self, entry: &DataEntry) -> bool {
+        KeyStore::contains(self, entry)
+    }
+
+    fn entries(&self) -> impl Iterator<Item = &DataEntry> {
+        self.entries.iter()
+    }
+
+    fn count_in(&self, path: &Path) -> usize {
+        KeyStore::count_in(self, path)
+    }
+
+    fn key_span_in(&self, path: &Path) -> Option<(Key, Key)> {
+        KeyStore::key_span_in(self, path)
+    }
+}
+
+/// A zero-copy view of a [`KeyStore`] restricted to one partition's key
+/// range, created by [`KeyStore::restricted`].
+///
+/// All [`StoreRead`] queries (including nested `count_in`/`key_span_in` for
+/// child partitions) are answered directly from the underlying `BTreeSet`
+/// by clamping the queried range to the view's bounds.  The entry count is
+/// computed lazily and memoised, so iterate-only callers never pay for it.
+#[derive(Clone, Debug)]
+pub struct RestrictedView<'a> {
+    set: &'a BTreeSet<DataEntry>,
+    lo: Key,
+    hi: Key,
+    len: std::cell::Cell<Option<usize>>,
+}
+
+impl RestrictedView<'_> {
+    /// The queried range clamped to the view's bounds, or `None` when they
+    /// are disjoint.
+    fn clamped(
+        &self,
+        lo: Key,
+        hi: Key,
+    ) -> Option<std::collections::btree_set::Range<'_, DataEntry>> {
+        let lo = lo.max(self.lo);
+        let hi = hi.min(self.hi);
+        if lo > hi {
+            return None;
+        }
+        let start = DataEntry {
+            key: lo,
+            id: crate::key::DataId(0),
+        };
+        let end = DataEntry {
+            key: hi,
+            id: crate::key::DataId(u64::MAX),
+        };
+        Some(self.set.range(start..=end))
+    }
+}
+
+impl StoreRead for RestrictedView<'_> {
+    fn len(&self) -> usize {
+        match self.len.get() {
+            Some(len) => len,
+            None => {
+                let len = self.clamped(self.lo, self.hi).map_or(0, |r| r.count());
+                self.len.set(Some(len));
+                len
+            }
+        }
+    }
+
+    fn contains(&self, entry: &DataEntry) -> bool {
+        entry.key >= self.lo && entry.key <= self.hi && self.set.contains(entry)
+    }
+
+    fn entries(&self) -> impl Iterator<Item = &DataEntry> {
+        self.clamped(self.lo, self.hi).into_iter().flatten()
+    }
+
+    fn count_in(&self, path: &Path) -> usize {
+        self.clamped(path.lower_key(), path.upper_key())
+            .map_or(0, |range| range.count())
+    }
+
+    fn key_span_in(&self, path: &Path) -> Option<(Key, Key)> {
+        let mut range = self.clamped(path.lower_key(), path.upper_key())?;
+        let first = range.next()?.key;
+        let last = range.last().map(|e| e.key).unwrap_or(first);
+        Some((first, last))
     }
 }
 
@@ -371,5 +519,48 @@ mod tests {
         let all = s.drain();
         assert_eq!(all.len(), 2);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn restricted_view_matches_owned_restriction() {
+        let s = store_with(&[0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.7, 0.9]);
+        for path in ["", "0", "1", "01", "00", "111", "0000"] {
+            let path = Path::parse(path);
+            let view = s.restricted(&path);
+            let owned = s.restricted_owned(&path);
+            assert_eq!(StoreRead::len(&view), KeyStore::len(&owned), "{path}");
+            let via_view: Vec<DataEntry> = view.entries().copied().collect();
+            let via_owned: Vec<DataEntry> = owned.iter().copied().collect();
+            assert_eq!(via_view, via_owned, "{path}");
+            for child in [path.child(false), path.child(true)] {
+                assert_eq!(
+                    StoreRead::count_in(&view, &child),
+                    KeyStore::count_in(&owned, &child)
+                );
+                assert_eq!(
+                    StoreRead::key_span_in(&view, &child),
+                    KeyStore::key_span_in(&owned, &child)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_view_set_operations_match_key_store() {
+        let a = store_with(&[0.1, 0.2, 0.3, 0.6, 0.7]);
+        let b = store_with(&[0.2, 0.3, 0.4, 0.8]);
+        let path = Path::root();
+        let view_a = a.restricted(&path);
+        assert_eq!(
+            view_a.intersection_size_with(&b),
+            a.intersection_size(&b),
+            "view intersection must match the owned store's"
+        );
+        // missing_in(self, target) mirrors target.missing_from(self).
+        assert_eq!(view_a.missing_in(&b), b.missing_from(&a));
+        // A view only sees entries inside its bounds.
+        let lower = a.restricted(&Path::parse("0"));
+        assert_eq!(StoreRead::len(&lower), 3);
+        assert!(!lower.contains(&entry(0.6, 3)));
     }
 }

@@ -11,6 +11,7 @@
 use crate::runtime::{NetConfig, Runtime};
 use pgrid_core::balance::compare_to_reference;
 use pgrid_core::reference::ReferencePartitioning;
+use pgrid_transport::{Transport, TransportStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,11 +88,35 @@ pub struct DeploymentReport {
     pub total_maintenance_bytes: usize,
     /// Total query bytes sent.
     pub total_query_bytes: usize,
+    /// Frame-level counters of the transport the experiment ran over.
+    pub transport: TransportStats,
 }
 
-/// Runs the full deployment experiment.
+/// Runs the full deployment experiment over the deterministic loopback
+/// transport (the emulated wide-area network of Section 5).
 pub fn run_deployment(config: &NetConfig, timeline: &Timeline) -> DeploymentReport {
-    let mut runtime = Runtime::new(config.clone());
+    let runtime = Runtime::new(config.clone());
+    drive_deployment(runtime, timeline)
+}
+
+/// Runs the full deployment experiment over the given transport backend
+/// (e.g. [`pgrid_transport::tcp::TcpTransport`] for real sockets).
+pub fn run_deployment_with<T: Transport>(
+    config: &NetConfig,
+    timeline: &Timeline,
+    transport: T,
+) -> Result<DeploymentReport, pgrid_transport::TransportError> {
+    let runtime = Runtime::with_transport(config.clone(), transport)?;
+    Ok(drive_deployment(runtime, timeline))
+}
+
+/// Drives an already constructed runtime through the Section 5 timeline.
+fn drive_deployment<T: Transport>(
+    mut runtime: Runtime<T>,
+    timeline: &Timeline,
+) -> DeploymentReport {
+    let config = runtime.config.clone();
+    let config = &config;
     let mut control_rng = StdRng::seed_from_u64(config.seed ^ 0xD13);
     let minute = 60_000u64;
 
@@ -154,7 +179,7 @@ pub fn run_deployment(config: &NetConfig, timeline: &Timeline) -> DeploymentRepo
     build_report(&runtime, timeline)
 }
 
-fn build_report(runtime: &Runtime, timeline: &Timeline) -> DeploymentReport {
+fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> DeploymentReport {
     let minute = 60_000u64;
     let mut samples = Vec::new();
     // Reconstruct the peers-online series from the churn/queries records is
@@ -267,6 +292,7 @@ fn build_report(runtime: &Runtime, timeline: &Timeline) -> DeploymentReport {
             .values()
             .map(|b| b.query_bytes)
             .sum(),
+        transport: runtime.transport_stats(),
     }
 }
 

@@ -5,9 +5,11 @@
 //!
 //! Whereas `pgrid-sim` drives peer state directly (for fast, large
 //! parameter sweeps), this crate makes peers communicate exclusively through
-//! an encoded wire protocol over an emulated wide-area network with latency,
-//! jitter and message loss — the substitute for the paper's PlanetLab
-//! deployment.  The [`experiment`] module reproduces the timeline of
+//! an encoded wire protocol carried by a pluggable [`pgrid_transport`]
+//! backend: the deterministic loopback transport emulates the wide-area
+//! network (latency, jitter, frame loss) as a substitute for the paper's
+//! PlanetLab deployment, while the TCP backend runs the same protocol over
+//! real sockets.  The [`experiment`] module reproduces the timeline of
 //! Section 5 (join → replicate → construct → query → churn) and produces the
 //! time series behind Figures 7, 8 and 9 plus the summary statistics of
 //! Section 5.2.
@@ -36,7 +38,9 @@ pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
-    pub use crate::experiment::{run_deployment, DeploymentReport, MinuteSample, Timeline};
+    pub use crate::experiment::{
+        run_deployment, run_deployment_with, DeploymentReport, MinuteSample, Timeline,
+    };
     pub use crate::message::{ExchangeOutcome, Message};
     pub use crate::runtime::{NetConfig, NetMetrics, Node, QueryRecord, Runtime};
 }

@@ -1,28 +1,45 @@
-//! Event-driven deployment runtime.
+//! Event-driven deployment runtime over a pluggable [`Transport`].
 //!
 //! Every peer is an isolated state machine that communicates exclusively
-//! through encoded [`Message`]s delivered over an emulated wide-area network
-//! with per-message latency, jitter and loss.  This replaces the paper's
-//! PlanetLab testbed: the protocol code paths are the same as a socket-based
-//! deployment would execute (peers act only on messages), while the network
-//! conditions are emulated so experiments stay reproducible.
+//! through encoded [`Message`]s carried as framed batches by a
+//! [`pgrid_transport::Transport`] backend.  With the deterministic loopback
+//! backend this replaces the paper's PlanetLab testbed (seeded latency and
+//! jitter, emulated loss, reproducible experiments); with the TCP backend
+//! the very same protocol code paths run over real sockets.  Messages sent
+//! to the same destination while one event is processed are batched into a
+//! single frame (the per-tick batching of exchange messages) unless
+//! [`NetConfig::batch_per_tick`] is disabled.
 
 use crate::message::{ExchangeOutcome, Message};
+use bytes::Bytes;
 use pgrid_core::exchange::{ExchangeDecision, ExchangeEngine};
 use pgrid_core::key::DataEntry;
 use pgrid_core::path::Path;
 use pgrid_core::peer::PeerState;
 use pgrid_core::reference::BalanceParams;
 use pgrid_core::routing::{PeerId, RoutingEntry};
-use pgrid_core::store::KeyStore;
+use pgrid_core::store::{KeyStore, StoreRead};
+use pgrid_transport::frame;
+use pgrid_transport::loopback::{LoopbackConfig, LoopbackTransport};
+use pgrid_transport::{PeerAddr, Transport, TransportError, TransportStats};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Milliseconds of virtual time.
 pub type Millis = u64;
+
+/// How many consecutive empty polls a real-time transport may stall the
+/// virtual clock while frames are in flight (at 200µs each) before the
+/// runtime proceeds anyway.
+const MAX_REALTIME_STALLS: u32 = 500;
+
+/// Per-frame payload budget, well below [`frame::MAX_FRAME_BYTES`]: batches
+/// whose encoded size would exceed it are split across frames instead of
+/// producing a frame the receiver rejects.
+const MAX_FRAME_PAYLOAD_BYTES: usize = frame::MAX_FRAME_BYTES / 4;
 
 /// Configuration of the emulated network and protocol constants.
 #[derive(Clone, Debug)]
@@ -51,6 +68,11 @@ pub struct NetConfig {
     pub seed: u64,
     /// The key distribution.
     pub distribution: pgrid_workload::distributions::Distribution,
+    /// Whether messages to the same destination produced while one event is
+    /// processed are batched into a single frame (on by default; turning it
+    /// off sends every message as its own frame, the configuration the
+    /// transport bench compares against).
+    pub batch_per_tick: bool,
 }
 
 impl Default for NetConfig {
@@ -71,6 +93,7 @@ impl Default for NetConfig {
                 vocabulary: 5_000,
                 exponent: 1.0,
             },
+            batch_per_tick: true,
         }
     }
 }
@@ -135,6 +158,13 @@ pub struct NetMetrics {
     pub messages_delivered: usize,
     /// Messages dropped because the destination was offline.
     pub messages_to_offline: usize,
+    /// Frames or messages that arrived but could not be decoded (wire
+    /// corruption or version skew with a remote peer); distinguishes a
+    /// broken stream from ordinary loss.
+    pub decode_failures: usize,
+    /// Frames that carried more than one message (the per-tick batching at
+    /// work; always zero with [`NetConfig::batch_per_tick`] disabled).
+    pub multi_message_frames: usize,
 }
 
 impl NetMetrics {
@@ -152,7 +182,6 @@ impl NetMetrics {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { to: usize, message: Message },
     ConstructTick { peer: usize },
     QueryTimeout { query_id: u64 },
     GoOffline { peer: usize },
@@ -182,8 +211,14 @@ impl Ord for Event {
     }
 }
 
-/// The deployment runtime: peers, emulated network and virtual clock.
-pub struct Runtime {
+/// The deployment runtime: peers, a frame transport and the virtual clock.
+///
+/// Generic over the [`Transport`] backend; [`Runtime::new`] builds the
+/// deterministic loopback deployment (the emulated wide-area network of the
+/// paper's experiments), [`Runtime::with_transport`] accepts any backend —
+/// in particular [`pgrid_transport::tcp::TcpTransport`] for runs over real
+/// sockets.
+pub struct Runtime<T: Transport = LoopbackTransport> {
     /// Configuration.
     pub config: NetConfig,
     /// All peers (index = peer id).
@@ -193,6 +228,12 @@ pub struct Runtime {
     /// The original entries assigned to peers (ground truth for queries).
     pub original_entries: Vec<DataEntry>,
     engine: ExchangeEngine,
+    transport: T,
+    addrs: Vec<PeerAddr>,
+    /// Per-destination batch buffer, flushed as one frame per destination
+    /// after every processed event (BTreeMap so the flush order — and with
+    /// it the loss and latency draws — is deterministic).
+    pending: BTreeMap<usize, Vec<Message>>,
     queue: BinaryHeap<Reverse<Event>>,
     now: Millis,
     seq: u64,
@@ -201,14 +242,32 @@ pub struct Runtime {
     rng: StdRng,
 }
 
-impl Runtime {
-    /// Creates a runtime with `n_peers` peers, each pre-loaded with
-    /// `keys_per_peer` keys from the configured distribution.  Peers start
-    /// offline/not-joined; the experiment driver joins them over time.
-    pub fn new(config: NetConfig) -> Runtime {
+impl Runtime<LoopbackTransport> {
+    /// Creates a runtime over the deterministic loopback transport, with
+    /// `n_peers` peers, each pre-loaded with `keys_per_peer` keys from the
+    /// configured distribution.  Peers start offline/not-joined; the
+    /// experiment driver joins them over time.
+    pub fn new(config: NetConfig) -> Runtime<LoopbackTransport> {
+        let transport = LoopbackTransport::new(LoopbackConfig {
+            latency_min_ms: config.latency_min_ms,
+            latency_max_ms: config.latency_max_ms,
+            seed: config.seed ^ 0x7A4E,
+        });
+        Runtime::with_transport(config, transport).expect("loopback registration cannot fail")
+    }
+}
+
+impl<T: Transport> Runtime<T> {
+    /// Creates a runtime over the given transport backend, registering an
+    /// endpoint for every peer.
+    pub fn with_transport(
+        config: NetConfig,
+        mut transport: T,
+    ) -> Result<Runtime<T>, TransportError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let params = config.balance_params();
         let mut nodes = Vec::with_capacity(config.n_peers);
+        let mut addrs = Vec::with_capacity(config.n_peers);
         let mut original_entries = Vec::new();
         for i in 0..config.n_peers {
             let mut state = PeerState::new(PeerId(i as u64), config.routing_fanout);
@@ -221,6 +280,7 @@ impl Runtime {
                 original_entries.push(entry);
             }
             state.online = false;
+            addrs.push(transport.register(PeerId(i as u64))?);
             nodes.push(Node {
                 state,
                 neighbours: Vec::new(),
@@ -229,19 +289,22 @@ impl Runtime {
                 joined: false,
             });
         }
-        Runtime {
+        Ok(Runtime {
             config,
             nodes,
             metrics: NetMetrics::default(),
             original_entries,
             engine: ExchangeEngine::new(params),
+            transport,
+            addrs,
+            pending: BTreeMap::new(),
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
             next_query_id: 0,
             outstanding_queries: HashMap::new(),
             rng,
-        }
+        })
     }
 
     /// Balance parameters the exchange engine decides with (derived from
@@ -263,6 +326,16 @@ impl Runtime {
             .count()
     }
 
+    /// The transport address of a peer.
+    pub fn peer_addr(&self, peer: usize) -> PeerAddr {
+        self.addrs[peer]
+    }
+
+    /// Frame-level counters of the underlying transport.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
     fn schedule(&mut self, time: Millis, kind: EventKind) {
         self.seq += 1;
         self.queue.push(Reverse(Event {
@@ -272,22 +345,93 @@ impl Runtime {
         }));
     }
 
-    /// Sends a message over the emulated network: accounts its bandwidth,
-    /// possibly loses it, and otherwise delivers it after a random latency.
+    /// Queues a message for the next frame to `to`: accounts its bandwidth
+    /// and either batches it until the current event finishes or (with
+    /// batching disabled) flushes it as a single-message frame right away.
     fn send(&mut self, to: usize, message: Message) {
         self.metrics.account(self.now, &message);
+        self.pending.entry(to).or_default().push(message);
+        if !self.config.batch_per_tick {
+            if let Some(messages) = self.pending.remove(&to) {
+                self.flush_frame(to, messages);
+            }
+        }
+    }
+
+    /// Flushes every per-destination batch as one frame each.
+    fn flush_pending(&mut self) {
+        for (to, messages) in std::mem::take(&mut self.pending) {
+            self.flush_frame(to, messages);
+        }
+    }
+
+    /// Encodes `messages` into frames for `to` and hands them to the
+    /// transport.  A batch normally fits one frame; batches that would
+    /// exceed the framing bounds (which the receiver rejects as corrupt)
+    /// are split across several frames.
+    fn flush_frame(&mut self, to: usize, messages: Vec<Message>) {
+        let mut chunk: Vec<Bytes> = Vec::with_capacity(messages.len());
+        let mut chunk_bytes = 0usize;
+        for message in &messages {
+            let payload = message.encode();
+            if !chunk.is_empty()
+                && (chunk.len() >= frame::MAX_BATCH_LEN
+                    || chunk_bytes + payload.len() + 4 > MAX_FRAME_PAYLOAD_BYTES)
+            {
+                let full = std::mem::take(&mut chunk);
+                chunk_bytes = 0;
+                self.ship_frame(to, full);
+            }
+            chunk_bytes += payload.len() + 4;
+            chunk.push(payload);
+        }
+        if !chunk.is_empty() {
+            self.ship_frame(to, chunk);
+        }
+    }
+
+    /// Puts one frame on the wire, applying the emulated frame loss.
+    fn ship_frame(&mut self, to: usize, payloads: Vec<Bytes>) {
         if self
             .rng
             .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
         {
-            self.metrics.messages_lost += 1;
+            self.metrics.messages_lost += payloads.len();
             return;
         }
-        let latency = self.rng.gen_range(
-            self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms),
-        );
-        let time = self.now + latency;
-        self.schedule(time, EventKind::Deliver { to, message });
+        if payloads.len() > 1 {
+            self.metrics.multi_message_frames += 1;
+        }
+        let frame = frame::encode_frame(&payloads);
+        if self
+            .transport
+            .send(self.now, PeerId(to as u64), frame)
+            .is_err()
+        {
+            // A broken connection behaves like loss on the wire.
+            self.metrics.messages_lost += payloads.len();
+        }
+    }
+
+    /// Decodes an arrived frame and handles its messages.
+    fn deliver_frame(&mut self, to: PeerId, frame_bytes: Bytes) {
+        let to = to.0 as usize;
+        let Ok(payloads) = frame::decode_frame(&frame_bytes) else {
+            self.metrics.decode_failures += 1;
+            return;
+        };
+        for payload in payloads {
+            let Some(message) = Message::decode(payload) else {
+                self.metrics.decode_failures += 1;
+                continue;
+            };
+            if !self.nodes[to].state.online {
+                self.metrics.messages_to_offline += 1;
+                continue;
+            }
+            self.metrics.messages_delivered += 1;
+            self.handle_message(to, message);
+        }
     }
 
     // ----- experiment-facing control actions --------------------------------
@@ -349,6 +493,10 @@ impl Runtime {
                     );
                 }
             }
+            // Flush per source peer: each peer's replica pushes form one
+            // frame per destination, so a loss draw drops one source's
+            // copies, not a destination's entire replication phase.
+            self.flush_pending();
         }
     }
 
@@ -402,6 +550,7 @@ impl Runtime {
             hops: 0,
         };
         self.handle_query(origin, message);
+        self.flush_pending();
     }
 
     /// Takes a peer offline at `at` and brings it back `downtime` later
@@ -411,15 +560,56 @@ impl Runtime {
         self.schedule(at + downtime, EventKind::GoOnline { peer });
     }
 
-    /// Advances virtual time to `until`, processing all events in order.
+    /// Advances virtual time to `until`, processing timer events and frame
+    /// deliveries in order.
+    ///
+    /// With a virtual-time transport (loopback) frame arrivals are merged
+    /// deterministically with the timer queue.  With a real-time transport
+    /// (TCP) arrived frames are always drained first, and while frames are
+    /// still in flight the virtual clock briefly waits for the wire instead
+    /// of racing ahead (bounded by [`MAX_REALTIME_STALLS`]).
     pub fn run_until(&mut self, until: Millis) {
-        while let Some(Reverse(next)) = self.queue.peek() {
-            if next.time > until {
-                break;
+        self.flush_pending();
+        let mut stalls = 0u32;
+        loop {
+            if self.transport.is_realtime() {
+                let frames = self.transport.poll(self.now);
+                if !frames.is_empty() {
+                    stalls = 0;
+                    for (to, frame_bytes) in frames {
+                        self.deliver_frame(to, frame_bytes);
+                    }
+                    self.flush_pending();
+                    continue;
+                }
+                if self.transport.in_flight() > 0 && stalls < MAX_REALTIME_STALLS {
+                    stalls += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                }
             }
-            let Reverse(event) = self.queue.pop().expect("peeked above");
-            self.now = event.time.max(self.now);
-            self.dispatch(event.kind);
+            let frame_due = self.transport.next_due().filter(|&t| t <= until);
+            let timer_due = self
+                .queue
+                .peek()
+                .map(|Reverse(e)| e.time)
+                .filter(|&t| t <= until);
+            match (frame_due, timer_due) {
+                (Some(f), t) if t.map_or(true, |t| f <= t) => {
+                    self.now = self.now.max(f);
+                    for (to, frame_bytes) in self.transport.poll(self.now) {
+                        self.deliver_frame(to, frame_bytes);
+                    }
+                    self.flush_pending();
+                }
+                (_, Some(_)) => {
+                    let Reverse(event) = self.queue.pop().expect("peeked above");
+                    self.now = event.time.max(self.now);
+                    self.dispatch(event.kind);
+                    self.flush_pending();
+                }
+                (_, None) => break,
+            }
         }
         self.now = self.now.max(until);
     }
@@ -428,14 +618,6 @@ impl Runtime {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::Deliver { to, message } => {
-                if !self.nodes[to].state.online {
-                    self.metrics.messages_to_offline += 1;
-                    return;
-                }
-                self.metrics.messages_delivered += 1;
-                self.handle_message(to, message);
-            }
             EventKind::ConstructTick { peer } => self.construct_tick(peer),
             EventKind::QueryTimeout { query_id } => {
                 if let Some(record) = self.outstanding_queries.remove(&query_id) {
@@ -530,7 +712,7 @@ impl Runtime {
             let entries: Vec<DataEntry> = state
                 .store
                 .restricted(&state.path)
-                .iter()
+                .entries()
                 .copied()
                 .collect();
             let message = Message::Exchange {
@@ -606,6 +788,9 @@ impl Runtime {
                 .copied()
                 .filter(|e| partition.covers(e.key)),
         );
+        // Zero-copy view of the responder's partition entries; everything
+        // derived from it is computed before the responder's state is
+        // mutated.
         let responder_store = self.nodes[responder].state.store.restricted(&partition);
         let assessment = self
             .engine
@@ -621,15 +806,15 @@ impl Runtime {
                     // Become replicas: hand over what the initiator is
                     // missing, pull what the responder is missing (it
                     // arrived with the request).
-                    let missing = initiator_store.missing_from(&responder_store);
+                    let to_initiator = responder_store.missing_in(&initiator_store);
+                    let to_responder = initiator_store.missing_in(&responder_store);
                     if !self.nodes[responder].state.replicas.contains(&initiator) {
                         self.nodes[responder].state.replicas.push(initiator);
                     }
-                    self.nodes[responder]
-                        .state
-                        .store
-                        .merge_from(responder_store.missing_from(&initiator_store));
-                    ExchangeOutcome::Replicate { entries: missing }
+                    self.nodes[responder].state.store.merge_from(to_responder);
+                    ExchangeOutcome::Replicate {
+                        entries: to_initiator,
+                    }
                 }
                 ExchangeDecision::Split {
                     bit: initiator_bit,
@@ -698,7 +883,7 @@ impl Runtime {
             };
             let initiator_new_path = partition.child(initiator_bit);
             let handover: Vec<DataEntry> = responder_store
-                .iter()
+                .entries()
                 .copied()
                 .filter(|e| initiator_new_path.covers(e.key))
                 .collect();

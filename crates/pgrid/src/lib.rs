@@ -16,7 +16,8 @@
 //! | [`partition`] | `pgrid-partition` | AEP decision probabilities, mean-value models, discrete split simulation |
 //! | [`workload`] | `pgrid-workload` | key distributions, synthetic corpus, query workloads |
 //! | [`sim`] | `pgrid-sim` | whole-system construction simulator, sequential baseline, query evaluation |
-//! | [`net`] | `pgrid-net` | message-level deployment runtime and the PlanetLab-style experiment |
+//! | [`transport`] | `pgrid-transport` | pluggable frame transport: batch framing, deterministic loopback, `std::net` TCP |
+//! | [`net`] | `pgrid-net` | message-level deployment runtime (generic over the transport) and the PlanetLab-style experiment |
 //!
 //! See the repository-level `examples/` directory for runnable end-to-end
 //! scenarios (`cargo run -p pgrid --example quickstart`).
@@ -28,6 +29,7 @@ pub use pgrid_core as core;
 pub use pgrid_net as net;
 pub use pgrid_partition as partition;
 pub use pgrid_sim as sim;
+pub use pgrid_transport as transport;
 pub use pgrid_workload as workload;
 
 /// One-stop prelude re-exporting the preludes of all member crates.
@@ -36,5 +38,6 @@ pub mod prelude {
     pub use pgrid_net::prelude::*;
     pub use pgrid_partition::prelude::*;
     pub use pgrid_sim::prelude::*;
+    pub use pgrid_transport::prelude::*;
     pub use pgrid_workload::prelude::*;
 }

@@ -307,9 +307,13 @@ fn local_interaction<R: Rng + ?Sized>(
     };
     let partition = peers[lagging].path;
 
-    let store_lagging = peers[lagging].store.restricted(&partition);
-    let store_ahead = peers[ahead].store.restricted(&partition);
-    let assessment = engine.assess(&store_lagging, &store_ahead, &partition);
+    // Zero-copy range views: the assessment only reads the two stores, so
+    // no per-interaction BTreeSet clone is needed.
+    let assessment = {
+        let store_lagging = peers[lagging].store.restricted(&partition);
+        let store_ahead = peers[ahead].store.restricted(&partition);
+        engine.assess(&store_lagging, &store_ahead, &partition)
+    };
     let decision = engine.decide(peers[lagging].path, peers[ahead].path, &assessment, rng);
 
     // A same-side catch-up split needs a reference to the complementary

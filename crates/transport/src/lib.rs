@@ -1,0 +1,139 @@
+//! # pgrid-transport
+//!
+//! Pluggable message transport of the P-Grid deployment runtime.
+//!
+//! The paper distinguishes the simulated construction from the *deployed*
+//! one, where peers only interact through messages on a real network.  This
+//! crate supplies that wire layer as a small trait with two backends:
+//!
+//! * [`loopback::LoopbackTransport`] — an in-memory backend that delivers
+//!   frames in **virtual time** with deterministic, seeded latency.  Tests
+//!   and parity checks run on it: same seed, same delivery order, every
+//!   time.
+//! * [`tcp::TcpTransport`] — a real `std::net` TCP backend: one listener
+//!   and acceptor thread per registered peer, cached outbound connections,
+//!   and reader threads that reassemble length-prefixed frames from the
+//!   byte stream.  No external dependencies.
+//!
+//! Both carry the same bytes: frames built by [`frame::encode_frame`],
+//! batching any number of encoded protocol messages into one length-prefixed
+//! unit (the per-tick batching of exchange messages).  The runtime encodes
+//! and decodes messages; the transport never looks inside a payload.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frame;
+pub mod loopback;
+pub mod tcp;
+
+use bytes::Bytes;
+use pgrid_core::routing::PeerId;
+
+/// Milliseconds of virtual time (the deployment runtime's clock).
+pub type Millis = u64;
+
+/// Where a registered peer can be reached.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PeerAddr {
+    /// An in-process endpoint of the loopback backend.
+    Local(PeerId),
+    /// A socket address of the TCP backend.
+    Socket(std::net::SocketAddr),
+}
+
+impl std::fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerAddr::Local(peer) => write!(f, "local:{}", peer.0),
+            PeerAddr::Socket(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// Transport failure.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The destination peer was never registered.
+    UnknownPeer(PeerId),
+    /// The peer is already registered.
+    AlreadyRegistered(PeerId),
+    /// An I/O error of the underlying socket machinery.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownPeer(peer) => write!(f, "unknown peer {}", peer.0),
+            TransportError::AlreadyRegistered(peer) => {
+                write!(f, "peer {} already registered", peer.0)
+            }
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+/// Counters every backend maintains.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames handed to the transport for delivery.
+    pub frames_sent: u64,
+    /// Frames handed out by [`Transport::poll`].
+    pub frames_delivered: u64,
+    /// Total frame bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// A frame carrier between registered peers.
+///
+/// The caller owns time: virtual-time backends (loopback) stamp deliveries
+/// on the virtual clock passed to [`Transport::send`] and release them from
+/// [`Transport::poll`] once `now` has caught up; real-time backends (TCP)
+/// ignore the virtual clock and deliver whatever the wire has produced.
+pub trait Transport {
+    /// Registers a peer endpoint and returns its address.
+    fn register(&mut self, peer: PeerId) -> Result<PeerAddr, TransportError>;
+
+    /// Sends one frame to a registered peer.  `now` is the sender's current
+    /// virtual time (ignored by real-time backends).
+    fn send(&mut self, now: Millis, to: PeerId, frame: Bytes) -> Result<(), TransportError>;
+
+    /// Returns the frames that have arrived for delivery by virtual time
+    /// `now`, in arrival order, as `(destination, frame)` pairs.
+    fn poll(&mut self, now: Millis) -> Vec<(PeerId, Bytes)>;
+
+    /// Virtual time at which the next queued frame becomes deliverable.
+    /// `None` for real-time backends (and when nothing is queued).
+    fn next_due(&self) -> Option<Millis>;
+
+    /// Whether frames travel in real time (sockets) rather than virtual
+    /// time — real-time callers must keep polling while frames are
+    /// [`Transport::in_flight`].
+    fn is_realtime(&self) -> bool;
+
+    /// Number of frames sent but not yet handed out by [`Transport::poll`].
+    fn in_flight(&self) -> usize;
+
+    /// Counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Address of a registered peer.
+    fn addr_of(&self, peer: PeerId) -> Option<PeerAddr>;
+}
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::frame::{decode_frame, encode_frame, FrameReader};
+    pub use crate::loopback::{LoopbackConfig, LoopbackTransport};
+    pub use crate::tcp::TcpTransport;
+    pub use crate::{PeerAddr, Transport, TransportError, TransportStats};
+}

@@ -1,0 +1,319 @@
+//! Real TCP transport over `std::net`, no external dependencies.
+//!
+//! Every registered peer gets its own listener on `127.0.0.1` (ephemeral
+//! port) with an acceptor thread; each accepted connection gets a reader
+//! thread that reassembles length-prefixed frames from the byte stream
+//! (see [`crate::frame::FrameReader`]) and forwards them to a shared
+//! inbox.  Outbound connections are cached per destination, so a
+//! construction run opens at most one socket per peer pair and every
+//! per-tick batch travels as a single `write`.
+//!
+//! Frames arrive in **real** time: [`Transport::poll`] simply drains the
+//! inbox, [`Transport::is_realtime`] returns `true`, and callers are
+//! expected to keep polling while [`Transport::in_flight`] is non-zero
+//! before letting their virtual clock race ahead.
+
+use crate::frame::FrameReader;
+use crate::{Millis, PeerAddr, Transport, TransportError, TransportStats};
+use bytes::Bytes;
+use pgrid_core::routing::PeerId;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long reader threads block per `read` before re-checking the stop
+/// flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// The threaded `std::net` TCP backend.
+pub struct TcpTransport {
+    addrs: HashMap<PeerId, SocketAddr>,
+    outbound: HashMap<PeerId, TcpStream>,
+    inbox: Receiver<(PeerId, Bytes)>,
+    inbox_tx: Sender<(PeerId, Bytes)>,
+    stop: Arc<AtomicBool>,
+    acceptors: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: TransportStats,
+}
+
+impl Default for TcpTransport {
+    fn default() -> TcpTransport {
+        TcpTransport::new()
+    }
+}
+
+impl TcpTransport {
+    /// Creates a transport with no peers registered yet.
+    pub fn new() -> TcpTransport {
+        let (inbox_tx, inbox) = channel();
+        TcpTransport {
+            addrs: HashMap::new(),
+            outbound: HashMap::new(),
+            inbox,
+            inbox_tx,
+            stop: Arc::new(AtomicBool::new(false)),
+            acceptors: Vec::new(),
+            readers: Arc::new(Mutex::new(Vec::new())),
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// Registers a peer that listens in *another* process at `addr`;
+    /// frames can be sent to it but its inbound traffic is handled by that
+    /// process's own transport.
+    pub fn register_remote(
+        &mut self,
+        peer: PeerId,
+        addr: SocketAddr,
+    ) -> Result<PeerAddr, TransportError> {
+        if self.addrs.contains_key(&peer) {
+            return Err(TransportError::AlreadyRegistered(peer));
+        }
+        self.addrs.insert(peer, addr);
+        Ok(PeerAddr::Socket(addr))
+    }
+
+    fn connect(&mut self, to: PeerId) -> Result<&mut TcpStream, TransportError> {
+        let addr = *self.addrs.get(&to).ok_or(TransportError::UnknownPeer(to))?;
+        match self.outbound.entry(to) {
+            std::collections::hash_map::Entry::Occupied(cached) => Ok(cached.into_mut()),
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(vacant.insert(stream))
+            }
+        }
+    }
+}
+
+/// Receives length-prefixed frames for `peer` from one accepted connection
+/// until EOF, a framing error, or shutdown.
+fn read_connection(
+    mut stream: TcpStream,
+    peer: PeerId,
+    inbox: Sender<(PeerId, Bytes)>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 16 * 1024];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                reader.extend(&buf[..n]);
+                loop {
+                    match reader.next_frame() {
+                        Ok(Some(frame)) => {
+                            if inbox.send((peer, frame)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Corrupt stream: drop the connection.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Accepts connections for `peer` until shutdown, spawning one reader
+/// thread per connection.
+fn accept_connections(
+    listener: TcpListener,
+    peer: PeerId,
+    inbox: Sender<(PeerId, Bytes)>,
+    stop: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                let _ = stream.set_nodelay(true);
+                let inbox = inbox.clone();
+                let stop = stop.clone();
+                let handle = std::thread::spawn(move || read_connection(stream, peer, inbox, stop));
+                readers
+                    .lock()
+                    .expect("reader registry poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register(&mut self, peer: PeerId) -> Result<PeerAddr, TransportError> {
+        if self.addrs.contains_key(&peer) {
+            return Err(TransportError::AlreadyRegistered(peer));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        self.addrs.insert(peer, addr);
+        let inbox = self.inbox_tx.clone();
+        let stop = self.stop.clone();
+        let readers = self.readers.clone();
+        self.acceptors.push(std::thread::spawn(move || {
+            accept_connections(listener, peer, inbox, stop, readers)
+        }));
+        Ok(PeerAddr::Socket(addr))
+    }
+
+    fn send(&mut self, _now: Millis, to: PeerId, frame: Bytes) -> Result<(), TransportError> {
+        // Retry once with a fresh connection: the cached stream may have
+        // been closed by the other side since the last send.
+        for attempt in 0..2 {
+            let result = self
+                .connect(to)
+                .and_then(|stream| stream.write_all(frame.as_slice()).map_err(Into::into));
+            match result {
+                Ok(()) => {
+                    self.stats.frames_sent += 1;
+                    self.stats.bytes_sent += frame.len() as u64;
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.outbound.remove(&to);
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on the second attempt")
+    }
+
+    fn poll(&mut self, _now: Millis) -> Vec<(PeerId, Bytes)> {
+        let mut out = Vec::new();
+        while let Ok(delivery) = self.inbox.try_recv() {
+            self.stats.frames_delivered += 1;
+            out.push(delivery);
+        }
+        out
+    }
+
+    fn next_due(&self) -> Option<Millis> {
+        None
+    }
+
+    fn is_realtime(&self) -> bool {
+        true
+    }
+
+    fn in_flight(&self) -> usize {
+        // Saturating: with remote peers (`register_remote`) this transport
+        // can receive frames it never sent, so delivered may exceed sent.
+        self.stats
+            .frames_sent
+            .saturating_sub(self.stats.frames_delivered) as usize
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn addr_of(&self, peer: PeerId) -> Option<PeerAddr> {
+        self.addrs.get(&peer).copied().map(PeerAddr::Socket)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Closing the cached outbound streams unblocks readers on EOF.
+        self.outbound.clear();
+        for handle in self.acceptors.drain(..) {
+            let _ = handle.join();
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry poisoned"));
+        for handle in readers {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, encode_frame};
+
+    fn payload(tag: u8, len: usize) -> Bytes {
+        Bytes::from(vec![tag; len])
+    }
+
+    /// Polls until `count` frames arrived or a real-time deadline passes.
+    fn poll_n(t: &mut TcpTransport, count: usize) -> Vec<(PeerId, Bytes)> {
+        let mut out = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while out.len() < count && std::time::Instant::now() < deadline {
+            out.extend(t.poll(0));
+            if out.len() < count {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn frames_travel_over_real_sockets() {
+        let mut t = TcpTransport::new();
+        let a = PeerId(1);
+        let b = PeerId(2);
+        let addr_a = t.register(a).unwrap();
+        assert!(matches!(addr_a, PeerAddr::Socket(_)));
+        t.register(b).unwrap();
+
+        let batch = vec![payload(7, 100), payload(8, 0), payload(9, 3000)];
+        let frame = encode_frame(&batch);
+        t.send(0, b, frame.clone()).unwrap();
+        let got = poll_n(&mut t, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, b);
+        assert_eq!(decode_frame(&got[0].1).unwrap(), batch);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn many_frames_arrive_in_order_per_connection() {
+        let mut t = TcpTransport::new();
+        let b = PeerId(5);
+        t.register(b).unwrap();
+        let frames: Vec<Bytes> = (0..200u8)
+            .map(|i| encode_frame(&[payload(i, 64 + i as usize)]))
+            .collect();
+        for frame in &frames {
+            t.send(0, b, frame.clone()).unwrap();
+        }
+        let got = poll_n(&mut t, frames.len());
+        assert_eq!(got.len(), frames.len());
+        for (received, sent) in got.iter().zip(&frames) {
+            assert_eq!(&received.1, sent, "stream order must be preserved");
+        }
+    }
+
+    #[test]
+    fn sending_to_unregistered_peers_fails() {
+        let mut t = TcpTransport::new();
+        assert!(matches!(
+            t.send(0, PeerId(9), encode_frame(&[])),
+            Err(TransportError::UnknownPeer(PeerId(9)))
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+//! Deployment over real TCP sockets.
+//!
+//! ```text
+//! cargo run --release -p pgrid --example deployment_tcp
+//! cargo run --release -p pgrid --example deployment_tcp -- smoke   # small & fast, for CI
+//! ```
+//!
+//! Runs the Section 5 deployment timeline twice with the same configuration
+//! — once over the deterministic loopback transport (the emulated wide-area
+//! network) and once over the `std::net` TCP backend with threaded
+//! acceptors and per-peer connections — and compares the resulting overlay
+//! statistics and frame counters.  The protocol code path is identical;
+//! only the wire differs.
+
+use pgrid::prelude::*;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let (n_peers, timeline) = if smoke {
+        (
+            24,
+            Timeline {
+                join_end_min: 3,
+                replicate_end_min: 5,
+                construct_end_min: 18,
+                query_end_min: 22,
+                end_min: 25,
+            },
+        )
+    } else {
+        (64, Timeline::default())
+    };
+    let config = NetConfig {
+        n_peers,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed: 12,
+        ..NetConfig::default()
+    };
+
+    println!(
+        "deployment with {n_peers} peers over both transports (phases join<{} replicate<{} \
+         construct<{} query<{} churn<{} minutes)\n",
+        timeline.join_end_min,
+        timeline.replicate_end_min,
+        timeline.construct_end_min,
+        timeline.query_end_min,
+        timeline.end_min
+    );
+
+    println!("running over loopback (emulated WAN, virtual time) ...");
+    let loopback = run_deployment(&config, &timeline);
+    println!("running over TCP (real sockets, 127.0.0.1) ...");
+    let tcp = run_deployment_with(&config, &timeline, TcpTransport::new())
+        .expect("TCP endpoints must register");
+
+    println!("\n                         |  loopback |       TCP");
+    println!(" ----------------------- | --------- | ---------");
+    let row = |name: &str, a: f64, b: f64| println!(" {name:<23} | {a:>9.3} | {b:>9.3}");
+    row(
+        "balance deviation",
+        loopback.balance_deviation,
+        tcp.balance_deviation,
+    );
+    row(
+        "mean path length",
+        loopback.mean_path_length,
+        tcp.mean_path_length,
+    );
+    row(
+        "mean query hops",
+        loopback.mean_query_hops,
+        tcp.mean_query_hops,
+    );
+    row(
+        "query success rate",
+        loopback.query_success_rate,
+        tcp.query_success_rate,
+    );
+    row(
+        "mean replication",
+        loopback.mean_replication,
+        tcp.mean_replication,
+    );
+    println!(
+        " {:<23} | {:>9} | {:>9}",
+        "frames sent", loopback.transport.frames_sent, tcp.transport.frames_sent
+    );
+    println!(
+        " {:<23} | {:>9} | {:>9}",
+        "frames delivered", loopback.transport.frames_delivered, tcp.transport.frames_delivered
+    );
+    println!(
+        " {:<23} | {:>9} | {:>9}",
+        "frame bytes sent", loopback.transport.bytes_sent, tcp.transport.bytes_sent
+    );
+
+    let diff = (loopback.balance_deviation - tcp.balance_deviation).abs();
+    println!("\nbalance deviation difference between backends: {diff:.3}");
+    assert!(
+        loopback.balance_deviation < 1.5 && tcp.balance_deviation < 1.5 && diff < 0.75,
+        "backends must converge to comparable overlays"
+    );
+    println!("ok: the TCP deployment converges like the emulated one.");
+}

@@ -1,0 +1,132 @@
+//! End-to-end transport parity: a full construction run over the real TCP
+//! backend must converge to the same balance/decision statistics as the
+//! deterministic loopback backend.
+//!
+//! The two backends carry identical frame bytes (the batched exchange
+//! framing of `pgrid-transport`), but loopback delivers them in seeded
+//! virtual time while TCP pushes them through real sockets with threaded
+//! acceptors.  The protocol — engine decisions included — must not care.
+
+use pgrid::prelude::*;
+
+fn config(seed: u64) -> NetConfig {
+    NetConfig {
+        n_peers: 36,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed,
+        ..NetConfig::default()
+    }
+}
+
+/// A compressed Section 5 timeline: enough construction ticks to converge,
+/// short enough for a socket-backed run in a test suite.
+fn short_timeline() -> Timeline {
+    Timeline {
+        join_end_min: 5,
+        replicate_end_min: 8,
+        construct_end_min: 28,
+        query_end_min: 34,
+        end_min: 38,
+    }
+}
+
+#[test]
+fn tcp_and_loopback_deployments_converge_to_comparable_overlays() {
+    let config = config(21);
+    let timeline = short_timeline();
+
+    let loopback = run_deployment(&config, &timeline);
+    let tcp = run_deployment_with(&config, &timeline, TcpTransport::new())
+        .expect("tcp endpoints must register");
+
+    // Both runs must produce a balanced overlay at all ...
+    assert!(
+        loopback.balance_deviation < 1.5,
+        "loopback deviation {}",
+        loopback.balance_deviation
+    );
+    assert!(
+        tcp.balance_deviation < 1.5,
+        "tcp deviation {}",
+        tcp.balance_deviation
+    );
+    // ... and must agree with each other on the balance statistics.
+    assert!(
+        (loopback.balance_deviation - tcp.balance_deviation).abs() < 0.75,
+        "backends disagree on balance: loopback {:.3} vs tcp {:.3}",
+        loopback.balance_deviation,
+        tcp.balance_deviation
+    );
+    assert!(
+        (loopback.mean_path_length - tcp.mean_path_length).abs() < 1.5,
+        "backends disagree on trie depth: loopback {:.2} vs tcp {:.2}",
+        loopback.mean_path_length,
+        tcp.mean_path_length
+    );
+
+    // Queries are answered over real sockets too.
+    assert!(
+        tcp.query_success_rate > 0.8,
+        "tcp query success rate {}",
+        tcp.query_success_rate
+    );
+
+    // The socket path was actually exercised: frames travelled and came
+    // back, and (nearly) everything sent was delivered — TCP does not lose
+    // frames, only the emulated per-frame loss drops messages.
+    assert!(tcp.transport.frames_sent > 500, "{:?}", tcp.transport);
+    assert!(
+        tcp.transport.frames_delivered >= tcp.transport.frames_sent * 9 / 10,
+        "{:?}",
+        tcp.transport
+    );
+    assert!(tcp.transport.bytes_sent > 0);
+}
+
+#[test]
+fn per_tick_batching_packs_messages_into_shared_frames() {
+    // The two runs follow different random trajectories (loss is drawn per
+    // frame), so total frame counts are not directly comparable; what the
+    // batching knob guarantees is the frame *shape*: multi-message frames
+    // exist exactly when batching is on.
+    let run = |batch_per_tick| {
+        let mut rt = Runtime::new(NetConfig {
+            batch_per_tick,
+            ..config(33)
+        });
+        for peer in 0..36 {
+            rt.join_peer(peer, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(30_000);
+        rt.start_construction();
+        rt.run_until(600_000);
+        rt
+    };
+    let batched = run(true);
+    let unbatched = run(false);
+
+    assert!(
+        batched.metrics.multi_message_frames > 0,
+        "batching on but every frame carried a single message"
+    );
+    assert_eq!(
+        unbatched.metrics.multi_message_frames, 0,
+        "batching off must mean one message per frame"
+    );
+    // Batching strictly packs: fewer frames than messages on the wire.
+    let batched_stats = batched.transport_stats();
+    assert!(
+        (batched_stats.frames_delivered as usize)
+            < batched.metrics.messages_delivered + batched.metrics.messages_to_offline,
+        "{batched_stats:?} vs {} delivered messages",
+        batched.metrics.messages_delivered
+    );
+    // Construction converges either way.
+    for rt in [&batched, &unbatched] {
+        let max_depth = rt.nodes.iter().map(|n| n.state.path.len()).max().unwrap();
+        assert!(max_depth >= 2, "max depth {max_depth}");
+    }
+}

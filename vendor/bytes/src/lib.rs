@@ -74,6 +74,7 @@ pub trait BufMut {
 pub struct Bytes {
     data: Arc<[u8]>,
     cursor: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -84,15 +85,17 @@ impl Bytes {
 
     /// Wraps a static byte slice.
     pub fn from_static(data: &'static [u8]) -> Bytes {
+        let end = data.len();
         Bytes {
             data: Arc::from(data),
             cursor: 0,
+            end,
         }
     }
 
     /// Number of unconsumed bytes.
     pub fn len(&self) -> usize {
-        self.data.len() - self.cursor
+        self.end - self.cursor
     }
 
     /// Whether no unconsumed bytes remain.
@@ -102,7 +105,25 @@ impl Bytes {
 
     /// The unconsumed bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.cursor..]
+        &self.data[self.cursor..self.end]
+    }
+
+    /// Splits off and returns the first `n` unconsumed bytes as a
+    /// zero-copy view sharing the same allocation, advancing this buffer
+    /// past them (upstream `Bytes::split_to` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to past end of buffer");
+        let out = Bytes {
+            data: self.data.clone(),
+            cursor: self.cursor,
+            end: self.cursor + n,
+        };
+        self.cursor += n;
+        out
     }
 }
 
@@ -120,18 +141,22 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
         Bytes {
             data: Arc::from(data),
             cursor: 0,
+            end,
         }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Bytes {
+        let end = data.len();
         Bytes {
             data: Arc::from(data),
             cursor: 0,
+            end,
         }
     }
 }
@@ -150,7 +175,7 @@ impl Buf for Bytes {
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data[self.cursor..]
+        &self.data[self.cursor..self.end]
     }
 
     fn advance(&mut self, n: usize) {
@@ -233,5 +258,26 @@ mod tests {
     fn advancing_past_the_end_panics() {
         let mut b = Bytes::from_static(&[1]);
         b.advance(2);
+    }
+
+    #[test]
+    fn split_to_shares_the_allocation_and_advances() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.get_u8();
+        let head = b.split_to(2);
+        assert_eq!(head.as_slice(), &[2, 3]);
+        assert_eq!(b.as_slice(), &[4, 5]);
+        assert_eq!(head, Bytes::from(vec![2, 3]));
+        // The view is bounded: its cursor APIs stop at the split point.
+        let mut head = head;
+        assert_eq!(head.get_u8(), 2);
+        assert_eq!(head.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to past end")]
+    fn split_past_the_end_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.split_to(3);
     }
 }
