@@ -1,0 +1,186 @@
+//! Construction scaling runner: wall-clock of the parallel sharded
+//! constructor over an `n_peers` × `n_threads` matrix, with a thread-count
+//! parity check, emitted both as an aligned text table and as a
+//! `BENCH_construction.json` snapshot for CI archival.
+//!
+//! ```text
+//! cargo run --release -p pgrid-bench --bin bench_construction
+//! cargo run --release -p pgrid-bench --bin bench_construction -- --quick
+//! cargo run --release -p pgrid-bench --bin bench_construction -- \
+//!     --sizes 1024,4096 --threads 1,2,4,8 --out BENCH_construction.json
+//! ```
+//!
+//! Every cell constructs the same overlay (fixed seed, Pareto-1.0 keys —
+//! the most demanding workload of the paper's suite) with a different
+//! worker count; since the constructor is bit-identical across thread
+//! counts, the runner also asserts that every cell of a row reproduces the
+//! single-threaded peer placement, so a scaling number can never come from
+//! a diverged (and therefore meaningless) run.
+
+use pgrid_sim::config::SimConfig;
+use pgrid_sim::construction::construct;
+use pgrid_workload::distributions::Distribution;
+use std::time::Instant;
+
+struct Cell {
+    n_peers: usize,
+    n_threads: usize,
+    wall_ms: f64,
+    speedup: f64,
+    rounds: usize,
+    interactions: usize,
+    parity: bool,
+}
+
+fn config(n_peers: usize, n_threads: usize) -> SimConfig {
+    SimConfig {
+        n_peers,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Pareto { shape: 1.0 },
+        seed: 1,
+        n_threads,
+        ..SimConfig::default()
+    }
+}
+
+fn parse_list(value: &str) -> Vec<usize> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("list entries must be integers"))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let option = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|at| args.get(at + 1))
+            .cloned()
+    };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sizes = option("--sizes")
+        .map(|v| parse_list(&v))
+        .unwrap_or_else(|| {
+            if quick {
+                vec![256, 1024]
+            } else {
+                vec![1024, 4096]
+            }
+        });
+    let threads = option("--threads")
+        .map(|v| parse_list(&v))
+        .unwrap_or_else(|| {
+            let mut t = vec![1, 2, 4];
+            if !t.contains(&host_threads) {
+                t.push(host_threads);
+            }
+            t.retain(|&x| x >= 1);
+            t.sort_unstable();
+            t.dedup();
+            if quick {
+                t.truncate(2);
+            }
+            t
+        });
+    let out = option("--out").unwrap_or_else(|| "BENCH_construction.json".to_string());
+    let repetitions = if quick { 1 } else { 2 };
+
+    println!("construction scaling: sizes {sizes:?}, threads {threads:?}, host parallelism {host_threads}");
+    println!(
+        "{:>8} {:>9} {:>12} {:>9} {:>8} {:>13} {:>7}",
+        "n_peers", "threads", "wall ms", "speedup", "rounds", "interactions", "parity"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n_peers in &sizes {
+        let mut reference_paths = None;
+        let mut row: Vec<Cell> = Vec::new();
+        for &n_threads in &threads {
+            let cfg = config(n_peers, n_threads);
+            let mut best_ms = f64::INFINITY;
+            let mut overlay = None;
+            for _ in 0..repetitions {
+                let start = Instant::now();
+                let result = construct(&cfg);
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                overlay = Some(result);
+            }
+            let overlay = overlay.expect("at least one repetition ran");
+            let paths = overlay.peer_paths();
+            let parity = match &reference_paths {
+                None => {
+                    reference_paths = Some(paths);
+                    true
+                }
+                Some(reference) => *reference == paths,
+            };
+            row.push(Cell {
+                n_peers,
+                n_threads,
+                wall_ms: best_ms,
+                speedup: 1.0,
+                rounds: overlay.metrics.rounds,
+                interactions: overlay.metrics.interactions,
+                parity,
+            });
+        }
+        // Speedups are relative to the single-threaded cell of the row (the
+        // first cell if the requested thread list has no `1`).
+        let baseline = row
+            .iter()
+            .find(|c| c.n_threads == 1)
+            .or(row.first())
+            .map(|c| c.wall_ms)
+            .unwrap_or(1.0);
+        for cell in &mut row {
+            cell.speedup = baseline / cell.wall_ms;
+        }
+        for cell in &row {
+            println!(
+                "{:>8} {:>9} {:>12.1} {:>8.2}x {:>8} {:>13} {:>7}",
+                cell.n_peers,
+                cell.n_threads,
+                cell.wall_ms,
+                cell.speedup,
+                cell.rounds,
+                cell.interactions,
+                cell.parity
+            );
+        }
+        cells.extend(row);
+    }
+
+    let all_parity = cells.iter().all(|c| c.parity);
+    assert!(
+        all_parity,
+        "thread-count parity violated — scaling numbers would be meaningless"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"construction_scaling\",\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"thread_parity\": {all_parity},\n"));
+    json.push_str("  \"results\": [\n");
+    for (at, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_peers\": {}, \"n_threads\": {}, \"wall_ms\": {:.1}, \"speedup\": {:.3}, \"rounds\": {}, \"interactions\": {}}}{}\n",
+            c.n_peers,
+            c.n_threads,
+            c.wall_ms,
+            c.speedup,
+            c.rounds,
+            c.interactions,
+            if at + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("snapshot file must be writable");
+    println!("snapshot written to {out}");
+}

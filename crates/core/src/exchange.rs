@@ -159,6 +159,42 @@ pub struct ApplyOutcome {
     pub forwarded: Option<(RoutingEntry, Vec<DataEntry>)>,
 }
 
+/// Running totals over many [`ApplyOutcome`]s.
+///
+/// Concurrent executors (the parallel simulator's batch workers, or any
+/// future multi-threaded runtime) accumulate one tally per worker and merge
+/// them afterwards; since every field is a plain sum, the merged result is
+/// independent of how outcomes were distributed over workers.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeTally {
+    /// Path extensions performed.
+    pub splits: usize,
+    /// Replication relationships established or refreshed.
+    pub replications: usize,
+    /// Data entries moved between peers.
+    pub keys_moved: usize,
+    /// Outcomes that reported useful progress.
+    pub useful: usize,
+}
+
+impl ExchangeTally {
+    /// Adds one outcome to the tally.
+    pub fn record(&mut self, outcome: &ApplyOutcome) {
+        self.splits += outcome.splits;
+        self.replications += outcome.replications;
+        self.keys_moved += outcome.keys_moved;
+        self.useful += usize::from(outcome.useful);
+    }
+
+    /// Adds another tally (e.g. one worker's delta) to this one.
+    pub fn merge(&mut self, other: &ExchangeTally) {
+        self.splits += other.splits;
+        self.replications += other.replications;
+        self.keys_moved += other.keys_moved;
+        self.useful += other.useful;
+    }
+}
+
 /// The shared protocol core: balance parameters plus probability strategy.
 ///
 /// The engine itself is stateless — randomness is injected per call — so a
@@ -424,8 +460,8 @@ pub fn apply_decision<R: Rng + ?Sized>(
                 rng,
             );
             outcome.keys_moved += shipped_to_partner.len() + shipped_to_peer.len();
-            partner.store.merge_from(shipped_to_partner);
-            peer.store.merge_from(shipped_to_peer);
+            partner.store.merge_batch(shipped_to_partner);
+            peer.store.merge_batch(shipped_to_peer);
             outcome.splits = 2;
             outcome.useful = true;
         }
@@ -454,7 +490,7 @@ pub fn apply_decision<R: Rng + ?Sized>(
             outcome.splits = 1;
             outcome.keys_moved += shipped.len();
             if reference.peer == partner.id {
-                partner.store.merge_from(shipped);
+                partner.store.merge_batch(shipped);
             } else {
                 outcome.forwarded = Some((reference, shipped));
             }

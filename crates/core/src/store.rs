@@ -168,6 +168,25 @@ impl KeyStore {
         added
     }
 
+    /// Merges a whole batch of entries at once, returning the number of
+    /// entries that were actually new.
+    ///
+    /// Semantically identical to [`KeyStore::merge_from`], but the batch is
+    /// sorted up front and handed to the set in one `extend` call, so a
+    /// reconciliation transfer (split handover, replication push, forwarded
+    /// complement keys) costs one bulk operation instead of a per-entry
+    /// insert-and-count loop.  The added count is derived from the length
+    /// difference, which is exact because the set deduplicates.
+    pub fn merge_batch(&mut self, mut entries: Vec<DataEntry>) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        entries.sort_unstable();
+        let before = self.entries.len();
+        self.entries.extend(entries);
+        self.entries.len() - before
+    }
+
     /// Draws `count` entries uniformly at random (without replacement) from
     /// the entries covered by `path`.  If fewer are available, all of them
     /// are returned.

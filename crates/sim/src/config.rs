@@ -43,6 +43,12 @@ pub struct SimConfig {
     pub max_rounds: usize,
     /// Random seed.
     pub seed: u64,
+    /// Worker threads executing each round's conflict-free interaction
+    /// batches (`0` = one worker per available CPU).  The construction is
+    /// bit-identical for every thread count — per-peer counter-derived RNG
+    /// streams and the claim partition make scheduling order irrelevant —
+    /// so this knob only trades wall-clock time.
+    pub n_threads: usize,
 }
 
 impl Default for SimConfig {
@@ -59,6 +65,7 @@ impl Default for SimConfig {
             max_refer_hops: 6,
             max_rounds: 400,
             seed: 0xC0FFEE,
+            n_threads: 0,
         }
     }
 }
@@ -77,6 +84,17 @@ impl SimConfig {
     /// Total number of distinct data keys in the network before replication.
     pub fn total_keys(&self) -> usize {
         self.n_peers * self.keys_per_peer
+    }
+
+    /// The number of executor threads this configuration resolves to:
+    /// `n_threads`, or the available CPU parallelism when it is `0`.
+    pub fn effective_threads(&self) -> usize {
+        match self.n_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -100,5 +118,17 @@ mod tests {
             ..SimConfig::default()
         };
         assert_eq!(config.balance_params().delta_max, 100);
+    }
+
+    #[test]
+    fn thread_count_resolution() {
+        let auto = SimConfig::default();
+        assert_eq!(auto.n_threads, 0);
+        assert!(auto.effective_threads() >= 1);
+        let pinned = SimConfig {
+            n_threads: 3,
+            ..SimConfig::default()
+        };
+        assert_eq!(pinned.effective_threads(), 3);
     }
 }

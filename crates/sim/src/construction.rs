@@ -21,11 +21,23 @@
 //! The initial replication phase (each peer copies its keys to `n_min`
 //! random peers) precedes the partitioning, exactly as in the deployment
 //! timeline of Section 5.1.
+//!
+//! Since the exchange engine is stateless and every interaction touches
+//! only the peers in its claim set, the rounds are executed as conflict-free
+//! interaction batches spread across worker threads: [`crate::schedule`]
+//! plans each round's interactions and partitions them into batches with
+//! pairwise disjoint claim sets, [`crate::parallel`] executes a batch with
+//! exclusive `&mut PeerState` access per interaction and merges the metric
+//! deltas afterwards.  Randomness comes from per-peer counter-derived
+//! streams, so the result is bit-identical for every
+//! [`SimConfig::n_threads`] value, including `1`.
 
 use crate::config::SimConfig;
 use crate::metrics::ConstructionMetrics;
+use crate::parallel::execute_batch;
+use crate::schedule::{stream_rng, GenerationSet, Scheduler, STREAM_SHUFFLE};
 use crate::unstructured::UnstructuredOverlay;
-use pgrid_core::exchange::{self, ExchangeDecision, ExchangeEngine};
+use pgrid_core::exchange::ExchangeEngine;
 use pgrid_core::key::DataEntry;
 use pgrid_core::path::Path;
 use pgrid_core::peer::PeerState;
@@ -35,12 +47,16 @@ use pgrid_core::search::NetworkView;
 use pgrid_core::store::KeyStore;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Lower bound on the balanced-split probability.
 #[deprecated(note = "moved to pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY")]
 pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
     pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY;
+
+/// How many times the normal fruitless budget a locally-overloaded peer may
+/// keep initiating before it, too, backs off and waits to be contacted.
+const OVERLOADED_PATIENCE: u32 = 8;
 
 /// The constructed overlay network: all peer states plus the metrics of the
 /// construction run.
@@ -152,63 +168,91 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
     // Every peer copies its *own* keys to `n_min` random peers so that every
     // key exists `n_min + 1` times in the network before partitioning starts
     // (Section 4.2).  Only the original entries are forwarded; entries
-    // received from other peers are not re-replicated.
+    // received from other peers are not re-replicated.  The transfers are
+    // batched: targets are deduplicated through a constant-time generation
+    // set and every target receives one bulk merge over all its sources
+    // (one buffer reservation per target) instead of `n_min` separate
+    // per-entry merges.
+    let mut seen_targets = GenerationSet::new(config.n_peers);
+    let mut inbound: Vec<Vec<DataEntry>> = vec![Vec::new(); config.n_peers];
     for (i, entries) in per_peer_originals.iter().enumerate() {
-        let mut targets = Vec::new();
-        while targets.len() < config.n_min {
+        seen_targets.clear();
+        let mut picked = 0;
+        while picked < config.n_min {
             let t = overlay_graph.sample_other(i, &mut rng);
-            if !targets.contains(&t) {
-                targets.push(t);
+            if seen_targets.insert(t) {
+                picked += 1;
+                let bucket = &mut inbound[t];
+                if bucket.is_empty() {
+                    bucket.reserve(config.keys_per_peer * config.n_min);
+                }
+                bucket.extend_from_slice(entries);
             }
         }
-        for t in targets {
-            let added = peers[t].store.merge_from(entries.iter().copied());
-            metrics.replication_keys_moved += added;
-        }
+    }
+    for (t, batch) in inbound.into_iter().enumerate() {
+        metrics.replication_keys_moved += peers[t].store.merge_batch(batch);
     }
 
     // --- Construction rounds -----------------------------------------------
+    // Each round, the shuffled active initiators are planned into
+    // conflict-free batches and executed across the configured worker
+    // threads; per-script outcomes drive the back-off bookkeeping in batch
+    // order, so every thread count reproduces the same overlay.
+    let threads = config.effective_threads();
     let mut active = vec![true; config.n_peers];
     let mut fruitless = vec![0u32; config.n_peers];
-    let mut order: Vec<usize> = (0..config.n_peers).collect();
+    let mut scheduler = Scheduler::new(config.n_peers);
 
     for round in 1..=config.max_rounds {
         metrics.rounds = round;
-        order.shuffle(&mut rng);
-        let mut any_progress = false;
-        for &i in &order {
-            if !active[i] {
-                continue;
-            }
-            let useful = initiate_interaction(
-                i,
-                &mut peers,
-                &overlay_graph,
-                config,
-                &engine,
-                &mut metrics,
-                &mut active,
-                &mut rng,
-            );
-            if useful {
-                fruitless[i] = 0;
-                any_progress = true;
-            } else {
-                fruitless[i] += 1;
-                // A peer only backs off when it has no local evidence that
-                // its partition still needs splitting: as long as its own
-                // store holds clearly more keys than the storage bound (and
-                // those keys are actually separable by a bisection) it keeps
-                // initiating interactions.
-                if fruitless[i] >= config.max_fruitless_attempts
-                    && !engine.locally_overloaded(&peers[i])
-                {
-                    active[i] = false;
+        let mut pending: Vec<usize> = (0..config.n_peers).filter(|&i| active[i]).collect();
+        pending.shuffle(&mut stream_rng(
+            config.seed,
+            round as u64,
+            0,
+            STREAM_SHUFFLE,
+        ));
+        while !pending.is_empty() {
+            let (mut batch, deferred) =
+                scheduler.plan_batch(&pending, &peers, &overlay_graph, config, round);
+            let (delta, outcomes) = execute_batch(&mut batch, &mut peers, &engine, threads);
+            metrics.absorb(&delta);
+            for outcome in &outcomes {
+                let i = outcome.initiator;
+                if outcome.useful {
+                    fruitless[i] = 0;
+                    if let Some((a, b)) = outcome.activate {
+                        active[a] = true;
+                        active[b] = true;
+                    }
+                } else {
+                    fruitless[i] += 1;
+                    // A peer defers its back-off while it has local evidence
+                    // that its partition still needs splitting: as long as
+                    // its own store holds clearly more keys than the storage
+                    // bound (and those keys are actually separable by a
+                    // bisection) it keeps initiating interactions — but only
+                    // up to `OVERLOADED_PATIENCE` times the normal budget.
+                    // Under heavy skew the pairwise capture–recapture
+                    // assessment can veto the split such a peer is pushing
+                    // for indefinitely; without the cap one stubborn peer
+                    // keeps the whole network spinning to `max_rounds`
+                    // (Section 4.2's contract is that *every* peer
+                    // eventually goes dormant and wakes when contacted).
+                    let patience = if engine.locally_overloaded(&peers[i]) {
+                        config
+                            .max_fruitless_attempts
+                            .saturating_mul(OVERLOADED_PATIENCE)
+                    } else {
+                        config.max_fruitless_attempts
+                    };
+                    if fruitless[i] >= patience {
+                        active[i] = false;
+                    }
                 }
             }
-        }
-        if !any_progress && active.iter().all(|a| !a) {
-            break;
+            pending = deferred;
         }
         if active.iter().all(|a| !a) {
             break;
@@ -220,153 +264,6 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
         metrics,
         params,
         original_entries,
-    }
-}
-
-/// One interaction initiated by peer `i`.  Returns whether anything useful
-/// happened (split, replication with data transfer, or a routing reference
-/// learned through a refer chain that ended in a useful local interaction).
-#[allow(clippy::too_many_arguments)]
-fn initiate_interaction<R: Rng + ?Sized>(
-    i: usize,
-    peers: &mut [PeerState],
-    overlay: &UnstructuredOverlay,
-    config: &SimConfig,
-    engine: &ExchangeEngine,
-    metrics: &mut ConstructionMetrics,
-    active: &mut [bool],
-    rng: &mut R,
-) -> bool {
-    let mut target = overlay.sample_other(i, rng);
-    for hop in 0..config.max_refer_hops {
-        metrics.interactions += 1;
-        metrics.per_peer_interactions[i] += 1;
-        if target == i {
-            metrics.fruitless_interactions += 1;
-            return false;
-        }
-        let same_partition = peers[i].shares_partition_with(&peers[target].path);
-        if same_partition {
-            return local_interaction(i, target, peers, engine, metrics, active, rng);
-        }
-        // Different partitions: both peers learn a routing reference at the
-        // divergence level, then the contacted peer refers the initiator to
-        // a peer from its routing table whose path is a better match.
-        metrics.refer_hops += 1;
-        let (path_i, path_t) = (peers[i].path, peers[target].path);
-        let id_i = peers[i].id;
-        let id_t = peers[target].id;
-        peers[i].learn_reference(id_t, path_t, rng);
-        peers[target].learn_reference(id_i, path_i, rng);
-        let level = path_i.common_prefix_len(&path_t);
-        // The contacted peer knows peers whose paths agree with the
-        // initiator's at the divergence bit: its routing entries at `level`.
-        let referred = peers[target]
-            .routing
-            .level(level)
-            .iter()
-            .map(|e| e.peer.0 as usize)
-            .filter(|&p| p != i)
-            .collect::<Vec<_>>();
-        match referred.as_slice().choose(rng) {
-            Some(&next) => {
-                target = next;
-                if hop + 1 == config.max_refer_hops {
-                    metrics.fruitless_interactions += 1;
-                    return false;
-                }
-            }
-            None => {
-                metrics.fruitless_interactions += 1;
-                return false;
-            }
-        }
-    }
-    false
-}
-
-/// A local interaction between two peers of the same partition (or where one
-/// path is a prefix of the other): assess, decide, and apply through the
-/// shared [`pgrid_core::exchange`] engine.
-fn local_interaction<R: Rng + ?Sized>(
-    a: usize,
-    b: usize,
-    peers: &mut [PeerState],
-    engine: &ExchangeEngine,
-    metrics: &mut ConstructionMetrics,
-    active: &mut [bool],
-    rng: &mut R,
-) -> bool {
-    // Work on the *shallower* peer's partition: if one peer has already
-    // extended its path beyond the other, the shallower one is the one with
-    // a decision to make ("peers ahead of the crowd wait for slower ones").
-    let (lagging, ahead) = if peers[a].path.len() <= peers[b].path.len() {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    let partition = peers[lagging].path;
-
-    // Zero-copy range views: the assessment only reads the two stores, so
-    // no per-interaction BTreeSet clone is needed.
-    let assessment = {
-        let store_lagging = peers[lagging].store.restricted(&partition);
-        let store_ahead = peers[ahead].store.restricted(&partition);
-        engine.assess(&store_lagging, &store_ahead, &partition)
-    };
-    let decision = engine.decide(peers[lagging].path, peers[ahead].path, &assessment, rng);
-
-    // A same-side catch-up split needs a reference to the complementary
-    // subtree, drawn from the ahead peer's routing table at this level
-    // (guaranteed to exist because the ahead peer obtained one when it
-    // extended its own path).
-    let complement = match decision {
-        ExchangeDecision::Split {
-            partition,
-            bit,
-            balanced: false,
-        } if bit == peers[ahead].path.bit(partition.len()) => peers[ahead]
-            .routing
-            .level(partition.len())
-            .choose(rng)
-            .copied(),
-        _ => None,
-    };
-
-    let (peer_lagging, peer_ahead) = two_peers(peers, lagging, ahead);
-    let outcome = exchange::apply_decision(&decision, peer_lagging, peer_ahead, complement, rng);
-
-    metrics.splits += outcome.splits;
-    metrics.replications += outcome.replications;
-    metrics.construction_keys_moved += outcome.keys_moved;
-    // Keys of a same-side catch-up belong to the complementary subtree's
-    // reference peer (content exchange of Figure 2).
-    if let Some((reference, entries)) = outcome.forwarded {
-        let recipient = reference.peer.0 as usize;
-        if recipient < peers.len() {
-            peers[recipient].store.merge_from(entries);
-        }
-    }
-
-    if outcome.useful {
-        active[lagging] = true;
-        active[ahead] = true;
-        true
-    } else {
-        metrics.fruitless_interactions += 1;
-        false
-    }
-}
-
-/// Borrows two distinct peers mutably out of the slice.
-fn two_peers(peers: &mut [PeerState], a: usize, b: usize) -> (&mut PeerState, &mut PeerState) {
-    assert!(a != b);
-    if a < b {
-        let (left, right) = peers.split_at_mut(b);
-        (&mut left[a], &mut right[0])
-    } else {
-        let (left, right) = peers.split_at_mut(a);
-        (&mut right[0], &mut left[b])
     }
 }
 
@@ -488,6 +385,26 @@ mod tests {
         let b = construct(&small_config());
         assert_eq!(a.peer_paths(), b.peer_paths());
         assert_eq!(a.metrics.interactions, b.metrics.interactions);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let single = construct(&SimConfig {
+            n_threads: 1,
+            ..small_config()
+        });
+        for n_threads in [2, 4] {
+            let multi = construct(&SimConfig {
+                n_threads,
+                ..small_config()
+            });
+            assert_eq!(
+                single.peer_paths(),
+                multi.peer_paths(),
+                "{n_threads} threads"
+            );
+            assert_eq!(single.metrics, multi.metrics, "{n_threads} threads");
+        }
     }
 
     #[test]

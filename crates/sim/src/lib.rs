@@ -9,7 +9,12 @@
 //! split/replicate/refer interactions, and back-off based termination — and
 //! measures the quantities reported in the paper's Figure 6: load-balance
 //! deviation from the optimal (reference) partitioning, interactions per
-//! peer and data keys moved per peer.  A sequential-join baseline
+//! peer and data keys moved per peer.
+//!
+//! Construction rounds execute as conflict-free interaction batches across
+//! worker threads ([`config::SimConfig::n_threads`]); per-peer
+//! counter-derived RNG streams make the result bit-identical for every
+//! thread count.  A sequential-join baseline
 //! constructor is provided for the latency/message complexity comparison of
 //! Section 4.3, and query evaluation reproduces the search statistics of
 //! Section 5.2.
@@ -28,8 +33,10 @@
 pub mod config;
 pub mod construction;
 pub mod metrics;
+mod parallel;
 pub mod query;
 pub mod runner;
+mod schedule;
 pub mod sequential;
 pub mod unstructured;
 
@@ -37,7 +44,7 @@ pub mod unstructured;
 pub mod prelude {
     pub use crate::config::{ConstructionStrategy, SimConfig};
     pub use crate::construction::{construct, ConstructedOverlay};
-    pub use crate::metrics::ConstructionMetrics;
+    pub use crate::metrics::{ConstructionMetrics, MetricsDelta};
     pub use crate::query::{data_availability, run_queries, QueryStats};
     pub use crate::runner::{
         population_sweep, replication_sweep, run_repeated, sample_size_sweep, theory_vs_heuristics,

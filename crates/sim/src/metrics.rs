@@ -1,7 +1,9 @@
 //! Metrics collected by the construction simulator.
 
+use pgrid_core::exchange::ExchangeTally;
+
 /// Counters accumulated while constructing the overlay.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ConstructionMetrics {
     /// Interactions initiated (one per contacted peer, including refer hops).
     pub interactions: usize,
@@ -52,6 +54,51 @@ impl ConstructionMetrics {
         }
         self.total_keys_moved() as f64 / self.per_peer_interactions.len() as f64
     }
+
+    /// Adds one executor delta to the totals.
+    pub fn absorb(&mut self, delta: &MetricsDelta) {
+        self.interactions += delta.interactions;
+        self.fruitless_interactions += delta.fruitless_interactions;
+        self.refer_hops += delta.refer_hops;
+        self.splits += delta.tally.splits;
+        self.replications += delta.tally.replications;
+        self.construction_keys_moved += delta.tally.keys_moved;
+        for &(initiator, contacts) in &delta.per_initiator {
+            self.per_peer_interactions[initiator] += contacts;
+        }
+    }
+}
+
+/// Metric increments accumulated by one executor worker over its share of a
+/// batch of interactions.
+///
+/// Every field is a plain sum (the per-initiator pairs are disjoint because
+/// each peer initiates at most once per round), so merging worker deltas in
+/// any grouping produces the same totals — the property that makes the
+/// parallel constructor's metrics independent of the thread count.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsDelta {
+    /// Interactions initiated (one per contacted peer, including refer hops).
+    pub interactions: usize,
+    /// Interactions that resulted in no state change.
+    pub fruitless_interactions: usize,
+    /// Refer hops performed.
+    pub refer_hops: usize,
+    /// Split/replicate/key-movement totals of the applied exchanges.
+    pub tally: ExchangeTally,
+    /// `(initiator, contacts)` pairs feeding the per-peer counters.
+    pub per_initiator: Vec<(usize, usize)>,
+}
+
+impl MetricsDelta {
+    /// Adds another worker's delta to this one.
+    pub fn merge(&mut self, other: &MetricsDelta) {
+        self.interactions += other.interactions;
+        self.fruitless_interactions += other.fruitless_interactions;
+        self.refer_hops += other.refer_hops;
+        self.tally.merge(&other.tally);
+        self.per_initiator.extend_from_slice(&other.per_initiator);
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +116,34 @@ mod tests {
         assert!((m.keys_moved_per_peer() - 8.0).abs() < 1e-12);
         let empty = ConstructionMetrics::default();
         assert_eq!(empty.interactions_per_peer(), 0.0);
+    }
+
+    #[test]
+    fn deltas_merge_and_absorb() {
+        let mut a = MetricsDelta {
+            interactions: 3,
+            fruitless_interactions: 1,
+            refer_hops: 2,
+            per_initiator: vec![(0, 3)],
+            ..MetricsDelta::default()
+        };
+        a.tally.splits = 1;
+        a.tally.keys_moved = 7;
+        let mut b = MetricsDelta {
+            interactions: 2,
+            per_initiator: vec![(2, 2)],
+            ..MetricsDelta::default()
+        };
+        b.tally.replications = 1;
+        a.merge(&b);
+        let mut m = ConstructionMetrics::new(4);
+        m.absorb(&a);
+        assert_eq!(m.interactions, 5);
+        assert_eq!(m.fruitless_interactions, 1);
+        assert_eq!(m.refer_hops, 2);
+        assert_eq!(m.splits, 1);
+        assert_eq!(m.replications, 1);
+        assert_eq!(m.construction_keys_moved, 7);
+        assert_eq!(m.per_peer_interactions, vec![3, 0, 2, 0]);
     }
 }

@@ -1,0 +1,233 @@
+//! Parallel execution of conflict-free interaction batches.
+//!
+//! The executor receives a batch of [`crate::schedule::InteractionScript`]s
+//! whose claim sets are pairwise disjoint.  It distributes exclusive
+//! `&mut PeerState` handles to each script in one pass over the peer slice
+//! (safe Rust — no peer is handed out twice because the scheduler
+//! guarantees disjointness, and the ownership map enforces it), then runs
+//! the scripts either inline or chunked across `std::thread::scope`
+//! workers.  Each worker accumulates a [`crate::metrics::MetricsDelta`];
+//! deltas are merged in worker order and per-script outcomes are applied in
+//! batch order afterwards, so the result is bit-identical for every thread
+//! count.
+//!
+//! A script's execution touches only its claimed peers: the refer chain's
+//! mutual `learn_reference` calls (initiator + contacted peer), the local
+//! exchange (the two interacting peers) and the complement forward (the
+//! recipient recorded — and claimed — at plan time).  All random draws come
+//! from the script's private execution stream.
+
+use crate::metrics::MetricsDelta;
+use crate::schedule::{Endpoint, InteractionScript};
+use pgrid_core::exchange::{self, ExchangeEngine};
+use pgrid_core::peer::PeerState;
+
+/// Batches smaller than this run inline even when more threads are
+/// configured: distributing a handful of interactions costs more in thread
+/// hand-off than it saves.
+const MIN_PARALLEL_BATCH: usize = 32;
+
+/// What the post-batch bookkeeping needs to know about one interaction.
+pub(crate) struct ScriptOutcome {
+    /// The initiating peer (drives the fruitless/back-off counters).
+    pub(crate) initiator: usize,
+    /// Whether the interaction made useful progress.
+    pub(crate) useful: bool,
+    /// Peers to re-activate (the two parties of a useful local exchange).
+    pub(crate) activate: Option<(usize, usize)>,
+}
+
+/// Exclusive handles to the peers claimed by one interaction.
+#[derive(Default)]
+struct ClaimSlots<'a> {
+    slots: Vec<(usize, &'a mut PeerState)>,
+}
+
+impl ClaimSlots<'_> {
+    fn position(&self, index: usize) -> usize {
+        self.slots
+            .iter()
+            .position(|(p, _)| *p == index)
+            .expect("peer accessed without a claim")
+    }
+
+    /// The claimed peer at `index`.
+    fn get(&mut self, index: usize) -> &mut PeerState {
+        let at = self.position(index);
+        &mut *self.slots[at].1
+    }
+
+    /// Two distinct claimed peers at once.
+    fn pair(&mut self, a: usize, b: usize) -> (&mut PeerState, &mut PeerState) {
+        assert_ne!(a, b, "an interaction pairs two distinct peers");
+        let (pa, pb) = (self.position(a), self.position(b));
+        if pa < pb {
+            let (left, right) = self.slots.split_at_mut(pb);
+            (&mut *left[pa].1, &mut *right[0].1)
+        } else {
+            let (left, right) = self.slots.split_at_mut(pa);
+            (&mut *right[0].1, &mut *left[pb].1)
+        }
+    }
+}
+
+/// Executes one batch of conflict-free interactions, returning the merged
+/// metrics delta and the per-script outcomes in batch order.
+pub(crate) fn execute_batch(
+    batch: &mut [InteractionScript],
+    peers: &mut [PeerState],
+    engine: &ExchangeEngine,
+    threads: usize,
+) -> (MetricsDelta, Vec<ScriptOutcome>) {
+    let n_peers = peers.len();
+    if batch.is_empty() {
+        return (MetricsDelta::default(), Vec::new());
+    }
+
+    // Hand out exclusive peer handles: one pass over the peer slice buckets
+    // every claimed `&mut PeerState` into its owning script's slot list.
+    let mut owner = vec![u32::MAX; n_peers];
+    for (k, script) in batch.iter().enumerate() {
+        for &claim in &script.claims {
+            debug_assert_eq!(owner[claim], u32::MAX, "claim sets must be disjoint");
+            owner[claim] = k as u32;
+        }
+    }
+    let mut slots: Vec<ClaimSlots<'_>> = batch.iter().map(|_| ClaimSlots::default()).collect();
+    for (index, peer) in peers.iter_mut().enumerate() {
+        let k = owner[index];
+        if k != u32::MAX {
+            slots[k as usize].slots.push((index, peer));
+        }
+    }
+    let mut work: Vec<(&mut InteractionScript, ClaimSlots<'_>)> =
+        batch.iter_mut().zip(slots).collect();
+
+    if threads <= 1 || work.len() < MIN_PARALLEL_BATCH {
+        return run_chunk(&mut work, engine, n_peers);
+    }
+
+    let batch_len = work.len();
+    let chunk_size = batch_len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks_mut(chunk_size)
+            .map(|chunk| scope.spawn(move || run_chunk(chunk, engine, n_peers)))
+            .collect();
+        let mut delta = MetricsDelta::default();
+        let mut outcomes = Vec::with_capacity(batch_len);
+        for handle in handles {
+            let (worker_delta, worker_outcomes) =
+                handle.join().expect("batch worker must not panic");
+            delta.merge(&worker_delta);
+            outcomes.extend(worker_outcomes);
+        }
+        (delta, outcomes)
+    })
+}
+
+/// Runs a contiguous chunk of scripts on the current thread.
+fn run_chunk(
+    chunk: &mut [(&mut InteractionScript, ClaimSlots<'_>)],
+    engine: &ExchangeEngine,
+    n_peers: usize,
+) -> (MetricsDelta, Vec<ScriptOutcome>) {
+    let mut delta = MetricsDelta::default();
+    let mut outcomes = Vec::with_capacity(chunk.len());
+    for (script, slots) in chunk {
+        outcomes.push(execute_script(script, slots, engine, n_peers, &mut delta));
+    }
+    (delta, outcomes)
+}
+
+/// Executes one interaction script against its claimed peers.
+fn execute_script(
+    script: &mut InteractionScript,
+    slots: &mut ClaimSlots<'_>,
+    engine: &ExchangeEngine,
+    n_peers: usize,
+    delta: &mut MetricsDelta,
+) -> ScriptOutcome {
+    let initiator = script.initiator;
+    let rng = &mut script.exec_rng;
+    delta.interactions += script.contacts;
+    delta.refer_hops += script.refer_targets.len();
+    if script.contacts > 0 {
+        delta.per_initiator.push((initiator, script.contacts));
+    }
+
+    // Replay the refer chain: both parties of every hop learn a routing
+    // reference at the divergence level (the chain itself was fixed at plan
+    // time, so only the state transition happens here).
+    for &target in &script.refer_targets {
+        let (peer_i, peer_t) = slots.pair(initiator, target);
+        let (id_i, path_i) = (peer_i.id, peer_i.path);
+        let (id_t, path_t) = (peer_t.id, peer_t.path);
+        peer_i.learn_reference(id_t, path_t, rng);
+        peer_t.learn_reference(id_i, path_i, rng);
+    }
+
+    match script.endpoint {
+        Endpoint::Fruitless => {
+            if script.contacts > 0 {
+                delta.fruitless_interactions += 1;
+            }
+            ScriptOutcome {
+                initiator,
+                useful: false,
+                activate: None,
+            }
+        }
+        Endpoint::Local {
+            partner,
+            complement,
+        } => {
+            // Work on the shallower peer's partition: if one peer has
+            // already extended its path beyond the other, the shallower one
+            // is the one with a decision to make.
+            let (lagging, ahead) = {
+                let len_i = slots.get(initiator).path.len();
+                let len_p = slots.get(partner).path.len();
+                if len_i <= len_p {
+                    (initiator, partner)
+                } else {
+                    (partner, initiator)
+                }
+            };
+            let (peer_lagging, peer_ahead) = slots.pair(lagging, ahead);
+            let partition = peer_lagging.path;
+            let assessment = {
+                let store_lagging = peer_lagging.store.restricted(&partition);
+                let store_ahead = peer_ahead.store.restricted(&partition);
+                engine.assess(&store_lagging, &store_ahead, &partition)
+            };
+            let decision = engine.decide(peer_lagging.path, peer_ahead.path, &assessment, rng);
+            let outcome =
+                exchange::apply_decision(&decision, peer_lagging, peer_ahead, complement, rng);
+            delta.tally.record(&outcome);
+            // Keys of a same-side catch-up belong to the complementary
+            // subtree's reference peer (content exchange of Figure 2); the
+            // recipient was claimed at plan time.
+            if let Some((reference, entries)) = outcome.forwarded {
+                let recipient = reference.peer.0 as usize;
+                if recipient < n_peers {
+                    slots.get(recipient).store.merge_batch(entries);
+                }
+            }
+            if outcome.useful {
+                ScriptOutcome {
+                    initiator,
+                    useful: true,
+                    activate: Some((lagging, ahead)),
+                }
+            } else {
+                delta.fruitless_interactions += 1;
+                ScriptOutcome {
+                    initiator,
+                    useful: false,
+                    activate: None,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Thread-count parity of the parallel sharded constructor.
+//!
+//! The construction rounds are executed as conflict-free interaction
+//! batches spread across `SimConfig::n_threads` workers, with every
+//! interaction drawing from private counter-derived RNG streams.  That
+//! design promises *bit-identical* results for every thread count — these
+//! tests pin that promise (and the seed-sensitivity the per-peer streams
+//! must preserve) against the umbrella crate, and CI runs them on every
+//! push.
+
+use pgrid::prelude::*;
+
+fn config(n_peers: usize, seed: u64, n_threads: usize) -> SimConfig {
+    SimConfig {
+        n_peers,
+        keys_per_peer: 10,
+        n_min: 5,
+        seed,
+        n_threads,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn thread_counts_1_2_8_yield_identical_overlays_and_metrics() {
+    for (n_peers, seed) in [(192usize, 42u64), (256, 0xC0FFEE)] {
+        let single = construct(&config(n_peers, seed, 1));
+        for n_threads in [2usize, 8] {
+            let multi = construct(&config(n_peers, seed, n_threads));
+            assert_eq!(
+                single.peer_paths(),
+                multi.peer_paths(),
+                "peer paths diverged at n_peers={n_peers} seed={seed} threads={n_threads}"
+            );
+            assert_eq!(
+                single.metrics, multi.metrics,
+                "metrics diverged at n_peers={n_peers} seed={seed} threads={n_threads}"
+            );
+            assert_eq!(
+                single.responsible_loads(),
+                multi.responsible_loads(),
+                "stores diverged at n_peers={n_peers} seed={seed} threads={n_threads}"
+            );
+            for (a, b) in single.peers.iter().zip(&multi.peers) {
+                assert_eq!(a.replicas, b.replicas, "replica lists diverged");
+                for level in 0..a.path.len() {
+                    assert_eq!(
+                        a.routing.level(level),
+                        b.routing.level(level),
+                        "routing tables diverged at level {level}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_thread_detection_matches_pinned_single_thread() {
+    // `n_threads = 0` resolves to the machine's parallelism; whatever that
+    // is, the overlay must equal the single-threaded one.
+    let auto = construct(&config(192, 7, 0));
+    let single = construct(&config(192, 7, 1));
+    assert_eq!(auto.peer_paths(), single.peer_paths());
+    assert_eq!(auto.metrics, single.metrics);
+}
+
+#[test]
+fn per_peer_rng_streams_keep_seed_sensitivity() {
+    // Regression guard for the counter-derived per-peer streams: different
+    // seeds must still drive the construction down different trajectories
+    // (the `different_seeds_differ` behaviour of the sequential
+    // implementation), at every thread count.
+    for n_threads in [1usize, 4] {
+        let a = construct(&config(128, 7, n_threads));
+        let b = construct(&config(128, 8, n_threads));
+        assert_ne!(
+            a.metrics.interactions, b.metrics.interactions,
+            "seeds 7 and 8 produced identical interaction counts ({n_threads} threads)"
+        );
+        assert_ne!(
+            a.peer_paths(),
+            b.peer_paths(),
+            "seeds 7 and 8 produced identical placements ({n_threads} threads)"
+        );
+    }
+}
