@@ -26,7 +26,11 @@ struct Cell {
     n_peers: usize,
     n_threads: usize,
     wall_ms: f64,
-    speedup: f64,
+    /// Wall-clock ratio against the single-threaded cell of the row;
+    /// `None` when the host cannot actually run the cell's threads in
+    /// parallel (single-core host, `n_threads > 1`) — a "speedup" measured
+    /// there is pure scheduler hand-off noise, so it is not reported.
+    speedup: Option<f64>,
     rounds: usize,
     interactions: usize,
     parity: bool,
@@ -92,6 +96,12 @@ fn main() {
     let repetitions = if quick { 1 } else { 2 };
 
     println!("construction scaling: sizes {sizes:?}, threads {threads:?}, host parallelism {host_threads}");
+    if host_threads == 1 {
+        println!(
+            "single-core host: multi-thread cells run for the parity check only; \
+             their speedup is reported as n/a (no parallel hardware to measure)"
+        );
+    }
     println!(
         "{:>8} {:>9} {:>12} {:>9} {:>8} {:>13} {:>7}",
         "n_peers", "threads", "wall ms", "speedup", "rounds", "interactions", "parity"
@@ -124,14 +134,17 @@ fn main() {
                 n_peers,
                 n_threads,
                 wall_ms: best_ms,
-                speedup: 1.0,
+                speedup: None,
                 rounds: overlay.metrics.rounds,
                 interactions: overlay.metrics.interactions,
                 parity,
             });
         }
         // Speedups are relative to the single-threaded cell of the row (the
-        // first cell if the requested thread list has no `1`).
+        // first cell if the requested thread list has no `1`).  A cell whose
+        // thread count exceeds the host's parallelism has no meaningful
+        // speedup — on a single-core container every multi-thread "speedup"
+        // is scheduler noise around 1.0 — so those stay unreported.
         let baseline = row
             .iter()
             .find(|c| c.n_threads == 1)
@@ -139,15 +152,21 @@ fn main() {
             .map(|c| c.wall_ms)
             .unwrap_or(1.0);
         for cell in &mut row {
-            cell.speedup = baseline / cell.wall_ms;
+            if cell.n_threads == 1 || cell.n_threads <= host_threads {
+                cell.speedup = Some(baseline / cell.wall_ms);
+            }
         }
         for cell in &row {
+            let speedup = match cell.speedup {
+                Some(s) => format!("{s:.2}x"),
+                None => "n/a".to_string(),
+            };
             println!(
-                "{:>8} {:>9} {:>12.1} {:>8.2}x {:>8} {:>13} {:>7}",
+                "{:>8} {:>9} {:>12.1} {:>9} {:>8} {:>13} {:>7}",
                 cell.n_peers,
                 cell.n_threads,
                 cell.wall_ms,
-                cell.speedup,
+                speedup,
                 cell.rounds,
                 cell.interactions,
                 cell.parity
@@ -169,12 +188,15 @@ fn main() {
     json.push_str(&format!("  \"thread_parity\": {all_parity},\n"));
     json.push_str("  \"results\": [\n");
     for (at, c) in cells.iter().enumerate() {
+        let speedup = match c.speedup {
+            Some(s) => format!("{s:.3}"),
+            None => "null".to_string(),
+        };
         json.push_str(&format!(
-            "    {{\"n_peers\": {}, \"n_threads\": {}, \"wall_ms\": {:.1}, \"speedup\": {:.3}, \"rounds\": {}, \"interactions\": {}}}{}\n",
+            "    {{\"n_peers\": {}, \"n_threads\": {}, \"wall_ms\": {:.1}, \"speedup\": {speedup}, \"rounds\": {}, \"interactions\": {}}}{}\n",
             c.n_peers,
             c.n_threads,
             c.wall_ms,
-            c.speedup,
             c.rounds,
             c.interactions,
             if at + 1 == cells.len() { "" } else { "," }

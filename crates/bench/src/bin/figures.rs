@@ -10,6 +10,13 @@
 //! text table; `EXPERIMENTS.md` records a captured run next to the values
 //! the paper reports.  `--quick` reduces repetition counts and network
 //! sizes so the whole suite finishes in a couple of minutes.
+//!
+//! `--assert-reference` re-runs the deployment block at full effort and
+//! asserts its key summary numbers against the reference run captured in
+//! `EXPERIMENTS.md` (every experiment is seeded, so the values must
+//! reproduce exactly); CI runs this so a protocol change that shifts the
+//! deployment statistics fails loudly instead of silently invalidating the
+//! recorded reference.
 
 use pgrid_bench::{format_header, format_row, mean, std_dev};
 use pgrid_net::experiment::{run_deployment, Timeline};
@@ -55,12 +62,15 @@ fn main() {
     } else {
         Effort::full()
     };
+    let assert_reference = args.iter().any(|a| a == "--assert-reference");
     let requested: Vec<&str> = args
         .iter()
         .map(String::as_str)
-        .filter(|a| *a != "--quick")
+        .filter(|a| *a != "--quick" && *a != "--assert-reference")
         .collect();
-    let all = requested.is_empty() || requested.contains(&"all");
+    // Bare `--assert-reference` runs only the reference check; naming
+    // figures (or `all`) alongside it runs those too.
+    let all = requested.contains(&"all") || (requested.is_empty() && !assert_reference);
     let want = |name: &str| all || requested.contains(&name);
 
     if want("fig3") {
@@ -84,10 +94,56 @@ fn main() {
     if want("complexity") {
         complexity(&effort);
     }
+    let mut deployment_report = None;
     if want("fig7") || want("fig8") || want("fig9") || want("table5") {
-        deployment(&effort);
+        deployment_report = Some(deployment(&effort));
+    }
+    if assert_reference {
+        // The reference in EXPERIMENTS.md was captured at full effort; the
+        // deployment is fully seeded, so the comparison is exact (at the
+        // printed precision).  Reuse the block that just ran unless it ran
+        // at --quick effort.
+        let report = match deployment_report {
+            Some(report) if !quick => report,
+            _ => deployment(&Effort::full()),
+        };
+        let checks = [
+            (
+                "load-balance deviation",
+                format!("{:.3}", report.balance_deviation),
+                REFERENCE_BALANCE_DEVIATION,
+            ),
+            (
+                "mean replication",
+                format!("{:.2}", report.mean_replication),
+                REFERENCE_MEAN_REPLICATION,
+            ),
+        ];
+        let mut failed = false;
+        println!("\nreference check against EXPERIMENTS.md:");
+        for (name, got, expected) in &checks {
+            let ok = got == expected;
+            failed |= !ok;
+            println!(
+                "  {name:<24} {got} (reference {expected}) {}",
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+        assert!(
+            !failed,
+            "deployment statistics diverged from the EXPERIMENTS.md reference run; \
+             if the change is intentional, re-capture EXPERIMENTS.md and update the \
+             REFERENCE_* constants in figures.rs"
+        );
     }
 }
+
+/// Key Section 5.2 numbers of the reference `figures -- all` run recorded
+/// in `EXPERIMENTS.md` (deployment block, 296 peers, seed 0x5_2), at the
+/// precision the summary prints them.
+const REFERENCE_BALANCE_DEVIATION: &str = "0.636";
+/// See [`REFERENCE_BALANCE_DEVIATION`].
+const REFERENCE_MEAN_REPLICATION: &str = "4.48";
 
 /// Figure 3: curvature of the balanced-split probability.
 fn fig3() {
@@ -353,8 +409,8 @@ fn complexity(effort: &Effort) {
 }
 
 /// Figures 7, 8, 9 and the Section 5.2 summary table from the deployment
-/// runtime.
-fn deployment(effort: &Effort) {
+/// runtime; returns the report so `--assert-reference` can check it.
+fn deployment(effort: &Effort) -> pgrid_net::experiment::DeploymentReport {
     println!(
         "\n=== Figures 7 / 8 / 9 and Section 5.2 summary: deployment with {} peers ===",
         effort.deployment_peers
@@ -440,4 +496,5 @@ fn deployment(effort: &Effort) {
         mean(&churn_phase),
         std_dev(&churn_phase),
     );
+    report
 }

@@ -1,0 +1,218 @@
+//! The rendezvous coordinator: one socket, N workers, one merged report.
+//!
+//! The coordinator owns no peers.  It assigns contiguous shards in accept
+//! order, relays the address book so every worker can wire every foreign
+//! peer as a transport remote, releases the phase barriers once all workers
+//! reached them, and merges the streamed per-minute samples plus the final
+//! shard reports into a single [`DeploymentReport`] through the same
+//! [`assemble_report`] pipeline the single-process driver uses.
+
+use crate::plan::shard_assignment;
+use crate::proto::{ClusterMsg, ControlChannel, ShardReport, PHASE_DONE, PHASE_WIRED};
+use pgrid_net::experiment::{assemble_report, DeploymentReport, ReportInputs, Timeline};
+use pgrid_net::runtime::{generate_peers, BandwidthSample, NetConfig};
+use pgrid_transport::TransportStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{Error, ErrorKind, Result};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// How long the coordinator waits for all workers to connect.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long the coordinator waits for one worker to finish a phase.
+const PHASE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// A cluster run description.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker processes that will connect.
+    pub n_workers: usize,
+    /// The deployment configuration every worker receives.
+    pub net: NetConfig,
+    /// The phase timeline every worker receives.
+    pub timeline: Timeline,
+}
+
+fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
+    Error::new(
+        ErrorKind::InvalidData,
+        format!("expected {what}, got {got:?}"),
+    )
+}
+
+/// Accepts `cluster.n_workers` workers on `listener`, runs the rendezvous
+/// and the barrier protocol to completion, and returns the merged report.
+pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result<DeploymentReport> {
+    assert!(
+        cluster.n_workers >= 1,
+        "a cluster needs at least one worker"
+    );
+    let shards = shard_assignment(cluster.net.n_peers, cluster.n_workers);
+
+    // --- accept and assign --------------------------------------------------
+    listener.set_nonblocking(true)?;
+    let accept_deadline = Instant::now() + ACCEPT_TIMEOUT;
+    let mut workers: Vec<ControlChannel> = Vec::with_capacity(cluster.n_workers);
+    while workers.len() < cluster.n_workers {
+        match listener.accept() {
+            Ok((stream, _)) => workers.push(ControlChannel::new(stream)?),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= accept_deadline {
+                    return Err(Error::new(
+                        ErrorKind::TimedOut,
+                        format!(
+                            "only {}/{} workers connected",
+                            workers.len(),
+                            cluster.n_workers
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for (index, worker) in workers.iter_mut().enumerate() {
+        let (start, len) = shards[index];
+        worker.send(&ClusterMsg::Welcome {
+            worker_index: index as u32,
+            n_workers: cluster.n_workers as u32,
+            shard_start: start as u64,
+            shard_len: len as u64,
+            config: cluster.net.clone(),
+            timeline: cluster.timeline,
+        })?;
+    }
+
+    // --- gather endpoints, broadcast the address book -----------------------
+    let mut book: Vec<(u64, std::net::SocketAddr)> = Vec::with_capacity(cluster.net.n_peers);
+    for (index, worker) in workers.iter_mut().enumerate() {
+        let hello = worker.recv_timeout(PHASE_TIMEOUT)?;
+        let ClusterMsg::Hello {
+            shard_start,
+            peer_addrs,
+        } = hello
+        else {
+            return Err(protocol_error("Hello", &hello));
+        };
+        let (start, len) = shards[index];
+        if shard_start as usize != start || peer_addrs.len() != len {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "worker {index} announced shard {shard_start}+{} instead of {start}+{len}",
+                    peer_addrs.len()
+                ),
+            ));
+        }
+        book.extend(peer_addrs);
+    }
+    book.sort_unstable_by_key(|&(peer, _)| peer);
+    for worker in &mut workers {
+        worker.send(&ClusterMsg::AddressBook {
+            peer_addrs: book.clone(),
+        })?;
+    }
+
+    // --- barriers, sample streaming, final reports --------------------------
+    let mut bandwidth: HashMap<u64, BandwidthSample> = HashMap::new();
+    let mut merge_minutes = |samples: Vec<(u64, u64, u64)>| {
+        for (minute, maintenance, query) in samples {
+            let entry = bandwidth.entry(minute).or_default();
+            entry.maintenance_bytes += maintenance as usize;
+            entry.query_bytes += query as usize;
+        }
+    };
+    for phase in PHASE_WIRED..=PHASE_DONE {
+        for (index, worker) in workers.iter_mut().enumerate() {
+            loop {
+                match worker.recv_timeout(PHASE_TIMEOUT)? {
+                    ClusterMsg::Minutes { samples } => merge_minutes(samples),
+                    ClusterMsg::PhaseDone { phase: p } if p == phase => break,
+                    other => {
+                        return Err(Error::new(
+                            ErrorKind::InvalidData,
+                            format!("worker {index}: expected PhaseDone({phase}), got {other:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        for worker in &mut workers {
+            worker.send(&ClusterMsg::Proceed { phase })?;
+        }
+    }
+    let mut reports: Vec<ShardReport> = Vec::with_capacity(cluster.n_workers);
+    for (index, worker) in workers.iter_mut().enumerate() {
+        loop {
+            match worker.recv_timeout(PHASE_TIMEOUT)? {
+                ClusterMsg::Minutes { samples } => merge_minutes(samples),
+                ClusterMsg::Report(report) => {
+                    reports.push(report);
+                    break;
+                }
+                other => {
+                    return Err(Error::new(
+                        ErrorKind::InvalidData,
+                        format!("worker {index}: expected Report, got {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    Ok(merge_reports(cluster, &shards, bandwidth, reports))
+}
+
+/// Merges the shard reports into the single-process report shape: paths at
+/// their global indices, query records concatenated, counters summed.
+fn merge_reports(
+    cluster: &ClusterConfig,
+    shards: &[(usize, usize)],
+    bandwidth: HashMap<u64, BandwidthSample>,
+    reports: Vec<ShardReport>,
+) -> DeploymentReport {
+    // The ground-truth data assignment is a function of the seed; the
+    // coordinator reproduces it exactly as every worker's runtime did.
+    let mut rng = StdRng::seed_from_u64(cluster.net.seed);
+    let (_, original_entries) = generate_peers(&cluster.net, &mut rng);
+
+    let mut paths = vec![pgrid_core::path::Path::root(); cluster.net.n_peers];
+    let mut queries = Vec::new();
+    let mut online_at_end = 0usize;
+    let mut transport = TransportStats::default();
+    for report in &reports {
+        let start = report.shard_start as usize;
+        debug_assert!(shards
+            .iter()
+            .any(|&(s, l)| s == start && l == report.paths.len()));
+        for (offset, path) in report.paths.iter().enumerate() {
+            paths[start + offset] = *path;
+        }
+        queries.extend(report.queries.iter().copied());
+        online_at_end += report.online_at_end as usize;
+        // Sums the global counters and folds the per-peer link maps: a
+        // peer's entry ends up holding the cluster-wide traffic concerning
+        // it (frames sent *to* it by any shard, frames received *for* it by
+        // its host).
+        transport.merge(&report.transport);
+    }
+    // Order query records by issue time so the merged series reads like the
+    // single-process one.
+    queries.sort_by_key(|q| q.issued_at);
+
+    let inputs = ReportInputs {
+        n_peers: cluster.net.n_peers,
+        params: cluster.net.balance_params(),
+        original_keys: original_entries.iter().map(|e| e.key).collect(),
+        paths,
+        queries,
+        bandwidth_per_minute: bandwidth,
+        online_at_end,
+        transport,
+    };
+    assemble_report(&inputs, &cluster.timeline)
+}

@@ -1,0 +1,43 @@
+//! # pgrid-cluster
+//!
+//! Multi-process deployment runtime of the P-Grid reproduction.
+//!
+//! The paper's Section-5 deployment runs peers that only interact through
+//! messages; `pgrid-net` reproduces that inside one process, and this crate
+//! stretches the very same protocol code across real OS processes:
+//!
+//! * a **coordinator** ([`coordinator`]) accepts worker connections on one
+//!   socket, assigns each a contiguous shard of the peer population, relays
+//!   the merged address book, releases the phase barriers, and folds the
+//!   workers' streamed samples and final shard reports into one
+//!   [`pgrid_net::experiment::DeploymentReport`];
+//! * a **worker** ([`worker`]) hosts its shard on a
+//!   [`pgrid_transport::tcp::TcpTransport`] (one listener per hosted peer),
+//!   wires every foreign peer as a transport remote, and drives the
+//!   join → replicate → construct → query → churn timeline over the shard;
+//! * the **rendezvous protocol** ([`proto`]) is a tiny framed control
+//!   protocol (`Welcome`/`Hello`/`AddressBook`/`PhaseDone`/`Proceed`/
+//!   `Minutes`/`Report`) reusing the data plane's length-prefixed framing;
+//! * deterministic **plans** ([`plan`]) derive the global knowledge every
+//!   process must agree on (join ramp, bootstrap adjacency, churn schedule)
+//!   from the shared seed instead of shipping it;
+//! * **local mode** ([`local`]) self-spawns N worker child processes for
+//!   tests, CI and quick demos (`pgrid-cluster local --workers 2`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod local;
+pub mod plan;
+pub mod proto;
+pub mod worker;
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::coordinator::{run_coordinator, ClusterConfig};
+    pub use crate::local::{run_local, LocalOptions};
+    pub use crate::plan::{churn_plan, join_plan, shard_assignment};
+    pub use crate::proto::{ClusterMsg, ControlChannel, ShardReport};
+    pub use crate::worker::run_worker;
+}

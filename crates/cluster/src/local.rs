@@ -1,0 +1,108 @@
+//! Local cluster mode: coordinator in-process, workers as real child
+//! processes.
+//!
+//! This is the zero-setup way to cross a process boundary — used by the
+//! multi-process e2e test and the `pgrid-cluster local` subcommand.  The
+//! coordinator binds an ephemeral loopback socket, spawns N copies of the
+//! worker binary pointed at it, and runs the rendezvous exactly as it would
+//! for workers started by hand on other machines.
+
+use crate::coordinator::{run_coordinator, ClusterConfig};
+use pgrid_net::experiment::{DeploymentReport, Timeline};
+use pgrid_net::runtime::NetConfig;
+use std::io::{Error, Result};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+/// Options of a local (self-spawned) cluster run.
+#[derive(Clone, Debug)]
+pub struct LocalOptions {
+    /// Number of worker processes to spawn.
+    pub workers: usize,
+    /// Path of the worker executable; `None` uses the current executable
+    /// (correct when the caller *is* the `pgrid-cluster` binary — tests
+    /// pass their `CARGO_BIN_EXE_pgrid-cluster` instead).
+    pub worker_exe: Option<PathBuf>,
+    /// Whether worker stderr is passed through (stdout is always null —
+    /// workers print nothing on success).
+    pub inherit_stderr: bool,
+}
+
+impl Default for LocalOptions {
+    fn default() -> LocalOptions {
+        LocalOptions {
+            workers: 2,
+            worker_exe: None,
+            inherit_stderr: true,
+        }
+    }
+}
+
+/// Kills whatever children are still running when the coordinator bails
+/// out, so a failed run never leaks worker processes.
+struct Reaper {
+    children: Vec<Child>,
+}
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Runs a full deployment as one coordinator (this process) plus
+/// `options.workers` spawned worker processes, and returns the merged
+/// report.
+pub fn run_local(
+    config: &NetConfig,
+    timeline: &Timeline,
+    options: &LocalOptions,
+) -> Result<DeploymentReport> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let exe = match &options.worker_exe {
+        Some(path) => path.clone(),
+        None => std::env::current_exe()?,
+    };
+
+    let mut reaper = Reaper {
+        children: Vec::with_capacity(options.workers),
+    };
+    for _ in 0..options.workers {
+        let child = Command::new(&exe)
+            .arg("worker")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(if options.inherit_stderr {
+                Stdio::inherit()
+            } else {
+                Stdio::null()
+            })
+            .spawn()?;
+        reaper.children.push(child);
+    }
+
+    let cluster = ClusterConfig {
+        n_workers: options.workers,
+        net: config.clone(),
+        timeline: *timeline,
+    };
+    let report = run_coordinator(listener, &cluster)?;
+
+    // A clean run means every worker exits on its own with status 0.
+    let children = std::mem::take(&mut reaper.children);
+    drop(reaper);
+    for mut child in children {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(Error::other(format!("worker process exited with {status}")));
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,187 @@
+//! `pgrid-cluster` — run the Section-5 deployment across real OS processes.
+//!
+//! ```text
+//! pgrid-cluster local --workers 2 [--peers 48] [--seed 7] [--smoke]
+//! pgrid-cluster coordinator --listen 127.0.0.1:7071 --workers 2 [--peers 48]
+//! pgrid-cluster worker --connect 127.0.0.1:7071
+//! ```
+//!
+//! `local` spawns the workers itself (child processes of this binary) and
+//! is what CI exercises; `coordinator`/`worker` are the same roles started
+//! by hand, e.g. on separate machines.  On success the coordinator prints
+//! the merged per-minute series tail and the Section 5.2 summary.
+
+use pgrid_cluster::coordinator::{run_coordinator, ClusterConfig};
+use pgrid_cluster::local::{run_local, LocalOptions};
+use pgrid_cluster::worker::run_worker;
+use pgrid_net::experiment::{DeploymentReport, Timeline};
+use pgrid_net::runtime::NetConfig;
+use pgrid_workload::distributions::Distribution;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke]\n\
+         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke]\n\
+         \x20      pgrid-cluster worker --connect ADDR"
+    );
+    ExitCode::from(2)
+}
+
+fn option(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|at| args.get(at + 1))
+        .cloned()
+}
+
+/// The run configuration of the coordinator-side subcommands.
+fn run_config(args: &[String]) -> (NetConfig, Timeline) {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let timeline = if smoke {
+        Timeline {
+            join_end_min: 3,
+            replicate_end_min: 5,
+            construct_end_min: 18,
+            query_end_min: 22,
+            end_min: 25,
+        }
+    } else {
+        Timeline::default()
+    };
+    let n_peers = option(args, "--peers")
+        .map(|v| v.parse().expect("--peers takes an integer"))
+        .unwrap_or(if smoke { 32 } else { 64 });
+    let seed = option(args, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(12);
+    let config = NetConfig {
+        n_peers,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed,
+        ..NetConfig::default()
+    };
+    (config, timeline)
+}
+
+fn print_report(report: &DeploymentReport, workers: usize) {
+    println!("\nmerged per-minute series (tail):");
+    println!(
+        "{:>7} {:>7} {:>12} {:>12} {:>11}",
+        "minute", "peers", "maint B/s", "query B/s", "lat mean s"
+    );
+    for sample in report.timeline.iter().rev().take(8).rev() {
+        println!(
+            "{:>7} {:>7} {:>12.1} {:>12.1} {:>11.3}",
+            sample.minute,
+            sample.peers_online,
+            sample.maintenance_bps,
+            sample.query_bps,
+            sample.query_latency_mean_s
+        );
+    }
+    println!("\ncluster summary ({workers} worker processes):");
+    println!("  balance_deviation  = {:.3}", report.balance_deviation);
+    println!("  mean_path_length   = {:.2}", report.mean_path_length);
+    println!("  mean_query_hops    = {:.2}", report.mean_query_hops);
+    println!("  query_success_rate = {:.3}", report.query_success_rate);
+    println!("  mean_replication   = {:.2}", report.mean_replication);
+    println!(
+        "  frames sent/delivered = {}/{}  ({} bytes on the wire)",
+        report.transport.frames_sent,
+        report.transport.frames_delivered,
+        report.transport.bytes_sent
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match mode {
+        "local" => {
+            let workers = option(&args, "--workers")
+                .map(|v| v.parse().expect("--workers takes an integer"))
+                .unwrap_or(2);
+            let (config, timeline) = run_config(&args);
+            println!(
+                "local cluster: {workers} worker processes hosting {} peers (seed {})",
+                config.n_peers, config.seed
+            );
+            let options = LocalOptions {
+                workers,
+                worker_exe: None,
+                inherit_stderr: true,
+            };
+            match run_local(&config, &timeline, &options) {
+                Ok(report) => {
+                    print_report(&report, workers);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("local cluster failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "coordinator" => {
+            let Some(listen) = option(&args, "--listen") else {
+                return usage();
+            };
+            let workers = option(&args, "--workers")
+                .map(|v| v.parse().expect("--workers takes an integer"))
+                .unwrap_or(2);
+            let (config, timeline) = run_config(&args);
+            let listener = match TcpListener::bind(&listen) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot listen on {listen}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "coordinator on {listen}: waiting for {workers} workers ({} peers, seed {})",
+                config.n_peers, config.seed
+            );
+            let cluster = ClusterConfig {
+                n_workers: workers,
+                net: config,
+                timeline,
+            };
+            match run_coordinator(listener, &cluster) {
+                Ok(report) => {
+                    print_report(&report, workers);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("coordinator failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "worker" => {
+            let Some(connect) = option(&args, "--connect") else {
+                return usage();
+            };
+            let addr = match connect.parse() {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("bad --connect address {connect}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_worker(addr) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("worker failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

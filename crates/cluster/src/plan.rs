@@ -1,0 +1,190 @@
+//! Deterministic schedules every worker derives independently.
+//!
+//! A sharded runtime only hosts part of the peer population, but three
+//! pieces of *global* knowledge must still be consistent across processes:
+//! the unstructured-overlay adjacency (the random-walk contact sampling and
+//! query routing read neighbour lists of peers a worker does not host), the
+//! join ramp, and the churn schedule (routing uses scheduled liveness of
+//! remote peers as its failure detector — exactly the information a real
+//! deployment would gossip).  Rather than replicating this state through
+//! messages, every worker computes it from the shared seed: same
+//! [`NetConfig`], same plan, in every process — the coordinator never has
+//! to ship it.
+
+use pgrid_core::routing::PeerId;
+use pgrid_net::experiment::Timeline;
+use pgrid_net::runtime::{Millis, NetConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Milliseconds per minute of virtual time.
+pub const MINUTE_MS: u64 = 60_000;
+
+/// Bootstrap fanout of the join phase (the Section 5.1 driver uses 6).
+pub const JOIN_FANOUT: usize = 6;
+
+/// One peer joining the unstructured overlay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinEvent {
+    /// Virtual time of the join.
+    pub at: Millis,
+    /// The joining peer.
+    pub peer: usize,
+    /// Its bootstrap contacts (already-joined peers).
+    pub neighbours: Vec<PeerId>,
+}
+
+/// One offline interval of the churn phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The churning peer.
+    pub peer: usize,
+    /// Virtual time the peer goes offline.
+    pub at: Millis,
+    /// How long it stays offline.
+    pub downtime: Millis,
+}
+
+/// The join ramp: peer `i` joins at `i * join_end / n` with
+/// [`JOIN_FANOUT`] contacts drawn uniformly from the already-joined
+/// population, mirroring the single-process driver's
+/// `Runtime::join_peer` selection.
+pub fn join_plan(config: &NetConfig, timeline: &Timeline) -> Vec<JoinEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x4A01_4E5F);
+    let join_end = timeline.join_end_min * MINUTE_MS;
+    let mut joined: Vec<PeerId> = Vec::with_capacity(config.n_peers);
+    let mut events = Vec::with_capacity(config.n_peers);
+    for peer in 0..config.n_peers {
+        let at = (peer as u64 * join_end) / config.n_peers as u64;
+        let mut neighbours = joined.clone();
+        neighbours.shuffle(&mut rng);
+        neighbours.truncate(JOIN_FANOUT);
+        events.push(JoinEvent {
+            at,
+            peer,
+            neighbours,
+        });
+        joined.push(PeerId(peer as u64));
+    }
+    events
+}
+
+/// The churn schedule of the final phase: each peer independently goes
+/// offline for 1–5 minutes every 5–10 minutes between the query and the
+/// end boundary, as in the paper's Section 5.1.
+pub fn churn_plan(config: &NetConfig, timeline: &Timeline) -> Vec<ChurnEvent> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC4_5211);
+    let query_end = timeline.query_end_min * MINUTE_MS;
+    let churn_end = timeline.end_min * MINUTE_MS;
+    let mut events = Vec::new();
+    for peer in 0..config.n_peers {
+        let mut at = query_end + rng.gen_range(0..5 * MINUTE_MS);
+        while at < churn_end {
+            let downtime = rng.gen_range(MINUTE_MS..=5 * MINUTE_MS);
+            events.push(ChurnEvent { peer, at, downtime });
+            at += downtime + rng.gen_range(5 * MINUTE_MS..=10 * MINUTE_MS);
+        }
+    }
+    events
+}
+
+/// Splits `n_peers` into `n_workers` contiguous shards, as even as
+/// possible: the first `n_peers % n_workers` shards get one extra peer.
+/// Returns `(start, len)` per worker.
+pub fn shard_assignment(n_peers: usize, n_workers: usize) -> Vec<(usize, usize)> {
+    assert!(n_workers >= 1, "a cluster needs at least one worker");
+    assert!(
+        n_workers <= n_peers,
+        "cannot split {n_peers} peers across {n_workers} workers"
+    );
+    let base = n_peers / n_workers;
+    let extra = n_peers % n_workers;
+    let mut shards = Vec::with_capacity(n_workers);
+    let mut start = 0;
+    for worker in 0..n_workers {
+        let len = base + usize::from(worker < extra);
+        shards.push((start, len));
+        start += len;
+    }
+    debug_assert_eq!(start, n_peers);
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n_peers: usize) -> NetConfig {
+        NetConfig {
+            n_peers,
+            seed: 99,
+            ..NetConfig::default()
+        }
+    }
+
+    #[test]
+    fn plans_are_reproducible_and_seed_sensitive() {
+        let timeline = Timeline::default();
+        let a = join_plan(&config(64), &timeline);
+        let b = join_plan(&config(64), &timeline);
+        assert_eq!(a, b, "same seed, same plan");
+        let other = join_plan(
+            &NetConfig {
+                seed: 100,
+                ..config(64)
+            },
+            &timeline,
+        );
+        assert_ne!(a, other, "the plan must depend on the seed");
+        assert_eq!(
+            churn_plan(&config(64), &timeline),
+            churn_plan(&config(64), &timeline)
+        );
+    }
+
+    #[test]
+    fn join_plan_covers_every_peer_within_the_join_phase() {
+        let timeline = Timeline::default();
+        let plan = join_plan(&config(48), &timeline);
+        assert_eq!(plan.len(), 48);
+        for (i, event) in plan.iter().enumerate() {
+            assert_eq!(event.peer, i);
+            assert!(event.at < timeline.join_end_min * MINUTE_MS);
+            assert!(event.neighbours.len() <= JOIN_FANOUT);
+            // contacts are always peers that joined earlier
+            for n in &event.neighbours {
+                assert!((n.0 as usize) < i);
+            }
+        }
+        // everyone after the bootstrap founders has contacts
+        assert!(plan[7].neighbours.len() >= 3);
+    }
+
+    #[test]
+    fn churn_plan_stays_inside_the_churn_window() {
+        let timeline = Timeline::default();
+        let plan = churn_plan(&config(32), &timeline);
+        assert!(!plan.is_empty());
+        for event in &plan {
+            assert!(event.at >= timeline.query_end_min * MINUTE_MS);
+            assert!(event.at < timeline.end_min * MINUTE_MS);
+            assert!((MINUTE_MS..=5 * MINUTE_MS).contains(&event.downtime));
+        }
+    }
+
+    #[test]
+    fn shards_are_contiguous_and_exhaustive() {
+        for (n_peers, n_workers) in [(10, 3), (64, 2), (7, 7), (100, 8)] {
+            let shards = shard_assignment(n_peers, n_workers);
+            assert_eq!(shards.len(), n_workers);
+            let mut next = 0;
+            for (start, len) in shards {
+                assert_eq!(start, next);
+                assert!(len >= 1);
+                next = start + len;
+            }
+            assert_eq!(next, n_peers);
+        }
+    }
+}

@@ -1,0 +1,790 @@
+//! Rendezvous wire protocol between the coordinator and its workers.
+//!
+//! The control plane is deliberately tiny: one TCP connection per worker,
+//! carrying [`ClusterMsg`]s as single-payload frames (the same
+//! length-prefixed framing the data plane uses, so both sides reuse
+//! [`pgrid_transport::frame::FrameReader`] for reassembly).  The lifecycle
+//! is:
+//!
+//! ```text
+//! worker                          coordinator
+//!   | ---------- connect ------------> |
+//!   | <--------- Welcome ------------- |   shard assignment + run config
+//!   | ---------- Hello --------------> |   per-peer listen addresses
+//!   | <--------- AddressBook --------- |   all peers of all shards
+//!   |                                  |
+//!   | ---- Minutes*, PhaseDone(p) ---> |   per phase p = 0..=5
+//!   | <--------- Proceed(p) ---------- |   barrier release
+//!   |                                  |
+//!   | ---- Minutes*, Report ---------> |   final shard report
+//! ```
+//!
+//! Like the peer protocol, the codec is a hand-rolled big-endian binary
+//! format over [`bytes`]: no registry dependencies, self-describing enough
+//! for round-trip tests, and versioned by a leading magic/version pair so a
+//! stale worker fails loudly instead of mis-parsing.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pgrid_core::path::Path;
+use pgrid_net::experiment::Timeline;
+use pgrid_net::runtime::{NetConfig, QueryRecord};
+use pgrid_transport::frame::{decode_frame, encode_frame, FrameReader};
+use pgrid_transport::{LinkStats, TransportStats};
+use pgrid_workload::distributions::Distribution;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Protocol magic, checked on every message.
+const MAGIC: u16 = 0x5047; // "PG"
+/// Protocol version; bump on any wire-format change.
+const VERSION: u8 = 1;
+
+/// Phases of the Section-5 timeline the cluster barriers on, in order.
+pub const PHASE_WIRED: u8 = 0;
+/// All peers joined the unstructured overlay.
+pub const PHASE_JOINED: u8 = 1;
+/// Replication pushes flushed.
+pub const PHASE_REPLICATED: u8 = 2;
+/// Construction window over.
+pub const PHASE_CONSTRUCTED: u8 = 3;
+/// Query window over.
+pub const PHASE_QUERIED: u8 = 4;
+/// Churn window over and outstanding queries drained.
+pub const PHASE_DONE: u8 = 5;
+
+/// One worker shard's final contribution to the merged report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardReport {
+    /// First peer id of the shard.
+    pub shard_start: u64,
+    /// Final path of every hosted peer, in shard order.
+    pub paths: Vec<Path>,
+    /// Every query issued by hosted peers.
+    pub queries: Vec<QueryRecord>,
+    /// Hosted peers online when the run ended.
+    pub online_at_end: u64,
+    /// The worker's transport counters, including its per-peer link stats
+    /// (send side keyed by destination, receive side by hosted peer); the
+    /// coordinator folds the shards together with
+    /// [`TransportStats::merge`].
+    pub transport: TransportStats,
+    /// Protocol messages delivered to hosted peers.
+    pub messages_delivered: u64,
+    /// Protocol messages lost (emulated loss + broken connections).
+    pub messages_lost: u64,
+}
+
+/// A control-plane message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterMsg {
+    /// Coordinator → worker: shard assignment and the run configuration.
+    Welcome {
+        /// Index of this worker (0-based, in accept order).
+        worker_index: u32,
+        /// Total number of workers in the cluster.
+        n_workers: u32,
+        /// First peer id of the assigned shard.
+        shard_start: u64,
+        /// Number of peers in the assigned shard.
+        shard_len: u64,
+        /// Deployment configuration (identical for every worker).
+        config: NetConfig,
+        /// Phase boundaries of the timeline.
+        timeline: Timeline,
+    },
+    /// Worker → coordinator: listen addresses of the hosted peers.
+    Hello {
+        /// First peer id of the shard (echo of the assignment).
+        shard_start: u64,
+        /// `(peer id, socket address)` of every hosted peer.
+        peer_addrs: Vec<(u64, SocketAddr)>,
+    },
+    /// Coordinator → worker: the address book of the whole cluster.
+    AddressBook {
+        /// `(peer id, socket address)` of every peer of every shard.
+        peer_addrs: Vec<(u64, SocketAddr)>,
+    },
+    /// Worker → coordinator: the local timeline reached the end of `phase`.
+    PhaseDone {
+        /// One of the `PHASE_*` constants.
+        phase: u8,
+    },
+    /// Coordinator → worker: every worker finished `phase`; continue.
+    Proceed {
+        /// One of the `PHASE_*` constants.
+        phase: u8,
+    },
+    /// Worker → coordinator: freshly completed per-minute bandwidth
+    /// buckets, streamed at each barrier (and once more with the final
+    /// report).
+    Minutes {
+        /// `(minute bucket, maintenance bytes, query bytes)` triples.
+        samples: Vec<(u64, u64, u64)>,
+    },
+    /// Worker → coordinator: the shard's final report.
+    Report(ShardReport),
+}
+
+impl ClusterMsg {
+    /// Encodes the message (including the magic/version header).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u16(MAGIC);
+        buf.put_u8(VERSION);
+        match self {
+            ClusterMsg::Welcome {
+                worker_index,
+                n_workers,
+                shard_start,
+                shard_len,
+                config,
+                timeline,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32(*worker_index);
+                buf.put_u32(*n_workers);
+                buf.put_u64(*shard_start);
+                buf.put_u64(*shard_len);
+                put_config(&mut buf, config);
+                put_timeline(&mut buf, timeline);
+            }
+            ClusterMsg::Hello {
+                shard_start,
+                peer_addrs,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64(*shard_start);
+                put_addrs(&mut buf, peer_addrs);
+            }
+            ClusterMsg::AddressBook { peer_addrs } => {
+                buf.put_u8(2);
+                put_addrs(&mut buf, peer_addrs);
+            }
+            ClusterMsg::PhaseDone { phase } => {
+                buf.put_u8(3);
+                buf.put_u8(*phase);
+            }
+            ClusterMsg::Proceed { phase } => {
+                buf.put_u8(4);
+                buf.put_u8(*phase);
+            }
+            ClusterMsg::Minutes { samples } => {
+                buf.put_u8(5);
+                buf.put_u32(samples.len() as u32);
+                for (minute, maintenance, query) in samples {
+                    buf.put_u64(*minute);
+                    buf.put_u64(*maintenance);
+                    buf.put_u64(*query);
+                }
+            }
+            ClusterMsg::Report(report) => {
+                buf.put_u8(6);
+                buf.put_u64(report.shard_start);
+                buf.put_u32(report.paths.len() as u32);
+                for path in &report.paths {
+                    put_path(&mut buf, path);
+                }
+                buf.put_u32(report.queries.len() as u32);
+                for q in &report.queries {
+                    buf.put_u64(q.issued_at);
+                    match q.latency_ms {
+                        Some(lat) => {
+                            buf.put_u8(1);
+                            buf.put_u64(lat);
+                        }
+                        None => buf.put_u8(0),
+                    }
+                    buf.put_u32(q.hops);
+                    buf.put_u8(q.success as u8);
+                }
+                buf.put_u64(report.online_at_end);
+                buf.put_u64(report.transport.frames_sent);
+                buf.put_u64(report.transport.frames_delivered);
+                buf.put_u64(report.transport.bytes_sent);
+                buf.put_u64(report.transport.bytes_delivered);
+                buf.put_u32(report.transport.per_peer.len() as u32);
+                for (&peer, link) in &report.transport.per_peer {
+                    buf.put_u64(peer);
+                    buf.put_u64(link.frames_sent);
+                    buf.put_u64(link.bytes_sent);
+                    buf.put_u64(link.frames_received);
+                    buf.put_u64(link.bytes_received);
+                    buf.put_u64(link.reconnects);
+                    buf.put_u64(link.send_failures);
+                }
+                buf.put_u64(report.messages_delivered);
+                buf.put_u64(report.messages_lost);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message previously produced by [`ClusterMsg::encode`];
+    /// `None` for malformed input or a version mismatch.
+    pub fn decode(mut data: Bytes) -> Option<ClusterMsg> {
+        if get_u16(&mut data)? != MAGIC || get_u8(&mut data)? != VERSION {
+            return None;
+        }
+        Some(match get_u8(&mut data)? {
+            0 => ClusterMsg::Welcome {
+                worker_index: get_u32(&mut data)?,
+                n_workers: get_u32(&mut data)?,
+                shard_start: get_u64(&mut data)?,
+                shard_len: get_u64(&mut data)?,
+                config: get_config(&mut data)?,
+                timeline: get_timeline(&mut data)?,
+            },
+            1 => ClusterMsg::Hello {
+                shard_start: get_u64(&mut data)?,
+                peer_addrs: get_addrs(&mut data)?,
+            },
+            2 => ClusterMsg::AddressBook {
+                peer_addrs: get_addrs(&mut data)?,
+            },
+            3 => ClusterMsg::PhaseDone {
+                phase: get_u8(&mut data)?,
+            },
+            4 => ClusterMsg::Proceed {
+                phase: get_u8(&mut data)?,
+            },
+            5 => {
+                let n = get_u32(&mut data)? as usize;
+                if n > 1 << 20 {
+                    return None;
+                }
+                let mut samples = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    samples.push((
+                        get_u64(&mut data)?,
+                        get_u64(&mut data)?,
+                        get_u64(&mut data)?,
+                    ));
+                }
+                ClusterMsg::Minutes { samples }
+            }
+            6 => {
+                let shard_start = get_u64(&mut data)?;
+                let n_paths = get_u32(&mut data)? as usize;
+                if n_paths > 1 << 24 {
+                    return None;
+                }
+                let mut paths = Vec::with_capacity(n_paths.min(65536));
+                for _ in 0..n_paths {
+                    paths.push(get_path(&mut data)?);
+                }
+                let n_queries = get_u32(&mut data)? as usize;
+                if n_queries > 1 << 24 {
+                    return None;
+                }
+                let mut queries = Vec::with_capacity(n_queries.min(65536));
+                for _ in 0..n_queries {
+                    let issued_at = get_u64(&mut data)?;
+                    let latency_ms = if get_u8(&mut data)? != 0 {
+                        Some(get_u64(&mut data)?)
+                    } else {
+                        None
+                    };
+                    queries.push(QueryRecord {
+                        issued_at,
+                        latency_ms,
+                        hops: get_u32(&mut data)?,
+                        success: get_u8(&mut data)? != 0,
+                    });
+                }
+                let online_at_end = get_u64(&mut data)?;
+                let mut transport = TransportStats {
+                    frames_sent: get_u64(&mut data)?,
+                    frames_delivered: get_u64(&mut data)?,
+                    bytes_sent: get_u64(&mut data)?,
+                    bytes_delivered: get_u64(&mut data)?,
+                    ..TransportStats::default()
+                };
+                let n_links = get_u32(&mut data)? as usize;
+                if n_links > 1 << 24 {
+                    return None;
+                }
+                for _ in 0..n_links {
+                    let peer = get_u64(&mut data)?;
+                    let link = LinkStats {
+                        frames_sent: get_u64(&mut data)?,
+                        bytes_sent: get_u64(&mut data)?,
+                        frames_received: get_u64(&mut data)?,
+                        bytes_received: get_u64(&mut data)?,
+                        reconnects: get_u64(&mut data)?,
+                        send_failures: get_u64(&mut data)?,
+                    };
+                    transport.per_peer.insert(peer, link);
+                }
+                ClusterMsg::Report(ShardReport {
+                    shard_start,
+                    paths,
+                    queries,
+                    online_at_end,
+                    transport,
+                    messages_delivered: get_u64(&mut data)?,
+                    messages_lost: get_u64(&mut data)?,
+                })
+            }
+            _ => return None,
+        })
+    }
+}
+
+// ----- field codecs ----------------------------------------------------------
+
+fn put_config(buf: &mut BytesMut, config: &NetConfig) {
+    buf.put_u64(config.n_peers as u64);
+    buf.put_u64(config.keys_per_peer as u64);
+    buf.put_u64(config.n_min as u64);
+    match config.delta_max {
+        Some(d) => {
+            buf.put_u8(1);
+            buf.put_u64(d as u64);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64(config.latency_min_ms);
+    buf.put_u64(config.latency_max_ms);
+    buf.put_f64(config.loss_probability);
+    buf.put_u64(config.construct_interval_ms);
+    buf.put_u64(config.query_timeout_ms);
+    buf.put_u64(config.routing_fanout as u64);
+    buf.put_u64(config.seed);
+    match config.distribution {
+        Distribution::Uniform => buf.put_u8(0),
+        Distribution::Pareto { shape } => {
+            buf.put_u8(1);
+            buf.put_f64(shape);
+        }
+        Distribution::Normal { mean, std_dev } => {
+            buf.put_u8(2);
+            buf.put_f64(mean);
+            buf.put_f64(std_dev);
+        }
+        Distribution::Text {
+            vocabulary,
+            exponent,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64(vocabulary as u64);
+            buf.put_f64(exponent);
+        }
+    }
+    buf.put_u8(config.batch_per_tick as u8);
+}
+
+fn get_config(data: &mut Bytes) -> Option<NetConfig> {
+    let n_peers = get_u64(data)? as usize;
+    let keys_per_peer = get_u64(data)? as usize;
+    let n_min = get_u64(data)? as usize;
+    let delta_max = if get_u8(data)? != 0 {
+        Some(get_u64(data)? as usize)
+    } else {
+        None
+    };
+    let latency_min_ms = get_u64(data)?;
+    let latency_max_ms = get_u64(data)?;
+    let loss_probability = get_f64(data)?;
+    let construct_interval_ms = get_u64(data)?;
+    let query_timeout_ms = get_u64(data)?;
+    let routing_fanout = get_u64(data)? as usize;
+    let seed = get_u64(data)?;
+    let distribution = match get_u8(data)? {
+        0 => Distribution::Uniform,
+        1 => Distribution::Pareto {
+            shape: get_f64(data)?,
+        },
+        2 => Distribution::Normal {
+            mean: get_f64(data)?,
+            std_dev: get_f64(data)?,
+        },
+        3 => Distribution::Text {
+            vocabulary: get_u64(data)? as usize,
+            exponent: get_f64(data)?,
+        },
+        _ => return None,
+    };
+    let batch_per_tick = get_u8(data)? != 0;
+    Some(NetConfig {
+        n_peers,
+        keys_per_peer,
+        n_min,
+        delta_max,
+        latency_min_ms,
+        latency_max_ms,
+        loss_probability,
+        construct_interval_ms,
+        query_timeout_ms,
+        routing_fanout,
+        seed,
+        distribution,
+        batch_per_tick,
+    })
+}
+
+fn put_timeline(buf: &mut BytesMut, timeline: &Timeline) {
+    buf.put_u64(timeline.join_end_min);
+    buf.put_u64(timeline.replicate_end_min);
+    buf.put_u64(timeline.construct_end_min);
+    buf.put_u64(timeline.query_end_min);
+    buf.put_u64(timeline.end_min);
+}
+
+fn get_timeline(data: &mut Bytes) -> Option<Timeline> {
+    Some(Timeline {
+        join_end_min: get_u64(data)?,
+        replicate_end_min: get_u64(data)?,
+        construct_end_min: get_u64(data)?,
+        query_end_min: get_u64(data)?,
+        end_min: get_u64(data)?,
+    })
+}
+
+fn put_addrs(buf: &mut BytesMut, addrs: &[(u64, SocketAddr)]) {
+    buf.put_u32(addrs.len() as u32);
+    for (peer, addr) in addrs {
+        buf.put_u64(*peer);
+        match addr.ip() {
+            IpAddr::V4(ip) => {
+                buf.put_u8(4);
+                buf.put_slice(&ip.octets());
+            }
+            IpAddr::V6(ip) => {
+                buf.put_u8(6);
+                buf.put_slice(&ip.octets());
+            }
+        }
+        buf.put_u16(addr.port());
+    }
+}
+
+fn get_addrs(data: &mut Bytes) -> Option<Vec<(u64, SocketAddr)>> {
+    let n = get_u32(data)? as usize;
+    if n > 1 << 24 {
+        return None;
+    }
+    let mut addrs = Vec::with_capacity(n.min(65536));
+    for _ in 0..n {
+        let peer = get_u64(data)?;
+        let ip: IpAddr = match get_u8(data)? {
+            4 => {
+                let mut octets = [0u8; 4];
+                get_bytes(data, &mut octets)?;
+                Ipv4Addr::from(octets).into()
+            }
+            6 => {
+                let mut octets = [0u8; 16];
+                get_bytes(data, &mut octets)?;
+                Ipv6Addr::from(octets).into()
+            }
+            _ => return None,
+        };
+        let port = get_u16(data)?;
+        addrs.push((peer, SocketAddr::new(ip, port)));
+    }
+    Some(addrs)
+}
+
+fn put_path(buf: &mut BytesMut, path: &Path) {
+    buf.put_u8(path.len() as u8);
+    let mut bits: u64 = 0;
+    for (i, b) in path.bits_iter().enumerate() {
+        if b {
+            bits |= 1 << (63 - i);
+        }
+    }
+    buf.put_u64(bits);
+}
+
+fn get_path(data: &mut Bytes) -> Option<Path> {
+    let len = get_u8(data)? as usize;
+    if len > pgrid_core::path::MAX_PATH_LEN {
+        return None;
+    }
+    let bits = get_u64(data)?;
+    let mut path = Path::root();
+    for i in 0..len {
+        path = path.child((bits >> (63 - i)) & 1 == 1);
+    }
+    Some(path)
+}
+
+fn get_u8(data: &mut Bytes) -> Option<u8> {
+    (data.remaining() >= 1).then(|| data.get_u8())
+}
+
+fn get_u16(data: &mut Bytes) -> Option<u16> {
+    (data.remaining() >= 2).then(|| data.get_u16())
+}
+
+fn get_u32(data: &mut Bytes) -> Option<u32> {
+    (data.remaining() >= 4).then(|| data.get_u32())
+}
+
+fn get_u64(data: &mut Bytes) -> Option<u64> {
+    (data.remaining() >= 8).then(|| data.get_u64())
+}
+
+fn get_f64(data: &mut Bytes) -> Option<f64> {
+    get_u64(data).map(f64::from_bits)
+}
+
+fn get_bytes(data: &mut Bytes, out: &mut [u8]) -> Option<()> {
+    if data.remaining() < out.len() {
+        return None;
+    }
+    for byte in out.iter_mut() {
+        *byte = data.get_u8();
+    }
+    Some(())
+}
+
+// ----- control channel -------------------------------------------------------
+
+/// A framed, bidirectional control connection.
+///
+/// Sends are synchronous writes of one single-payload frame; receives
+/// reassemble frames from the stream with a short socket read timeout so
+/// [`ControlChannel::try_recv`] never parks the caller — a worker waiting at
+/// a barrier must keep servicing its *data* transport while it waits for the
+/// coordinator.
+pub struct ControlChannel {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// Socket read timeout of the control channel; bounds how long `try_recv`
+/// can block.
+const POLL_TIMEOUT: Duration = Duration::from_millis(2);
+
+impl ControlChannel {
+    /// Wraps a connected control stream.
+    pub fn new(stream: TcpStream) -> std::io::Result<ControlChannel> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(POLL_TIMEOUT))?;
+        Ok(ControlChannel {
+            stream,
+            reader: FrameReader::new(),
+        })
+    }
+
+    /// The remote end of the channel.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Sends one message.
+    pub fn send(&mut self, msg: &ClusterMsg) -> std::io::Result<()> {
+        let frame = encode_frame(&[msg.encode()]);
+        self.stream.write_all(frame.as_slice())
+    }
+
+    /// Returns the next message if one is available within the short poll
+    /// timeout, `None` otherwise.
+    pub fn try_recv(&mut self) -> std::io::Result<Option<ClusterMsg>> {
+        if let Some(msg) = self.pop_frame()? {
+            return Ok(Some(msg));
+        }
+        let mut buf = [0u8; 16 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "control connection closed",
+            )),
+            Ok(n) => {
+                self.reader.extend(&buf[..n]);
+                self.pop_frame()
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits up to `timeout` for the next message.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> std::io::Result<ClusterMsg> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(msg) = self.try_recv()? {
+                return Ok(msg);
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    "timed out waiting for a control message",
+                ));
+            }
+        }
+    }
+
+    fn pop_frame(&mut self) -> std::io::Result<Option<ClusterMsg>> {
+        let frame = self
+            .reader
+            .next_frame()
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        let Some(frame) = frame else { return Ok(None) };
+        let payloads = decode_frame(&frame)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        let [payload] = payloads.as_slice() else {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "control frames carry exactly one message",
+            ));
+        };
+        ClusterMsg::decode(payload.clone())
+            .map(Some)
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "malformed control message"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: ClusterMsg) {
+        let encoded = msg.encode();
+        let decoded = ClusterMsg::decode(encoded).expect("decode");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn all_message_kinds_roundtrip() {
+        roundtrip(ClusterMsg::Welcome {
+            worker_index: 1,
+            n_workers: 4,
+            shard_start: 16,
+            shard_len: 16,
+            config: NetConfig {
+                n_peers: 64,
+                delta_max: Some(50),
+                loss_probability: 0.0125,
+                distribution: Distribution::Pareto { shape: 1.0 },
+                ..NetConfig::default()
+            },
+            timeline: Timeline::default(),
+        });
+        roundtrip(ClusterMsg::Hello {
+            shard_start: 0,
+            peer_addrs: vec![
+                (0, "127.0.0.1:4000".parse().unwrap()),
+                (1, "[::1]:4001".parse().unwrap()),
+            ],
+        });
+        roundtrip(ClusterMsg::AddressBook {
+            peer_addrs: (0..32u64)
+                .map(|i| (i, format!("127.0.0.1:{}", 5000 + i).parse().unwrap()))
+                .collect(),
+        });
+        roundtrip(ClusterMsg::PhaseDone {
+            phase: PHASE_CONSTRUCTED,
+        });
+        roundtrip(ClusterMsg::Proceed { phase: PHASE_DONE });
+        roundtrip(ClusterMsg::Minutes {
+            samples: vec![(0, 1200, 0), (1, 900, 30), (7, 0, 4096)],
+        });
+        roundtrip(ClusterMsg::Report(ShardReport {
+            shard_start: 32,
+            paths: vec![Path::root(), Path::parse("0110"), Path::parse("1")],
+            queries: vec![
+                QueryRecord {
+                    issued_at: 61_000,
+                    latency_ms: Some(412),
+                    hops: 3,
+                    success: true,
+                },
+                QueryRecord {
+                    issued_at: 93_000,
+                    latency_ms: None,
+                    hops: 0,
+                    success: false,
+                },
+            ],
+            online_at_end: 14,
+            transport: TransportStats {
+                frames_sent: 1000,
+                frames_delivered: 990,
+                bytes_sent: 123_456,
+                bytes_delivered: 120_000,
+                per_peer: [
+                    (
+                        32,
+                        LinkStats {
+                            frames_sent: 40,
+                            bytes_sent: 5_000,
+                            frames_received: 41,
+                            bytes_received: 5_100,
+                            reconnects: 1,
+                            send_failures: 0,
+                        },
+                    ),
+                    (
+                        7,
+                        LinkStats {
+                            frames_received: 9,
+                            bytes_received: 900,
+                            ..LinkStats::default()
+                        },
+                    ),
+                ]
+                .into_iter()
+                .collect(),
+            },
+            messages_delivered: 2048,
+            messages_lost: 17,
+        }));
+    }
+
+    #[test]
+    fn every_distribution_variant_survives_the_config_codec() {
+        for distribution in Distribution::paper_suite() {
+            roundtrip(ClusterMsg::Welcome {
+                worker_index: 0,
+                n_workers: 1,
+                shard_start: 0,
+                shard_len: 8,
+                config: NetConfig {
+                    distribution,
+                    ..NetConfig::default()
+                },
+                timeline: Timeline::default(),
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_and_mismatched_input_is_rejected() {
+        assert!(ClusterMsg::decode(Bytes::from_static(&[])).is_none());
+        assert!(ClusterMsg::decode(Bytes::from_static(&[0x50, 0x47])).is_none());
+        // wrong version
+        assert!(ClusterMsg::decode(Bytes::from_static(&[0x50, 0x47, 99, 3, 1])).is_none());
+        // truncated Welcome
+        let mut good = ClusterMsg::PhaseDone { phase: 2 }
+            .encode()
+            .as_slice()
+            .to_vec();
+        good.pop();
+        assert!(ClusterMsg::decode(Bytes::from(good)).is_none());
+        // unknown tag
+        assert!(ClusterMsg::decode(Bytes::from_static(&[0x50, 0x47, 1, 200])).is_none());
+    }
+
+    #[test]
+    fn control_channel_carries_framed_messages_both_ways() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut ctl = ControlChannel::new(TcpStream::connect(addr).unwrap()).unwrap();
+            ctl.send(&ClusterMsg::PhaseDone { phase: 1 }).unwrap();
+            let reply = ctl.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(reply, ClusterMsg::Proceed { phase: 1 });
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut ctl = ControlChannel::new(stream).unwrap();
+        let msg = ctl.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(msg, ClusterMsg::PhaseDone { phase: 1 });
+        ctl.send(&ClusterMsg::Proceed { phase: 1 }).unwrap();
+        client.join().unwrap();
+    }
+}

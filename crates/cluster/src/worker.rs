@@ -1,0 +1,290 @@
+//! The worker runtime: hosts one shard of peers across a real process
+//! boundary.
+//!
+//! A worker connects to the coordinator, receives its shard assignment and
+//! the run configuration, registers a TCP endpoint for every hosted peer,
+//! publishes the listen addresses, wires every *other* peer as a remote
+//! via [`TcpTransport::register_remote`], and then drives the Section-5
+//! timeline (join → replicate → construct → query → churn) over its shard —
+//! the same phases the single-process `run_deployment` driver executes,
+//! with two differences imposed by distribution:
+//!
+//! * **Pacing.**  Virtual time normally free-runs; here each phase advances
+//!   in short virtual slices with a real-time settle after each one, so
+//!   exchange replies crossing the wire from other processes are handled
+//!   within roughly one construct interval of the tick that triggered them
+//!   rather than piling up at the phase boundary.
+//! * **Barriers.**  At each phase boundary the worker reports
+//!   `PhaseDone` and parks until the coordinator releases the barrier —
+//!   but keeps servicing its data transport the whole time, so peers of
+//!   slower shards still get their exchanges answered.
+
+use crate::plan::{churn_plan, join_plan, MINUTE_MS};
+use crate::proto::{
+    ClusterMsg, ControlChannel, ShardReport, PHASE_CONSTRUCTED, PHASE_DONE, PHASE_JOINED,
+    PHASE_QUERIED, PHASE_REPLICATED, PHASE_WIRED,
+};
+use pgrid_core::routing::PeerId;
+use pgrid_net::runtime::{Millis, Runtime};
+use pgrid_transport::tcp::TcpTransport;
+use pgrid_transport::{PeerAddr, Transport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::io::{Error, ErrorKind, Result};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// How long a worker waits for handshake messages.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Virtual-time slice between wire settles.
+const PACE_SLICE_MS: Millis = 2_000;
+
+/// Real time the worker lets the wire settle after each virtual slice.
+const SETTLE: Duration = Duration::from_micros(700);
+
+/// Maximum real time a worker parks at one barrier before giving up.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(600);
+
+fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
+    Error::new(
+        ErrorKind::InvalidData,
+        format!("expected {what}, got {got:?}"),
+    )
+}
+
+/// Connects to the coordinator at `coordinator` and runs one worker to
+/// completion: rendezvous, the full sharded timeline, and the final shard
+/// report.
+pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
+    let stream = TcpStream::connect(coordinator)?;
+    let mut ctl = ControlChannel::new(stream)?;
+
+    // --- rendezvous: assignment, endpoints, address book -------------------
+    let welcome = ctl.recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let ClusterMsg::Welcome {
+        worker_index,
+        n_workers: _,
+        shard_start,
+        shard_len,
+        config,
+        timeline,
+    } = welcome
+    else {
+        return Err(protocol_error("Welcome", &welcome));
+    };
+    let shard = shard_start as usize..(shard_start + shard_len) as usize;
+
+    let mut transport = TcpTransport::new();
+    let mut peer_addrs = Vec::with_capacity(shard.len());
+    for peer in shard.clone() {
+        let addr = transport
+            .register(PeerId(peer as u64))
+            .map_err(|e| Error::other(e.to_string()))?;
+        let PeerAddr::Socket(addr) = addr else {
+            unreachable!("the TCP backend returns socket addresses");
+        };
+        peer_addrs.push((peer as u64, addr));
+    }
+    ctl.send(&ClusterMsg::Hello {
+        shard_start,
+        peer_addrs,
+    })?;
+
+    let book = ctl.recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let ClusterMsg::AddressBook { peer_addrs: book } = book else {
+        return Err(protocol_error("AddressBook", &book));
+    };
+    for (peer, addr) in book {
+        if !shard.contains(&(peer as usize)) {
+            transport
+                .register_remote(PeerId(peer), addr)
+                .map_err(|e| Error::other(e.to_string()))?;
+        }
+    }
+
+    let mut runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
+        .map_err(|e| Error::other(e.to_string()))?;
+    let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
+    barrier(&mut ctl, &mut runtime, PHASE_WIRED, &mut streamed_minutes)?;
+
+    // --- phase 1: joining ---------------------------------------------------
+    // Every worker applies the full deterministic join plan: hosted peers
+    // become live protocol endpoints, non-hosted ones become consistent
+    // bookkeeping stubs (identity + adjacency + liveness).
+    for event in join_plan(&config, &timeline) {
+        run_paced(&mut runtime, event.at);
+        runtime.join_peer_with_neighbours(event.peer, event.neighbours);
+    }
+    run_paced(&mut runtime, timeline.join_end_min * MINUTE_MS);
+    barrier(&mut ctl, &mut runtime, PHASE_JOINED, &mut streamed_minutes)?;
+
+    // --- phase 2: replication -----------------------------------------------
+    runtime.replication_phase();
+    run_paced(&mut runtime, timeline.replicate_end_min * MINUTE_MS);
+    barrier(
+        &mut ctl,
+        &mut runtime,
+        PHASE_REPLICATED,
+        &mut streamed_minutes,
+    )?;
+
+    // --- phase 3: construction ----------------------------------------------
+    runtime.start_construction();
+    run_paced(&mut runtime, timeline.construct_end_min * MINUTE_MS);
+    barrier(
+        &mut ctl,
+        &mut runtime,
+        PHASE_CONSTRUCTED,
+        &mut streamed_minutes,
+    )?;
+
+    // --- phase 4: queries ----------------------------------------------------
+    // Each hosted peer queries every 1–2 minutes: the per-worker issue rate
+    // scales with the shard so the aggregate matches the single-process
+    // driver.  The worker index decorrelates the draw streams.
+    let mut control_rng =
+        StdRng::seed_from_u64(config.seed ^ 0xD13 ^ ((worker_index as u64) << 32));
+    let keys: Vec<_> = runtime.original_entries.iter().map(|e| e.key).collect();
+    let query_end = timeline.query_end_min * MINUTE_MS;
+    let churn_end = timeline.end_min * MINUTE_MS;
+    let shard_peers = shard.len() as u64;
+    let mut next_query = runtime.now();
+    while runtime.now() < query_end {
+        let step = control_rng.gen_range(MINUTE_MS / shard_peers / 2..=MINUTE_MS / shard_peers);
+        next_query += step.max(1);
+        run_paced(&mut runtime, next_query.min(query_end));
+        if runtime.now() >= query_end {
+            break;
+        }
+        let key = keys[control_rng.gen_range(0..keys.len())];
+        runtime.issue_query(key);
+    }
+    barrier(&mut ctl, &mut runtime, PHASE_QUERIED, &mut streamed_minutes)?;
+
+    // --- phase 5: churn + queries --------------------------------------------
+    // The churn schedule is global and deterministic: every worker applies
+    // it to all peers, so scheduled liveness of remote peers (the routing
+    // failure detector) agrees across processes.
+    for event in churn_plan(&config, &timeline) {
+        runtime.schedule_churn(event.peer, event.at, event.downtime);
+    }
+    while runtime.now() < churn_end {
+        let step = control_rng.gen_range(MINUTE_MS / shard_peers / 2..=MINUTE_MS / shard_peers);
+        next_query += step.max(1);
+        run_paced(&mut runtime, next_query.min(churn_end));
+        if runtime.now() >= churn_end {
+            break;
+        }
+        let key = keys[control_rng.gen_range(0..keys.len())];
+        runtime.issue_query(key);
+    }
+    // Drain outstanding query timeouts.
+    run_paced(&mut runtime, churn_end + config.query_timeout_ms);
+    barrier(&mut ctl, &mut runtime, PHASE_DONE, &mut streamed_minutes)?;
+
+    // --- final report --------------------------------------------------------
+    stream_minutes(&mut ctl, &runtime, &mut streamed_minutes, u64::MAX)?;
+    ctl.send(&ClusterMsg::Report(ShardReport {
+        shard_start,
+        paths: shard
+            .clone()
+            .map(|peer| runtime.nodes[peer].state.path)
+            .collect(),
+        queries: runtime.metrics.queries.clone(),
+        online_at_end: runtime.hosted_online_count() as u64,
+        transport: runtime.transport_stats(),
+        messages_delivered: runtime.metrics.messages_delivered as u64,
+        messages_lost: runtime.metrics.messages_lost as u64,
+    }))?;
+    Ok(())
+}
+
+/// Advances virtual time to `until` in short slices, letting the wire
+/// settle after each slice so cross-process replies interleave with local
+/// ticks instead of piling up at the phase boundary.
+fn run_paced(runtime: &mut Runtime<TcpTransport>, until: Millis) {
+    while runtime.now() < until {
+        let next = (runtime.now() + PACE_SLICE_MS).min(until);
+        runtime.run_until(next);
+        let deadline = Instant::now() + SETTLE;
+        loop {
+            if runtime.service_network() == 0 {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// Streams every completed, not-yet-reported bandwidth minute below
+/// `before` to the coordinator.
+fn stream_minutes(
+    ctl: &mut ControlChannel,
+    runtime: &Runtime<TcpTransport>,
+    streamed: &mut BTreeSet<u64>,
+    before: u64,
+) -> Result<()> {
+    let mut samples: Vec<(u64, u64, u64)> = runtime
+        .metrics
+        .bandwidth_per_minute
+        .iter()
+        .filter(|(&minute, _)| minute < before && !streamed.contains(&minute))
+        .map(|(&minute, bw)| (minute, bw.maintenance_bytes as u64, bw.query_bytes as u64))
+        .collect();
+    samples.sort_unstable();
+    if samples.is_empty() {
+        return Ok(());
+    }
+    for &(minute, _, _) in &samples {
+        streamed.insert(minute);
+    }
+    ctl.send(&ClusterMsg::Minutes { samples })
+}
+
+/// Reports the end of `phase` and parks until the coordinator releases the
+/// barrier, servicing the data transport the whole time.
+fn barrier(
+    ctl: &mut ControlChannel,
+    runtime: &mut Runtime<TcpTransport>,
+    phase: u8,
+    streamed: &mut BTreeSet<u64>,
+) -> Result<()> {
+    // Let stragglers from faster shards drain before declaring the phase
+    // over: keep answering until the wire stays quiet for a moment.
+    let mut quiet_since = Instant::now();
+    let grace_deadline = Instant::now() + Duration::from_millis(400);
+    loop {
+        if runtime.service_network() > 0 {
+            quiet_since = Instant::now();
+        } else if quiet_since.elapsed() >= Duration::from_millis(20)
+            || Instant::now() >= grace_deadline
+        {
+            break;
+        } else {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // Buckets below the current minute can no longer grow in this phase.
+    stream_minutes(ctl, runtime, streamed, runtime.now() / MINUTE_MS)?;
+    ctl.send(&ClusterMsg::PhaseDone { phase })?;
+    let deadline = Instant::now() + BARRIER_TIMEOUT;
+    loop {
+        runtime.service_network();
+        match ctl.try_recv()? {
+            Some(ClusterMsg::Proceed { phase: p }) if p == phase => return Ok(()),
+            Some(other) => return Err(protocol_error("Proceed", &other)),
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(Error::new(
+                        ErrorKind::TimedOut,
+                        format!("barrier for phase {phase} never released"),
+                    ));
+                }
+            }
+        }
+    }
+}

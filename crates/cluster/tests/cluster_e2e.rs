@@ -1,0 +1,174 @@
+//! Multi-process end-to-end: the full Section-5 timeline across real OS
+//! process boundaries.
+//!
+//! The test runs the same configuration twice — once in-process over the
+//! deterministic loopback transport (`run_deployment`, the reference) and
+//! once as a coordinator plus **two real worker processes** spawned from
+//! the `pgrid-cluster` binary, each hosting half the peers on its own
+//! `TcpTransport` and reaching the other half through remote
+//! registrations.  The merged cluster report must satisfy the same
+//! balance/replication invariants as the single-process run: protocol
+//! state genuinely crossed the process boundary, or the trie could never
+//! have mixed the two shards.
+
+use pgrid_cluster::local::{run_local, LocalOptions};
+use pgrid_net::experiment::{run_deployment, Timeline};
+use pgrid_net::runtime::NetConfig;
+use pgrid_workload::distributions::Distribution;
+use std::path::PathBuf;
+
+fn config() -> NetConfig {
+    NetConfig {
+        n_peers: 32,
+        keys_per_peer: 10,
+        n_min: 5,
+        distribution: Distribution::Uniform,
+        seed: 12,
+        ..NetConfig::default()
+    }
+}
+
+/// The compressed smoke timeline also used by `pgrid-cluster local --smoke`.
+fn short_timeline() -> Timeline {
+    Timeline {
+        join_end_min: 3,
+        replicate_end_min: 5,
+        construct_end_min: 18,
+        query_end_min: 22,
+        end_min: 25,
+    }
+}
+
+#[test]
+fn two_worker_processes_converge_like_the_single_process_run() {
+    let config = config();
+    let timeline = short_timeline();
+
+    let single = run_deployment(&config, &timeline);
+    let cluster = run_local(
+        &config,
+        &timeline,
+        &LocalOptions {
+            workers: 2,
+            worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
+            inherit_stderr: true,
+        },
+    )
+    .expect("the 2-process cluster run must complete");
+
+    // The merged timeline covers every minute of the run.
+    assert_eq!(cluster.timeline.len() as u64, timeline.end_min + 1);
+
+    // Both runs build a balanced overlay ...
+    assert!(
+        single.balance_deviation < 1.5,
+        "single-process deviation {}",
+        single.balance_deviation
+    );
+    assert!(
+        cluster.balance_deviation < 1.5,
+        "cluster deviation {}",
+        cluster.balance_deviation
+    );
+    // ... and agree on the balance statistics (same bound as the
+    // TCP-vs-loopback parity test).
+    assert!(
+        (single.balance_deviation - cluster.balance_deviation).abs() < 0.75,
+        "deployment modes disagree on balance: single {:.3} vs cluster {:.3}",
+        single.balance_deviation,
+        cluster.balance_deviation
+    );
+    assert!(
+        (single.mean_path_length - cluster.mean_path_length).abs() < 1.5,
+        "deployment modes disagree on trie depth: single {:.2} vs cluster {:.2}",
+        single.mean_path_length,
+        cluster.mean_path_length
+    );
+
+    // The trie actually partitioned (a shard that never talked to the other
+    // one would stay at the root) and replicas formed at the paper's scale.
+    assert!(
+        cluster.mean_path_length >= 1.5,
+        "mean path length {:.2}: the shards never mixed",
+        cluster.mean_path_length
+    );
+    assert!(
+        cluster.mean_replication >= 1.0,
+        "mean replication {:.2}",
+        cluster.mean_replication
+    );
+
+    // Queries issued in one process were answered across the wire.
+    assert!(
+        cluster.query_success_rate > 0.8,
+        "cluster query success rate {}",
+        cluster.query_success_rate
+    );
+    assert!(!cluster.timeline.iter().all(|s| s.query_bps == 0.0));
+    assert!(cluster.total_maintenance_bytes > 0);
+    assert!(cluster.total_query_bytes > 0);
+
+    // Frame counters are summed across both workers, and (nearly)
+    // everything sent was delivered — only the emulated per-frame loss and
+    // churn-window connection failures drop frames.
+    assert!(
+        cluster.transport.frames_sent > 500,
+        "{:?}",
+        cluster.transport
+    );
+    assert!(
+        cluster.transport.frames_delivered >= cluster.transport.frames_sent * 9 / 10,
+        "{:?}",
+        cluster.transport
+    );
+    // Per-peer link stats crossed the control plane and were merged: every
+    // peer saw traffic, and cluster-wide sends match cluster-wide receives.
+    assert_eq!(
+        cluster.transport.per_peer.len(),
+        config.n_peers,
+        "every peer should have link stats in the merged report"
+    );
+    let link_sent: u64 = cluster
+        .transport
+        .per_peer
+        .values()
+        .map(|l| l.frames_sent)
+        .sum();
+    let link_received: u64 = cluster
+        .transport
+        .per_peer
+        .values()
+        .map(|l| l.frames_received)
+        .sum();
+    assert_eq!(link_sent, cluster.transport.frames_sent);
+    assert_eq!(link_received, cluster.transport.frames_delivered);
+}
+
+#[test]
+fn four_worker_processes_also_complete_the_timeline() {
+    // A denser process split of the same deployment: four shards of eight
+    // peers each still have to produce a working overlay.
+    let config = config();
+    let timeline = short_timeline();
+    let cluster = run_local(
+        &config,
+        &timeline,
+        &LocalOptions {
+            workers: 4,
+            worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
+            inherit_stderr: true,
+        },
+    )
+    .expect("the 4-process cluster run must complete");
+    assert!(
+        cluster.balance_deviation < 1.5,
+        "deviation {}",
+        cluster.balance_deviation
+    );
+    assert!(
+        cluster.query_success_rate > 0.8,
+        "query success rate {}",
+        cluster.query_success_rate
+    );
+    assert!(cluster.mean_replication >= 1.0);
+}

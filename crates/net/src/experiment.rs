@@ -8,16 +8,19 @@
 //! online peers, the aggregate bandwidth split into maintenance and query
 //! traffic, and the query latency.
 
-use crate::runtime::{NetConfig, Runtime};
+use crate::runtime::{BandwidthSample, NetConfig, QueryRecord, Runtime};
 use pgrid_core::balance::compare_to_reference;
-use pgrid_core::reference::ReferencePartitioning;
+use pgrid_core::key::Key;
+use pgrid_core::path::Path;
+use pgrid_core::reference::{BalanceParams, ReferencePartitioning};
 use pgrid_transport::{Transport, TransportStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Phase boundaries of the experiment, in minutes of virtual time (the
 /// paper's experiment runs for 500 minutes with the same phase structure).
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Timeline {
     /// Peers join between time 0 and this minute.
     pub join_end_min: u64,
@@ -179,16 +182,62 @@ fn drive_deployment<T: Transport>(
     build_report(&runtime, timeline)
 }
 
-fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> DeploymentReport {
+/// The raw material a [`DeploymentReport`] is computed from.
+///
+/// A single-process run fills this straight from its [`Runtime`]
+/// ([`ReportInputs::from_runtime`]); the cluster coordinator assembles the
+/// same structure by merging what its worker processes streamed back
+/// (summing bandwidth buckets, concatenating query records, placing each
+/// shard's final paths at their global indices) and then calls
+/// [`assemble_report`], so both deployment modes share one statistics
+/// pipeline.
+#[derive(Clone, Debug)]
+pub struct ReportInputs {
+    /// Number of peers of the deployment.
+    pub n_peers: usize,
+    /// Balance parameters of the exchange engine.
+    pub params: BalanceParams,
+    /// Keys of the ground-truth data assignment, in entry order.
+    pub original_keys: Vec<Key>,
+    /// Final path of every peer (index = peer id).
+    pub paths: Vec<Path>,
+    /// Every issued query.
+    pub queries: Vec<QueryRecord>,
+    /// Classified bandwidth per one-minute bucket of virtual time.
+    pub bandwidth_per_minute: HashMap<u64, BandwidthSample>,
+    /// Peers online when the run ended.
+    pub online_at_end: usize,
+    /// Frame-level transport counters (summed across processes).
+    pub transport: TransportStats,
+}
+
+impl ReportInputs {
+    /// Collects the inputs of a single-process run.
+    pub fn from_runtime<T: Transport>(runtime: &Runtime<T>) -> ReportInputs {
+        ReportInputs {
+            n_peers: runtime.config.n_peers,
+            params: runtime.params(),
+            original_keys: runtime.original_entries.iter().map(|e| e.key).collect(),
+            paths: runtime.nodes.iter().map(|n| n.state.path).collect(),
+            queries: runtime.metrics.queries.clone(),
+            bandwidth_per_minute: runtime.metrics.bandwidth_per_minute.clone(),
+            online_at_end: runtime.online_count(),
+            transport: runtime.transport_stats(),
+        }
+    }
+}
+
+/// Computes the per-minute time series and the Section 5.2 summary
+/// statistics from collected run data.
+pub fn assemble_report(inputs: &ReportInputs, timeline: &Timeline) -> DeploymentReport {
     let minute = 60_000u64;
     let mut samples = Vec::new();
-    // Reconstruct the peers-online series from the churn/queries records is
-    // not possible after the fact, so sample bandwidth and latency per
+    // Reconstructing the peers-online series from the churn/queries records
+    // is not possible after the fact, so sample bandwidth and latency per
     // minute; the peers-online series is approximated from the join ramp and
     // the churn phase bounds plus the live count at the end.
-    let mut latencies_per_minute: std::collections::HashMap<u64, Vec<f64>> =
-        std::collections::HashMap::new();
-    for q in &runtime.metrics.queries {
+    let mut latencies_per_minute: HashMap<u64, Vec<f64>> = HashMap::new();
+    for q in &inputs.queries {
         if let Some(lat) = q.latency_ms {
             latencies_per_minute
                 .entry(q.issued_at / minute)
@@ -197,8 +246,7 @@ fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> Depl
         }
     }
     for m in 0..=timeline.end_min {
-        let bw = runtime
-            .metrics
+        let bw = inputs
             .bandwidth_per_minute
             .get(&m)
             .copied()
@@ -214,11 +262,11 @@ fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> Depl
             _ => (0.0, 0.0),
         };
         let peers_online = if m < timeline.join_end_min {
-            (runtime.config.n_peers as u64 * m / timeline.join_end_min.max(1)) as usize
+            (inputs.n_peers as u64 * m / timeline.join_end_min.max(1)) as usize
         } else if m < timeline.query_end_min {
-            runtime.config.n_peers
+            inputs.n_peers
         } else {
-            runtime.online_count()
+            inputs.online_at_end
         };
         samples.push(MinuteSample {
             minute: m,
@@ -231,38 +279,25 @@ fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> Depl
     }
 
     // Final overlay quality.
-    let keys: Vec<_> = runtime.original_entries.iter().map(|e| e.key).collect();
-    let reference = ReferencePartitioning::compute(&keys, runtime.config.n_peers, runtime.params());
-    let paths: Vec<_> = runtime.nodes.iter().map(|n| n.state.path).collect();
-    let balance = compare_to_reference(&reference, &paths);
+    let reference =
+        ReferencePartitioning::compute(&inputs.original_keys, inputs.n_peers, inputs.params);
+    let balance = compare_to_reference(&reference, &inputs.paths);
     let mean_path_length =
-        paths.iter().map(|p| p.len() as f64).sum::<f64>() / paths.len().max(1) as f64;
+        inputs.paths.iter().map(|p| p.len() as f64).sum::<f64>() / inputs.paths.len().max(1) as f64;
 
-    let successful: Vec<_> = runtime
-        .metrics
-        .queries
-        .iter()
-        .filter(|q| q.success)
-        .collect();
-    let answered = runtime
-        .metrics
-        .queries
-        .iter()
-        .filter(|q| q.latency_ms.is_some())
-        .count();
+    let successful: Vec<_> = inputs.queries.iter().filter(|q| q.success).collect();
     let mean_query_hops = if successful.is_empty() {
         0.0
     } else {
         successful.iter().map(|q| q.hops as f64).sum::<f64>() / successful.len() as f64
     };
-    let query_success_rate = if runtime.metrics.queries.is_empty() {
+    let query_success_rate = if inputs.queries.is_empty() {
         0.0
     } else {
-        successful.len() as f64 / runtime.metrics.queries.len() as f64
+        successful.len() as f64 / inputs.queries.len() as f64
     };
-    let _ = answered;
 
-    let replication_factors = pgrid_core::trie::peer_count_trie(paths.iter());
+    let replication_factors = pgrid_core::trie::peer_count_trie(inputs.paths.iter());
     let mean_replication = if replication_factors.is_empty() {
         0.0
     } else {
@@ -280,20 +315,22 @@ fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> Depl
         mean_query_hops,
         query_success_rate,
         mean_replication,
-        total_maintenance_bytes: runtime
-            .metrics
+        total_maintenance_bytes: inputs
             .bandwidth_per_minute
             .values()
             .map(|b| b.maintenance_bytes)
             .sum(),
-        total_query_bytes: runtime
-            .metrics
+        total_query_bytes: inputs
             .bandwidth_per_minute
             .values()
             .map(|b| b.query_bytes)
             .sum(),
-        transport: runtime.transport_stats(),
+        transport: inputs.transport.clone(),
     }
+}
+
+fn build_report<T: Transport>(runtime: &Runtime<T>, timeline: &Timeline) -> DeploymentReport {
+    assemble_report(&ReportInputs::from_runtime(runtime), timeline)
 }
 
 #[cfg(test)]

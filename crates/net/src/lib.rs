@@ -39,8 +39,9 @@ pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::experiment::{
-        run_deployment, run_deployment_with, DeploymentReport, MinuteSample, Timeline,
+        assemble_report, run_deployment, run_deployment_with, DeploymentReport, MinuteSample,
+        ReportInputs, Timeline,
     };
     pub use crate::message::{ExchangeOutcome, Message};
-    pub use crate::runtime::{NetConfig, NetMetrics, Node, QueryRecord, Runtime};
+    pub use crate::runtime::{BandwidthSample, NetConfig, NetMetrics, Node, QueryRecord, Runtime};
 }

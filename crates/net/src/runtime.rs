@@ -42,7 +42,7 @@ const MAX_REALTIME_STALLS: u32 = 500;
 const MAX_FRAME_PAYLOAD_BYTES: usize = frame::MAX_FRAME_BYTES / 4;
 
 /// Configuration of the emulated network and protocol constants.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetConfig {
     /// Number of peers.
     pub n_peers: usize,
@@ -133,7 +133,7 @@ pub struct BandwidthSample {
 }
 
 /// Record of one issued query.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryRecord {
     /// Virtual time the query was issued.
     pub issued_at: Millis,
@@ -218,6 +218,14 @@ impl Ord for Event {
 /// paper's experiments), [`Runtime::with_transport`] accepts any backend —
 /// in particular [`pgrid_transport::tcp::TcpTransport`] for runs over real
 /// sockets.
+///
+/// A runtime normally hosts every peer of the deployment, but it can also
+/// host only a contiguous *shard* of them
+/// ([`Runtime::with_transport_sharded`]): peers outside the shard exist as
+/// bookkeeping stubs (identity, data assignment, scheduled liveness) whose
+/// protocol state lives in another process, reachable through the
+/// transport's remote registrations.  That is the substrate of the
+/// `pgrid-cluster` multi-process deployment.
 pub struct Runtime<T: Transport = LoopbackTransport> {
     /// Configuration.
     pub config: NetConfig,
@@ -230,6 +238,9 @@ pub struct Runtime<T: Transport = LoopbackTransport> {
     engine: ExchangeEngine,
     transport: T,
     addrs: Vec<PeerAddr>,
+    /// The contiguous range of peer ids this runtime hosts (all peers in
+    /// single-process mode).
+    shard: std::ops::Range<usize>,
     /// Per-destination batch buffer, flushed as one frame per destination
     /// after every processed event (BTreeMap so the flush order — and with
     /// it the loss and latency draws — is deterministic).
@@ -257,37 +268,78 @@ impl Runtime<LoopbackTransport> {
     }
 }
 
+/// Generates every peer's initial state and the ground-truth entry list.
+///
+/// This is the exact RNG consumption [`Runtime::with_transport`] performs
+/// during construction (`keys_per_peer` draws per peer, in peer order), so
+/// any component that needs the deployment's data assignment without a
+/// runtime — the cluster coordinator assembling a merged report, every
+/// cluster worker building the same stub population — reproduces it by
+/// seeding a [`StdRng`] with `config.seed` and calling this.
+pub fn generate_peers(config: &NetConfig, rng: &mut StdRng) -> (Vec<Node>, Vec<DataEntry>) {
+    let mut nodes = Vec::with_capacity(config.n_peers);
+    let mut original_entries = Vec::new();
+    for i in 0..config.n_peers {
+        let mut state = PeerState::new(PeerId(i as u64), config.routing_fanout);
+        for j in 0..config.keys_per_peer {
+            let entry = DataEntry::new(
+                config.distribution.sample(rng),
+                pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
+            );
+            state.store.insert(entry);
+            original_entries.push(entry);
+        }
+        state.online = false;
+        nodes.push(Node {
+            state,
+            neighbours: Vec::new(),
+            constructing: false,
+            fruitless: 0,
+            joined: false,
+        });
+    }
+    (nodes, original_entries)
+}
+
 impl<T: Transport> Runtime<T> {
     /// Creates a runtime over the given transport backend, registering an
     /// endpoint for every peer.
-    pub fn with_transport(
+    pub fn with_transport(config: NetConfig, transport: T) -> Result<Runtime<T>, TransportError> {
+        let n_peers = config.n_peers;
+        Runtime::with_transport_sharded(config, transport, 0..n_peers)
+    }
+
+    /// Creates a runtime that hosts only the peers in `shard`.
+    ///
+    /// Hosted peers get a transport endpoint registered here; every peer
+    /// outside the shard must already be reachable through the transport
+    /// (e.g. via [`pgrid_transport::tcp::TcpTransport::register_remote`]) —
+    /// otherwise this fails with [`TransportError::UnknownPeer`].  All peers
+    /// are generated (same seed, same data assignment in every process);
+    /// non-hosted ones stay local stubs that only track identity, neighbour
+    /// links and scheduled liveness for routing decisions, while their
+    /// protocol state lives in the process that hosts them.
+    pub fn with_transport_sharded(
         config: NetConfig,
         mut transport: T,
+        shard: std::ops::Range<usize>,
     ) -> Result<Runtime<T>, TransportError> {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let params = config.balance_params();
-        let mut nodes = Vec::with_capacity(config.n_peers);
+        let (nodes, original_entries) = generate_peers(&config, &mut rng);
         let mut addrs = Vec::with_capacity(config.n_peers);
-        let mut original_entries = Vec::new();
         for i in 0..config.n_peers {
-            let mut state = PeerState::new(PeerId(i as u64), config.routing_fanout);
-            for j in 0..config.keys_per_peer {
-                let entry = DataEntry::new(
-                    config.distribution.sample(&mut rng),
-                    pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
-                );
-                state.store.insert(entry);
-                original_entries.push(entry);
+            let peer = PeerId(i as u64);
+            if let Some(addr) = transport.addr_of(peer) {
+                // Already wired: a hosted endpoint the caller registered up
+                // front (to publish its address during rendezvous) or a
+                // remote registration.
+                addrs.push(addr);
+            } else if shard.contains(&i) {
+                addrs.push(transport.register(peer)?);
+            } else {
+                return Err(TransportError::UnknownPeer(peer));
             }
-            state.online = false;
-            addrs.push(transport.register(PeerId(i as u64))?);
-            nodes.push(Node {
-                state,
-                neighbours: Vec::new(),
-                constructing: false,
-                fruitless: 0,
-                joined: false,
-            });
         }
         Ok(Runtime {
             config,
@@ -297,6 +349,7 @@ impl<T: Transport> Runtime<T> {
             engine: ExchangeEngine::new(params),
             transport,
             addrs,
+            shard,
             pending: BTreeMap::new(),
             queue: BinaryHeap::new(),
             now: 0,
@@ -329,6 +382,43 @@ impl<T: Transport> Runtime<T> {
     /// The transport address of a peer.
     pub fn peer_addr(&self, peer: usize) -> PeerAddr {
         self.addrs[peer]
+    }
+
+    /// The contiguous range of peer ids hosted by this runtime.
+    pub fn shard(&self) -> std::ops::Range<usize> {
+        self.shard.clone()
+    }
+
+    /// Whether `peer`'s protocol state lives in this runtime (as opposed to
+    /// a remote process reachable through the transport).
+    pub fn hosted(&self, peer: usize) -> bool {
+        self.shard.contains(&peer)
+    }
+
+    /// Number of hosted peers currently online.
+    pub fn hosted_online_count(&self) -> usize {
+        self.shard
+            .clone()
+            .filter(|&i| self.nodes[i].joined && self.nodes[i].state.online)
+            .count()
+    }
+
+    /// Drains whatever the transport has produced *right now*, handles the
+    /// frames and flushes any responses, without advancing the virtual
+    /// clock.  Returns the number of frames handled.
+    ///
+    /// Real-time backends only need this outside [`Runtime::run_until`]: a
+    /// cluster worker parked at a phase barrier keeps calling it so
+    /// cross-shard exchanges initiated by slower processes are still
+    /// answered while the local timeline waits.
+    pub fn service_network(&mut self) -> usize {
+        let frames = self.transport.poll(self.now);
+        let handled = frames.len();
+        for (to, frame_bytes) in frames {
+            self.deliver_frame(to, frame_bytes);
+        }
+        self.flush_pending();
+        handled
     }
 
     /// Frame-level counters of the underlying transport.
@@ -416,6 +506,13 @@ impl<T: Transport> Runtime<T> {
     /// Decodes an arrived frame and handles its messages.
     fn deliver_frame(&mut self, to: PeerId, frame_bytes: Bytes) {
         let to = to.0 as usize;
+        // A frame for a peer this runtime does not host can only come from
+        // a mis-wired address book; never apply it to a stub.
+        if !self.shard.contains(&to) {
+            debug_assert!(false, "frame for non-hosted peer {to}");
+            self.metrics.decode_failures += 1;
+            return;
+        }
         let Ok(payloads) = frame::decode_frame(&frame_bytes) else {
             self.metrics.decode_failures += 1;
             return;
@@ -474,11 +571,46 @@ impl<T: Transport> Runtime<T> {
         }
     }
 
+    /// Brings a peer online with a pre-computed neighbour list instead of a
+    /// locally drawn one.
+    ///
+    /// This is [`Runtime::join_peer`] minus the random selection: the
+    /// cluster's join plan fixes every peer's bootstrap contacts up front
+    /// (deterministically from the seed) so that all worker processes agree
+    /// on the unstructured overlay — including the adjacency of peers they
+    /// do not host, which the random-walk contact sampling and query
+    /// routing read.  Join handshake bandwidth is only accounted by the
+    /// process hosting the joiner.
+    pub fn join_peer_with_neighbours(&mut self, peer: usize, neighbours: Vec<PeerId>) {
+        let node = &mut self.nodes[peer];
+        node.joined = true;
+        node.state.online = true;
+        if self.shard.contains(&peer) && !neighbours.is_empty() {
+            let join = Message::Join {
+                peer: PeerId(peer as u64),
+            };
+            self.metrics.account(self.now, &join);
+            let ack = Message::JoinAck {
+                neighbours: neighbours.clone(),
+            };
+            self.metrics.account(self.now, &ack);
+        }
+        self.nodes[peer].neighbours = neighbours;
+        // The same symmetric backlinks as `join_peer`: applied identically
+        // in every process, they keep the replicated adjacency consistent.
+        for n in self.nodes[peer].neighbours.clone() {
+            let other = n.0 as usize;
+            if !self.nodes[other].neighbours.contains(&PeerId(peer as u64)) {
+                self.nodes[other].neighbours.push(PeerId(peer as u64));
+            }
+        }
+    }
+
     /// Replicates every online peer's original entries to `n_min` random
     /// neighbours-of-neighbours (the replication phase).
     pub fn replication_phase(&mut self) {
         let n_min = self.config.n_min;
-        for peer in 0..self.nodes.len() {
+        for peer in self.shard.clone() {
             if !self.nodes[peer].state.online {
                 continue;
             }
@@ -500,9 +632,9 @@ impl<T: Transport> Runtime<T> {
         }
     }
 
-    /// Starts periodic construction ticks on every online peer.
+    /// Starts periodic construction ticks on every hosted online peer.
     pub fn start_construction(&mut self) {
-        for peer in 0..self.nodes.len() {
+        for peer in self.shard.clone() {
             if self.nodes[peer].state.online {
                 self.nodes[peer].constructing = true;
                 let jitter = self
@@ -513,15 +645,13 @@ impl<T: Transport> Runtime<T> {
         }
     }
 
-    /// Issues a lookup for `key` from a random online peer; the result is
-    /// recorded in [`NetMetrics::queries`].
+    /// Issues a lookup for `key` from a random hosted online peer; the
+    /// result is recorded in [`NetMetrics::queries`].
     pub fn issue_query(&mut self, key: pgrid_core::key::Key) {
         let online: Vec<usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.joined && n.state.online)
-            .map(|(i, _)| i)
+            .shard
+            .clone()
+            .filter(|&i| self.nodes[i].joined && self.nodes[i].state.online)
             .collect();
         if online.is_empty() {
             return;

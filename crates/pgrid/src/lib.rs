@@ -18,6 +18,7 @@
 //! | [`sim`] | `pgrid-sim` | whole-system construction simulator, sequential baseline, query evaluation |
 //! | [`transport`] | `pgrid-transport` | pluggable frame transport: batch framing, deterministic loopback, `std::net` TCP |
 //! | [`net`] | `pgrid-net` | message-level deployment runtime (generic over the transport) and the PlanetLab-style experiment |
+//! | [`cluster`] | `pgrid-cluster` | multi-process deployment: rendezvous coordinator, sharded peer-hosting workers, merged reports |
 //!
 //! See the repository-level `examples/` directory for runnable end-to-end
 //! scenarios (`cargo run -p pgrid --example quickstart`).
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use pgrid_cluster as cluster;
 pub use pgrid_core as core;
 pub use pgrid_net as net;
 pub use pgrid_partition as partition;
@@ -34,6 +36,7 @@ pub use pgrid_workload as workload;
 
 /// One-stop prelude re-exporting the preludes of all member crates.
 pub mod prelude {
+    pub use pgrid_cluster::prelude::*;
     pub use pgrid_core::prelude::*;
     pub use pgrid_net::prelude::*;
     pub use pgrid_partition::prelude::*;

@@ -82,8 +82,31 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
-/// Counters every backend maintains.
+/// Per-peer link counters of a connection-oriented backend.
+///
+/// The TCP backend keeps one entry per peer it has exchanged frames with:
+/// the send side is keyed by the destination peer of the cached outbound
+/// connection, the receive side by the local peer a frame was addressed to.
+/// Virtual-time backends (loopback) have no connections and leave the map
+/// empty.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames sent to this peer.
+    pub frames_sent: u64,
+    /// Frame bytes sent to this peer.
+    pub bytes_sent: u64,
+    /// Frames received for this (locally hosted) peer.
+    pub frames_received: u64,
+    /// Frame bytes received for this (locally hosted) peer.
+    pub bytes_received: u64,
+    /// Times the cached outbound connection was dropped and re-established.
+    pub reconnects: u64,
+    /// Sends that failed even after a reconnect attempt.
+    pub send_failures: u64,
+}
+
+/// Counters every backend maintains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Frames handed to the transport for delivery.
     pub frames_sent: u64,
@@ -91,6 +114,31 @@ pub struct TransportStats {
     pub frames_delivered: u64,
     /// Total frame bytes sent.
     pub bytes_sent: u64,
+    /// Total frame bytes handed out by [`Transport::poll`].
+    pub bytes_delivered: u64,
+    /// Per-peer connection counters (TCP backend only; empty on loopback).
+    pub per_peer: std::collections::BTreeMap<u64, LinkStats>,
+}
+
+impl TransportStats {
+    /// Folds another stats snapshot into this one (summing the global
+    /// counters and merging the per-peer maps), as the cluster coordinator
+    /// does when it combines the reports of several worker processes.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.frames_sent += other.frames_sent;
+        self.frames_delivered += other.frames_delivered;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_delivered += other.bytes_delivered;
+        for (&peer, link) in &other.per_peer {
+            let entry = self.per_peer.entry(peer).or_default();
+            entry.frames_sent += link.frames_sent;
+            entry.bytes_sent += link.bytes_sent;
+            entry.frames_received += link.frames_received;
+            entry.bytes_received += link.bytes_received;
+            entry.reconnects += link.reconnects;
+            entry.send_failures += link.send_failures;
+        }
+    }
 }
 
 /// A frame carrier between registered peers.
@@ -135,5 +183,5 @@ pub mod prelude {
     pub use crate::frame::{decode_frame, encode_frame, FrameReader};
     pub use crate::loopback::{LoopbackConfig, LoopbackTransport};
     pub use crate::tcp::TcpTransport;
-    pub use crate::{PeerAddr, Transport, TransportError, TransportStats};
+    pub use crate::{LinkStats, PeerAddr, Transport, TransportError, TransportStats};
 }

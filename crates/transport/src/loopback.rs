@@ -129,6 +129,7 @@ impl Transport for LoopbackTransport {
             }
             let Reverse(queued) = self.queue.pop().expect("peeked above");
             self.stats.frames_delivered += 1;
+            self.stats.bytes_delivered += queued.frame.len() as u64;
             out.push((queued.to, queued.frame));
         }
         out
@@ -147,7 +148,7 @@ impl Transport for LoopbackTransport {
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats
+        self.stats.clone()
     }
 
     fn addr_of(&self, peer: PeerId) -> Option<PeerAddr> {

@@ -17,11 +17,11 @@ use crate::frame::FrameReader;
 use crate::{Millis, PeerAddr, Transport, TransportError, TransportStats};
 use bytes::Bytes;
 use pgrid_core::routing::PeerId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -30,16 +30,37 @@ use std::time::Duration;
 /// flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
+/// Default capacity of the shared inbox, in frames.
+///
+/// The inbox is a bounded channel: when a burst of inbound frames outruns
+/// the polling side, reader threads block on the channel instead of
+/// buffering without limit, stop draining their sockets, and TCP flow
+/// control pushes back on the remote writer.  A slow shard therefore
+/// surfaces as wire backpressure, not as unbounded memory growth in the
+/// receiving process.  The capacity is generous relative to the per-tick
+/// batching (one frame per destination per event) so loopback-style
+/// single-process runs never hit it.
+pub const DEFAULT_INBOX_CAPACITY: usize = 4096;
+
 /// The threaded `std::net` TCP backend.
 pub struct TcpTransport {
     addrs: HashMap<PeerId, SocketAddr>,
+    /// Peers hosted by this process (they have a listener here); everything
+    /// else in `addrs` was registered via [`TcpTransport::register_remote`].
+    local: HashSet<PeerId>,
     outbound: HashMap<PeerId, TcpStream>,
-    inbox: Receiver<(PeerId, Bytes)>,
-    inbox_tx: Sender<(PeerId, Bytes)>,
+    /// `Some` until shutdown: [`Drop`] takes the receiver out first so
+    /// reader threads blocked on a full inbox fail their send and exit.
+    inbox: Option<Receiver<(PeerId, Bytes)>>,
+    inbox_tx: SyncSender<(PeerId, Bytes)>,
     stop: Arc<AtomicBool>,
     acceptors: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     stats: TransportStats,
+    /// Frames sent to peers hosted by this process — the only ones whose
+    /// delivery [`Transport::poll`] will ever observe, and therefore the
+    /// base of the [`Transport::in_flight`] estimate.
+    local_frames_sent: u64,
 }
 
 impl Default for TcpTransport {
@@ -49,18 +70,28 @@ impl Default for TcpTransport {
 }
 
 impl TcpTransport {
-    /// Creates a transport with no peers registered yet.
+    /// Creates a transport with no peers registered yet and the default
+    /// inbox bound.
     pub fn new() -> TcpTransport {
-        let (inbox_tx, inbox) = channel();
+        TcpTransport::with_inbox_capacity(DEFAULT_INBOX_CAPACITY)
+    }
+
+    /// Creates a transport whose shared inbox holds at most `capacity`
+    /// frames; reader threads block (and stop draining their sockets) when
+    /// it is full.
+    pub fn with_inbox_capacity(capacity: usize) -> TcpTransport {
+        let (inbox_tx, inbox) = sync_channel(capacity.max(1));
         TcpTransport {
             addrs: HashMap::new(),
+            local: HashSet::new(),
             outbound: HashMap::new(),
-            inbox,
+            inbox: Some(inbox),
             inbox_tx,
             stop: Arc::new(AtomicBool::new(false)),
             acceptors: Vec::new(),
             readers: Arc::new(Mutex::new(Vec::new())),
             stats: TransportStats::default(),
+            local_frames_sent: 0,
         }
     }
 
@@ -97,7 +128,7 @@ impl TcpTransport {
 fn read_connection(
     mut stream: TcpStream,
     peer: PeerId,
-    inbox: Sender<(PeerId, Bytes)>,
+    inbox: SyncSender<(PeerId, Bytes)>,
     stop: Arc<AtomicBool>,
 ) {
     let mut reader = FrameReader::new();
@@ -133,7 +164,7 @@ fn read_connection(
 fn accept_connections(
     listener: TcpListener,
     peer: PeerId,
-    inbox: Sender<(PeerId, Bytes)>,
+    inbox: SyncSender<(PeerId, Bytes)>,
     stop: Arc<AtomicBool>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
@@ -167,6 +198,7 @@ impl Transport for TcpTransport {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         self.addrs.insert(peer, addr);
+        self.local.insert(peer);
         let inbox = self.inbox_tx.clone();
         let stop = self.stop.clone();
         let readers = self.readers.clone();
@@ -179,6 +211,7 @@ impl Transport for TcpTransport {
     fn send(&mut self, _now: Millis, to: PeerId, frame: Bytes) -> Result<(), TransportError> {
         // Retry once with a fresh connection: the cached stream may have
         // been closed by the other side since the last send.
+        let had_connection = self.outbound.contains_key(&to);
         for attempt in 0..2 {
             let result = self
                 .connect(to)
@@ -187,11 +220,28 @@ impl Transport for TcpTransport {
                 Ok(()) => {
                     self.stats.frames_sent += 1;
                     self.stats.bytes_sent += frame.len() as u64;
+                    if self.local.contains(&to) {
+                        self.local_frames_sent += 1;
+                    }
+                    let link = self.stats.per_peer.entry(to.0).or_default();
+                    link.frames_sent += 1;
+                    link.bytes_sent += frame.len() as u64;
+                    // A second attempt only counts as a reconnect when a
+                    // cached connection was actually dropped and replaced
+                    // (same guard as the failure path below).
+                    if attempt > 0 && had_connection {
+                        link.reconnects += 1;
+                    }
                     return Ok(());
                 }
                 Err(e) => {
                     self.outbound.remove(&to);
                     if attempt == 1 {
+                        let link = self.stats.per_peer.entry(to.0).or_default();
+                        if had_connection {
+                            link.reconnects += 1;
+                        }
+                        link.send_failures += 1;
                         return Err(e);
                     }
                 }
@@ -202,8 +252,15 @@ impl Transport for TcpTransport {
 
     fn poll(&mut self, _now: Millis) -> Vec<(PeerId, Bytes)> {
         let mut out = Vec::new();
-        while let Ok(delivery) = self.inbox.try_recv() {
+        let Some(inbox) = self.inbox.as_ref() else {
+            return out;
+        };
+        while let Ok(delivery) = inbox.try_recv() {
             self.stats.frames_delivered += 1;
+            self.stats.bytes_delivered += delivery.1.len() as u64;
+            let link = self.stats.per_peer.entry(delivery.0 .0).or_default();
+            link.frames_received += 1;
+            link.bytes_received += delivery.1.len() as u64;
             out.push(delivery);
         }
         out
@@ -218,15 +275,17 @@ impl Transport for TcpTransport {
     }
 
     fn in_flight(&self) -> usize {
-        // Saturating: with remote peers (`register_remote`) this transport
-        // can receive frames it never sent, so delivered may exceed sent.
-        self.stats
-            .frames_sent
+        // Only frames addressed to locally hosted peers can ever show up in
+        // this process's poll; frames to remote peers are delivered by the
+        // process that hosts them and must not stall the local clock.
+        // Saturating: with remote peers this transport also receives frames
+        // it never sent, so delivered may exceed the local send count.
+        self.local_frames_sent
             .saturating_sub(self.stats.frames_delivered) as usize
     }
 
     fn stats(&self) -> TransportStats {
-        self.stats
+        self.stats.clone()
     }
 
     fn addr_of(&self, peer: PeerId) -> Option<PeerAddr> {
@@ -237,6 +296,9 @@ impl Transport for TcpTransport {
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Dropping the receiver first unblocks reader threads parked on a
+        // full (bounded) inbox: their send fails and they exit.
+        self.inbox = None;
         // Closing the cached outbound streams unblocks readers on EOF.
         self.outbound.clear();
         for handle in self.acceptors.drain(..) {
@@ -306,6 +368,68 @@ mod tests {
         for (received, sent) in got.iter().zip(&frames) {
             assert_eq!(&received.1, sent, "stream order must be preserved");
         }
+    }
+
+    #[test]
+    fn bounded_inbox_backpressure_loses_nothing() {
+        // Capacity far below the frame count: readers must block (not drop)
+        // when the inbox is full, and every frame must still arrive once the
+        // polling side catches up.
+        let mut t = TcpTransport::with_inbox_capacity(4);
+        let b = PeerId(3);
+        t.register(b).unwrap();
+        let frames: Vec<Bytes> = (0..64u8)
+            .map(|i| encode_frame(&[payload(i, 256)]))
+            .collect();
+        for frame in &frames {
+            t.send(0, b, frame.clone()).unwrap();
+        }
+        let got = poll_n(&mut t, frames.len());
+        assert_eq!(got.len(), frames.len());
+        for (received, sent) in got.iter().zip(&frames) {
+            assert_eq!(&received.1, sent);
+        }
+    }
+
+    #[test]
+    fn per_peer_link_stats_are_tracked() {
+        let mut t = TcpTransport::new();
+        let b = PeerId(11);
+        t.register(b).unwrap();
+        let frame = encode_frame(&[payload(1, 100)]);
+        t.send(0, b, frame.clone()).unwrap();
+        t.send(0, b, frame.clone()).unwrap();
+        let got = poll_n(&mut t, 2);
+        assert_eq!(got.len(), 2);
+        let stats = t.stats();
+        let link = stats.per_peer.get(&b.0).expect("link stats for peer 11");
+        assert_eq!(link.frames_sent, 2);
+        assert_eq!(link.bytes_sent, 2 * frame.len() as u64);
+        assert_eq!(link.frames_received, 2);
+        assert_eq!(link.bytes_received, 2 * frame.len() as u64);
+        assert_eq!(link.send_failures, 0);
+        assert_eq!(stats.bytes_delivered, 2 * frame.len() as u64);
+    }
+
+    #[test]
+    fn remote_sends_do_not_stall_in_flight() {
+        // A "remote" peer that is actually hosted by a second transport, as
+        // in a multi-process deployment: the sender's in_flight must not
+        // count frames whose delivery happens in the other process.
+        let mut host = TcpTransport::new();
+        let remote = PeerId(7);
+        let PeerAddr::Socket(addr) = host.register(remote).unwrap() else {
+            panic!("tcp register returns socket addrs");
+        };
+        let mut sender = TcpTransport::new();
+        sender.register_remote(remote, addr).unwrap();
+        let frame = encode_frame(&[payload(9, 32)]);
+        sender.send(0, remote, frame.clone()).unwrap();
+        assert_eq!(sender.in_flight(), 0, "remote frames are not local");
+        let got = poll_n(&mut host, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, remote);
+        assert_eq!(got[0].1, frame);
     }
 
     #[test]

@@ -96,6 +96,43 @@ fn main() {
         "frame bytes sent", loopback.transport.bytes_sent, tcp.transport.bytes_sent
     );
 
+    // Per-peer connection metrics only exist on the socket backend: the
+    // loopback transport has no connections to count.
+    println!(
+        "\nbusiest TCP peer links (of {} peers with traffic):",
+        tcp.transport.per_peer.len()
+    );
+    println!(
+        " {:>5} {:>9} {:>11} {:>9} {:>11} {:>10} {:>9}",
+        "peer", "fr sent", "B sent", "fr recv", "B recv", "reconnects", "failures"
+    );
+    let mut links: Vec<_> = tcp.transport.per_peer.iter().collect();
+    links.sort_by_key(|(_, l)| std::cmp::Reverse(l.frames_sent + l.frames_received));
+    for (peer, link) in links.iter().take(8) {
+        println!(
+            " {:>5} {:>9} {:>11} {:>9} {:>11} {:>10} {:>9}",
+            peer,
+            link.frames_sent,
+            link.bytes_sent,
+            link.frames_received,
+            link.bytes_received,
+            link.reconnects,
+            link.send_failures
+        );
+    }
+    let reconnects: u64 = tcp.transport.per_peer.values().map(|l| l.reconnects).sum();
+    let failures: u64 = tcp
+        .transport
+        .per_peer
+        .values()
+        .map(|l| l.send_failures)
+        .sum();
+    println!(" total reconnects {reconnects}, send failures {failures}");
+    assert!(
+        !tcp.transport.per_peer.is_empty(),
+        "the TCP run must surface per-peer link metrics"
+    );
+
     let diff = (loopback.balance_deviation - tcp.balance_deviation).abs();
     println!("\nbalance deviation difference between backends: {diff:.3}");
     assert!(

@@ -31,6 +31,14 @@ pub trait Buf {
         value
     }
 
+    /// Consumes two bytes as a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_be_bytes(raw)
+    }
+
     /// Consumes four bytes as a big-endian `u32`.
     fn get_u32(&mut self) -> u32 {
         let mut raw = [0u8; 4];
@@ -46,6 +54,11 @@ pub trait Buf {
         self.advance(8);
         u64::from_be_bytes(raw)
     }
+
+    /// Consumes eight bytes as a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
 }
 
 /// Write access to a growable buffer.
@@ -58,6 +71,11 @@ pub trait BufMut {
         self.put_slice(&[value]);
     }
 
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, value: u32) {
         self.put_slice(&value.to_be_bytes());
@@ -66,6 +84,11 @@ pub trait BufMut {
     /// Appends a big-endian `u64`.
     fn put_u64(&mut self, value: u64) {
         self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
     }
 }
 
