@@ -1,0 +1,110 @@
+//! Scenario-executor overhead snapshot.
+//!
+//! ```text
+//! cargo run --release -p pgrid-bench --bin bench_scenario -- [--quick] [--out PATH]
+//! ```
+//!
+//! Runs the Section-5 deployment twice per repetition — once through the
+//! historical direct driver (`pgrid_net::experiment::run_deployment`) and
+//! once through the scenario executor
+//! (`pgrid_scenario::deployment::run_deployment`) — and reports the
+//! executor's wall-clock overhead.  The two paths perform identical
+//! protocol work (the reports are byte-equal; pinned by the
+//! `timeline_parity` test), so any difference is pure executor dispatch.
+//! The JSON lands in `BENCH_scenario.json` so future PRs get a perf
+//! trajectory for the abstraction (target: ≤ 2 % overhead).
+
+use pgrid_net::experiment::Timeline;
+use pgrid_net::runtime::NetConfig;
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 0 {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    } else {
+        xs[mid]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|at| args.get(at + 1))
+        .cloned();
+
+    let (n_peers, repetitions) = if quick { (48, 3) } else { (96, 5) };
+    let config = NetConfig {
+        n_peers,
+        seed: 4,
+        ..NetConfig::default()
+    };
+    let timeline = Timeline::default();
+
+    println!(
+        "scenario executor overhead: {n_peers} peers, {} minutes of virtual time, {repetitions} repetitions",
+        timeline.end_min
+    );
+
+    let mut direct_ms = Vec::with_capacity(repetitions);
+    let mut scenario_ms = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let t = Instant::now();
+        let direct = pgrid_net::experiment::run_deployment(&config, &timeline);
+        direct_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+
+        let t = Instant::now();
+        let scenario = pgrid_scenario::deployment::run_deployment(&config, &timeline);
+        scenario_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+
+        assert_eq!(
+            direct, scenario,
+            "the two paths must do identical protocol work"
+        );
+        println!(
+            "  rep {rep}: direct {:.1} ms, scenario {:.1} ms",
+            direct_ms[rep], scenario_ms[rep]
+        );
+    }
+
+    let direct = median(direct_ms.clone());
+    let scenario = median(scenario_ms.clone());
+    let overhead_pct = if direct > 0.0 {
+        (scenario - direct) / direct * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "median: direct {direct:.1} ms, scenario {scenario:.1} ms, overhead {overhead_pct:+.2} %"
+    );
+
+    let fmt_list = |xs: &[f64]| {
+        xs.iter()
+            .map(|x| format!("{x:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"scenario_executor_overhead\",\n  \"n_peers\": {n_peers},\n  \
+         \"timeline_end_min\": {},\n  \"repetitions\": {repetitions},\n  \
+         \"quick\": {quick},\n  \"direct_ms\": [{}],\n  \"scenario_ms\": [{}],\n  \
+         \"direct_median_ms\": {direct:.3},\n  \"scenario_median_ms\": {scenario:.3},\n  \
+         \"overhead_pct\": {overhead_pct:.3}\n}}\n",
+        timeline.end_min,
+        fmt_list(&direct_ms),
+        fmt_list(&scenario_ms),
+    );
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write bench json");
+        println!("wrote {path}");
+    } else {
+        print!("{json}");
+    }
+}

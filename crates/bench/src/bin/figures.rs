@@ -19,12 +19,18 @@
 //! recorded reference.
 
 use pgrid_bench::{format_header, format_row, mean, std_dev};
-use pgrid_net::experiment::{run_deployment, Timeline};
+use pgrid_net::experiment::Timeline;
 use pgrid_net::runtime::NetConfig;
 use pgrid_partition::experiment::{run_sweep, SweepConfig};
 use pgrid_partition::probabilities::{alpha_of_p, alpha_second_derivative, q_of_p};
+// Every sweep and the deployment run through the scenario executor (the
+// canned programs are bit-identical to the historical direct drivers —
+// pinned by pgrid-scenario's timeline_parity test).
+use pgrid_scenario::deployment::run_deployment;
+use pgrid_scenario::sweeps::{
+    population_sweep, replication_sweep, run_repeated, sample_size_sweep,
+};
 use pgrid_sim::config::{ConstructionStrategy, SimConfig};
-use pgrid_sim::runner::{population_sweep, replication_sweep, run_repeated, sample_size_sweep};
 use pgrid_sim::sequential::construct_sequentially;
 use pgrid_workload::distributions::Distribution;
 

@@ -39,5 +39,5 @@ pub mod prelude {
     pub use crate::local::{run_local, LocalOptions};
     pub use crate::plan::{churn_plan, join_plan, shard_assignment};
     pub use crate::proto::{ClusterMsg, ControlChannel, ShardReport};
-    pub use crate::worker::run_worker;
+    pub use crate::worker::{run_worker, worker_scenario, ShardOverlay};
 }

@@ -22,8 +22,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke]\n\
-         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke]\n\
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke] [--metrics-out PATH]\n\
+         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke] [--metrics-out PATH]\n\
          \x20      pgrid-cluster worker --connect ADDR"
     );
     ExitCode::from(2)
@@ -65,6 +65,24 @@ fn run_config(args: &[String]) -> (NetConfig, Timeline) {
         ..NetConfig::default()
     };
     (config, timeline)
+}
+
+/// Writes the merged report's Prometheus text dump when `--metrics-out`
+/// was given.
+fn write_metrics(args: &[String], report: &DeploymentReport) -> bool {
+    let Some(path) = option(args, "--metrics-out") else {
+        return true;
+    };
+    match std::fs::write(&path, report.metrics_text()) {
+        Ok(()) => {
+            println!("metrics written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot write metrics to {path}: {e}");
+            false
+        }
+    }
 }
 
 fn print_report(report: &DeploymentReport, workers: usize) {
@@ -120,7 +138,11 @@ fn main() -> ExitCode {
             match run_local(&config, &timeline, &options) {
                 Ok(report) => {
                     print_report(&report, workers);
-                    ExitCode::SUCCESS
+                    if write_metrics(&args, &report) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("local cluster failed: {e}");
@@ -155,7 +177,11 @@ fn main() -> ExitCode {
             match run_coordinator(listener, &cluster) {
                 Ok(report) => {
                     print_report(&report, workers);
-                    ExitCode::SUCCESS
+                    if write_metrics(&args, &report) {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
                 }
                 Err(e) => {
                     eprintln!("coordinator failed: {e}");

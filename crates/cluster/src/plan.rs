@@ -13,7 +13,7 @@
 
 use pgrid_core::routing::PeerId;
 use pgrid_net::experiment::Timeline;
-use pgrid_net::runtime::{Millis, NetConfig};
+use pgrid_net::runtime::NetConfig;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -24,27 +24,9 @@ pub const MINUTE_MS: u64 = 60_000;
 /// Bootstrap fanout of the join phase (the Section 5.1 driver uses 6).
 pub const JOIN_FANOUT: usize = 6;
 
-/// One peer joining the unstructured overlay.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JoinEvent {
-    /// Virtual time of the join.
-    pub at: Millis,
-    /// The joining peer.
-    pub peer: usize,
-    /// Its bootstrap contacts (already-joined peers).
-    pub neighbours: Vec<PeerId>,
-}
-
-/// One offline interval of the churn phase.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct ChurnEvent {
-    /// The churning peer.
-    pub peer: usize,
-    /// Virtual time the peer goes offline.
-    pub at: Millis,
-    /// How long it stays offline.
-    pub downtime: Millis,
-}
+// The plans produce the scenario API's event types directly, so they slot
+// into `Phase::JoinSchedule` / `Phase::ChurnSchedule` without conversion.
+pub use pgrid_scenario::scenario::{ChurnEvent, JoinEvent};
 
 /// The join ramp: peer `i` joins at `i * join_end / n` with
 /// [`JOIN_FANOUT`] contacts drawn uniformly from the already-joined

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 /// Protocol magic, checked on every message.
 const MAGIC: u16 = 0x5047; // "PG"
 /// Protocol version; bump on any wire-format change.
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -187,6 +187,7 @@ impl ClusterMsg {
                 }
                 buf.put_u32(report.queries.len() as u32);
                 for q in &report.queries {
+                    buf.put_u16(q.index.0);
                     buf.put_u64(q.issued_at);
                     match q.latency_ms {
                         Some(lat) => {
@@ -279,6 +280,7 @@ impl ClusterMsg {
                 }
                 let mut queries = Vec::with_capacity(n_queries.min(65536));
                 for _ in 0..n_queries {
+                    let index = pgrid_core::index::IndexId(get_u16(&mut data)?);
                     let issued_at = get_u64(&mut data)?;
                     let latency_ms = if get_u8(&mut data)? != 0 {
                         Some(get_u64(&mut data)?)
@@ -286,6 +288,7 @@ impl ClusterMsg {
                         None
                     };
                     queries.push(QueryRecord {
+                        index,
                         issued_at,
                         latency_ms,
                         hops: get_u32(&mut data)?,
@@ -689,12 +692,14 @@ mod tests {
             paths: vec![Path::root(), Path::parse("0110"), Path::parse("1")],
             queries: vec![
                 QueryRecord {
+                    index: pgrid_core::index::IndexId::PRIMARY,
                     issued_at: 61_000,
                     latency_ms: Some(412),
                     hops: 3,
                     success: true,
                 },
                 QueryRecord {
+                    index: pgrid_core::index::IndexId(2),
                     issued_at: 93_000,
                     latency_ms: None,
                     hops: 0,

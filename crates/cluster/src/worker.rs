@@ -5,31 +5,40 @@
 //! the run configuration, registers a TCP endpoint for every hosted peer,
 //! publishes the listen addresses, wires every *other* peer as a remote
 //! via [`TcpTransport::register_remote`], and then drives the Section-5
-//! timeline (join → replicate → construct → query → churn) over its shard —
-//! the same phases the single-process `run_deployment` driver executes,
-//! with two differences imposed by distribution:
+//! timeline over its shard **through the scenario executor**: the phases
+//! are the same [`pgrid_scenario::Scenario`] program the single-process
+//! driver runs, with the deterministic join/churn plans substituted for
+//! the random draws ([`Phase::JoinSchedule`] / [`Phase::ChurnSchedule`])
+//! and the query rate scaled to the shard.  Two distribution-imposed
+//! behaviours live in the glue:
 //!
-//! * **Pacing.**  Virtual time normally free-runs; here each phase advances
-//!   in short virtual slices with a real-time settle after each one, so
-//!   exchange replies crossing the wire from other processes are handled
-//!   within roughly one construct interval of the tick that triggered them
-//!   rather than piling up at the phase boundary.
-//! * **Barriers.**  At each phase boundary the worker reports
-//!   `PhaseDone` and parks until the coordinator releases the barrier —
-//!   but keeps servicing its data transport the whole time, so peers of
-//!   slower shards still get their exchanges answered.
+//! * **Pacing.**  [`ShardOverlay`] implements
+//!   [`pgrid_scenario::Overlay::advance_to`] as short virtual slices with
+//!   a real-time settle after each one, so exchange replies crossing the
+//!   wire from other processes are handled within roughly one construct
+//!   interval of the tick that triggered them.
+//! * **Barriers.**  [`BarrierHooks`] reports `PhaseDone` after each
+//!   boundary phase and parks until the coordinator releases the barrier —
+//!   while continuing to service the data transport, so peers of slower
+//!   shards still get their exchanges answered.
+//!
+//! [`Phase::JoinSchedule`]: pgrid_scenario::Phase::JoinSchedule
+//! [`Phase::ChurnSchedule`]: pgrid_scenario::Phase::ChurnSchedule
 
 use crate::plan::{churn_plan, join_plan, MINUTE_MS};
 use crate::proto::{
     ClusterMsg, ControlChannel, ShardReport, PHASE_CONSTRUCTED, PHASE_DONE, PHASE_JOINED,
     PHASE_QUERIED, PHASE_REPLICATED, PHASE_WIRED,
 };
+use pgrid_core::index::IndexId;
+use pgrid_core::key::Key;
 use pgrid_core::routing::PeerId;
-use pgrid_net::runtime::{Millis, Runtime};
+use pgrid_net::experiment::Timeline;
+use pgrid_net::runtime::{Millis, NetConfig, Runtime};
+use pgrid_scenario::scenario::CONTROL_SEED_SALT;
+use pgrid_scenario::{Overlay, OverlaySnapshot, Phase, QuerySpec, Scenario, ScenarioHooks};
 use pgrid_transport::tcp::TcpTransport;
 use pgrid_transport::{PeerAddr, Transport};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 use std::io::{Error, ErrorKind, Result};
 use std::net::{SocketAddr, TcpStream};
@@ -52,6 +61,119 @@ fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
         ErrorKind::InvalidData,
         format!("expected {what}, got {got:?}"),
     )
+}
+
+/// The worker's shard wrapped as a scenario overlay: every operation
+/// delegates to the sharded [`Runtime`], except that advancing virtual
+/// time is paced against the wire (see the module docs).
+pub struct ShardOverlay {
+    /// The sharded runtime this worker hosts.
+    pub runtime: Runtime<TcpTransport>,
+}
+
+impl Overlay for ShardOverlay {
+    fn n_peers(&self) -> usize {
+        Overlay::n_peers(&self.runtime)
+    }
+
+    fn now(&self) -> Millis {
+        self.runtime.now()
+    }
+
+    fn advance_to(&mut self, until: Millis) {
+        // Short virtual slices with real-time settles, so cross-process
+        // replies interleave with local ticks instead of piling up at the
+        // phase boundary.
+        while self.runtime.now() < until {
+            let next = (self.runtime.now() + PACE_SLICE_MS).min(until);
+            self.runtime.run_until(next);
+            let deadline = Instant::now() + SETTLE;
+            loop {
+                if self.runtime.service_network() == 0 {
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+        }
+    }
+
+    fn join(&mut self, peer: usize, fanout: usize) {
+        Overlay::join(&mut self.runtime, peer, fanout)
+    }
+
+    fn join_with_neighbours(&mut self, peer: usize, neighbours: Vec<PeerId>) {
+        Overlay::join_with_neighbours(&mut self.runtime, peer, neighbours)
+    }
+
+    fn schedule_leave(&mut self, peer: usize, at: Millis, downtime: Millis) {
+        Overlay::schedule_leave(&mut self.runtime, peer, at, downtime)
+    }
+
+    fn begin_replication(&mut self, index: IndexId) {
+        Overlay::begin_replication(&mut self.runtime, index)
+    }
+
+    fn begin_construction(&mut self, index: IndexId) {
+        Overlay::begin_construction(&mut self.runtime, index)
+    }
+
+    fn quiescent(&self) -> bool {
+        Overlay::quiescent(&self.runtime)
+    }
+
+    fn has_index(&self, index: IndexId) -> bool {
+        Overlay::has_index(&self.runtime, index)
+    }
+
+    fn insert(&mut self, index: IndexId, peer: usize, keys: Vec<Key>) {
+        Overlay::insert(&mut self.runtime, index, peer, keys)
+    }
+
+    fn issue_query(&mut self, index: IndexId, key: Key) {
+        Overlay::issue_query(&mut self.runtime, index, key)
+    }
+
+    fn query_keys(&self, index: IndexId) -> Vec<Key> {
+        Overlay::query_keys(&self.runtime, index)
+    }
+
+    fn query_timeout_ms(&self) -> Millis {
+        Overlay::query_timeout_ms(&self.runtime)
+    }
+
+    fn snapshot(&self, label: &str) -> OverlaySnapshot {
+        Overlay::snapshot(&self.runtime, label)
+    }
+}
+
+/// Phase hooks of the worker: after each boundary phase, stream completed
+/// bandwidth minutes and park at the coordinator's barrier.
+struct BarrierHooks<'a> {
+    ctl: &'a mut ControlChannel,
+    streamed: &'a mut BTreeSet<u64>,
+}
+
+impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
+    type Error = Error;
+
+    fn after_phase(
+        &mut self,
+        overlay: &mut ShardOverlay,
+        _phase_index: usize,
+        phase: &Phase,
+    ) -> Result<()> {
+        let barrier_phase = match phase {
+            Phase::JoinSchedule { .. } | Phase::JoinWave { .. } => PHASE_JOINED,
+            Phase::Replicate { .. } => PHASE_REPLICATED,
+            Phase::RunUntil { .. } | Phase::ConstructUntilQuiescent { .. } => PHASE_CONSTRUCTED,
+            Phase::QueryLoad { .. } => PHASE_QUERIED,
+            Phase::Drain => PHASE_DONE,
+            _ => return Ok(()),
+        };
+        barrier(self.ctl, &mut overlay.runtime, barrier_phase, self.streamed)
+    }
 }
 
 /// Connects to the coordinator at `coordinator` and runs one worker to
@@ -104,88 +226,32 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
         }
     }
 
-    let mut runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
+    let runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
         .map_err(|e| Error::other(e.to_string()))?;
+    let mut overlay = ShardOverlay { runtime };
     let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
-    barrier(&mut ctl, &mut runtime, PHASE_WIRED, &mut streamed_minutes)?;
-
-    // --- phase 1: joining ---------------------------------------------------
-    // Every worker applies the full deterministic join plan: hosted peers
-    // become live protocol endpoints, non-hosted ones become consistent
-    // bookkeeping stubs (identity + adjacency + liveness).
-    for event in join_plan(&config, &timeline) {
-        run_paced(&mut runtime, event.at);
-        runtime.join_peer_with_neighbours(event.peer, event.neighbours);
-    }
-    run_paced(&mut runtime, timeline.join_end_min * MINUTE_MS);
-    barrier(&mut ctl, &mut runtime, PHASE_JOINED, &mut streamed_minutes)?;
-
-    // --- phase 2: replication -----------------------------------------------
-    runtime.replication_phase();
-    run_paced(&mut runtime, timeline.replicate_end_min * MINUTE_MS);
     barrier(
         &mut ctl,
-        &mut runtime,
-        PHASE_REPLICATED,
+        &mut overlay.runtime,
+        PHASE_WIRED,
         &mut streamed_minutes,
     )?;
 
-    // --- phase 3: construction ----------------------------------------------
-    runtime.start_construction();
-    run_paced(&mut runtime, timeline.construct_end_min * MINUTE_MS);
-    barrier(
-        &mut ctl,
-        &mut runtime,
-        PHASE_CONSTRUCTED,
-        &mut streamed_minutes,
-    )?;
-
-    // --- phase 4: queries ----------------------------------------------------
-    // Each hosted peer queries every 1–2 minutes: the per-worker issue rate
-    // scales with the shard so the aggregate matches the single-process
-    // driver.  The worker index decorrelates the draw streams.
-    let mut control_rng =
-        StdRng::seed_from_u64(config.seed ^ 0xD13 ^ ((worker_index as u64) << 32));
-    let keys: Vec<_> = runtime.original_entries.iter().map(|e| e.key).collect();
-    let query_end = timeline.query_end_min * MINUTE_MS;
-    let churn_end = timeline.end_min * MINUTE_MS;
-    let shard_peers = shard.len() as u64;
-    let mut next_query = runtime.now();
-    while runtime.now() < query_end {
-        let step = control_rng.gen_range(MINUTE_MS / shard_peers / 2..=MINUTE_MS / shard_peers);
-        next_query += step.max(1);
-        run_paced(&mut runtime, next_query.min(query_end));
-        if runtime.now() >= query_end {
-            break;
-        }
-        let key = keys[control_rng.gen_range(0..keys.len())];
-        runtime.issue_query(key);
-    }
-    barrier(&mut ctl, &mut runtime, PHASE_QUERIED, &mut streamed_minutes)?;
-
-    // --- phase 5: churn + queries --------------------------------------------
-    // The churn schedule is global and deterministic: every worker applies
-    // it to all peers, so scheduled liveness of remote peers (the routing
-    // failure detector) agrees across processes.
-    for event in churn_plan(&config, &timeline) {
-        runtime.schedule_churn(event.peer, event.at, event.downtime);
-    }
-    while runtime.now() < churn_end {
-        let step = control_rng.gen_range(MINUTE_MS / shard_peers / 2..=MINUTE_MS / shard_peers);
-        next_query += step.max(1);
-        run_paced(&mut runtime, next_query.min(churn_end));
-        if runtime.now() >= churn_end {
-            break;
-        }
-        let key = keys[control_rng.gen_range(0..keys.len())];
-        runtime.issue_query(key);
-    }
-    // Drain outstanding query timeouts.
-    run_paced(&mut runtime, churn_end + config.query_timeout_ms);
-    barrier(&mut ctl, &mut runtime, PHASE_DONE, &mut streamed_minutes)?;
+    // --- the timeline as a scenario ------------------------------------------
+    // Same phase program as the single-process Section-5 scenario, with the
+    // deterministic plans substituted for the random draws (all workers
+    // agree on joins/churn of peers they do not host) and the query rate
+    // scaled to the shard; the worker index decorrelates the query streams.
+    let scenario = worker_scenario(&config, &timeline, worker_index, shard.len());
+    let mut hooks = BarrierHooks {
+        ctl: &mut ctl,
+        streamed: &mut streamed_minutes,
+    };
+    pgrid_scenario::run_with_hooks(&mut overlay, &scenario, &mut hooks)?;
 
     // --- final report --------------------------------------------------------
-    stream_minutes(&mut ctl, &runtime, &mut streamed_minutes, u64::MAX)?;
+    let runtime = &overlay.runtime;
+    stream_minutes(&mut ctl, runtime, &mut streamed_minutes, u64::MAX)?;
     ctl.send(&ClusterMsg::Report(ShardReport {
         shard_start,
         paths: shard
@@ -201,23 +267,38 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
     Ok(())
 }
 
-/// Advances virtual time to `until` in short slices, letting the wire
-/// settle after each slice so cross-process replies interleave with local
-/// ticks instead of piling up at the phase boundary.
-fn run_paced(runtime: &mut Runtime<TcpTransport>, until: Millis) {
-    while runtime.now() < until {
-        let next = (runtime.now() + PACE_SLICE_MS).min(until);
-        runtime.run_until(next);
-        let deadline = Instant::now() + SETTLE;
-        loop {
-            if runtime.service_network() == 0 {
-                if Instant::now() >= deadline {
-                    break;
-                }
-                std::thread::sleep(Duration::from_micros(100));
-            }
-        }
-    }
+/// The worker's phase program for one Section-5 timeline.
+///
+/// Query windows follow the executor's unified pacing semantics: the
+/// virtual clock may overshoot a window boundary by up to one inter-query
+/// step (exactly as the single-process driver does).  That is safe here
+/// because phase boundaries are hard-synchronised at the coordinator
+/// barriers anyway, every plan event falls strictly inside its window, and
+/// workers' virtual clocks are only loosely coupled between barriers by
+/// construction.
+pub fn worker_scenario(
+    config: &NetConfig,
+    timeline: &Timeline,
+    worker_index: u32,
+    shard_len: usize,
+) -> Scenario {
+    Scenario::builder(config.seed)
+        .raw_control_seed(config.seed ^ CONTROL_SEED_SALT ^ ((worker_index as u64) << 32))
+        .join_schedule(timeline.join_end_min, join_plan(config, timeline))
+        .replicate(IndexId::PRIMARY, timeline.replicate_end_min)
+        .start_construction(IndexId::PRIMARY)
+        .run_until(timeline.construct_end_min)
+        .query_load_from(IndexId::PRIMARY, timeline.query_end_min, shard_len)
+        .churn_schedule(
+            timeline.end_min,
+            churn_plan(config, timeline),
+            Some(QuerySpec {
+                index: IndexId::PRIMARY,
+                issuers: shard_len,
+            }),
+        )
+        .drain()
+        .build()
 }
 
 /// Streams every completed, not-yet-reported bandwidth minute below

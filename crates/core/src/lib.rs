@@ -24,6 +24,8 @@
 //! * [`exchange`] — the shared split/replicate/refer exchange engine of
 //!   Figure 2: partition assessment, adaptive decision probabilities and
 //!   decision application, used identically by both runtimes;
+//! * [`index`] — identifiers for multiple logical indexes hosted by one
+//!   peer population;
 //! * [`balance`] — the load-balance deviation metric of Section 4.4;
 //! * [`replication`] — replica-count estimation from key-set overlap and
 //!   anti-entropy reconciliation;
@@ -52,6 +54,7 @@
 pub mod balance;
 pub mod error;
 pub mod exchange;
+pub mod index;
 pub mod key;
 pub mod path;
 pub mod peer;
@@ -67,6 +70,7 @@ pub mod prelude {
     pub use crate::balance::{compare_to_reference, BalanceReport};
     pub use crate::error::OverlayError;
     pub use crate::exchange::{Assessment, ExchangeDecision, ExchangeEngine, ProbabilityStrategy};
+    pub use crate::index::IndexId;
     pub use crate::key::{DataEntry, DataId, Key};
     pub use crate::path::Path;
     pub use crate::peer::PeerState;

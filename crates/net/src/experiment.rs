@@ -51,7 +51,7 @@ impl Default for Timeline {
 }
 
 /// One sample of the per-minute time series.
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
 pub struct MinuteSample {
     /// Minute of virtual time.
     pub minute: u64,
@@ -69,7 +69,7 @@ pub struct MinuteSample {
 }
 
 /// Result of the deployment experiment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DeploymentReport {
     /// Per-minute time series.
     pub timeline: Vec<MinuteSample>,
@@ -93,6 +93,67 @@ pub struct DeploymentReport {
     pub total_query_bytes: usize,
     /// Frame-level counters of the transport the experiment ran over.
     pub transport: TransportStats,
+}
+
+impl DeploymentReport {
+    /// Renders the report's summary statistics plus its transport counters
+    /// in the Prometheus text exposition format (what `pgrid-cluster
+    /// --metrics-out` writes).
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "pgrid_deployment_balance_deviation",
+                "Load-balance deviation from the reference partitioning.",
+                self.balance_deviation,
+            ),
+            (
+                "pgrid_deployment_mean_path_length",
+                "Mean trie depth of the final overlay.",
+                self.mean_path_length,
+            ),
+            (
+                "pgrid_deployment_mean_query_hops",
+                "Mean hops of successful queries.",
+                self.mean_query_hops,
+            ),
+            (
+                "pgrid_deployment_query_success_rate",
+                "Query success rate over the query and churn phases.",
+                self.query_success_rate,
+            ),
+            (
+                "pgrid_deployment_mean_replication",
+                "Mean number of replicas per leaf partition.",
+                self.mean_replication,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        // Byte totals are counters (the `_total` suffix is reserved for
+        // them in the Prometheus conventions).
+        for (name, help, value) in [
+            (
+                "pgrid_deployment_maintenance_bytes_total",
+                "Total maintenance bytes sent.",
+                self.total_maintenance_bytes,
+            ),
+            (
+                "pgrid_deployment_query_bytes_total",
+                "Total query bytes sent.",
+                self.total_query_bytes,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out.push_str(&self.transport.metrics_text());
+        out
+    }
 }
 
 /// Runs the full deployment experiment over the deterministic loopback
@@ -405,5 +466,21 @@ mod tests {
             report.balance_deviation
         );
         assert!(report.mean_replication >= 1.0);
+    }
+
+    #[test]
+    fn report_metrics_text_carries_summary_and_transport_series() {
+        let report = small_report();
+        let text = report.metrics_text();
+        assert!(text.contains("# TYPE pgrid_deployment_balance_deviation gauge"));
+        assert!(text.contains("pgrid_deployment_query_success_rate "));
+        assert!(text.contains("pgrid_transport_frames_sent_total "));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(
+                line.split_whitespace().count(),
+                2,
+                "bad series line: {line}"
+            );
+        }
     }
 }

@@ -37,11 +37,17 @@ pub const MIN_BALANCED_SPLIT_PROBABILITY: f64 =
     pgrid_core::exchange::MIN_BALANCED_SPLIT_PROBABILITY;
 
 /// Convenient re-exports of the most frequently used items.
+///
+/// The deployment *drivers* (`run_deployment`, `run_deployment_with`) are
+/// re-exported by `pgrid_scenario::prelude` instead: the scenario-driven
+/// versions are the public path (bit-identical to the direct ones kept in
+/// [`experiment`] as the parity reference).
 pub mod prelude {
     pub use crate::experiment::{
-        assemble_report, run_deployment, run_deployment_with, DeploymentReport, MinuteSample,
-        ReportInputs, Timeline,
+        assemble_report, DeploymentReport, MinuteSample, ReportInputs, Timeline,
     };
     pub use crate::message::{ExchangeOutcome, Message};
-    pub use crate::runtime::{BandwidthSample, NetConfig, NetMetrics, Node, QueryRecord, Runtime};
+    pub use crate::runtime::{
+        BandwidthSample, NetConfig, NetMetrics, Node, QueryRecord, Runtime, SecondaryIndex,
+    };
 }

@@ -72,6 +72,19 @@ pub enum Message {
         /// Whether a responsible peer was reached.
         found: bool,
     },
+    /// Envelope routing `inner` to a *secondary* index hosted by the same
+    /// peer population (see [`pgrid_core::index::IndexId`]).
+    ///
+    /// Primary-index traffic is never enveloped, so the byte stream of a
+    /// single-index deployment is unchanged by the multi-index extension.
+    /// Envelopes do not nest: a `ForIndex` inside a `ForIndex` is rejected
+    /// at decode time.
+    ForIndex {
+        /// The secondary index the inner message belongs to (non-zero).
+        index: u16,
+        /// The enveloped protocol message.
+        inner: Box<Message>,
+    },
 }
 
 /// Decision taken by the contacted peer of an [`Message::Exchange`].
@@ -116,6 +129,13 @@ impl Message {
     /// Encodes the message into a byte buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Appends the encoding to an existing buffer (used by the envelope so
+    /// wrapping never buffers the inner message twice).
+    fn encode_into(&self, buf: &mut BytesMut) {
         match self {
             Message::Join { peer } => {
                 buf.put_u8(0);
@@ -130,7 +150,7 @@ impl Message {
             }
             Message::Replicate { entries } => {
                 buf.put_u8(2);
-                put_entries(&mut buf, entries);
+                put_entries(buf, entries);
             }
             Message::Exchange {
                 from,
@@ -139,8 +159,8 @@ impl Message {
             } => {
                 buf.put_u8(3);
                 buf.put_u64(from.0);
-                put_path(&mut buf, path);
-                put_entries(&mut buf, entries);
+                put_path(buf, path);
+                put_entries(buf, entries);
             }
             Message::ExchangeReply {
                 from,
@@ -149,7 +169,7 @@ impl Message {
             } => {
                 buf.put_u8(4);
                 buf.put_u64(from.0);
-                put_path(&mut buf, path);
+                put_path(buf, path);
                 match outcome {
                     ExchangeOutcome::Split {
                         partition,
@@ -158,26 +178,26 @@ impl Message {
                         complement,
                     } => {
                         buf.put_u8(0);
-                        put_path(&mut buf, partition);
+                        put_path(buf, partition);
                         buf.put_u8(*initiator_bit as u8);
-                        put_entries(&mut buf, entries);
+                        put_entries(buf, entries);
                         match complement {
                             Some((peer, path)) => {
                                 buf.put_u8(1);
                                 buf.put_u64(peer.0);
-                                put_path(&mut buf, path);
+                                put_path(buf, path);
                             }
                             None => buf.put_u8(0),
                         }
                     }
                     ExchangeOutcome::Replicate { entries } => {
                         buf.put_u8(1);
-                        put_entries(&mut buf, entries);
+                        put_entries(buf, entries);
                     }
                     ExchangeOutcome::Refer { peer, path } => {
                         buf.put_u8(2);
                         buf.put_u64(peer.0);
-                        put_path(&mut buf, path);
+                        put_path(buf, path);
                     }
                     ExchangeOutcome::Nothing => buf.put_u8(3),
                 }
@@ -202,12 +222,20 @@ impl Message {
             } => {
                 buf.put_u8(6);
                 buf.put_u64(*id);
-                put_entries(&mut buf, entries);
+                put_entries(buf, entries);
                 buf.put_u32(*hops);
                 buf.put_u8(*found as u8);
             }
+            Message::ForIndex { index, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Message::ForIndex { .. }),
+                    "index envelopes do not nest"
+                );
+                buf.put_u8(7);
+                buf.put_u16(*index);
+                inner.encode_into(buf);
+            }
         }
-        buf.freeze()
     }
 
     /// Decodes a message previously produced by [`Message::encode`].
@@ -291,6 +319,18 @@ impl Message {
                 hops: checked_u32(&mut data)?,
                 found: checked_u8(&mut data)? != 0,
             },
+            7 => {
+                let index = checked_u16(&mut data)?;
+                let inner = Message::decode(data)?;
+                // Envelopes carry a non-zero index and never nest.
+                if index == 0 || matches!(inner, Message::ForIndex { .. }) {
+                    return None;
+                }
+                Message::ForIndex {
+                    index,
+                    inner: Box::new(inner),
+                }
+            }
             _ => return None,
         })
     }
@@ -304,7 +344,11 @@ impl Message {
     /// Whether this message belongs to the query traffic class (everything
     /// else is maintenance traffic in the Figure 8 breakdown).
     pub fn is_query_traffic(&self) -> bool {
-        matches!(self, Message::Query { .. } | Message::QueryResponse { .. })
+        match self {
+            Message::Query { .. } | Message::QueryResponse { .. } => true,
+            Message::ForIndex { inner, .. } => inner.is_query_traffic(),
+            _ => false,
+        }
     }
 }
 
@@ -360,6 +404,10 @@ fn checked_u64(data: &mut Bytes) -> Option<u64> {
 
 fn checked_u32(data: &mut Bytes) -> Option<u32> {
     (data.remaining() >= 4).then(|| data.get_u32())
+}
+
+fn checked_u16(data: &mut Bytes) -> Option<u16> {
+    (data.remaining() >= 2).then(|| data.get_u16())
 }
 
 fn checked_u8(data: &mut Bytes) -> Option<u8> {
@@ -472,6 +520,51 @@ mod tests {
         buf.put_u32(10);
         buf.put_u64(1);
         assert!(Message::decode(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn index_envelopes_roundtrip_and_classify() {
+        let inner = Message::Query {
+            origin: PeerId(3),
+            id: 9,
+            key: Key::from_fraction(0.5),
+            hops: 1,
+        };
+        let enveloped = Message::ForIndex {
+            index: 2,
+            inner: Box::new(inner.clone()),
+        };
+        roundtrip(enveloped.clone());
+        assert!(enveloped.is_query_traffic());
+        assert!(!Message::ForIndex {
+            index: 2,
+            inner: Box::new(Message::Replicate {
+                entries: entries(1)
+            }),
+        }
+        .is_query_traffic());
+        // The envelope costs exactly tag + index on the wire.
+        assert_eq!(enveloped.wire_size(), inner.wire_size() + 3);
+    }
+
+    #[test]
+    fn malformed_envelopes_are_rejected() {
+        // Index 0 must never be enveloped.
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(0);
+        buf.put_slice(Message::Join { peer: PeerId(1) }.encode().as_slice());
+        assert!(Message::decode(buf.freeze()).is_none());
+        // Envelopes do not nest.
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(1);
+        buf.put_u8(7);
+        buf.put_u16(2);
+        buf.put_slice(Message::Join { peer: PeerId(1) }.encode().as_slice());
+        assert!(Message::decode(buf.freeze()).is_none());
+        // Truncated index.
+        assert!(Message::decode(Bytes::from_static(&[7, 0])).is_none());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use crate::message::{ExchangeOutcome, Message};
 use bytes::Bytes;
 use pgrid_core::exchange::{ExchangeDecision, ExchangeEngine};
-use pgrid_core::key::DataEntry;
+use pgrid_core::index::IndexId;
+use pgrid_core::key::{DataEntry, DataId, Key};
 use pgrid_core::path::Path;
 use pgrid_core::peer::PeerState;
 use pgrid_core::reference::BalanceParams;
@@ -22,6 +23,7 @@ use pgrid_core::store::{KeyStore, StoreRead};
 use pgrid_transport::frame;
 use pgrid_transport::loopback::{LoopbackConfig, LoopbackTransport};
 use pgrid_transport::{PeerAddr, Transport, TransportError, TransportStats};
+use pgrid_workload::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -117,6 +119,12 @@ pub struct Node {
     pub neighbours: Vec<PeerId>,
     /// Whether the peer participates in construction ticks.
     pub constructing: bool,
+    /// Whether a construction tick is currently scheduled.  A tick firing
+    /// while the peer is offline ends the chain (`tick_armed` drops to
+    /// `false`, matching the paper's reference run, where a returning peer
+    /// does not restart maintenance by itself); a later
+    /// [`Runtime::start_construction_on`] re-arms dead chains.
+    pub tick_armed: bool,
     /// Consecutive fruitless exchanges.
     pub fruitless: u32,
     /// Whether the peer has joined the network at all.
@@ -135,6 +143,9 @@ pub struct BandwidthSample {
 /// Record of one issued query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueryRecord {
+    /// The index the query ran against ([`IndexId::PRIMARY`] unless the
+    /// deployment hosts secondary indexes).
+    pub index: IndexId,
     /// Virtual time the query was issued.
     pub issued_at: Millis,
     /// Latency in milliseconds (`None` while outstanding or after timeout).
@@ -168,6 +179,83 @@ pub struct NetMetrics {
 }
 
 impl NetMetrics {
+    /// Renders the runtime counters in the Prometheus text exposition
+    /// format (companion to
+    /// [`pgrid_transport::TransportStats::metrics_text`]).
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let queries_answered = self
+            .queries
+            .iter()
+            .filter(|q| q.latency_ms.is_some())
+            .count();
+        let queries_succeeded = self.queries.iter().filter(|q| q.success).count();
+        for (name, help, value) in [
+            (
+                "pgrid_net_messages_delivered_total",
+                "Protocol messages delivered to peers.",
+                self.messages_delivered,
+            ),
+            (
+                "pgrid_net_messages_lost_total",
+                "Protocol messages lost in transit.",
+                self.messages_lost,
+            ),
+            (
+                "pgrid_net_messages_to_offline_total",
+                "Messages dropped because the destination was offline.",
+                self.messages_to_offline,
+            ),
+            (
+                "pgrid_net_decode_failures_total",
+                "Frames or messages that arrived but could not be decoded.",
+                self.decode_failures,
+            ),
+            (
+                "pgrid_net_multi_message_frames_total",
+                "Frames that carried more than one message.",
+                self.multi_message_frames,
+            ),
+            (
+                "pgrid_net_queries_issued_total",
+                "Queries issued.",
+                self.queries.len(),
+            ),
+            (
+                "pgrid_net_queries_answered_total",
+                "Queries answered before their timeout.",
+                queries_answered,
+            ),
+            (
+                "pgrid_net_queries_succeeded_total",
+                "Queries answered successfully.",
+                queries_succeeded,
+            ),
+            (
+                "pgrid_net_maintenance_bytes_total",
+                "Bytes of maintenance traffic (join, replicate, exchange).",
+                self.bandwidth_per_minute
+                    .values()
+                    .map(|b| b.maintenance_bytes)
+                    .sum(),
+            ),
+            (
+                "pgrid_net_query_bytes_total",
+                "Bytes of query traffic.",
+                self.bandwidth_per_minute
+                    .values()
+                    .map(|b| b.query_bytes)
+                    .sum(),
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+
     fn account(&mut self, now: Millis, message: &Message) {
         let bucket = now / 60_000;
         let entry = self.bandwidth_per_minute.entry(bucket).or_default();
@@ -182,10 +270,183 @@ impl NetMetrics {
 
 #[derive(Debug)]
 enum EventKind {
-    ConstructTick { peer: usize },
+    ConstructTick { index: IndexId, peer: usize },
     QueryTimeout { query_id: u64 },
     GoOffline { peer: usize },
     GoOnline { peer: usize },
+}
+
+/// Overlay state of one *secondary* index hosted by the peer population.
+///
+/// The peer population, its liveness, its unstructured bootstrap overlay
+/// and its transport endpoints are owned by the primary index (the
+/// [`Node`] vector); a secondary index only adds the per-peer protocol
+/// state that is index-specific — path, store, routing table, replica
+/// list — plus its own construction bookkeeping and ground-truth data
+/// assignment.
+#[derive(Clone, Debug)]
+pub struct SecondaryIndex {
+    /// The index identifier (never [`IndexId::PRIMARY`]).
+    pub id: IndexId,
+    /// Per-peer overlay state of this index (index = peer id).  The
+    /// `online` flag of these states is unused: liveness is shared and
+    /// owned by the primary [`Node`]s.
+    pub states: Vec<PeerState>,
+    /// The ground-truth data assignment of this index.
+    pub original_entries: Vec<DataEntry>,
+    /// Whether each peer participates in construction ticks of this index.
+    constructing: Vec<bool>,
+    /// Whether each peer's tick chain is currently scheduled (see
+    /// [`Node::tick_armed`]).
+    tick_armed: Vec<bool>,
+    /// Consecutive fruitless exchanges per peer on this index.
+    fruitless: Vec<u32>,
+}
+
+/// Resolves the per-index peer state through disjoint field borrows, so a
+/// caller can mutate it while also holding `&mut rng` (the same split the
+/// single-index code achieved by naming `self.nodes[..]` directly).
+fn index_state_mut<'a>(
+    nodes: &'a mut [Node],
+    secondary: &'a mut [SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> &'a mut PeerState {
+    if index.is_primary() {
+        &mut nodes[peer].state
+    } else {
+        let slot = secondary
+            .iter_mut()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        &mut slot.states[peer]
+    }
+}
+
+/// Immutable counterpart of [`index_state_mut`].
+fn index_state<'a>(
+    nodes: &'a [Node],
+    secondary: &'a [SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> &'a PeerState {
+    if index.is_primary() {
+        &nodes[peer].state
+    } else {
+        let slot = secondary
+            .iter()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        &slot.states[peer]
+    }
+}
+
+/// Per-index fruitless-exchange counter of a peer.
+fn index_fruitless_mut<'a>(
+    nodes: &'a mut [Node],
+    secondary: &'a mut [SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> &'a mut u32 {
+    if index.is_primary() {
+        &mut nodes[peer].fruitless
+    } else {
+        let slot = secondary
+            .iter_mut()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        &mut slot.fruitless[peer]
+    }
+}
+
+/// Read-only counterpart of [`index_fruitless_mut`].
+fn index_fruitless(
+    nodes: &[Node],
+    secondary: &[SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> u32 {
+    if index.is_primary() {
+        nodes[peer].fruitless
+    } else {
+        let slot = secondary
+            .iter()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        slot.fruitless[peer]
+    }
+}
+
+/// Per-index constructing flag of a peer.
+fn index_constructing_mut<'a>(
+    nodes: &'a mut [Node],
+    secondary: &'a mut [SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> &'a mut bool {
+    if index.is_primary() {
+        &mut nodes[peer].constructing
+    } else {
+        let slot = secondary
+            .iter_mut()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        &mut slot.constructing[peer]
+    }
+}
+
+/// Read-only counterpart of [`index_constructing_mut`].
+fn index_constructing(
+    nodes: &[Node],
+    secondary: &[SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> bool {
+    if index.is_primary() {
+        nodes[peer].constructing
+    } else {
+        let slot = secondary
+            .iter()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        slot.constructing[peer]
+    }
+}
+
+/// Per-index tick-armed flag of a peer (see [`Node::tick_armed`]).
+fn index_tick_armed_mut<'a>(
+    nodes: &'a mut [Node],
+    secondary: &'a mut [SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> &'a mut bool {
+    if index.is_primary() {
+        &mut nodes[peer].tick_armed
+    } else {
+        let slot = secondary
+            .iter_mut()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        &mut slot.tick_armed[peer]
+    }
+}
+
+/// Read-only counterpart of [`index_tick_armed_mut`].
+fn index_tick_armed(
+    nodes: &[Node],
+    secondary: &[SecondaryIndex],
+    index: IndexId,
+    peer: usize,
+) -> bool {
+    if index.is_primary() {
+        nodes[peer].tick_armed
+    } else {
+        let slot = secondary
+            .iter()
+            .find(|s| s.id == index)
+            .expect("unregistered index");
+        slot.tick_armed[peer]
+    }
 }
 
 struct Event {
@@ -235,6 +496,9 @@ pub struct Runtime<T: Transport = LoopbackTransport> {
     pub metrics: NetMetrics,
     /// The original entries assigned to peers (ground truth for queries).
     pub original_entries: Vec<DataEntry>,
+    /// Secondary indexes hosted by the same peer population (empty unless
+    /// [`Runtime::register_index`] was called).
+    pub secondary: Vec<SecondaryIndex>,
     engine: ExchangeEngine,
     transport: T,
     addrs: Vec<PeerAddr>,
@@ -294,6 +558,7 @@ pub fn generate_peers(config: &NetConfig, rng: &mut StdRng) -> (Vec<Node>, Vec<D
             state,
             neighbours: Vec::new(),
             constructing: false,
+            tick_armed: false,
             fruitless: 0,
             joined: false,
         });
@@ -346,6 +611,7 @@ impl<T: Transport> Runtime<T> {
             nodes,
             metrics: NetMetrics::default(),
             original_entries,
+            secondary: Vec::new(),
             engine: ExchangeEngine::new(params),
             transport,
             addrs,
@@ -364,6 +630,146 @@ impl<T: Transport> Runtime<T> {
     /// the configuration; the engine owns the single copy).
     pub fn params(&self) -> BalanceParams {
         *self.engine.params()
+    }
+
+    // ----- multi-index management --------------------------------------------
+
+    /// Registers a *secondary* index over the same peer population: every
+    /// peer receives `keys_per_peer` fresh keys drawn from `distribution`
+    /// into a dedicated per-index overlay state (path, store, routing
+    /// table), while liveness, bootstrap neighbours and the transport are
+    /// shared with the primary index.
+    ///
+    /// The assignment is drawn from a dedicated RNG stream derived from
+    /// the seed and the index id, so registering an index never perturbs
+    /// the primary index's random trajectory, and sharded runtimes of the
+    /// same deployment reproduce an identical assignment in every process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is the (implicit) primary index or already
+    /// registered.
+    pub fn register_index(&mut self, id: IndexId, distribution: &Distribution) {
+        assert!(
+            !id.is_primary(),
+            "the primary index is implicit and cannot be registered"
+        );
+        assert!(!self.has_index_state(id), "{id} is already registered");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x1DE0 ^ ((id.0 as u64) << 20));
+        let n = self.config.n_peers;
+        let mut states = Vec::with_capacity(n);
+        let mut original_entries = Vec::with_capacity(n * self.config.keys_per_peer);
+        for i in 0..n {
+            let mut state = PeerState::new(PeerId(i as u64), self.config.routing_fanout);
+            for j in 0..self.config.keys_per_peer {
+                let entry = DataEntry::new(
+                    distribution.sample(&mut rng),
+                    DataId((i * self.config.keys_per_peer + j) as u64),
+                );
+                state.store.insert(entry);
+                original_entries.push(entry);
+            }
+            states.push(state);
+        }
+        self.secondary.push(SecondaryIndex {
+            id,
+            states,
+            original_entries,
+            constructing: vec![false; n],
+            tick_armed: vec![false; n],
+            fruitless: vec![0; n],
+        });
+    }
+
+    /// Whether `index` is hosted by this runtime (the primary index always
+    /// is).
+    pub fn has_index_state(&self, index: IndexId) -> bool {
+        index.is_primary() || self.secondary.iter().any(|s| s.id == index)
+    }
+
+    /// All hosted index ids, primary first.
+    pub fn index_ids(&self) -> Vec<IndexId> {
+        let mut ids = vec![IndexId::PRIMARY];
+        ids.extend(self.secondary.iter().map(|s| s.id));
+        ids
+    }
+
+    /// The ground-truth data assignment of an index.
+    pub fn original_entries_of(&self, index: IndexId) -> &[DataEntry] {
+        if index.is_primary() {
+            &self.original_entries
+        } else {
+            let slot = self
+                .secondary
+                .iter()
+                .find(|s| s.id == index)
+                .expect("unregistered index");
+            &slot.original_entries
+        }
+    }
+
+    /// The overlay state of `peer` on `index`.
+    pub fn peer_state(&self, index: IndexId, peer: usize) -> &PeerState {
+        index_state(&self.nodes, &self.secondary, index, peer)
+    }
+
+    /// Assigns fresh `keys` to `peer` on `index`: the entries extend the
+    /// index's ground truth (continuing its `DataId` numbering) and, when
+    /// the peer is hosted here, its local store.  Construction anti-entropy
+    /// spreads them to replicas from there (the re-indexing / distribution
+    /// shift workload).
+    pub fn insert_entries(&mut self, index: IndexId, peer: usize, keys: Vec<Key>) {
+        let hosted = self.hosted(peer);
+        for key in keys {
+            let entry = {
+                let originals = if index.is_primary() {
+                    &mut self.original_entries
+                } else {
+                    let slot = self
+                        .secondary
+                        .iter_mut()
+                        .find(|s| s.id == index)
+                        .expect("unregistered index");
+                    &mut slot.original_entries
+                };
+                let entry = DataEntry::new(key, DataId(originals.len() as u64));
+                originals.push(entry);
+                entry
+            };
+            if hosted {
+                index_state_mut(&mut self.nodes, &mut self.secondary, index, peer)
+                    .store
+                    .insert(entry);
+            }
+        }
+    }
+
+    /// Whether construction has settled: every hosted, online peer whose
+    /// tick chain is still live (on any index) has reached the back-off
+    /// regime — repeated fruitless exchanges and no local evidence that
+    /// its partition still needs splitting.  Dead tick chains (a tick
+    /// fired while the peer was offline) do not block quiescence: they do
+    /// nothing until re-armed.  `true` when no peer is constructing at
+    /// all.
+    pub fn construction_quiescent(&self) -> bool {
+        for index in self.index_ids() {
+            for peer in self.shard.clone() {
+                if !self.nodes[peer].joined || !self.nodes[peer].state.online {
+                    continue;
+                }
+                if !index_constructing(&self.nodes, &self.secondary, index, peer)
+                    || !index_tick_armed(&self.nodes, &self.secondary, index, peer)
+                {
+                    continue;
+                }
+                let fruitless = index_fruitless(&self.nodes, &self.secondary, index, peer);
+                let state = index_state(&self.nodes, &self.secondary, index, peer);
+                if fruitless < 4 || self.engine.locally_overloaded(state) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Current virtual time in milliseconds.
@@ -433,6 +839,23 @@ impl<T: Transport> Runtime<T> {
             seq: self.seq,
             kind,
         }));
+    }
+
+    /// [`Runtime::send`] qualified by an index: primary-index messages go
+    /// out unchanged (the single-index wire format), secondary-index ones
+    /// are enveloped in [`Message::ForIndex`].
+    fn send_on(&mut self, index: IndexId, to: usize, message: Message) {
+        if index.is_primary() {
+            self.send(to, message);
+        } else {
+            self.send(
+                to,
+                Message::ForIndex {
+                    index: index.0,
+                    inner: Box::new(message),
+                },
+            );
+        }
     }
 
     /// Queues a message for the next frame to `to`: accounts its bandwidth
@@ -607,17 +1030,28 @@ impl<T: Transport> Runtime<T> {
     }
 
     /// Replicates every online peer's original entries to `n_min` random
-    /// neighbours-of-neighbours (the replication phase).
+    /// neighbours-of-neighbours (the replication phase of the primary
+    /// index).
     pub fn replication_phase(&mut self) {
+        self.replication_phase_on(IndexId::PRIMARY);
+    }
+
+    /// The replication phase of one index.
+    pub fn replication_phase_on(&mut self, index: IndexId) {
         let n_min = self.config.n_min;
         for peer in self.shard.clone() {
             if !self.nodes[peer].state.online {
                 continue;
             }
-            let entries: Vec<DataEntry> = self.nodes[peer].state.store.iter().copied().collect();
+            let entries: Vec<DataEntry> = index_state(&self.nodes, &self.secondary, index, peer)
+                .store
+                .iter()
+                .copied()
+                .collect();
             for _ in 0..n_min {
                 if let Some(target) = self.random_contact(peer) {
-                    self.send(
+                    self.send_on(
+                        index,
                         target,
                         Message::Replicate {
                             entries: entries.clone(),
@@ -632,22 +1066,44 @@ impl<T: Transport> Runtime<T> {
         }
     }
 
-    /// Starts periodic construction ticks on every hosted online peer.
+    /// Starts periodic construction ticks on every hosted online peer (the
+    /// primary index).
     pub fn start_construction(&mut self) {
+        self.start_construction_on(IndexId::PRIMARY);
+    }
+
+    /// Starts periodic construction ticks of one index on every hosted
+    /// online peer.  Peers whose tick chain is still scheduled are left
+    /// alone (re-arming would double their tick rate); peers whose chain
+    /// died — a tick fired while they were offline during churn — are
+    /// re-armed, so a scenario can re-engage construction after a churn
+    /// window (or after [`Runtime::insert_entries`] shifted the data).
+    pub fn start_construction_on(&mut self, index: IndexId) {
         for peer in self.shard.clone() {
             if self.nodes[peer].state.online {
-                self.nodes[peer].constructing = true;
+                let armed = index_tick_armed_mut(&mut self.nodes, &mut self.secondary, index, peer);
+                if *armed {
+                    continue;
+                }
+                *armed = true;
+                *index_constructing_mut(&mut self.nodes, &mut self.secondary, index, peer) = true;
                 let jitter = self
                     .rng
                     .gen_range(0..self.config.construct_interval_ms.max(1));
-                self.schedule(self.now + jitter, EventKind::ConstructTick { peer });
+                self.schedule(self.now + jitter, EventKind::ConstructTick { index, peer });
             }
         }
     }
 
-    /// Issues a lookup for `key` from a random hosted online peer; the
-    /// result is recorded in [`NetMetrics::queries`].
-    pub fn issue_query(&mut self, key: pgrid_core::key::Key) {
+    /// Issues a lookup for `key` from a random hosted online peer (the
+    /// primary index); the result is recorded in [`NetMetrics::queries`].
+    pub fn issue_query(&mut self, key: Key) {
+        self.issue_query_on(IndexId::PRIMARY, key);
+    }
+
+    /// Issues a lookup for `key` against `index` from a random hosted
+    /// online peer.
+    pub fn issue_query_on(&mut self, index: IndexId, key: Key) {
         let online: Vec<usize> = self
             .shard
             .clone()
@@ -661,6 +1117,7 @@ impl<T: Transport> Runtime<T> {
         self.next_query_id += 1;
         let record_index = self.metrics.queries.len();
         self.metrics.queries.push(QueryRecord {
+            index,
             issued_at: self.now,
             latency_ms: None,
             hops: 0,
@@ -679,7 +1136,7 @@ impl<T: Transport> Runtime<T> {
             key,
             hops: 0,
         };
-        self.handle_query(origin, message);
+        self.handle_message_on(origin, index, message);
         self.flush_pending();
     }
 
@@ -748,7 +1205,7 @@ impl<T: Transport> Runtime<T> {
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
-            EventKind::ConstructTick { peer } => self.construct_tick(peer),
+            EventKind::ConstructTick { index, peer } => self.construct_tick(index, peer),
             EventKind::QueryTimeout { query_id } => {
                 if let Some(record) = self.outstanding_queries.remove(&query_id) {
                     // The record keeps success = false and latency = None.
@@ -768,21 +1225,40 @@ impl<T: Transport> Runtime<T> {
 
     fn handle_message(&mut self, to: usize, message: Message) {
         match message {
+            Message::ForIndex { index, inner } => {
+                let index = IndexId(index);
+                if !self.has_index_state(index) {
+                    // An envelope for an index this runtime never
+                    // registered: version skew, not ordinary traffic.
+                    self.metrics.decode_failures += 1;
+                    return;
+                }
+                self.handle_message_on(to, index, *inner);
+            }
+            other => self.handle_message_on(to, IndexId::PRIMARY, other),
+        }
+    }
+
+    fn handle_message_on(&mut self, to: usize, index: IndexId, message: Message) {
+        match message {
             Message::Join { .. } | Message::JoinAck { .. } => {
                 // Join traffic is handled synchronously in `join_peer`; these
                 // messages only exist for bandwidth accounting.
             }
             Message::Replicate { entries } => {
-                self.nodes[to].state.store.merge_from(entries);
+                index_state_mut(&mut self.nodes, &mut self.secondary, index, to)
+                    .store
+                    .merge_from(entries);
             }
             Message::Exchange {
                 from,
                 path,
                 entries,
             } => {
-                let reply = self.decide_exchange(to, from, path, &entries);
-                let responder_path = self.nodes[to].state.path;
-                self.send(
+                let reply = self.decide_exchange(index, to, from, path, &entries);
+                let responder_path = self.peer_state(index, to).path;
+                self.send_on(
+                    index,
                     from.0 as usize,
                     Message::ExchangeReply {
                         from: PeerId(to as u64),
@@ -796,7 +1272,7 @@ impl<T: Transport> Runtime<T> {
                 path,
                 outcome,
             } => {
-                self.apply_exchange_reply(to, from, path, outcome);
+                self.apply_exchange_reply(index, to, from, path, outcome);
             }
             Message::Query {
                 origin,
@@ -804,7 +1280,7 @@ impl<T: Transport> Runtime<T> {
                 key,
                 hops,
             } => {
-                self.handle_query_message(to, origin, id, key, hops);
+                self.handle_query_message(index, to, origin, id, key, hops);
             }
             Message::QueryResponse {
                 id,
@@ -820,13 +1296,22 @@ impl<T: Transport> Runtime<T> {
                 }
                 let _ = to;
             }
+            Message::ForIndex { .. } => {
+                // Nested envelopes are rejected at decode time; reaching
+                // one here means a hand-crafted message — drop it.
+                self.metrics.decode_failures += 1;
+            }
         }
     }
 
     // ----- construction protocol ---------------------------------------------
 
-    fn construct_tick(&mut self, peer: usize) {
-        if !self.nodes[peer].state.online || !self.nodes[peer].constructing {
+    fn construct_tick(&mut self, index: IndexId, peer: usize) {
+        let constructing = index_constructing(&self.nodes, &self.secondary, index, peer);
+        if !self.nodes[peer].state.online || !constructing {
+            // The chain ends here (no reschedule, as in the paper's
+            // reference run); `start_construction_on` can re-arm it.
+            *index_tick_armed_mut(&mut self.nodes, &mut self.secondary, index, peer) = false;
             return;
         }
         // Back off after repeated fruitless exchanges unless the local store
@@ -835,10 +1320,13 @@ impl<T: Transport> Runtime<T> {
         // much lower rate, which provides the background anti-entropy that
         // keeps replicas converged during the operational phase (and shows
         // up as the residual maintenance bandwidth of Figure 8).
-        let node = &self.nodes[peer];
-        let backing_off = node.fruitless >= 4 && !self.engine.locally_overloaded(&node.state);
+        let backing_off = {
+            let fruitless = index_fruitless(&self.nodes, &self.secondary, index, peer);
+            let state = index_state(&self.nodes, &self.secondary, index, peer);
+            fruitless >= 4 && !self.engine.locally_overloaded(state)
+        };
         if let Some(target) = self.random_contact(peer) {
-            let state = &self.nodes[peer].state;
+            let state = index_state(&self.nodes, &self.secondary, index, peer);
             let entries: Vec<DataEntry> = state
                 .store
                 .restricted(&state.path)
@@ -850,7 +1338,7 @@ impl<T: Transport> Runtime<T> {
                 path: state.path,
                 entries,
             };
-            self.send(target, message);
+            self.send_on(index, target, message);
         }
         let interval = if backing_off {
             self.config.construct_interval_ms * 10
@@ -860,7 +1348,7 @@ impl<T: Transport> Runtime<T> {
         let jitter = self.rng.gen_range(0..interval.max(1));
         self.schedule(
             self.now + interval + jitter,
-            EventKind::ConstructTick { peer },
+            EventKind::ConstructTick { index, peer },
         );
     }
 
@@ -873,26 +1361,23 @@ impl<T: Transport> Runtime<T> {
     /// transition.
     fn decide_exchange(
         &mut self,
+        index: IndexId,
         responder: usize,
         initiator: PeerId,
         initiator_path: Path,
         initiator_entries: &[DataEntry],
     ) -> ExchangeOutcome {
-        let responder_path = self.nodes[responder].state.path;
+        let responder_path = self.peer_state(index, responder).path;
 
         if ExchangeEngine::refer_level(&responder_path, &initiator_path).is_some() {
             // Refer the initiator to a peer for its own side, and learn a
             // reference ourselves.
             let level = responder_path.common_prefix_len(&initiator_path);
-            {
-                let rng = &mut self.rng;
-                self.nodes[responder]
-                    .state
-                    .learn_reference(initiator, initiator_path, rng);
-            }
+            index_state_mut(&mut self.nodes, &mut self.secondary, index, responder)
+                .learn_reference(initiator, initiator_path, &mut self.rng);
             let referred = {
-                let node = &self.nodes[responder];
-                node.state
+                let state = index_state(&self.nodes, &self.secondary, index, responder);
+                state
                     .routing
                     .level(level)
                     .iter()
@@ -921,7 +1406,9 @@ impl<T: Transport> Runtime<T> {
         // Zero-copy view of the responder's partition entries; everything
         // derived from it is computed before the responder's state is
         // mutated.
-        let responder_store = self.nodes[responder].state.store.restricted(&partition);
+        let responder_store = index_state(&self.nodes, &self.secondary, index, responder)
+            .store
+            .restricted(&partition);
         let assessment = self
             .engine
             .assess(&initiator_store, &responder_store, &partition);
@@ -938,10 +1425,12 @@ impl<T: Transport> Runtime<T> {
                     // arrived with the request).
                     let to_initiator = responder_store.missing_in(&initiator_store);
                     let to_responder = initiator_store.missing_in(&responder_store);
-                    if !self.nodes[responder].state.replicas.contains(&initiator) {
-                        self.nodes[responder].state.replicas.push(initiator);
+                    let state =
+                        index_state_mut(&mut self.nodes, &mut self.secondary, index, responder);
+                    if !state.replicas.contains(&initiator) {
+                        state.replicas.push(initiator);
                     }
-                    self.nodes[responder].state.store.merge_from(to_responder);
+                    state.store.merge_from(to_responder);
                     ExchangeOutcome::Replicate {
                         entries: to_initiator,
                     }
@@ -954,19 +1443,22 @@ impl<T: Transport> Runtime<T> {
                     // The responder extends its own path with the
                     // complementary bit and hands over the initiator's side.
                     let responder_bit = !initiator_bit;
-                    let rng = &mut self.rng;
-                    let handover = self.nodes[responder].state.split_towards(
-                        responder_bit,
-                        RoutingEntry {
-                            peer: initiator,
-                            path: partition.child(initiator_bit),
-                        },
-                        rng,
-                    );
+                    let handover =
+                        index_state_mut(&mut self.nodes, &mut self.secondary, index, responder)
+                            .split_towards(
+                                responder_bit,
+                                RoutingEntry {
+                                    peer: initiator,
+                                    path: partition.child(initiator_bit),
+                                },
+                                &mut self.rng,
+                            );
                     // Keep the initiator's entries that belong to our new
                     // side.
-                    let own_path = self.nodes[responder].state.path;
-                    self.nodes[responder].state.store.merge_from(
+                    let state =
+                        index_state_mut(&mut self.nodes, &mut self.secondary, index, responder);
+                    let own_path = state.path;
+                    state.store.merge_from(
                         initiator_entries
                             .iter()
                             .copied()
@@ -1003,7 +1495,9 @@ impl<T: Transport> Runtime<T> {
             // reference to the complementary subtree, which the responder has
             // in its routing table for this level.
             let complement = if initiator_bit == responder_bit {
-                let refs = self.nodes[responder].state.routing.level(partition.len());
+                let refs = index_state(&self.nodes, &self.secondary, index, responder)
+                    .routing
+                    .level(partition.len());
                 match refs.choose(&mut self.rng) {
                     Some(entry) => Some((entry.peer, entry.path)),
                     None => return ExchangeOutcome::Nothing,
@@ -1041,15 +1535,16 @@ impl<T: Transport> Runtime<T> {
                 balanced: false,
                 ..
             } if bit != ahead_bit => {
-                let rng = &mut self.rng;
-                let shipped = self.nodes[responder].state.split_towards(
-                    bit,
-                    RoutingEntry {
-                        peer: initiator,
-                        path: initiator_path,
-                    },
-                    rng,
-                );
+                let shipped =
+                    index_state_mut(&mut self.nodes, &mut self.secondary, index, responder)
+                        .split_towards(
+                            bit,
+                            RoutingEntry {
+                                peer: initiator,
+                                path: initiator_path,
+                            },
+                            &mut self.rng,
+                        );
                 // The shipped entries belong to the initiator's half of the
                 // partition; hand them over with the reply.
                 ExchangeOutcome::Replicate { entries: shipped }
@@ -1061,36 +1556,43 @@ impl<T: Transport> Runtime<T> {
     /// The initiator applies the responder's decision.
     fn apply_exchange_reply(
         &mut self,
+        index: IndexId,
         initiator: usize,
         responder: PeerId,
         responder_path: Path,
         outcome: ExchangeOutcome,
     ) {
         // Always learn a routing reference from the encounter if possible.
-        {
-            let rng = &mut self.rng;
-            self.nodes[initiator]
-                .state
-                .learn_reference(responder, responder_path, rng);
-        }
+        index_state_mut(&mut self.nodes, &mut self.secondary, index, initiator).learn_reference(
+            responder,
+            responder_path,
+            &mut self.rng,
+        );
         match outcome {
             ExchangeOutcome::Nothing => {
-                self.nodes[initiator].fruitless += 1;
+                *index_fruitless_mut(&mut self.nodes, &mut self.secondary, index, initiator) += 1;
             }
             ExchangeOutcome::Refer { peer, path } => {
-                let rng = &mut self.rng;
-                self.nodes[initiator].state.learn_reference(peer, path, rng);
-                self.nodes[initiator].fruitless += 1;
+                index_state_mut(&mut self.nodes, &mut self.secondary, index, initiator)
+                    .learn_reference(peer, path, &mut self.rng);
+                *index_fruitless_mut(&mut self.nodes, &mut self.secondary, index, initiator) += 1;
             }
             ExchangeOutcome::Replicate { entries } => {
-                let added = self.nodes[initiator].state.store.merge_from(entries);
-                if !self.nodes[initiator].state.replicas.contains(&responder) {
-                    self.nodes[initiator].state.replicas.push(responder);
-                }
+                let added = {
+                    let state =
+                        index_state_mut(&mut self.nodes, &mut self.secondary, index, initiator);
+                    let added = state.store.merge_from(entries);
+                    if !state.replicas.contains(&responder) {
+                        state.replicas.push(responder);
+                    }
+                    added
+                };
+                let fruitless =
+                    index_fruitless_mut(&mut self.nodes, &mut self.secondary, index, initiator);
                 if added == 0 {
-                    self.nodes[initiator].fruitless += 1;
+                    *fruitless += 1;
                 } else {
-                    self.nodes[initiator].fruitless = 0;
+                    *fruitless = 0;
                 }
             }
             ExchangeOutcome::Split {
@@ -1099,7 +1601,7 @@ impl<T: Transport> Runtime<T> {
                 entries,
                 complement,
             } => {
-                let node_path = self.nodes[initiator].state.path;
+                let node_path = self.peer_state(index, initiator).path;
                 // The decision applies to the partition the responder saw in
                 // the request; if the initiator has moved on in the meantime
                 // (a concurrent exchange extended its path) the reply is
@@ -1119,24 +1621,26 @@ impl<T: Transport> Runtime<T> {
                             },
                         },
                     };
-                    let shipped = {
-                        let rng = &mut self.rng;
-                        self.nodes[initiator]
-                            .state
-                            .split_towards(initiator_bit, reference, rng)
-                    };
-                    self.nodes[initiator].state.store.merge_from(entries);
+                    let shipped =
+                        index_state_mut(&mut self.nodes, &mut self.secondary, index, initiator)
+                            .split_towards(initiator_bit, reference, &mut self.rng);
+                    index_state_mut(&mut self.nodes, &mut self.secondary, index, initiator)
+                        .store
+                        .merge_from(entries);
                     // Hand the entries of the other side back to the
                     // responder (content exchange).
                     if !shipped.is_empty() {
-                        self.send(
+                        self.send_on(
+                            index,
                             responder.0 as usize,
                             Message::Replicate { entries: shipped },
                         );
                     }
-                    self.nodes[initiator].fruitless = 0;
+                    *index_fruitless_mut(&mut self.nodes, &mut self.secondary, index, initiator) =
+                        0;
                 } else {
-                    self.nodes[initiator].fruitless += 1;
+                    *index_fruitless_mut(&mut self.nodes, &mut self.secondary, index, initiator) +=
+                        1;
                 }
             }
         }
@@ -1144,19 +1648,16 @@ impl<T: Transport> Runtime<T> {
 
     // ----- query routing -------------------------------------------------------
 
-    fn handle_query(&mut self, at: usize, message: Message) {
-        self.handle_message(at, message);
-    }
-
     fn handle_query_message(
         &mut self,
+        index: IndexId,
         at: usize,
         origin: PeerId,
         id: u64,
-        key: pgrid_core::key::Key,
+        key: Key,
         hops: u32,
     ) {
-        let path = self.nodes[at].state.path;
+        let path = self.peer_state(index, at).path;
         let mismatch = (0..path.len()).find(|&i| path.bit(i) != key.bit(i));
         match mismatch {
             None => {
@@ -1165,20 +1666,23 @@ impl<T: Transport> Runtime<T> {
                 // transit from the construction phase), try an online
                 // replica of the same partition before giving up — that is
                 // exactly what the structural replication is for.
-                let entries: Vec<DataEntry> = self.nodes[at]
-                    .state
+                let entries: Vec<DataEntry> = self
+                    .peer_state(index, at)
                     .store
                     .range(key, key)
                     .copied()
                     .collect();
                 if entries.is_empty() && (hops as usize) < pgrid_core::search::MAX_HOPS {
-                    let replicas: Vec<PeerId> = self.nodes[at].state.replicas.clone();
+                    // Liveness is shared across indexes: the primary node
+                    // state is the failure detector for all of them.
+                    let replicas: Vec<PeerId> = self.peer_state(index, at).replicas.clone();
                     let next = replicas
                         .iter()
                         .copied()
                         .find(|p| p.0 as usize != at && self.nodes[p.0 as usize].state.online);
                     if let Some(peer) = next {
-                        self.send(
+                        self.send_on(
+                            index,
                             peer.0 as usize,
                             Message::Query {
                                 origin,
@@ -1191,7 +1695,8 @@ impl<T: Transport> Runtime<T> {
                     }
                 }
                 let found = !entries.is_empty();
-                self.send(
+                self.send_on(
+                    index,
                     origin.0 as usize,
                     Message::QueryResponse {
                         id,
@@ -1205,8 +1710,8 @@ impl<T: Transport> Runtime<T> {
                 // Forward to an online reference at the mismatch level;
                 // offline targets are detected (failed connection) and an
                 // alternative is tried, as a socket implementation would.
-                let mut refs: Vec<PeerId> = self.nodes[at]
-                    .state
+                let mut refs: Vec<PeerId> = self
+                    .peer_state(index, at)
                     .routing
                     .level(level)
                     .iter()
@@ -1219,7 +1724,8 @@ impl<T: Transport> Runtime<T> {
                 match next {
                     Some(peer) => {
                         if hops as usize > pgrid_core::search::MAX_HOPS {
-                            self.send(
+                            self.send_on(
+                                index,
                                 origin.0 as usize,
                                 Message::QueryResponse {
                                     id,
@@ -1230,7 +1736,8 @@ impl<T: Transport> Runtime<T> {
                             );
                             return;
                         }
-                        self.send(
+                        self.send_on(
+                            index,
                             peer.0 as usize,
                             Message::Query {
                                 origin,
@@ -1241,7 +1748,8 @@ impl<T: Transport> Runtime<T> {
                         );
                     }
                     None => {
-                        self.send(
+                        self.send_on(
+                            index,
                             origin.0 as usize,
                             Message::QueryResponse {
                                 id,

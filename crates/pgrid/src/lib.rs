@@ -17,7 +17,8 @@
 //! | [`workload`] | `pgrid-workload` | key distributions, synthetic corpus, query workloads |
 //! | [`sim`] | `pgrid-sim` | whole-system construction simulator, sequential baseline, query evaluation |
 //! | [`transport`] | `pgrid-transport` | pluggable frame transport: batch framing, deterministic loopback, `std::net` TCP |
-//! | [`net`] | `pgrid-net` | message-level deployment runtime (generic over the transport) and the PlanetLab-style experiment |
+//! | [`net`] | `pgrid-net` | message-level deployment runtime (generic over the transport, multi-index capable) and the PlanetLab-style experiment |
+//! | [`scenario`] | `pgrid-scenario` | the composable experiment API: `Overlay` trait, declarative `Scenario` programs, one executor for every engine |
 //! | [`cluster`] | `pgrid-cluster` | multi-process deployment: rendezvous coordinator, sharded peer-hosting workers, merged reports |
 //!
 //! See the repository-level `examples/` directory for runnable end-to-end
@@ -30,6 +31,7 @@ pub use pgrid_cluster as cluster;
 pub use pgrid_core as core;
 pub use pgrid_net as net;
 pub use pgrid_partition as partition;
+pub use pgrid_scenario as scenario;
 pub use pgrid_sim as sim;
 pub use pgrid_transport as transport;
 pub use pgrid_workload as workload;
@@ -40,6 +42,7 @@ pub mod prelude {
     pub use pgrid_core::prelude::*;
     pub use pgrid_net::prelude::*;
     pub use pgrid_partition::prelude::*;
+    pub use pgrid_scenario::prelude::*;
     pub use pgrid_sim::prelude::*;
     pub use pgrid_transport::prelude::*;
     pub use pgrid_workload::prelude::*;

@@ -1,0 +1,287 @@
+//! The scenario executor: one driver for every [`Overlay`] engine.
+
+use crate::overlay::{Millis, Overlay, OverlaySnapshot, MINUTE_MS};
+use crate::scenario::{Phase, QuerySpec, Scenario};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The unified result of a scenario run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// Every [`Phase::Snapshot`] measurement, in order, plus an automatic
+    /// `"final"` snapshot at the end of the run.
+    pub snapshots: Vec<OverlaySnapshot>,
+    /// Number of phases executed.
+    pub phases_run: usize,
+    /// Virtual time at the end of the run, in minutes.
+    pub end_min: u64,
+}
+
+impl ScenarioReport {
+    /// The snapshot with the given label, if taken.
+    pub fn snapshot(&self, label: &str) -> Option<&OverlaySnapshot> {
+        self.snapshots.iter().find(|s| s.label == label)
+    }
+
+    /// The automatic end-of-run snapshot.
+    pub fn final_snapshot(&self) -> &OverlaySnapshot {
+        self.snapshots.last().expect("every run takes one")
+    }
+}
+
+/// Hooks called between phases — the cluster worker uses them to report
+/// phase completion and park at coordinator barriers while keeping its
+/// data plane serviced.
+pub trait ScenarioHooks<O: Overlay + ?Sized> {
+    /// Error the hook can fail with (aborts the run).
+    type Error;
+
+    /// Called after each phase finished executing.
+    fn after_phase(
+        &mut self,
+        overlay: &mut O,
+        phase_index: usize,
+        phase: &Phase,
+    ) -> Result<(), Self::Error>;
+}
+
+/// The no-op hooks of a plain [`run`].
+pub struct NoHooks;
+
+impl<O: Overlay + ?Sized> ScenarioHooks<O> for NoHooks {
+    type Error = std::convert::Infallible;
+
+    fn after_phase(&mut self, _: &mut O, _: usize, _: &Phase) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// Executes `scenario` against `overlay` and reports the snapshots.
+pub fn run<O: Overlay + ?Sized>(overlay: &mut O, scenario: &Scenario) -> ScenarioReport {
+    match run_with_hooks(overlay, scenario, &mut NoHooks) {
+        Ok(report) => report,
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// Executes `scenario` against `overlay`, calling `hooks` after every
+/// phase.  A hook error aborts the run.
+pub fn run_with_hooks<O, H>(
+    overlay: &mut O,
+    scenario: &Scenario,
+    hooks: &mut H,
+) -> Result<ScenarioReport, H::Error>
+where
+    O: Overlay + ?Sized,
+    H: ScenarioHooks<O>,
+{
+    let mut ctx = Context {
+        rng: StdRng::seed_from_u64(scenario.control_seed),
+        boundary_min: 0,
+        next_query: None,
+        snapshots: Vec::new(),
+    };
+    for (i, phase) in scenario.phases.iter().enumerate() {
+        execute_phase(overlay, &mut ctx, phase);
+        hooks.after_phase(overlay, i, phase)?;
+    }
+    ctx.snapshots.push(overlay.snapshot("final"));
+    Ok(ScenarioReport {
+        snapshots: ctx.snapshots,
+        phases_run: scenario.phases.len(),
+        end_min: overlay.now() / MINUTE_MS,
+    })
+}
+
+/// Executor state threaded through the phases.
+///
+/// `next_query` is the query pacing clock: a [`Phase::QueryLoad`] resets it
+/// to the phase start, a churn phase with queries *continues* it — exactly
+/// the bookkeeping of the historical Section-5 driver, which is what makes
+/// the canned timeline scenario bit-identical.
+struct Context {
+    rng: StdRng,
+    boundary_min: u64,
+    next_query: Option<Millis>,
+    snapshots: Vec<OverlaySnapshot>,
+}
+
+fn execute_phase<O: Overlay + ?Sized>(overlay: &mut O, ctx: &mut Context, phase: &Phase) {
+    match phase {
+        Phase::JoinWave { until_min, fanout } => {
+            let end = until_min * MINUTE_MS;
+            let n = overlay.n_peers();
+            for peer in 0..n {
+                let at = (peer as u64 * end) / n as u64;
+                overlay.advance_to(at);
+                overlay.join(peer, *fanout);
+            }
+            overlay.advance_to(end);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::JoinSchedule { until_min, events } => {
+            for event in events {
+                overlay.advance_to(event.at);
+                overlay.join_with_neighbours(event.peer, event.neighbours.clone());
+            }
+            overlay.advance_to(until_min * MINUTE_MS);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::Replicate { index, until_min } => {
+            assert!(overlay.has_index(*index), "{index} is not hosted");
+            overlay.begin_replication(*index);
+            overlay.advance_to(until_min * MINUTE_MS);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::StartConstruction { index } => {
+            assert!(overlay.has_index(*index), "{index} is not hosted");
+            overlay.begin_construction(*index);
+        }
+        Phase::RunUntil { until_min } => {
+            overlay.advance_to(until_min * MINUTE_MS);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::ConstructUntilQuiescent {
+            check_every_min,
+            max_min,
+        } => {
+            let deadline = overlay.now() + max_min * MINUTE_MS;
+            while !overlay.quiescent() && overlay.now() < deadline {
+                let next = (overlay.now() + (*check_every_min).max(1) * MINUTE_MS).min(deadline);
+                overlay.advance_to(next);
+            }
+            ctx.boundary_min = overlay.now() / MINUTE_MS;
+        }
+        Phase::QueryLoad {
+            index,
+            until_min,
+            issuers,
+        } => {
+            assert!(overlay.has_index(*index), "{index} is not hosted");
+            let end = until_min * MINUTE_MS;
+            let keys = overlay.query_keys(*index);
+            let issuers = effective_issuers(overlay, *issuers);
+            // The pacing clock restarts at the phase start (a fresh query
+            // window).
+            let mut next_query = overlay.now();
+            if keys.is_empty() {
+                overlay.advance_to(end);
+            } else {
+                while overlay.now() < end {
+                    let step = ctx
+                        .rng
+                        .gen_range(MINUTE_MS / issuers / 2..=MINUTE_MS / issuers);
+                    next_query += step.max(1);
+                    overlay.advance_to(next_query);
+                    let key = keys[ctx.rng.gen_range(0..keys.len())];
+                    overlay.issue_query(*index, key);
+                }
+            }
+            ctx.next_query = Some(next_query);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::Churn {
+            until_min,
+            lead_ms,
+            downtime_ms,
+            gap_ms,
+            queries,
+        } => {
+            let end = until_min * MINUTE_MS;
+            let base = ctx.boundary_min * MINUTE_MS;
+            for peer in 0..overlay.n_peers() {
+                let mut at = base
+                    + if *lead_ms == 0 {
+                        0
+                    } else {
+                        ctx.rng.gen_range(0..*lead_ms)
+                    };
+                while at < end {
+                    let downtime = ctx.rng.gen_range(downtime_ms.0..=downtime_ms.1);
+                    overlay.schedule_leave(peer, at, downtime);
+                    at += downtime + ctx.rng.gen_range(gap_ms.0..=gap_ms.1);
+                }
+            }
+            churn_window(overlay, ctx, end, queries);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::ChurnSchedule {
+            until_min,
+            events,
+            queries,
+        } => {
+            for event in events {
+                overlay.schedule_leave(event.peer, event.at, event.downtime);
+            }
+            churn_window(overlay, ctx, until_min * MINUTE_MS, queries);
+            ctx.boundary_min = *until_min;
+        }
+        Phase::ShiftDistribution {
+            index,
+            distribution,
+            keys_per_peer,
+        } => {
+            assert!(overlay.has_index(*index), "{index} is not hosted");
+            for peer in 0..overlay.n_peers() {
+                let keys = (0..*keys_per_peer)
+                    .map(|_| distribution.sample(&mut ctx.rng))
+                    .collect();
+                overlay.insert(*index, peer, keys);
+            }
+            // Fresh data re-opens the partitioning question.
+            overlay.begin_construction(*index);
+        }
+        Phase::Snapshot { label } => {
+            let snapshot = overlay.snapshot(label);
+            ctx.snapshots.push(snapshot);
+        }
+        Phase::Drain => {
+            overlay.advance_to(ctx.boundary_min * MINUTE_MS + overlay.query_timeout_ms());
+        }
+    }
+}
+
+/// The query/advance loop shared by both churn phases: the pacing clock
+/// *continues* from the preceding query phase, advances are clamped to the
+/// window, and no query is issued at or past the boundary (the historical
+/// churn-phase semantics).
+fn churn_window<O: Overlay + ?Sized>(
+    overlay: &mut O,
+    ctx: &mut Context,
+    end: Millis,
+    queries: &Option<QuerySpec>,
+) {
+    let Some(spec) = queries else {
+        overlay.advance_to(end);
+        return;
+    };
+    let keys = overlay.query_keys(spec.index);
+    let issuers = effective_issuers(overlay, spec.issuers);
+    let mut next_query = ctx.next_query.unwrap_or_else(|| overlay.now());
+    if keys.is_empty() {
+        overlay.advance_to(end);
+        return;
+    }
+    while overlay.now() < end {
+        let step = ctx
+            .rng
+            .gen_range(MINUTE_MS / issuers / 2..=MINUTE_MS / issuers);
+        next_query += step.max(1);
+        overlay.advance_to(next_query.min(end));
+        if overlay.now() >= end {
+            break;
+        }
+        let key = keys[ctx.rng.gen_range(0..keys.len())];
+        overlay.issue_query(spec.index, key);
+    }
+    ctx.next_query = Some(next_query);
+}
+
+fn effective_issuers<O: Overlay + ?Sized>(overlay: &O, issuers: usize) -> u64 {
+    let n = if issuers == 0 {
+        overlay.n_peers()
+    } else {
+        issuers
+    };
+    (n as u64).max(1)
+}

@@ -1,0 +1,71 @@
+//! # pgrid-scenario
+//!
+//! Composable experiment API of the P-Grid reproduction.
+//!
+//! The paper's evaluation (Sections 4–5) is *one* apparatus exercised under
+//! many regimes — construction, replication, churn, query load — yet each
+//! engine historically grew its own hard-coded driver.  This crate unifies
+//! them behind three pieces:
+//!
+//! * the [`Overlay`] trait ([`overlay`]) — the operations every engine
+//!   already shares (join, leave/churn, insert, query, advance time,
+//!   replication and construction control, metric snapshots), implemented
+//!   for the message-level [`pgrid_net::runtime::Runtime`] over *any*
+//!   transport and for the whole-system simulator (wrapped as
+//!   [`sim::SimOverlay`]);
+//! * the declarative [`Scenario`] ([`scenario`]) — an ordered program of
+//!   phases ([`Phase`]: join waves, replication, construction, churn
+//!   windows, query load, distribution shifts, snapshots) whose event
+//!   schedules derive deterministically from a seed;
+//! * one executor ([`exec::run`] / [`exec::run_with_hooks`]) producing a
+//!   unified [`ScenarioReport`].
+//!
+//! The historical drivers are thin adapters on top: the Section-5
+//! [`pgrid_net::experiment::Timeline`] is a canned scenario
+//! ([`Scenario::from_timeline`], bit-identical to the direct driver — see
+//! [`deployment`]), the Figure-6 simulation sweeps run every construction
+//! through the executor ([`sweeps`]), and the `pgrid-cluster` worker drives
+//! its shard through [`exec::run_with_hooks`] with phase-barrier hooks.
+//!
+//! ```
+//! use pgrid_scenario::prelude::*;
+//! use pgrid_net::runtime::{NetConfig, Runtime};
+//!
+//! let config = NetConfig { n_peers: 16, seed: 9, ..NetConfig::default() };
+//! let scenario = Scenario::builder(config.seed)
+//!     .join_wave(2, 4)
+//!     .replicate(IndexId::PRIMARY, 3)
+//!     .start_construction(IndexId::PRIMARY)
+//!     .run_until(8)
+//!     .query_load(IndexId::PRIMARY, 10)
+//!     .drain()
+//!     .build();
+//! let mut overlay = Runtime::new(config);
+//! let report = pgrid_scenario::exec::run(&mut overlay, &scenario);
+//! assert!(report.end_min >= 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod deployment;
+pub mod exec;
+pub mod net;
+pub mod overlay;
+pub mod scenario;
+pub mod sim;
+pub mod sweeps;
+
+pub use exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport};
+pub use overlay::{IndexSnapshot, Overlay, OverlaySnapshot};
+pub use scenario::{ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder};
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::deployment::{run_deployment, run_deployment_with};
+    pub use crate::exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport};
+    pub use crate::overlay::{IndexSnapshot, Overlay, OverlaySnapshot};
+    pub use crate::scenario::{ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder};
+    pub use crate::sim::SimOverlay;
+    pub use pgrid_core::index::IndexId;
+}

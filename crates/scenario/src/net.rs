@@ -1,0 +1,118 @@
+//! [`Overlay`] for the message-level deployment runtime (any transport).
+
+use crate::overlay::{IndexSnapshot, Millis, Overlay, OverlaySnapshot, MINUTE_MS};
+use pgrid_core::balance::compare_to_reference;
+use pgrid_core::index::IndexId;
+use pgrid_core::key::Key;
+use pgrid_core::reference::ReferencePartitioning;
+use pgrid_core::routing::PeerId;
+use pgrid_net::runtime::Runtime;
+use pgrid_transport::Transport;
+
+impl<T: Transport> Overlay for Runtime<T> {
+    fn n_peers(&self) -> usize {
+        self.config.n_peers
+    }
+
+    fn now(&self) -> Millis {
+        Runtime::now(self)
+    }
+
+    fn advance_to(&mut self, until: Millis) {
+        self.run_until(until);
+    }
+
+    fn join(&mut self, peer: usize, fanout: usize) {
+        self.join_peer(peer, fanout);
+    }
+
+    fn join_with_neighbours(&mut self, peer: usize, neighbours: Vec<PeerId>) {
+        self.join_peer_with_neighbours(peer, neighbours);
+    }
+
+    fn schedule_leave(&mut self, peer: usize, at: Millis, downtime: Millis) {
+        self.schedule_churn(peer, at, downtime);
+    }
+
+    fn begin_replication(&mut self, index: IndexId) {
+        self.replication_phase_on(index);
+    }
+
+    fn begin_construction(&mut self, index: IndexId) {
+        self.start_construction_on(index);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.construction_quiescent()
+    }
+
+    fn has_index(&self, index: IndexId) -> bool {
+        self.has_index_state(index)
+    }
+
+    fn insert(&mut self, index: IndexId, peer: usize, keys: Vec<Key>) {
+        self.insert_entries(index, peer, keys);
+    }
+
+    fn issue_query(&mut self, index: IndexId, key: Key) {
+        self.issue_query_on(index, key);
+    }
+
+    fn query_keys(&self, index: IndexId) -> Vec<Key> {
+        self.original_entries_of(index)
+            .iter()
+            .map(|e| e.key)
+            .collect()
+    }
+
+    fn query_timeout_ms(&self) -> Millis {
+        self.config.query_timeout_ms
+    }
+
+    fn snapshot(&self, label: &str) -> OverlaySnapshot {
+        let online = self.online_count();
+        let indexes = self
+            .index_ids()
+            .into_iter()
+            .map(|index| {
+                let paths: Vec<_> = (0..self.config.n_peers)
+                    .map(|peer| self.peer_state(index, peer).path)
+                    .collect();
+                let keys: Vec<Key> = self
+                    .original_entries_of(index)
+                    .iter()
+                    .map(|e| e.key)
+                    .collect();
+                let reference =
+                    ReferencePartitioning::compute(&keys, self.config.n_peers, self.params());
+                let balance = compare_to_reference(&reference, &paths);
+                let mean_path_length =
+                    paths.iter().map(|p| p.len() as f64).sum::<f64>() / paths.len().max(1) as f64;
+                let replication = pgrid_core::trie::peer_count_trie(paths.iter());
+                let mean_replication = if replication.is_empty() {
+                    0.0
+                } else {
+                    replication.iter().map(|(_, &n)| n as f64).sum::<f64>()
+                        / replication.len() as f64
+                };
+                let queries = self.metrics.queries.iter().filter(|q| q.index == index);
+                let queries_issued = queries.clone().count();
+                let queries_succeeded = queries.filter(|q| q.success).count();
+                IndexSnapshot {
+                    index,
+                    mean_path_length,
+                    balance_deviation: balance.deviation,
+                    mean_replication,
+                    queries_issued,
+                    queries_succeeded,
+                }
+            })
+            .collect();
+        OverlaySnapshot {
+            label: label.to_string(),
+            at_min: Runtime::now(self) / MINUTE_MS,
+            online,
+            indexes,
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Declarative scenario programs: ordered phases with seed-derived event
+//! schedules.
+
+use crate::overlay::{Millis, MINUTE_MS};
+use pgrid_core::index::IndexId;
+use pgrid_core::routing::PeerId;
+use pgrid_net::experiment::Timeline;
+use pgrid_workload::distributions::Distribution;
+
+/// Salt folded into the seed for the executor's control RNG (query pacing,
+/// churn schedules, workload key draws) — the same stream the historical
+/// Section-5 driver used, so [`Scenario::from_timeline`] reproduces it bit
+/// for bit.
+pub const CONTROL_SEED_SALT: u64 = 0xD13;
+
+/// How a query-issuing phase paces its load.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// The index the queries run against.
+    pub index: IndexId,
+    /// How many peers are notionally issuing (each peer queries every 1–2
+    /// minutes, so the aggregate rate is `issuers` per 1–2 minutes).
+    /// `0` means the whole population; the cluster worker passes its shard
+    /// size so the aggregate across workers matches.
+    pub issuers: usize,
+}
+
+/// One peer joining with a pre-computed contact list (deterministic join
+/// plans of the cluster).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinEvent {
+    /// Virtual time of the join.
+    pub at: Millis,
+    /// The joining peer.
+    pub peer: usize,
+    /// Its bootstrap contacts (already-joined peers).
+    pub neighbours: Vec<PeerId>,
+}
+
+/// One explicit offline interval (deterministic churn plans of the
+/// cluster).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The churning peer.
+    pub peer: usize,
+    /// Virtual time the peer goes offline.
+    pub at: Millis,
+    /// How long it stays offline.
+    pub downtime: Millis,
+}
+
+/// One phase of a [`Scenario`].
+///
+/// Phases with an `until_min` advance virtual time to that minute boundary
+/// and establish it as the base the next phase's schedules are derived
+/// from; the others act instantaneously.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Phase {
+    /// Ramp-join peers `0..n` evenly across the window, each bootstrapped
+    /// with `fanout` engine-drawn contacts (the Section-5.1 join phase).
+    JoinWave {
+        /// End of the join window, in minutes.
+        until_min: u64,
+        /// Bootstrap contacts per joining peer.
+        fanout: usize,
+    },
+    /// Apply an explicit join schedule (cluster join plans).
+    JoinSchedule {
+        /// End of the join window, in minutes.
+        until_min: u64,
+        /// The joins, in time order.
+        events: Vec<JoinEvent>,
+    },
+    /// Run the replication phase of an index, then let the pushes settle
+    /// until the boundary.
+    Replicate {
+        /// The index to replicate.
+        index: IndexId,
+        /// End of the replication window, in minutes.
+        until_min: u64,
+    },
+    /// Switch on construction for an index (instantaneous; combine with
+    /// [`Phase::RunUntil`], [`Phase::ConstructUntilQuiescent`] or a churn
+    /// window to give it time).
+    StartConstruction {
+        /// The index to construct.
+        index: IndexId,
+    },
+    /// Let virtual time pass to the boundary.
+    RunUntil {
+        /// Target minute.
+        until_min: u64,
+    },
+    /// Advance in `check_every_min` slices until the overlay reports
+    /// quiescence, but at most `max_min` minutes.
+    ConstructUntilQuiescent {
+        /// Quiescence poll interval, in minutes.
+        check_every_min: u64,
+        /// Hard bound on the phase duration, in minutes.
+        max_min: u64,
+    },
+    /// Issue queries at the paper's rate (each issuer queries every 1–2
+    /// minutes) until the boundary.
+    QueryLoad {
+        /// The index the queries run against.
+        index: IndexId,
+        /// End of the query window, in minutes.
+        until_min: u64,
+        /// Notional number of issuing peers (`0` = whole population).
+        issuers: usize,
+    },
+    /// Random churn: every peer independently leaves and returns, with the
+    /// schedule drawn from the control RNG; optionally with concurrent
+    /// query load (the Section-5.1 churn phase).
+    Churn {
+        /// End of the churn window, in minutes.
+        until_min: u64,
+        /// Each peer's first offline interval starts within `[0, lead_ms)`
+        /// of the phase base.
+        lead_ms: Millis,
+        /// Inclusive range of offline durations.
+        downtime_ms: (Millis, Millis),
+        /// Inclusive range of online gaps between offline intervals.
+        gap_ms: (Millis, Millis),
+        /// Concurrent query load, if any.
+        queries: Option<QuerySpec>,
+    },
+    /// Apply an explicit churn schedule (cluster churn plans), optionally
+    /// with concurrent query load.
+    ChurnSchedule {
+        /// End of the churn window, in minutes.
+        until_min: u64,
+        /// The offline intervals.
+        events: Vec<ChurnEvent>,
+        /// Concurrent query load, if any.
+        queries: Option<QuerySpec>,
+    },
+    /// Assign every peer `keys_per_peer` fresh keys drawn from
+    /// `distribution` on `index` and re-engage construction (the
+    /// re-indexing / dynamic re-balancing workload).
+    ShiftDistribution {
+        /// The index whose data shifts.
+        index: IndexId,
+        /// The new key distribution.
+        distribution: Distribution,
+        /// Fresh keys per peer.
+        keys_per_peer: usize,
+    },
+    /// Record a labelled metric snapshot.
+    Snapshot {
+        /// Label of the snapshot in the report.
+        label: String,
+    },
+    /// Let outstanding queries time out (advances by the overlay's query
+    /// timeout past the current boundary).
+    Drain,
+}
+
+/// An ordered program of [`Phase`]s plus the seed its event schedules and
+/// query workload derive from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Seed of the executor's control RNG (already salted; see
+    /// [`Scenario::builder`] and [`ScenarioBuilder::raw_control_seed`]).
+    pub control_seed: u64,
+    /// The phases, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// Starts building a scenario whose control RNG derives from `seed`
+    /// (the engine seed; the builder salts it with [`CONTROL_SEED_SALT`]).
+    pub fn builder(seed: u64) -> ScenarioBuilder {
+        ScenarioBuilder {
+            control_seed: seed ^ CONTROL_SEED_SALT,
+            phases: Vec::new(),
+        }
+    }
+
+    /// The Section-5 deployment timeline as a canned scenario: join wave,
+    /// replication, construction, query load, churn with queries, drain.
+    ///
+    /// Executed against a [`pgrid_net::runtime::Runtime`] built from a
+    /// config with the same `seed`, this reproduces the historical direct
+    /// driver bit for bit (pinned by the `timeline_parity` test).
+    pub fn from_timeline(seed: u64, timeline: &Timeline) -> Scenario {
+        Scenario::builder(seed)
+            .join_wave(timeline.join_end_min, 6)
+            .replicate(IndexId::PRIMARY, timeline.replicate_end_min)
+            .start_construction(IndexId::PRIMARY)
+            .run_until(timeline.construct_end_min)
+            .query_load(IndexId::PRIMARY, timeline.query_end_min)
+            .churn(
+                timeline.end_min,
+                5 * MINUTE_MS,
+                (MINUTE_MS, 5 * MINUTE_MS),
+                (5 * MINUTE_MS, 10 * MINUTE_MS),
+                Some(QuerySpec {
+                    index: IndexId::PRIMARY,
+                    issuers: 0,
+                }),
+            )
+            .drain()
+            .build()
+    }
+
+    /// The simulator's plain construction run as a scenario: replicate,
+    /// then construct until quiescent (at most `max_rounds` rounds).
+    pub fn construction(max_rounds: usize) -> Scenario {
+        Scenario::builder(0)
+            .replicate(IndexId::PRIMARY, 0)
+            .start_construction(IndexId::PRIMARY)
+            .construct_until_quiescent(1, max_rounds as u64)
+            .build()
+    }
+}
+
+/// Fluent builder of [`Scenario`]s.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    control_seed: u64,
+    phases: Vec<Phase>,
+}
+
+impl ScenarioBuilder {
+    /// Overrides the (already salted) control seed verbatim — the cluster
+    /// worker uses this to decorrelate per-worker query streams.
+    pub fn raw_control_seed(mut self, control_seed: u64) -> ScenarioBuilder {
+        self.control_seed = control_seed;
+        self
+    }
+
+    /// Appends an arbitrary phase.
+    pub fn phase(mut self, phase: Phase) -> ScenarioBuilder {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Appends a [`Phase::JoinWave`].
+    pub fn join_wave(self, until_min: u64, fanout: usize) -> ScenarioBuilder {
+        self.phase(Phase::JoinWave { until_min, fanout })
+    }
+
+    /// Appends a [`Phase::JoinSchedule`].
+    pub fn join_schedule(self, until_min: u64, events: Vec<JoinEvent>) -> ScenarioBuilder {
+        self.phase(Phase::JoinSchedule { until_min, events })
+    }
+
+    /// Appends a [`Phase::Replicate`].
+    pub fn replicate(self, index: IndexId, until_min: u64) -> ScenarioBuilder {
+        self.phase(Phase::Replicate { index, until_min })
+    }
+
+    /// Appends a [`Phase::StartConstruction`].
+    pub fn start_construction(self, index: IndexId) -> ScenarioBuilder {
+        self.phase(Phase::StartConstruction { index })
+    }
+
+    /// Appends a [`Phase::RunUntil`].
+    pub fn run_until(self, until_min: u64) -> ScenarioBuilder {
+        self.phase(Phase::RunUntil { until_min })
+    }
+
+    /// Appends a [`Phase::ConstructUntilQuiescent`].
+    pub fn construct_until_quiescent(self, check_every_min: u64, max_min: u64) -> ScenarioBuilder {
+        self.phase(Phase::ConstructUntilQuiescent {
+            check_every_min,
+            max_min,
+        })
+    }
+
+    /// Appends a [`Phase::QueryLoad`] issued by the whole population.
+    pub fn query_load(self, index: IndexId, until_min: u64) -> ScenarioBuilder {
+        self.phase(Phase::QueryLoad {
+            index,
+            until_min,
+            issuers: 0,
+        })
+    }
+
+    /// Appends a [`Phase::QueryLoad`] with an explicit issuer count.
+    pub fn query_load_from(
+        self,
+        index: IndexId,
+        until_min: u64,
+        issuers: usize,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::QueryLoad {
+            index,
+            until_min,
+            issuers,
+        })
+    }
+
+    /// Appends a [`Phase::Churn`].
+    pub fn churn(
+        self,
+        until_min: u64,
+        lead_ms: Millis,
+        downtime_ms: (Millis, Millis),
+        gap_ms: (Millis, Millis),
+        queries: Option<QuerySpec>,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::Churn {
+            until_min,
+            lead_ms,
+            downtime_ms,
+            gap_ms,
+            queries,
+        })
+    }
+
+    /// Appends a [`Phase::ChurnSchedule`].
+    pub fn churn_schedule(
+        self,
+        until_min: u64,
+        events: Vec<ChurnEvent>,
+        queries: Option<QuerySpec>,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::ChurnSchedule {
+            until_min,
+            events,
+            queries,
+        })
+    }
+
+    /// Appends a [`Phase::ShiftDistribution`].
+    pub fn shift_distribution(
+        self,
+        index: IndexId,
+        distribution: Distribution,
+        keys_per_peer: usize,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::ShiftDistribution {
+            index,
+            distribution,
+            keys_per_peer,
+        })
+    }
+
+    /// Appends a [`Phase::Snapshot`].
+    pub fn snapshot(self, label: &str) -> ScenarioBuilder {
+        self.phase(Phase::Snapshot {
+            label: label.to_string(),
+        })
+    }
+
+    /// Appends a [`Phase::Drain`].
+    pub fn drain(self) -> ScenarioBuilder {
+        self.phase(Phase::Drain)
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Scenario {
+        Scenario {
+            control_seed: self.control_seed,
+            phases: self.phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_timeline_mirrors_the_section_5_phases() {
+        let timeline = Timeline::default();
+        let scenario = Scenario::from_timeline(7, &timeline);
+        assert_eq!(scenario.control_seed, 7 ^ CONTROL_SEED_SALT);
+        assert_eq!(scenario.phases.len(), 7);
+        assert!(matches!(
+            scenario.phases[0],
+            Phase::JoinWave { until_min, fanout: 6 } if until_min == timeline.join_end_min
+        ));
+        assert!(
+            matches!(scenario.phases[2], Phase::StartConstruction { index } if index.is_primary())
+        );
+        assert!(matches!(
+            scenario.phases[5],
+            Phase::Churn { until_min, queries: Some(_), .. } if until_min == timeline.end_min
+        ));
+        assert!(matches!(scenario.phases[6], Phase::Drain));
+    }
+
+    #[test]
+    fn builder_keeps_declaration_order() {
+        let scenario = Scenario::builder(1)
+            .snapshot("a")
+            .run_until(5)
+            .snapshot("b")
+            .build();
+        assert!(matches!(&scenario.phases[0], Phase::Snapshot { label } if label == "a"));
+        assert!(matches!(
+            scenario.phases[1],
+            Phase::RunUntil { until_min: 5 }
+        ));
+        assert!(matches!(&scenario.phases[2], Phase::Snapshot { label } if label == "b"));
+    }
+}

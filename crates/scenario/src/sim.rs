@@ -1,0 +1,225 @@
+//! [`Overlay`] for the whole-system simulator.
+//!
+//! The simulator is round-based: [`SimOverlay`] maps virtual time onto
+//! rounds (one construction round per minute of virtual time) so the same
+//! scenario programs drive it.  Queries are evaluated synchronously over
+//! the current network state (the simulator has no wire), and churn is
+//! modelled on the initiating side: an offline peer stops initiating
+//! interactions and re-engages when it returns.  Only the primary index is
+//! hosted — multi-index scenarios run on the message-level engines.
+
+use crate::overlay::{IndexSnapshot, Millis, Overlay, OverlaySnapshot, MINUTE_MS};
+use pgrid_core::balance::compare_to_reference;
+use pgrid_core::index::IndexId;
+use pgrid_core::key::Key;
+use pgrid_core::reference::ReferencePartitioning;
+use pgrid_core::routing::PeerId;
+use pgrid_core::search::{lookup, LookupStatus};
+use pgrid_sim::config::SimConfig;
+use pgrid_sim::construction::{ConstructedOverlay, SimNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The simulator wrapped as a scenario-drivable overlay.
+pub struct SimOverlay {
+    network: SimNetwork,
+    now: Millis,
+    constructing: bool,
+    /// Scheduled liveness flips: `(at, seq, peer, online)`, applied in
+    /// `(at, seq)` order so identical timestamps resolve deterministically
+    /// by insertion order.
+    liveness: BinaryHeap<Reverse<(Millis, u64, usize, bool)>>,
+    liveness_seq: u64,
+    rng: StdRng,
+    queries_issued: usize,
+    queries_succeeded: usize,
+}
+
+impl SimOverlay {
+    /// Wraps a fresh [`SimNetwork`] built from `config`.
+    pub fn new(config: &SimConfig) -> SimOverlay {
+        SimOverlay {
+            network: SimNetwork::new(config),
+            now: 0,
+            constructing: false,
+            liveness: BinaryHeap::new(),
+            liveness_seq: 0,
+            rng: StdRng::seed_from_u64(config.seed ^ 0x51A7),
+            queries_issued: 0,
+            queries_succeeded: 0,
+        }
+    }
+
+    /// Read access to the wrapped network.
+    pub fn network(&self) -> &SimNetwork {
+        &self.network
+    }
+
+    /// Finishes the run, yielding the constructed overlay.
+    pub fn into_overlay(self) -> ConstructedOverlay {
+        self.network.into_overlay()
+    }
+
+    fn apply_due_liveness(&mut self) {
+        while let Some(&Reverse((at, _, peer, online))) = self.liveness.peek() {
+            if at > self.now {
+                break;
+            }
+            self.liveness.pop();
+            self.network.set_online(peer, online);
+        }
+    }
+}
+
+impl Overlay for SimOverlay {
+    fn n_peers(&self) -> usize {
+        self.network.config().n_peers
+    }
+
+    fn now(&self) -> Millis {
+        self.now
+    }
+
+    fn advance_to(&mut self, until: Millis) {
+        // One construction round per crossed minute boundary; liveness
+        // flips apply as their timestamps are reached.
+        while self.now < until {
+            let next_minute = (self.now / MINUTE_MS + 1) * MINUTE_MS;
+            let next = next_minute.min(until);
+            self.now = next;
+            self.apply_due_liveness();
+            if self.now == next_minute && self.constructing {
+                self.network.run_round();
+            }
+        }
+    }
+
+    fn join(&mut self, peer: usize, _fanout: usize) {
+        // The simulator's population is wired up front; joining (re-)enables
+        // the peer.
+        self.network.set_online(peer, true);
+    }
+
+    fn join_with_neighbours(&mut self, peer: usize, _neighbours: Vec<PeerId>) {
+        self.network.set_online(peer, true);
+    }
+
+    fn schedule_leave(&mut self, peer: usize, at: Millis, downtime: Millis) {
+        self.liveness_seq += 1;
+        self.liveness
+            .push(Reverse((at, self.liveness_seq, peer, false)));
+        self.liveness_seq += 1;
+        self.liveness
+            .push(Reverse((at + downtime, self.liveness_seq, peer, true)));
+    }
+
+    fn begin_replication(&mut self, index: IndexId) {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        self.network.replicate();
+    }
+
+    fn begin_construction(&mut self, index: IndexId) {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        self.constructing = true;
+        self.network.activate_all();
+    }
+
+    fn quiescent(&self) -> bool {
+        self.network.quiescent()
+    }
+
+    fn has_index(&self, index: IndexId) -> bool {
+        index.is_primary()
+    }
+
+    fn insert(&mut self, index: IndexId, peer: usize, keys: Vec<Key>) {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        self.network.insert_entries(peer, keys);
+    }
+
+    fn issue_query(&mut self, index: IndexId, key: Key) {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        let online: Vec<usize> = self
+            .network
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.online)
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            return;
+        }
+        let origin = PeerId(online[self.rng.gen_range(0..online.len())] as u64);
+        let result = lookup(&self.network, origin, key, &mut self.rng);
+        self.queries_issued += 1;
+        if matches!(result.status, LookupStatus::Found { .. }) && !result.entries.is_empty() {
+            self.queries_succeeded += 1;
+        }
+    }
+
+    fn query_keys(&self, index: IndexId) -> Vec<Key> {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        self.network
+            .original_entries
+            .iter()
+            .map(|e| e.key)
+            .collect()
+    }
+
+    fn query_timeout_ms(&self) -> Millis {
+        // Queries resolve synchronously; draining is a no-op.
+        0
+    }
+
+    fn snapshot(&self, label: &str) -> OverlaySnapshot {
+        let paths: Vec<_> = self.network.peers.iter().map(|p| p.path).collect();
+        let keys: Vec<Key> = self
+            .network
+            .original_entries
+            .iter()
+            .map(|e| e.key)
+            .collect();
+        let reference =
+            ReferencePartitioning::compute(&keys, self.n_peers(), self.network.params());
+        let balance = compare_to_reference(&reference, &paths);
+        let mean_path_length =
+            paths.iter().map(|p| p.len() as f64).sum::<f64>() / paths.len().max(1) as f64;
+        let replication = pgrid_core::trie::peer_count_trie(paths.iter());
+        let mean_replication = if replication.is_empty() {
+            0.0
+        } else {
+            replication.iter().map(|(_, &n)| n as f64).sum::<f64>() / replication.len() as f64
+        };
+        OverlaySnapshot {
+            label: label.to_string(),
+            at_min: self.now / MINUTE_MS,
+            online: self.network.peers.iter().filter(|p| p.online).count(),
+            indexes: vec![IndexSnapshot {
+                index: IndexId::PRIMARY,
+                mean_path_length,
+                balance_deviation: balance.deviation,
+                mean_replication,
+                queries_issued: self.queries_issued,
+                queries_succeeded: self.queries_succeeded,
+            }],
+        }
+    }
+}

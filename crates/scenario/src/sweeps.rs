@@ -1,0 +1,84 @@
+//! The Figure-6 simulation sweeps, driven through the scenario executor.
+//!
+//! Aggregation (repetition seeds, means, deviations) stays in
+//! [`pgrid_sim::runner`]; this module substitutes the scenario-driven
+//! constructor for the direct one, so every sweep cell is one
+//! [`Scenario::construction`] run over a [`SimOverlay`].
+
+use crate::exec;
+use crate::scenario::Scenario;
+use crate::sim::SimOverlay;
+use pgrid_sim::config::{ConstructionStrategy, SimConfig};
+use pgrid_sim::construction::ConstructedOverlay;
+use pgrid_sim::runner::{self, ConstructionResult};
+
+/// One construction run through the scenario executor (the scenario-driven
+/// equivalent of [`pgrid_sim::construction::construct`], bit-identical to
+/// it for every configuration).
+pub fn construct_scenario(config: &SimConfig) -> ConstructedOverlay {
+    let mut overlay = SimOverlay::new(config);
+    let scenario = Scenario::construction(config.max_rounds);
+    let _ = exec::run(&mut overlay, &scenario);
+    overlay.into_overlay()
+}
+
+/// Scenario-driven [`pgrid_sim::runner::run_repeated`].
+pub fn run_repeated(config: &SimConfig, repetitions: usize) -> ConstructionResult {
+    runner::run_repeated_with(config, repetitions, &construct_scenario)
+}
+
+/// Scenario-driven [`pgrid_sim::runner::population_sweep`].
+pub fn population_sweep(
+    populations: &[usize],
+    n_min: usize,
+    repetitions: usize,
+    strategy: ConstructionStrategy,
+    seed: u64,
+) -> Vec<ConstructionResult> {
+    runner::population_sweep_with(
+        populations,
+        n_min,
+        repetitions,
+        strategy,
+        seed,
+        &construct_scenario,
+    )
+}
+
+/// Scenario-driven [`pgrid_sim::runner::replication_sweep`].
+pub fn replication_sweep(
+    n_peers: usize,
+    n_mins: &[usize],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<ConstructionResult> {
+    runner::replication_sweep_with(n_peers, n_mins, repetitions, seed, &construct_scenario)
+}
+
+/// Scenario-driven [`pgrid_sim::runner::sample_size_sweep`].
+pub fn sample_size_sweep(
+    n_peers: usize,
+    n_min: usize,
+    delta_multipliers: &[usize],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<ConstructionResult> {
+    runner::sample_size_sweep_with(
+        n_peers,
+        n_min,
+        delta_multipliers,
+        repetitions,
+        seed,
+        &construct_scenario,
+    )
+}
+
+/// Scenario-driven [`pgrid_sim::runner::theory_vs_heuristics`].
+pub fn theory_vs_heuristics(
+    n_peers: usize,
+    n_mins: &[usize],
+    repetitions: usize,
+    seed: u64,
+) -> Vec<(ConstructionResult, ConstructionResult)> {
+    runner::theory_vs_heuristics_with(n_peers, n_mins, repetitions, seed, &construct_scenario)
+}

@@ -134,79 +134,160 @@ impl NetworkView for ConstructedOverlay {
     }
 }
 
-/// Runs the complete construction process for the given configuration.
-pub fn construct(config: &SimConfig) -> ConstructedOverlay {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let params = config.balance_params();
-    let engine = ExchangeEngine::with_strategy(params, config.strategy);
+/// The construction process as an incrementally steppable state machine.
+///
+/// [`construct`] drives it straight through (replication, then rounds
+/// until quiescence) and reproduces the historical monolithic constructor
+/// bit for bit; scenario drivers can instead interleave rounds with churn,
+/// data insertion or measurements between any two steps.
+pub struct SimNetwork {
+    config: SimConfig,
+    engine: ExchangeEngine,
+    /// Current state of every peer.
+    pub peers: Vec<PeerState>,
+    /// Construction metrics accumulated so far.
+    pub metrics: ConstructionMetrics,
+    /// The distinct data keys indexed so far (before replication).
+    pub original_entries: Vec<DataEntry>,
+    overlay_graph: UnstructuredOverlay,
+    per_peer_originals: Vec<Vec<DataEntry>>,
+    active: Vec<bool>,
+    fruitless: Vec<u32>,
+    scheduler: Scheduler,
+    threads: usize,
+    round: usize,
+    /// Continuation of the setup RNG stream: replication samples its
+    /// targets from it, exactly as the historical monolithic constructor
+    /// did.
+    rng: StdRng,
+}
 
-    // --- Initial data assignment -----------------------------------------
-    let mut peers: Vec<PeerState> = (0..config.n_peers)
-        .map(|i| PeerState::new(PeerId(i as u64), config.routing_fanout))
-        .collect();
-    let mut original_entries = Vec::with_capacity(config.total_keys());
-    let mut per_peer_originals: Vec<Vec<DataEntry>> = Vec::with_capacity(config.n_peers);
-    for (i, peer) in peers.iter_mut().enumerate() {
-        let mut own = Vec::with_capacity(config.keys_per_peer);
-        for j in 0..config.keys_per_peer {
-            let key = config.distribution.sample(&mut rng);
-            let entry = DataEntry::new(
-                key,
-                pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
-            );
-            peer.store.insert(entry);
-            original_entries.push(entry);
-            own.push(entry);
+impl SimNetwork {
+    /// Creates the peer population with its initial data assignment and
+    /// unstructured bootstrap overlay (the exact RNG consumption of the
+    /// historical constructor).
+    pub fn new(config: &SimConfig) -> SimNetwork {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let params = config.balance_params();
+        let engine = ExchangeEngine::with_strategy(params, config.strategy);
+
+        // --- Initial data assignment -----------------------------------------
+        let mut peers: Vec<PeerState> = (0..config.n_peers)
+            .map(|i| PeerState::new(PeerId(i as u64), config.routing_fanout))
+            .collect();
+        let mut original_entries = Vec::with_capacity(config.total_keys());
+        let mut per_peer_originals: Vec<Vec<DataEntry>> = Vec::with_capacity(config.n_peers);
+        for (i, peer) in peers.iter_mut().enumerate() {
+            let mut own = Vec::with_capacity(config.keys_per_peer);
+            for j in 0..config.keys_per_peer {
+                let key = config.distribution.sample(&mut rng);
+                let entry = DataEntry::new(
+                    key,
+                    pgrid_core::key::DataId((i * config.keys_per_peer + j) as u64),
+                );
+                peer.store.insert(entry);
+                original_entries.push(entry);
+                own.push(entry);
+            }
+            per_peer_originals.push(own);
         }
-        per_peer_originals.push(own);
+
+        let overlay_graph = UnstructuredOverlay::random(config.n_peers, 8, &mut rng);
+        let metrics = ConstructionMetrics::new(config.n_peers);
+        SimNetwork {
+            engine,
+            peers,
+            metrics,
+            original_entries,
+            overlay_graph,
+            per_peer_originals,
+            active: vec![true; config.n_peers],
+            fruitless: vec![0u32; config.n_peers],
+            scheduler: Scheduler::new(config.n_peers),
+            threads: config.effective_threads(),
+            round: 0,
+            config: config.clone(),
+            rng,
+        }
     }
 
-    let overlay_graph = UnstructuredOverlay::random(config.n_peers, 8, &mut rng);
-    let mut metrics = ConstructionMetrics::new(config.n_peers);
+    /// The configuration the network was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
 
-    // --- Replication phase -------------------------------------------------
-    // Every peer copies its *own* keys to `n_min` random peers so that every
-    // key exists `n_min + 1` times in the network before partitioning starts
-    // (Section 4.2).  Only the original entries are forwarded; entries
-    // received from other peers are not re-replicated.  The transfers are
-    // batched: targets are deduplicated through a constant-time generation
-    // set and every target receives one bulk merge over all its sources
-    // (one buffer reservation per target) instead of `n_min` separate
-    // per-entry merges.
-    let mut seen_targets = GenerationSet::new(config.n_peers);
-    let mut inbound: Vec<Vec<DataEntry>> = vec![Vec::new(); config.n_peers];
-    for (i, entries) in per_peer_originals.iter().enumerate() {
-        seen_targets.clear();
-        let mut picked = 0;
-        while picked < config.n_min {
-            let t = overlay_graph.sample_other(i, &mut rng);
-            if seen_targets.insert(t) {
-                picked += 1;
-                let bucket = &mut inbound[t];
-                if bucket.is_empty() {
-                    bucket.reserve(config.keys_per_peer * config.n_min);
+    /// The balance parameters in effect.
+    pub fn params(&self) -> BalanceParams {
+        *self.engine.params()
+    }
+
+    /// Construction rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether the construction has terminated: no peer is active any
+    /// more.  An *offline* active peer still counts as pending work — it
+    /// resumes initiating when it returns ([`SimNetwork::set_online`]) —
+    /// so a churn window does not fake quiescence while the last active
+    /// peers happen to be down.
+    pub fn quiescent(&self) -> bool {
+        !self.active.iter().any(|&a| a)
+    }
+
+    /// The replication phase: every peer copies its *own* keys to `n_min`
+    /// random peers so that every key exists `n_min + 1` times in the
+    /// network before partitioning starts (Section 4.2).  Only the original
+    /// entries are forwarded; entries received from other peers are not
+    /// re-replicated.  The transfers are batched: targets are deduplicated
+    /// through a constant-time generation set and every target receives one
+    /// bulk merge over all its sources (one buffer reservation per target)
+    /// instead of `n_min` separate per-entry merges.
+    pub fn replicate(&mut self) {
+        let config = &self.config;
+        let mut seen_targets = GenerationSet::new(config.n_peers);
+        let mut inbound: Vec<Vec<DataEntry>> = vec![Vec::new(); config.n_peers];
+        for (i, entries) in self.per_peer_originals.iter().enumerate() {
+            seen_targets.clear();
+            let mut picked = 0;
+            while picked < config.n_min {
+                let t = self.overlay_graph.sample_other(i, &mut self.rng);
+                if seen_targets.insert(t) {
+                    picked += 1;
+                    let bucket = &mut inbound[t];
+                    if bucket.is_empty() {
+                        bucket.reserve(config.keys_per_peer * config.n_min);
+                    }
+                    bucket.extend_from_slice(entries);
                 }
-                bucket.extend_from_slice(entries);
             }
         }
-    }
-    for (t, batch) in inbound.into_iter().enumerate() {
-        metrics.replication_keys_moved += peers[t].store.merge_batch(batch);
+        for (t, batch) in inbound.into_iter().enumerate() {
+            self.metrics.replication_keys_moved += self.peers[t].store.merge_batch(batch);
+        }
     }
 
-    // --- Construction rounds -----------------------------------------------
-    // Each round, the shuffled active initiators are planned into
-    // conflict-free batches and executed across the configured worker
-    // threads; per-script outcomes drive the back-off bookkeeping in batch
-    // order, so every thread count reproduces the same overlay.
-    let threads = config.effective_threads();
-    let mut active = vec![true; config.n_peers];
-    let mut fruitless = vec![0u32; config.n_peers];
-    let mut scheduler = Scheduler::new(config.n_peers);
-
-    for round in 1..=config.max_rounds {
-        metrics.rounds = round;
-        let mut pending: Vec<usize> = (0..config.n_peers).filter(|&i| active[i]).collect();
+    /// One synchronous construction round: the shuffled active initiators
+    /// are planned into conflict-free batches and executed across the
+    /// configured worker threads; per-script outcomes drive the back-off
+    /// bookkeeping in batch order, so every thread count reproduces the
+    /// same overlay.  Returns `false` once no peer is active any more
+    /// (quiescence).
+    pub fn run_round(&mut self) -> bool {
+        let config = &self.config;
+        self.round += 1;
+        let round = self.round;
+        let mut pending: Vec<usize> = (0..config.n_peers)
+            .filter(|&i| self.active[i] && self.peers[i].online)
+            .collect();
+        if pending.is_empty() {
+            // Nothing to do right now: do not charge a round (the
+            // historical constructor never executed empty rounds).  Active
+            // peers that are merely offline keep the construction pending.
+            self.round -= 1;
+            return self.active.iter().any(|&a| a);
+        }
+        self.metrics.rounds = round;
         pending.shuffle(&mut stream_rng(
             config.seed,
             round as u64,
@@ -214,20 +295,26 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
             STREAM_SHUFFLE,
         ));
         while !pending.is_empty() {
-            let (mut batch, deferred) =
-                scheduler.plan_batch(&pending, &peers, &overlay_graph, config, round);
-            let (delta, outcomes) = execute_batch(&mut batch, &mut peers, &engine, threads);
-            metrics.absorb(&delta);
+            let (mut batch, deferred) = self.scheduler.plan_batch(
+                &pending,
+                &self.peers,
+                &self.overlay_graph,
+                config,
+                round,
+            );
+            let (delta, outcomes) =
+                execute_batch(&mut batch, &mut self.peers, &self.engine, self.threads);
+            self.metrics.absorb(&delta);
             for outcome in &outcomes {
                 let i = outcome.initiator;
                 if outcome.useful {
-                    fruitless[i] = 0;
+                    self.fruitless[i] = 0;
                     if let Some((a, b)) = outcome.activate {
-                        active[a] = true;
-                        active[b] = true;
+                        self.active[a] = true;
+                        self.active[b] = true;
                     }
                 } else {
-                    fruitless[i] += 1;
+                    self.fruitless[i] += 1;
                     // A peer defers its back-off while it has local evidence
                     // that its partition still needs splitting: as long as
                     // its own store holds clearly more keys than the storage
@@ -240,31 +327,115 @@ pub fn construct(config: &SimConfig) -> ConstructedOverlay {
                     // keeps the whole network spinning to `max_rounds`
                     // (Section 4.2's contract is that *every* peer
                     // eventually goes dormant and wakes when contacted).
-                    let patience = if engine.locally_overloaded(&peers[i]) {
+                    let patience = if self.engine.locally_overloaded(&self.peers[i]) {
                         config
                             .max_fruitless_attempts
                             .saturating_mul(OVERLOADED_PATIENCE)
                     } else {
                         config.max_fruitless_attempts
                     };
-                    if fruitless[i] >= patience {
-                        active[i] = false;
+                    if self.fruitless[i] >= patience {
+                        self.active[i] = false;
                     }
                 }
             }
             pending = deferred;
         }
-        if active.iter().all(|a| !a) {
-            break;
+        self.active.iter().any(|&a| a)
+    }
+
+    /// Takes a peer offline (it stops initiating; churn model) or brings
+    /// it back online (re-activated so it re-engages with the
+    /// construction).
+    pub fn set_online(&mut self, peer: usize, online: bool) {
+        self.peers[peer].online = online;
+        if online {
+            self.active[peer] = true;
+            self.fruitless[peer] = 0;
         }
     }
 
-    ConstructedOverlay {
-        peers,
-        metrics,
-        params,
-        original_entries,
+    /// Re-activates every online peer (e.g. after new data arrived through
+    /// [`SimNetwork::insert_entries`]).
+    pub fn activate_all(&mut self) {
+        for i in 0..self.peers.len() {
+            if self.peers[i].online {
+                self.active[i] = true;
+                self.fruitless[i] = 0;
+            }
+        }
     }
+
+    /// Assigns fresh `keys` to `peer`, extending the ground truth
+    /// (continuing its `DataId` numbering) and the peer's local store, and
+    /// re-activates the peer (the re-indexing / distribution-shift
+    /// workload).
+    pub fn insert_entries(&mut self, peer: usize, keys: Vec<pgrid_core::key::Key>) {
+        for key in keys {
+            let entry = DataEntry::new(
+                key,
+                pgrid_core::key::DataId(self.original_entries.len() as u64),
+            );
+            self.original_entries.push(entry);
+            self.peers[peer].store.insert(entry);
+        }
+        self.active[peer] = true;
+        self.fruitless[peer] = 0;
+    }
+
+    /// Finishes the run, yielding the constructed overlay.
+    pub fn into_overlay(self) -> ConstructedOverlay {
+        ConstructedOverlay {
+            params: *self.engine.params(),
+            peers: self.peers,
+            metrics: self.metrics,
+            original_entries: self.original_entries,
+        }
+    }
+}
+
+/// A [`NetworkView`] over the (possibly still under construction) network,
+/// so queries can be evaluated between rounds.
+impl NetworkView for SimNetwork {
+    fn path_of(&self, peer: PeerId) -> Option<Path> {
+        self.peers.get(peer.0 as usize).map(|p| p.path)
+    }
+
+    fn routing_refs(&self, peer: PeerId, level: usize) -> Vec<(PeerId, Path)> {
+        self.peers
+            .get(peer.0 as usize)
+            .map(|p| {
+                p.routing
+                    .level(level)
+                    .iter()
+                    .map(|e| (e.peer, e.path))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn is_online(&self, peer: PeerId) -> bool {
+        self.peers
+            .get(peer.0 as usize)
+            .map(|p| p.online)
+            .unwrap_or(false)
+    }
+
+    fn store_of(&self, peer: PeerId) -> Option<&KeyStore> {
+        self.peers.get(peer.0 as usize).map(|p| &p.store)
+    }
+}
+
+/// Runs the complete construction process for the given configuration.
+pub fn construct(config: &SimConfig) -> ConstructedOverlay {
+    let mut network = SimNetwork::new(config);
+    network.replicate();
+    while network.round() < config.max_rounds {
+        if !network.run_round() {
+            break;
+        }
+    }
+    network.into_overlay()
 }
 
 #[cfg(test)]

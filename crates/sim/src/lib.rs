@@ -43,7 +43,7 @@ pub mod unstructured;
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::config::{ConstructionStrategy, SimConfig};
-    pub use crate::construction::{construct, ConstructedOverlay};
+    pub use crate::construction::{construct, ConstructedOverlay, SimNetwork};
     pub use crate::metrics::{ConstructionMetrics, MetricsDelta};
     pub use crate::query::{data_availability, run_queries, QueryStats};
     pub use crate::runner::{

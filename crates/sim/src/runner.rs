@@ -41,9 +41,24 @@ pub struct ConstructionResult {
     pub mean_depth: f64,
 }
 
+/// A pluggable constructor: anything that turns a configuration into a
+/// constructed overlay.  The sweeps default to the direct
+/// [`construct`] driver; the scenario layer substitutes its executor here
+/// so the very same aggregation runs over scenario-driven constructions.
+pub type Constructor<'a> = &'a dyn Fn(&SimConfig) -> crate::construction::ConstructedOverlay;
+
 /// Runs `repetitions` constructions of the given configuration (varying the
 /// seed) and aggregates the figure metrics.
 pub fn run_repeated(config: &SimConfig, repetitions: usize) -> ConstructionResult {
+    run_repeated_with(config, repetitions, &construct)
+}
+
+/// [`run_repeated`] with a pluggable constructor.
+pub fn run_repeated_with(
+    config: &SimConfig,
+    repetitions: usize,
+    constructor: Constructor<'_>,
+) -> ConstructionResult {
     assert!(repetitions > 0);
     let params = config.balance_params();
     let mut deviations = Vec::with_capacity(repetitions);
@@ -57,7 +72,7 @@ pub fn run_repeated(config: &SimConfig, repetitions: usize) -> ConstructionResul
             seed: config.seed.wrapping_add(rep as u64 * 7919),
             ..config.clone()
         };
-        let overlay = construct(&run_config);
+        let overlay = constructor(&run_config);
         let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
         let reference = ReferencePartitioning::compute(&keys, run_config.n_peers, params);
         let report = compare_to_reference(&reference, &overlay.peer_paths());
@@ -90,6 +105,18 @@ pub fn population_sweep(
     strategy: ConstructionStrategy,
     seed: u64,
 ) -> Vec<ConstructionResult> {
+    population_sweep_with(populations, n_min, repetitions, strategy, seed, &construct)
+}
+
+/// [`population_sweep`] with a pluggable constructor.
+pub fn population_sweep_with(
+    populations: &[usize],
+    n_min: usize,
+    repetitions: usize,
+    strategy: ConstructionStrategy,
+    seed: u64,
+    constructor: Constructor<'_>,
+) -> Vec<ConstructionResult> {
     let mut rows = Vec::new();
     for &n in populations {
         for dist in Distribution::paper_suite() {
@@ -101,7 +128,7 @@ pub fn population_sweep(
                 seed,
                 ..SimConfig::default()
             };
-            rows.push(run_repeated(&config, repetitions));
+            rows.push(run_repeated_with(&config, repetitions, constructor));
         }
     }
     rows
@@ -114,6 +141,17 @@ pub fn replication_sweep(
     repetitions: usize,
     seed: u64,
 ) -> Vec<ConstructionResult> {
+    replication_sweep_with(n_peers, n_mins, repetitions, seed, &construct)
+}
+
+/// [`replication_sweep`] with a pluggable constructor.
+pub fn replication_sweep_with(
+    n_peers: usize,
+    n_mins: &[usize],
+    repetitions: usize,
+    seed: u64,
+    constructor: Constructor<'_>,
+) -> Vec<ConstructionResult> {
     let mut rows = Vec::new();
     for &n_min in n_mins {
         for dist in Distribution::paper_suite() {
@@ -124,7 +162,7 @@ pub fn replication_sweep(
                 seed,
                 ..SimConfig::default()
             };
-            rows.push(run_repeated(&config, repetitions));
+            rows.push(run_repeated_with(&config, repetitions, constructor));
         }
     }
     rows
@@ -139,6 +177,25 @@ pub fn sample_size_sweep(
     repetitions: usize,
     seed: u64,
 ) -> Vec<ConstructionResult> {
+    sample_size_sweep_with(
+        n_peers,
+        n_min,
+        delta_multipliers,
+        repetitions,
+        seed,
+        &construct,
+    )
+}
+
+/// [`sample_size_sweep`] with a pluggable constructor.
+pub fn sample_size_sweep_with(
+    n_peers: usize,
+    n_min: usize,
+    delta_multipliers: &[usize],
+    repetitions: usize,
+    seed: u64,
+    constructor: Constructor<'_>,
+) -> Vec<ConstructionResult> {
     let mut rows = Vec::new();
     for &m in delta_multipliers {
         for dist in Distribution::paper_suite() {
@@ -150,7 +207,7 @@ pub fn sample_size_sweep(
                 seed,
                 ..SimConfig::default()
             };
-            rows.push(run_repeated(&config, repetitions));
+            rows.push(run_repeated_with(&config, repetitions, constructor));
         }
     }
     rows
@@ -162,6 +219,17 @@ pub fn theory_vs_heuristics(
     n_mins: &[usize],
     repetitions: usize,
     seed: u64,
+) -> Vec<(ConstructionResult, ConstructionResult)> {
+    theory_vs_heuristics_with(n_peers, n_mins, repetitions, seed, &construct)
+}
+
+/// [`theory_vs_heuristics`] with a pluggable constructor.
+pub fn theory_vs_heuristics_with(
+    n_peers: usize,
+    n_mins: &[usize],
+    repetitions: usize,
+    seed: u64,
+    constructor: Constructor<'_>,
 ) -> Vec<(ConstructionResult, ConstructionResult)> {
     let mut rows = Vec::new();
     for &n_min in n_mins {
@@ -179,8 +247,8 @@ pub fn theory_vs_heuristics(
                 ..theory.clone()
             };
             rows.push((
-                run_repeated(&theory, repetitions),
-                run_repeated(&heuristic, repetitions),
+                run_repeated_with(&theory, repetitions, constructor),
+                run_repeated_with(&heuristic, repetitions, constructor),
             ));
         }
     }

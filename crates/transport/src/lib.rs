@@ -121,6 +121,81 @@ pub struct TransportStats {
 }
 
 impl TransportStats {
+    /// Renders the counters in the Prometheus text exposition format
+    /// (`# TYPE` headers, per-peer counters as labelled series), so a run's
+    /// transport state can be dumped somewhere scrapeable.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "pgrid_transport_frames_sent_total",
+                "Frames handed to the transport for delivery.",
+                self.frames_sent,
+            ),
+            (
+                "pgrid_transport_frames_delivered_total",
+                "Frames handed out by transport polling.",
+                self.frames_delivered,
+            ),
+            (
+                "pgrid_transport_bytes_sent_total",
+                "Total frame bytes sent.",
+                self.bytes_sent,
+            ),
+            (
+                "pgrid_transport_bytes_delivered_total",
+                "Total frame bytes delivered.",
+                self.bytes_delivered,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        if !self.per_peer.is_empty() {
+            for (name, help, get) in [
+                (
+                    "pgrid_transport_peer_frames_sent_total",
+                    "Frames sent to this peer.",
+                    (|l: &LinkStats| l.frames_sent) as fn(&LinkStats) -> u64,
+                ),
+                (
+                    "pgrid_transport_peer_bytes_sent_total",
+                    "Frame bytes sent to this peer.",
+                    |l| l.bytes_sent,
+                ),
+                (
+                    "pgrid_transport_peer_frames_received_total",
+                    "Frames received for this peer.",
+                    |l| l.frames_received,
+                ),
+                (
+                    "pgrid_transport_peer_bytes_received_total",
+                    "Frame bytes received for this peer.",
+                    |l| l.bytes_received,
+                ),
+                (
+                    "pgrid_transport_peer_reconnects_total",
+                    "Times the cached outbound connection was re-established.",
+                    |l| l.reconnects,
+                ),
+                (
+                    "pgrid_transport_peer_send_failures_total",
+                    "Sends that failed even after a reconnect attempt.",
+                    |l| l.send_failures,
+                ),
+            ] {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} counter");
+                for (peer, link) in &self.per_peer {
+                    let _ = writeln!(out, "{name}{{peer=\"{peer}\"}} {}", get(link));
+                }
+            }
+        }
+        out
+    }
+
     /// Folds another stats snapshot into this one (summing the global
     /// counters and merging the per-peer maps), as the cluster coordinator
     /// does when it combines the reports of several worker processes.
@@ -184,4 +259,44 @@ pub mod prelude {
     pub use crate::loopback::{LoopbackConfig, LoopbackTransport};
     pub use crate::tcp::TcpTransport;
     pub use crate::{LinkStats, PeerAddr, Transport, TransportError, TransportStats};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_text_is_prometheus_shaped() {
+        let mut stats = TransportStats {
+            frames_sent: 10,
+            frames_delivered: 9,
+            bytes_sent: 1000,
+            bytes_delivered: 900,
+            per_peer: Default::default(),
+        };
+        stats.per_peer.insert(
+            3,
+            LinkStats {
+                frames_sent: 4,
+                bytes_sent: 400,
+                frames_received: 5,
+                bytes_received: 500,
+                reconnects: 1,
+                send_failures: 0,
+            },
+        );
+        let text = stats.metrics_text();
+        assert!(text.contains("# TYPE pgrid_transport_frames_sent_total counter"));
+        assert!(text.contains("pgrid_transport_frames_sent_total 10"));
+        assert!(text.contains("pgrid_transport_peer_frames_sent_total{peer=\"3\"} 4"));
+        assert!(text.contains("pgrid_transport_peer_reconnects_total{peer=\"3\"} 1"));
+        // Every series line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(
+                line.split_whitespace().count(),
+                2,
+                "bad series line: {line}"
+            );
+        }
+    }
 }

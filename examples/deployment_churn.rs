@@ -1,19 +1,39 @@
-//! Message-level deployment with churn: a scaled-down PlanetLab experiment.
+//! Message-level deployment with churn, written against the Scenario API.
 //!
 //! ```text
 //! cargo run -p pgrid --example deployment_churn
+//! cargo run -p pgrid --example deployment_churn -- smoke   # small & fast, for CI
 //! ```
 //!
-//! Runs the full deployment timeline of the paper's Section 5 — join,
-//! replicate, construct, query, churn — on the emulated wide-area network
-//! and prints the per-minute time series behind Figures 7, 8 and 9 together
-//! with the summary statistics of Section 5.2.
+//! Builds the paper's Section-5 timeline — join, replicate, construct,
+//! query, churn — as an explicit [`Scenario`] program, runs it through the
+//! scenario executor on the emulated wide-area network, and prints the
+//! labelled snapshots plus the per-minute time series behind Figures 7, 8
+//! and 9 and the summary statistics of Section 5.2.
 
+use pgrid::net::experiment::{assemble_report, ReportInputs, Timeline};
 use pgrid::prelude::*;
 
+const MINUTE: u64 = 60_000;
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let (n_peers, timeline) = if smoke {
+        (
+            32,
+            Timeline {
+                join_end_min: 3,
+                replicate_end_min: 5,
+                construct_end_min: 18,
+                query_end_min: 22,
+                end_min: 25,
+            },
+        )
+    } else {
+        (96, Timeline::default())
+    };
     let config = NetConfig {
-        n_peers: 96,
+        n_peers,
         keys_per_peer: 10,
         n_min: 5,
         latency_min_ms: 20,
@@ -22,17 +42,59 @@ fn main() {
         seed: 4,
         ..NetConfig::default()
     };
-    let timeline = Timeline::default();
+
+    // The Section-5 timeline, spelled out with the scenario builder (the
+    // canned `Scenario::from_timeline` builds the same program), plus two
+    // snapshots the historical driver could not express.
+    let scenario = Scenario::builder(config.seed)
+        .join_wave(timeline.join_end_min, 6)
+        .replicate(IndexId::PRIMARY, timeline.replicate_end_min)
+        .start_construction(IndexId::PRIMARY)
+        .run_until(timeline.construct_end_min)
+        .snapshot("constructed")
+        .query_load(IndexId::PRIMARY, timeline.query_end_min)
+        .churn(
+            timeline.end_min,
+            5 * MINUTE,
+            (MINUTE, 5 * MINUTE),
+            (5 * MINUTE, 10 * MINUTE),
+            Some(QuerySpec {
+                index: IndexId::PRIMARY,
+                issuers: 0,
+            }),
+        )
+        .drain()
+        .build();
+
     println!(
-        "running the deployment experiment: {} peers, phases join<{} replicate<{} construct<{} query<{} churn<{} (minutes)",
+        "running the deployment scenario: {} peers, {} phases, phases join<{} replicate<{} construct<{} query<{} churn<{} (minutes)",
         config.n_peers,
+        scenario.phases.len(),
         timeline.join_end_min,
         timeline.replicate_end_min,
         timeline.construct_end_min,
         timeline.query_end_min,
         timeline.end_min
     );
-    let report = run_deployment(&config, &timeline);
+
+    let mut overlay = Runtime::new(config.clone());
+    let scenario_report = pgrid::scenario::run(&mut overlay, &scenario);
+    let report = assemble_report(&ReportInputs::from_runtime(&overlay), &timeline);
+
+    println!("\nscenario snapshots:");
+    for snapshot in &scenario_report.snapshots {
+        let primary = snapshot.index(IndexId::PRIMARY).expect("primary index");
+        println!(
+            "  {:<12} @ minute {:>3}: {:>3} online, mean depth {:.2}, deviation {:.3}, {} queries ({:.0}% ok)",
+            snapshot.label,
+            snapshot.at_min,
+            snapshot.online,
+            primary.mean_path_length,
+            primary.balance_deviation,
+            primary.queries_issued,
+            100.0 * primary.query_success_rate()
+        );
+    }
 
     println!("\n minute | online | maint B/s | query B/s | latency s (std)");
     println!(" ------ | ------ | --------- | --------- | ---------------");

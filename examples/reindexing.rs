@@ -1,59 +1,86 @@
-//! Re-indexing: rebuilding the overlay from scratch, in parallel versus
-//! sequentially.
+//! Re-indexing: a distribution shift rebuilds the overlay, driven by the
+//! Scenario API.
 //!
 //! ```text
 //! cargo run -p pgrid --example reindexing
+//! cargo run -p pgrid --example reindexing -- smoke   # small & fast, for CI
 //! ```
 //!
 //! The paper's motivation: when the indexing method changes (new key
-//! extraction, new term selection), the existing overlay becomes useless and
-//! a new one has to be constructed from scratch.  The standard maintenance
-//! model inserts peers one at a time, which serialises the work; the paper's
-//! construction runs fully in parallel.  This example rebuilds the same
-//! index with both strategies and compares messages and construction
-//! latency.
+//! extraction, new term selection), the existing overlay becomes useless
+//! and a new one has to be constructed.  This example drives the simulator
+//! through one scenario: construct under uniform keys, snapshot, *shift*
+//! the key distribution to a skewed extraction function (Pareto) with
+//! [`Phase::ShiftDistribution`], re-construct, snapshot — showing the
+//! dynamic re-balancing.  It then compares the parallel construction
+//! against the sequential join-based maintenance model, as before.
+//!
+//! [`Phase::ShiftDistribution`]: pgrid::scenario::Phase::ShiftDistribution
 
 use pgrid::prelude::*;
 
 fn main() {
-    for &n_peers in &[128usize, 256, 512] {
-        // "Old" index: uniform keys.  "New" indexing method: a skewed
-        // extraction function (Pareto), requiring a fresh overlay.
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let populations: &[usize] = if smoke { &[64] } else { &[128, 256, 512] };
+
+    for &n_peers in populations {
         let config = SimConfig {
             n_peers,
             keys_per_peer: 10,
             n_min: 5,
-            distribution: Distribution::Pareto { shape: 1.0 },
+            distribution: Distribution::Uniform,
             seed: 7,
             ..SimConfig::default()
         };
 
-        // Parallel construction from scratch (this paper).
-        let parallel = construct(&config);
-        // Sequential join-based construction (standard maintenance model).
-        let sequential = construct_sequentially(&config);
+        // One scenario: build the uniform index, then shift the extraction
+        // function to Pareto and let the network re-balance.
+        let scenario = Scenario::builder(config.seed)
+            .replicate(IndexId::PRIMARY, 0)
+            .start_construction(IndexId::PRIMARY)
+            .construct_until_quiescent(1, config.max_rounds as u64)
+            .snapshot("uniform index")
+            .shift_distribution(
+                IndexId::PRIMARY,
+                Distribution::Pareto { shape: 1.0 },
+                config.keys_per_peer,
+            )
+            .construct_until_quiescent(1, config.max_rounds as u64)
+            .snapshot("after shift")
+            .build();
+        let mut overlay = SimOverlay::new(&config);
+        let report = pgrid::scenario::run(&mut overlay, &scenario);
 
         println!("== {n_peers} peers ==");
+        for label in ["uniform index", "after shift"] {
+            let snapshot = report.snapshot(label).expect("snapshot taken");
+            let primary = snapshot.index(IndexId::PRIMARY).expect("primary");
+            println!(
+                "  {label:<14}: mean depth {:.2}, deviation {:.3}, replication {:.2}",
+                primary.mean_path_length, primary.balance_deviation, primary.mean_replication
+            );
+        }
+        let parallel = overlay.network();
+        let rounds = parallel.metrics.rounds;
+        let interactions = parallel.metrics.interactions;
+
+        // The standard maintenance model (sequential joins) on the shifted
+        // workload, for the latency comparison of the paper.
+        let sequential = construct_sequentially(&SimConfig {
+            distribution: Distribution::Pareto { shape: 1.0 },
+            ..config.clone()
+        });
         println!(
-            "  parallel:   {:>6} interactions, {:>4} rounds of latency, mean depth {:.2}",
-            parallel.metrics.interactions,
-            parallel.metrics.rounds,
-            parallel.mean_depth()
+            "  parallel:   {:>6} interactions, {:>4} rounds of latency",
+            interactions, rounds
         );
         println!(
-            "  sequential: {:>6} messages,     {:>6} serial steps of latency, mean depth {:.2}",
-            sequential.messages,
-            sequential.latency,
-            sequential
-                .peers
-                .iter()
-                .map(|p| p.path.len() as f64)
-                .sum::<f64>()
-                / sequential.peers.len() as f64
+            "  sequential: {:>6} messages,     {:>6} serial steps of latency",
+            sequential.messages, sequential.latency
         );
         println!(
             "  latency advantage of the parallel construction: {:.1}x",
-            sequential.latency as f64 / parallel.metrics.rounds.max(1) as f64
+            sequential.latency as f64 / rounds.max(1) as f64
         );
     }
 }
