@@ -168,7 +168,7 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
 }
 
 /// Merges the shard reports into the single-process report shape: paths at
-/// their global indices, query records concatenated, counters summed.
+/// their global indices, query aggregates folded, counters summed.
 fn merge_reports(
     cluster: &ClusterConfig,
     shards: &[(usize, usize)],
@@ -181,7 +181,7 @@ fn merge_reports(
     let (_, original_entries) = generate_peers(&cluster.net, &mut rng);
 
     let mut paths = vec![pgrid_core::path::Path::root(); cluster.net.n_peers];
-    let mut queries = Vec::new();
+    let mut queries = pgrid_net::runtime::QueryAggregates::default();
     let mut online_at_end = 0usize;
     let mut transport = TransportStats::default();
     for report in &reports {
@@ -192,7 +192,11 @@ fn merge_reports(
         for (offset, path) in report.paths.iter().enumerate() {
             paths[start + offset] = *path;
         }
-        queries.extend(report.queries.iter().copied());
+        // Histograms, counters and per-minute buckets all merge by
+        // addition, so the fold is order-independent across shards.
+        for (_, stats) in &report.query_stats {
+            queries.merge(stats);
+        }
         online_at_end += report.online_at_end as usize;
         // Sums the global counters and folds the per-peer link maps: a
         // peer's entry ends up holding the cluster-wide traffic concerning
@@ -200,9 +204,6 @@ fn merge_reports(
         // its host).
         transport.merge(&report.transport);
     }
-    // Order query records by issue time so the merged series reads like the
-    // single-process one.
-    queries.sort_by_key(|q| q.issued_at);
 
     let inputs = ReportInputs {
         n_peers: cluster.net.n_peers,

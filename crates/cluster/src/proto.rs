@@ -25,9 +25,11 @@
 //! stale worker fails loudly instead of mis-parsing.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pgrid_core::histogram::LogHistogram;
+use pgrid_core::index::IndexId;
 use pgrid_core::path::Path;
 use pgrid_net::experiment::Timeline;
-use pgrid_net::runtime::{NetConfig, QueryRecord};
+use pgrid_net::runtime::{MinuteLatency, NetConfig, QueryAggregates};
 use pgrid_transport::frame::{decode_frame, encode_frame, FrameReader};
 use pgrid_transport::{LinkStats, TransportStats};
 use pgrid_workload::distributions::Distribution;
@@ -38,7 +40,7 @@ use std::time::{Duration, Instant};
 /// Protocol magic, checked on every message.
 const MAGIC: u16 = 0x5047; // "PG"
 /// Protocol version; bump on any wire-format change.
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -60,8 +62,10 @@ pub struct ShardReport {
     pub shard_start: u64,
     /// Final path of every hosted peer, in shard order.
     pub paths: Vec<Path>,
-    /// Every query issued by hosted peers.
-    pub queries: Vec<QueryRecord>,
+    /// Per-index query aggregates of the shard (bounded-size histograms
+    /// instead of raw per-query records; the coordinator folds them with
+    /// [`QueryAggregates::merge`]).
+    pub query_stats: Vec<(IndexId, QueryAggregates)>,
     /// Hosted peers online when the run ended.
     pub online_at_end: u64,
     /// The worker's transport counters, including its per-peer link stats
@@ -185,19 +189,10 @@ impl ClusterMsg {
                 for path in &report.paths {
                     put_path(&mut buf, path);
                 }
-                buf.put_u32(report.queries.len() as u32);
-                for q in &report.queries {
-                    buf.put_u16(q.index.0);
-                    buf.put_u64(q.issued_at);
-                    match q.latency_ms {
-                        Some(lat) => {
-                            buf.put_u8(1);
-                            buf.put_u64(lat);
-                        }
-                        None => buf.put_u8(0),
-                    }
-                    buf.put_u32(q.hops);
-                    buf.put_u8(q.success as u8);
+                buf.put_u32(report.query_stats.len() as u32);
+                for (index, stats) in &report.query_stats {
+                    buf.put_u16(index.0);
+                    put_aggregates(&mut buf, stats);
                 }
                 buf.put_u64(report.online_at_end);
                 buf.put_u64(report.transport.frames_sent);
@@ -274,26 +269,14 @@ impl ClusterMsg {
                 for _ in 0..n_paths {
                     paths.push(get_path(&mut data)?);
                 }
-                let n_queries = get_u32(&mut data)? as usize;
-                if n_queries > 1 << 24 {
+                let n_indexes = get_u32(&mut data)? as usize;
+                if n_indexes > 1 << 16 {
                     return None;
                 }
-                let mut queries = Vec::with_capacity(n_queries.min(65536));
-                for _ in 0..n_queries {
-                    let index = pgrid_core::index::IndexId(get_u16(&mut data)?);
-                    let issued_at = get_u64(&mut data)?;
-                    let latency_ms = if get_u8(&mut data)? != 0 {
-                        Some(get_u64(&mut data)?)
-                    } else {
-                        None
-                    };
-                    queries.push(QueryRecord {
-                        index,
-                        issued_at,
-                        latency_ms,
-                        hops: get_u32(&mut data)?,
-                        success: get_u8(&mut data)? != 0,
-                    });
+                let mut query_stats = Vec::with_capacity(n_indexes.min(1024));
+                for _ in 0..n_indexes {
+                    let index = IndexId(get_u16(&mut data)?);
+                    query_stats.push((index, get_aggregates(&mut data)?));
                 }
                 let online_at_end = get_u64(&mut data)?;
                 let mut transport = TransportStats {
@@ -322,7 +305,7 @@ impl ClusterMsg {
                 ClusterMsg::Report(ShardReport {
                     shard_start,
                     paths,
-                    queries,
+                    query_stats,
                     online_at_end,
                     transport,
                     messages_delivered: get_u64(&mut data)?,
@@ -375,6 +358,8 @@ fn put_config(buf: &mut BytesMut, config: &NetConfig) {
         }
     }
     buf.put_u8(config.batch_per_tick as u8);
+    buf.put_u8(config.route_cache as u8);
+    buf.put_u64(config.query_sample_cap as u64);
 }
 
 fn get_config(data: &mut Bytes) -> Option<NetConfig> {
@@ -409,6 +394,8 @@ fn get_config(data: &mut Bytes) -> Option<NetConfig> {
         _ => return None,
     };
     let batch_per_tick = get_u8(data)? != 0;
+    let route_cache = get_u8(data)? != 0;
+    let query_sample_cap = get_u64(data)? as usize;
     Some(NetConfig {
         n_peers,
         keys_per_peer,
@@ -423,6 +410,95 @@ fn get_config(data: &mut Bytes) -> Option<NetConfig> {
         seed,
         distribution,
         batch_per_tick,
+        route_cache,
+        query_sample_cap,
+    })
+}
+
+fn put_histogram(buf: &mut BytesMut, histogram: &LogHistogram) {
+    let sparse = histogram.sparse_buckets();
+    buf.put_u32(sparse.len() as u32);
+    for (bucket, count) in sparse {
+        buf.put_u16(bucket);
+        buf.put_u64(count);
+    }
+    buf.put_u64(histogram.sum());
+    buf.put_u64(histogram.max());
+}
+
+fn get_histogram(data: &mut Bytes) -> Option<LogHistogram> {
+    let n = get_u32(data)? as usize;
+    if n > pgrid_core::histogram::NUM_BUCKETS {
+        return None;
+    }
+    let mut sparse = Vec::with_capacity(n);
+    for _ in 0..n {
+        sparse.push((get_u16(data)?, get_u64(data)?));
+    }
+    let sum = get_u64(data)?;
+    let max = get_u64(data)?;
+    Some(LogHistogram::from_sparse(&sparse, sum, max))
+}
+
+fn put_aggregates(buf: &mut BytesMut, stats: &QueryAggregates) {
+    buf.put_u64(stats.issued);
+    buf.put_u64(stats.answered);
+    buf.put_u64(stats.succeeded);
+    buf.put_u64(stats.timed_out);
+    buf.put_u64(stats.late_responses);
+    buf.put_u64(stats.hops_sum_successful);
+    put_histogram(buf, &stats.latency);
+    buf.put_u64(stats.ranges_issued);
+    buf.put_u64(stats.ranges_complete);
+    put_histogram(buf, &stats.range_latency);
+    buf.put_u32(stats.per_minute.len() as u32);
+    for (minute, bucket) in &stats.per_minute {
+        buf.put_u64(*minute);
+        buf.put_u64(bucket.count);
+        buf.put_f64(bucket.sum_s);
+        buf.put_f64(bucket.sum_sq_s);
+    }
+}
+
+fn get_aggregates(data: &mut Bytes) -> Option<QueryAggregates> {
+    let issued = get_u64(data)?;
+    let answered = get_u64(data)?;
+    let succeeded = get_u64(data)?;
+    let timed_out = get_u64(data)?;
+    let late_responses = get_u64(data)?;
+    let hops_sum_successful = get_u64(data)?;
+    let latency = get_histogram(data)?;
+    let ranges_issued = get_u64(data)?;
+    let ranges_complete = get_u64(data)?;
+    let range_latency = get_histogram(data)?;
+    let n_minutes = get_u32(data)? as usize;
+    if n_minutes > 1 << 24 {
+        return None;
+    }
+    let mut per_minute = std::collections::BTreeMap::new();
+    for _ in 0..n_minutes {
+        let minute = get_u64(data)?;
+        per_minute.insert(
+            minute,
+            MinuteLatency {
+                count: get_u64(data)?,
+                sum_s: get_f64(data)?,
+                sum_sq_s: get_f64(data)?,
+            },
+        );
+    }
+    Some(QueryAggregates {
+        issued,
+        answered,
+        succeeded,
+        timed_out,
+        late_responses,
+        hops_sum_successful,
+        latency,
+        ranges_issued,
+        ranges_complete,
+        range_latency,
+        per_minute,
     })
 }
 
@@ -430,6 +506,7 @@ fn put_timeline(buf: &mut BytesMut, timeline: &Timeline) {
     buf.put_u64(timeline.join_end_min);
     buf.put_u64(timeline.replicate_end_min);
     buf.put_u64(timeline.construct_end_min);
+    buf.put_u64(timeline.range_end_min);
     buf.put_u64(timeline.query_end_min);
     buf.put_u64(timeline.end_min);
 }
@@ -439,6 +516,7 @@ fn get_timeline(data: &mut Bytes) -> Option<Timeline> {
         join_end_min: get_u64(data)?,
         replicate_end_min: get_u64(data)?,
         construct_end_min: get_u64(data)?,
+        range_end_min: get_u64(data)?,
         query_end_min: get_u64(data)?,
         end_min: get_u64(data)?,
     })
@@ -687,25 +765,31 @@ mod tests {
         roundtrip(ClusterMsg::Minutes {
             samples: vec![(0, 1200, 0), (1, 900, 30), (7, 0, 4096)],
         });
+        let mut primary = QueryAggregates {
+            issued: 120,
+            answered: 110,
+            succeeded: 104,
+            timed_out: 10,
+            late_responses: 3,
+            hops_sum_successful: 312,
+            ranges_issued: 7,
+            ranges_complete: 6,
+            ..QueryAggregates::default()
+        };
+        for latency in [12u64, 80, 80, 412, 3_000] {
+            primary.latency.record(latency);
+        }
+        primary.range_latency.record(950);
+        primary.per_minute.entry(61).or_default().record(0.412);
+        let secondary = QueryAggregates {
+            issued: 4,
+            timed_out: 4,
+            ..QueryAggregates::default()
+        };
         roundtrip(ClusterMsg::Report(ShardReport {
             shard_start: 32,
             paths: vec![Path::root(), Path::parse("0110"), Path::parse("1")],
-            queries: vec![
-                QueryRecord {
-                    index: pgrid_core::index::IndexId::PRIMARY,
-                    issued_at: 61_000,
-                    latency_ms: Some(412),
-                    hops: 3,
-                    success: true,
-                },
-                QueryRecord {
-                    index: pgrid_core::index::IndexId(2),
-                    issued_at: 93_000,
-                    latency_ms: None,
-                    hops: 0,
-                    success: false,
-                },
-            ],
+            query_stats: vec![(IndexId::PRIMARY, primary), (IndexId(2), secondary)],
             online_at_end: 14,
             transport: TransportStats {
                 frames_sent: 1000,

@@ -135,6 +135,10 @@ impl Overlay for ShardOverlay {
         Overlay::issue_query(&mut self.runtime, index, key)
     }
 
+    fn issue_range_query(&mut self, index: IndexId, lo: Key, hi: Key) {
+        Overlay::issue_range_query(&mut self.runtime, index, lo, hi)
+    }
+
     fn query_keys(&self, index: IndexId) -> Vec<Key> {
         Overlay::query_keys(&self.runtime, index)
     }
@@ -153,6 +157,39 @@ impl Overlay for ShardOverlay {
 struct BarrierHooks<'a> {
     ctl: &'a mut ControlChannel,
     streamed: &'a mut BTreeSet<u64>,
+    /// The barrier each phase index parks at, precomputed by
+    /// [`barrier_plan`] so a barrier class spanning several phases (range
+    /// load followed by lookup load) reports exactly once.
+    plan: Vec<Option<u8>>,
+}
+
+/// The barrier class of each scenario phase, keeping only the *last* phase
+/// of each class: the coordinator releases every barrier exactly once, so
+/// back-to-back query-plane phases must park together at their end.
+fn barrier_plan(scenario: &Scenario) -> Vec<Option<u8>> {
+    let mut plan: Vec<Option<u8>> = scenario
+        .phases
+        .iter()
+        .map(|phase| match phase {
+            Phase::JoinSchedule { .. } | Phase::JoinWave { .. } => Some(PHASE_JOINED),
+            Phase::Replicate { .. } => Some(PHASE_REPLICATED),
+            Phase::RunUntil { .. } | Phase::ConstructUntilQuiescent { .. } => {
+                Some(PHASE_CONSTRUCTED)
+            }
+            Phase::QueryLoad { .. } | Phase::RangeLoad { .. } => Some(PHASE_QUERIED),
+            Phase::Drain => Some(PHASE_DONE),
+            _ => None,
+        })
+        .collect();
+    let mut seen = BTreeSet::new();
+    for slot in plan.iter_mut().rev() {
+        if let Some(class) = *slot {
+            if !seen.insert(class) {
+                *slot = None;
+            }
+        }
+    }
+    plan
 }
 
 impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
@@ -161,16 +198,11 @@ impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
     fn after_phase(
         &mut self,
         overlay: &mut ShardOverlay,
-        _phase_index: usize,
-        phase: &Phase,
+        phase_index: usize,
+        _phase: &Phase,
     ) -> Result<()> {
-        let barrier_phase = match phase {
-            Phase::JoinSchedule { .. } | Phase::JoinWave { .. } => PHASE_JOINED,
-            Phase::Replicate { .. } => PHASE_REPLICATED,
-            Phase::RunUntil { .. } | Phase::ConstructUntilQuiescent { .. } => PHASE_CONSTRUCTED,
-            Phase::QueryLoad { .. } => PHASE_QUERIED,
-            Phase::Drain => PHASE_DONE,
-            _ => return Ok(()),
+        let Some(barrier_phase) = self.plan.get(phase_index).copied().flatten() else {
+            return Ok(());
         };
         barrier(self.ctl, &mut overlay.runtime, barrier_phase, self.streamed)
     }
@@ -243,9 +275,11 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
     // agree on joins/churn of peers they do not host) and the query rate
     // scaled to the shard; the worker index decorrelates the query streams.
     let scenario = worker_scenario(&config, &timeline, worker_index, shard.len());
+    let plan = barrier_plan(&scenario);
     let mut hooks = BarrierHooks {
         ctl: &mut ctl,
         streamed: &mut streamed_minutes,
+        plan,
     };
     pgrid_scenario::run_with_hooks(&mut overlay, &scenario, &mut hooks)?;
 
@@ -258,7 +292,12 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
             .clone()
             .map(|peer| runtime.nodes[peer].state.path)
             .collect(),
-        queries: runtime.metrics.queries.clone(),
+        query_stats: runtime
+            .metrics
+            .query_stats
+            .iter()
+            .map(|(&index, stats)| (index, stats.clone()))
+            .collect(),
         online_at_end: runtime.hosted_online_count() as u64,
         transport: runtime.transport_stats(),
         messages_delivered: runtime.metrics.messages_delivered as u64,
@@ -282,12 +321,23 @@ pub fn worker_scenario(
     worker_index: u32,
     shard_len: usize,
 ) -> Scenario {
-    Scenario::builder(config.seed)
+    let mut builder = Scenario::builder(config.seed)
         .raw_control_seed(config.seed ^ CONTROL_SEED_SALT ^ ((worker_index as u64) << 32))
         .join_schedule(timeline.join_end_min, join_plan(config, timeline))
         .replicate(IndexId::PRIMARY, timeline.replicate_end_min)
         .start_construction(IndexId::PRIMARY)
-        .run_until(timeline.construct_end_min)
+        .run_until(timeline.construct_end_min);
+    // The optional range window between construction and the lookup load,
+    // with the same bounds-width the single-process driver uses.
+    if timeline.range_end_min > timeline.construct_end_min {
+        builder = builder.range_load(
+            IndexId::PRIMARY,
+            timeline.range_end_min,
+            shard_len,
+            pgrid_scenario::RANGE_LOAD_WIDTH,
+        );
+    }
+    builder
         .query_load_from(IndexId::PRIMARY, timeline.query_end_min, shard_len)
         .churn_schedule(
             timeline.end_min,

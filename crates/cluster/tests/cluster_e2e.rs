@@ -34,6 +34,7 @@ fn short_timeline() -> Timeline {
         join_end_min: 3,
         replicate_end_min: 5,
         construct_end_min: 18,
+        range_end_min: 0,
         query_end_min: 22,
         end_min: 25,
     }
@@ -142,6 +143,48 @@ fn two_worker_processes_converge_like_the_single_process_run() {
         .sum();
     assert_eq!(link_sent, cluster.transport.frames_sent);
     assert_eq!(link_received, cluster.transport.frames_delivered);
+}
+
+#[test]
+fn two_worker_processes_resolve_range_queries_across_shards() {
+    // The optional range window on a sharded deployment: range walks hop
+    // across the process boundary (a shard rarely hosts every partition of
+    // a slice), the per-shard aggregates are merged by the coordinator,
+    // and every issued range must achieve full interval coverage.
+    let config = config();
+    let timeline = Timeline {
+        join_end_min: 3,
+        replicate_end_min: 5,
+        construct_end_min: 18,
+        range_end_min: 20,
+        query_end_min: 22,
+        end_min: 25,
+    };
+    let cluster = run_local(
+        &config,
+        &timeline,
+        &LocalOptions {
+            workers: 2,
+            worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
+            inherit_stderr: true,
+        },
+    )
+    .expect("the 2-process range run must complete");
+    assert!(
+        cluster.ranges_issued > 0,
+        "the range window issued no ranges"
+    );
+    assert_eq!(
+        cluster.ranges_complete, cluster.ranges_issued,
+        "{}/{} cluster ranges complete",
+        cluster.ranges_complete, cluster.ranges_issued
+    );
+    // The ordinary lookup plane must be unaffected by the extra phase.
+    assert!(
+        cluster.query_success_rate > 0.8,
+        "query success rate {}",
+        cluster.query_success_rate
+    );
 }
 
 #[test]

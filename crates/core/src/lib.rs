@@ -27,6 +27,8 @@
 //! * [`index`] — identifiers for multiple logical indexes hosted by one
 //!   peer population;
 //! * [`balance`] — the load-balance deviation metric of Section 4.4;
+//! * [`histogram`] — fixed-bucket log-scale histograms for latency
+//!   accounting at production query rates;
 //! * [`replication`] — replica-count estimation from key-set overlap and
 //!   anti-entropy reconciliation;
 //! * [`trie`] — an explicit trie representation used by analyses and tests.
@@ -54,6 +56,7 @@
 pub mod balance;
 pub mod error;
 pub mod exchange;
+pub mod histogram;
 pub mod index;
 pub mod key;
 pub mod path;
@@ -70,6 +73,7 @@ pub mod prelude {
     pub use crate::balance::{compare_to_reference, BalanceReport};
     pub use crate::error::OverlayError;
     pub use crate::exchange::{Assessment, ExchangeDecision, ExchangeEngine, ProbabilityStrategy};
+    pub use crate::histogram::LogHistogram;
     pub use crate::index::IndexId;
     pub use crate::key::{DataEntry, DataId, Key};
     pub use crate::path::Path;

@@ -409,4 +409,115 @@ mod tests {
         let res = lookup(&net, PeerId(99), Key::from_fraction(0.5), &mut rng);
         assert!(!res.is_success());
     }
+
+    /// Builds a fully consistent balanced trie of the given depth: one peer
+    /// per leaf path, complete routing tables, every corpus entry stored at
+    /// the covering leaf.  On such an overlay a range scan has an exact
+    /// oracle: the brute-force filter of the corpus.
+    fn consistent_net(depth: usize, corpus: &[Key]) -> TestNet {
+        let mut rng = StdRng::seed_from_u64(depth as u64);
+        let mut peers = HashMap::new();
+        for leaf in 0..(1usize << depth) {
+            let id = PeerId(leaf as u64);
+            let bits: String = (0..depth)
+                .map(|b| {
+                    if leaf >> (depth - 1 - b) & 1 == 1 {
+                        '1'
+                    } else {
+                        '0'
+                    }
+                })
+                .collect();
+            let path = Path::parse(&bits);
+            let entries: Vec<DataEntry> = corpus
+                .iter()
+                .enumerate()
+                .filter(|(_, &k)| path.covers(k))
+                .map(|(i, &k)| DataEntry::new(k, DataId(i as u64)))
+                .collect();
+            let mut state = PeerState::with_entries(id, 0, entries);
+            state.path = path;
+            peers.insert(id, state);
+        }
+        let ids: Vec<PeerId> = peers.keys().copied().collect();
+        let snapshot: Vec<(PeerId, Path)> = peers.values().map(|p| (p.id, p.path)).collect();
+        for id in ids {
+            let own_path = peers[&id].path;
+            for &(other, opath) in &snapshot {
+                if other == id {
+                    continue;
+                }
+                let cpl = own_path.common_prefix_len(&opath);
+                if cpl < own_path.len() && cpl < opath.len() {
+                    let peer = peers.get_mut(&id).unwrap();
+                    peer.routing.add(
+                        cpl,
+                        RoutingEntry {
+                            peer: other,
+                            path: opath,
+                        },
+                        &mut rng,
+                    );
+                }
+            }
+        }
+        TestNet { peers }
+    }
+
+    mod range_parity {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            // A trie range scan over a random corpus returns exactly the
+            // brute-force key-filter set, regardless of trie depth, range
+            // bounds, or starting peer.
+            #[test]
+            fn prop_range_scan_equals_brute_force(
+                depth in 1usize..=4,
+                raw_keys in proptest::collection::vec(any::<u64>(), 0..48),
+                a in any::<u64>(),
+                b in any::<u64>(),
+                start_raw in any::<u64>(),
+                rng_seed in any::<u64>(),
+            ) {
+                let corpus: Vec<Key> = raw_keys.iter().map(|&v| Key(v)).collect();
+                let (lo, hi) = (Key(a.min(b)), Key(a.max(b)));
+                let net = consistent_net(depth, &corpus);
+                let start = PeerId(start_raw % (1u64 << depth));
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                let res = range_query(&net, start, lo, hi, &mut rng);
+                prop_assert!(res.complete, "consistent overlay must complete");
+                let mut expected: Vec<DataEntry> = corpus
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &k)| lo <= k && k <= hi)
+                    .map(|(i, &k)| DataEntry::new(k, DataId(i as u64)))
+                    .collect();
+                expected.sort();
+                prop_assert_eq!(res.entries, expected);
+            }
+
+            // A lookup on the consistent trie finds every entry stored
+            // under the requested key.
+            #[test]
+            fn prop_lookup_finds_every_stored_key(
+                depth in 1usize..=4,
+                raw_keys in proptest::collection::vec(any::<u64>(), 1..32),
+                rng_seed in any::<u64>(),
+            ) {
+                let corpus: Vec<Key> = raw_keys.iter().map(|&v| Key(v)).collect();
+                let net = consistent_net(depth, &corpus);
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                for (i, &key) in corpus.iter().enumerate() {
+                    let start = PeerId((i as u64) % (1u64 << depth));
+                    let res = lookup(&net, start, key, &mut rng);
+                    prop_assert!(res.is_success());
+                    prop_assert!(res.entries.iter().any(|e| e.key == key));
+                }
+            }
+        }
+    }
 }

@@ -8,8 +8,9 @@
 //! online peers, the aggregate bandwidth split into maintenance and query
 //! traffic, and the query latency.
 
-use crate::runtime::{BandwidthSample, NetConfig, QueryRecord, Runtime};
+use crate::runtime::{BandwidthSample, NetConfig, QueryAggregates, Runtime};
 use pgrid_core::balance::compare_to_reference;
+use pgrid_core::histogram::LogHistogram;
 use pgrid_core::key::Key;
 use pgrid_core::path::Path;
 use pgrid_core::reference::{BalanceParams, ReferencePartitioning};
@@ -28,6 +29,10 @@ pub struct Timeline {
     pub replicate_end_min: u64,
     /// Construction runs until this minute.
     pub construct_end_min: u64,
+    /// Range queries run between `construct_end_min` and this minute; any
+    /// value at or below `construct_end_min` (the historical timelines use
+    /// `0`) disables the range window entirely.
+    pub range_end_min: u64,
     /// Queries run until this minute.
     pub query_end_min: u64,
     /// Churn (with continuing queries) runs until this minute.
@@ -44,6 +49,7 @@ impl Default for Timeline {
             join_end_min: 20,
             replicate_end_min: 25,
             construct_end_min: 60,
+            range_end_min: 0,
             query_end_min: 90,
             end_min: 110,
         }
@@ -87,6 +93,13 @@ pub struct DeploymentReport {
     pub query_success_rate: f64,
     /// Mean number of replicas per leaf partition (the paper reports ≈ 5).
     pub mean_replication: f64,
+    /// Latency distribution of answered lookups, in milliseconds
+    /// (p50/p99/p999 and the Prometheus histogram derive from this).
+    pub query_latency: LogHistogram,
+    /// Range queries issued during the optional range window.
+    pub ranges_issued: u64,
+    /// Range queries whose responses covered their whole `[lo, hi]` span.
+    pub ranges_complete: u64,
     /// Total maintenance bytes sent.
     pub total_maintenance_bytes: usize,
     /// Total query bytes sent.
@@ -151,6 +164,42 @@ impl DeploymentReport {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        for (name, help, value) in [
+            (
+                "pgrid_deployment_ranges_issued",
+                "Range queries issued during the range window.",
+                Some(self.ranges_issued),
+            ),
+            (
+                "pgrid_deployment_ranges_complete",
+                "Range queries that achieved full interval coverage.",
+                Some(self.ranges_complete),
+            ),
+            (
+                "pgrid_deployment_query_latency_p50_ms",
+                "Median lookup latency in milliseconds.",
+                self.query_latency.p50(),
+            ),
+            (
+                "pgrid_deployment_query_latency_p99_ms",
+                "99th-percentile lookup latency in milliseconds.",
+                self.query_latency.p99(),
+            ),
+            (
+                "pgrid_deployment_query_latency_p999_ms",
+                "99.9th-percentile lookup latency in milliseconds.",
+                self.query_latency.p999(),
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", value.unwrap_or(0));
+        }
+        out.push_str(
+            &self
+                .query_latency
+                .prometheus_text("pgrid_deployment_query_latency_ms"),
+        );
         out.push_str(&self.transport.metrics_text());
         out
     }
@@ -248,7 +297,7 @@ fn drive_deployment<T: Transport>(
 /// A single-process run fills this straight from its [`Runtime`]
 /// ([`ReportInputs::from_runtime`]); the cluster coordinator assembles the
 /// same structure by merging what its worker processes streamed back
-/// (summing bandwidth buckets, concatenating query records, placing each
+/// (summing bandwidth buckets, folding query aggregates, placing each
 /// shard's final paths at their global indices) and then calls
 /// [`assemble_report`], so both deployment modes share one statistics
 /// pipeline.
@@ -262,8 +311,8 @@ pub struct ReportInputs {
     pub original_keys: Vec<Key>,
     /// Final path of every peer (index = peer id).
     pub paths: Vec<Path>,
-    /// Every issued query.
-    pub queries: Vec<QueryRecord>,
+    /// Query statistics, merged across all indexes and shards.
+    pub queries: QueryAggregates,
     /// Classified bandwidth per one-minute bucket of virtual time.
     pub bandwidth_per_minute: HashMap<u64, BandwidthSample>,
     /// Peers online when the run ended.
@@ -280,7 +329,7 @@ impl ReportInputs {
             params: runtime.params(),
             original_keys: runtime.original_entries.iter().map(|e| e.key).collect(),
             paths: runtime.nodes.iter().map(|n| n.state.path).collect(),
-            queries: runtime.metrics.queries.clone(),
+            queries: runtime.metrics.merged_stats(),
             bandwidth_per_minute: runtime.metrics.bandwidth_per_minute.clone(),
             online_at_end: runtime.online_count(),
             transport: runtime.transport_stats(),
@@ -291,35 +340,19 @@ impl ReportInputs {
 /// Computes the per-minute time series and the Section 5.2 summary
 /// statistics from collected run data.
 pub fn assemble_report(inputs: &ReportInputs, timeline: &Timeline) -> DeploymentReport {
-    let minute = 60_000u64;
     let mut samples = Vec::new();
     // Reconstructing the peers-online series from the churn/queries records
     // is not possible after the fact, so sample bandwidth and latency per
     // minute; the peers-online series is approximated from the join ramp and
     // the churn phase bounds plus the live count at the end.
-    let mut latencies_per_minute: HashMap<u64, Vec<f64>> = HashMap::new();
-    for q in &inputs.queries {
-        if let Some(lat) = q.latency_ms {
-            latencies_per_minute
-                .entry(q.issued_at / minute)
-                .or_default()
-                .push(lat as f64 / 1000.0);
-        }
-    }
     for m in 0..=timeline.end_min {
         let bw = inputs
             .bandwidth_per_minute
             .get(&m)
             .copied()
             .unwrap_or_default();
-        let latencies = latencies_per_minute.get(&m);
-        let (mean, std) = match latencies {
-            Some(values) if !values.is_empty() => {
-                let mean = values.iter().sum::<f64>() / values.len() as f64;
-                let var =
-                    values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-                (mean, var.sqrt())
-            }
+        let (mean, std) = match inputs.queries.per_minute.get(&m) {
+            Some(bucket) if bucket.count > 0 => (bucket.mean_s(), bucket.std_s()),
             _ => (0.0, 0.0),
         };
         let peers_online = if m < timeline.join_end_min {
@@ -346,17 +379,8 @@ pub fn assemble_report(inputs: &ReportInputs, timeline: &Timeline) -> Deployment
     let mean_path_length =
         inputs.paths.iter().map(|p| p.len() as f64).sum::<f64>() / inputs.paths.len().max(1) as f64;
 
-    let successful: Vec<_> = inputs.queries.iter().filter(|q| q.success).collect();
-    let mean_query_hops = if successful.is_empty() {
-        0.0
-    } else {
-        successful.iter().map(|q| q.hops as f64).sum::<f64>() / successful.len() as f64
-    };
-    let query_success_rate = if inputs.queries.is_empty() {
-        0.0
-    } else {
-        successful.len() as f64 / inputs.queries.len() as f64
-    };
+    let mean_query_hops = inputs.queries.mean_hops_successful();
+    let query_success_rate = inputs.queries.success_rate();
 
     let replication_factors = pgrid_core::trie::peer_count_trie(inputs.paths.iter());
     let mean_replication = if replication_factors.is_empty() {
@@ -376,6 +400,9 @@ pub fn assemble_report(inputs: &ReportInputs, timeline: &Timeline) -> Deployment
         mean_query_hops,
         query_success_rate,
         mean_replication,
+        query_latency: inputs.queries.latency.clone(),
+        ranges_issued: inputs.queries.ranges_issued,
+        ranges_complete: inputs.queries.ranges_complete,
         total_maintenance_bytes: inputs
             .bandwidth_per_minute
             .values()

@@ -72,6 +72,45 @@ pub enum Message {
         /// Whether a responsible peer was reached.
         found: bool,
     },
+    /// Order-preserving range query travelling through the overlay.
+    ///
+    /// The walk is a cursor-based trie traversal: the query routes towards
+    /// `cursor`, the responsible peer answers the slice of `[lo, hi]` its
+    /// partition covers (a [`Message::RangeResponse`] straight back to the
+    /// origin) and forwards the query with the cursor advanced past its
+    /// partition's upper bound.  The origin declares the range complete
+    /// once the returned slices cover `[lo, hi]`.
+    RangeQuery {
+        /// Peer that issued the range query (receives every response).
+        origin: PeerId,
+        /// Query identifier for coverage bookkeeping at the origin.
+        id: u64,
+        /// Inclusive lower bound of the requested range.
+        lo: Key,
+        /// Inclusive upper bound of the requested range.
+        hi: Key,
+        /// Routing target: the smallest key not yet covered by a response.
+        cursor: Key,
+        /// Hops taken so far (across the whole walk).
+        hops: u32,
+    },
+    /// One responsible peer's slice of a [`Message::RangeQuery`], sent
+    /// directly to the origin.
+    RangeResponse {
+        /// Query identifier.
+        id: u64,
+        /// Lower bound (inclusive) of the key interval this response
+        /// covers (the cursor the responsible peer was reached with).
+        from: Key,
+        /// Upper bound (inclusive) of the key interval this response
+        /// covers; the origin merges `[from, upto]` into its coverage.
+        upto: Key,
+        /// Entries of the responsible peer falling inside the covered
+        /// interval.
+        entries: Vec<DataEntry>,
+        /// Hops the walk had taken when this slice was answered.
+        hops: u32,
+    },
     /// Envelope routing `inner` to a *secondary* index hosted by the same
     /// peer population (see [`pgrid_core::index::IndexId`]).
     ///
@@ -226,6 +265,36 @@ impl Message {
                 buf.put_u32(*hops);
                 buf.put_u8(*found as u8);
             }
+            Message::RangeQuery {
+                origin,
+                id,
+                lo,
+                hi,
+                cursor,
+                hops,
+            } => {
+                buf.put_u8(8);
+                buf.put_u64(origin.0);
+                buf.put_u64(*id);
+                buf.put_u64(lo.0);
+                buf.put_u64(hi.0);
+                buf.put_u64(cursor.0);
+                buf.put_u32(*hops);
+            }
+            Message::RangeResponse {
+                id,
+                from,
+                upto,
+                entries,
+                hops,
+            } => {
+                buf.put_u8(9);
+                buf.put_u64(*id);
+                buf.put_u64(from.0);
+                buf.put_u64(upto.0);
+                put_entries(buf, entries);
+                buf.put_u32(*hops);
+            }
             Message::ForIndex { index, inner } => {
                 debug_assert!(
                     !matches!(**inner, Message::ForIndex { .. }),
@@ -319,6 +388,21 @@ impl Message {
                 hops: checked_u32(&mut data)?,
                 found: checked_u8(&mut data)? != 0,
             },
+            8 => Message::RangeQuery {
+                origin: PeerId(checked_u64(&mut data)?),
+                id: checked_u64(&mut data)?,
+                lo: Key(checked_u64(&mut data)?),
+                hi: Key(checked_u64(&mut data)?),
+                cursor: Key(checked_u64(&mut data)?),
+                hops: checked_u32(&mut data)?,
+            },
+            9 => Message::RangeResponse {
+                id: checked_u64(&mut data)?,
+                from: Key(checked_u64(&mut data)?),
+                upto: Key(checked_u64(&mut data)?),
+                entries: get_entries(&mut data)?,
+                hops: checked_u32(&mut data)?,
+            },
             7 => {
                 let index = checked_u16(&mut data)?;
                 let inner = Message::decode(data)?;
@@ -345,7 +429,10 @@ impl Message {
     /// else is maintenance traffic in the Figure 8 breakdown).
     pub fn is_query_traffic(&self) -> bool {
         match self {
-            Message::Query { .. } | Message::QueryResponse { .. } => true,
+            Message::Query { .. }
+            | Message::QueryResponse { .. }
+            | Message::RangeQuery { .. }
+            | Message::RangeResponse { .. } => true,
             Message::ForIndex { inner, .. } => inner.is_query_traffic(),
             _ => false,
         }
@@ -484,6 +571,21 @@ mod tests {
             hops: 3,
             found: true,
         });
+        roundtrip(Message::RangeQuery {
+            origin: PeerId(4),
+            id: 78,
+            lo: Key::from_fraction(0.1),
+            hi: Key::from_fraction(0.6),
+            cursor: Key::from_fraction(0.25),
+            hops: 1,
+        });
+        roundtrip(Message::RangeResponse {
+            id: 78,
+            from: Key::from_fraction(0.25),
+            upto: Key::from_fraction(0.5),
+            entries: entries(4),
+            hops: 2,
+        });
     }
 
     #[test]
@@ -503,6 +605,23 @@ mod tests {
             origin: PeerId(0),
             id: 0,
             key: Key::MIN,
+            hops: 0
+        }
+        .is_query_traffic());
+        assert!(Message::RangeQuery {
+            origin: PeerId(0),
+            id: 0,
+            lo: Key::MIN,
+            hi: Key::MAX,
+            cursor: Key::MIN,
+            hops: 0
+        }
+        .is_query_traffic());
+        assert!(Message::RangeResponse {
+            id: 0,
+            from: Key::MIN,
+            upto: Key::MAX,
+            entries: Vec::new(),
             hops: 0
         }
         .is_query_traffic());

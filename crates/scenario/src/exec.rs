@@ -180,6 +180,34 @@ fn execute_phase<O: Overlay + ?Sized>(overlay: &mut O, ctx: &mut Context, phase:
             ctx.next_query = Some(next_query);
             ctx.boundary_min = *until_min;
         }
+        Phase::RangeLoad {
+            index,
+            until_min,
+            issuers,
+            width,
+        } => {
+            assert!(overlay.has_index(*index), "{index} is not hosted");
+            let end = until_min * MINUTE_MS;
+            let issuers = effective_issuers(overlay, *issuers);
+            let width = width.clamp(f64::EPSILON, 1.0);
+            // Range load paces like query load but draws `[lo, hi]` bounds
+            // from the control RNG instead of corpus keys.
+            let mut next_query = overlay.now();
+            while overlay.now() < end {
+                let step = ctx
+                    .rng
+                    .gen_range(MINUTE_MS / issuers / 2..=MINUTE_MS / issuers);
+                next_query += step.max(1);
+                overlay.advance_to(next_query);
+                let start = ctx.rng.gen_range(0.0..(1.0 - width).max(f64::EPSILON));
+                let lo = pgrid_core::key::Key::from_fraction(start);
+                let hi =
+                    pgrid_core::key::Key::from_fraction((start + width).min(1.0 - f64::EPSILON));
+                overlay.issue_range_query(*index, lo, hi.max(lo));
+            }
+            ctx.next_query = Some(next_query);
+            ctx.boundary_min = *until_min;
+        }
         Phase::Churn {
             until_min,
             lead_ms,

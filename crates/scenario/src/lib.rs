@@ -58,14 +58,18 @@ pub mod sweeps;
 
 pub use exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport};
 pub use overlay::{IndexSnapshot, Overlay, OverlaySnapshot};
-pub use scenario::{ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder};
+pub use scenario::{
+    ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder, RANGE_LOAD_WIDTH,
+};
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::deployment::{run_deployment, run_deployment_with};
     pub use crate::exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport};
     pub use crate::overlay::{IndexSnapshot, Overlay, OverlaySnapshot};
-    pub use crate::scenario::{ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder};
+    pub use crate::scenario::{
+        ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder, RANGE_LOAD_WIDTH,
+    };
     pub use crate::sim::SimOverlay;
     pub use pgrid_core::index::IndexId;
 }

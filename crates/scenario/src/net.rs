@@ -58,6 +58,10 @@ impl<T: Transport> Overlay for Runtime<T> {
         self.issue_query_on(index, key);
     }
 
+    fn issue_range_query(&mut self, index: IndexId, lo: Key, hi: Key) {
+        self.issue_range_query_on(index, lo, hi);
+    }
+
     fn query_keys(&self, index: IndexId) -> Vec<Key> {
         self.original_entries_of(index)
             .iter()
@@ -95,16 +99,19 @@ impl<T: Transport> Overlay for Runtime<T> {
                     replication.iter().map(|(_, &n)| n as f64).sum::<f64>()
                         / replication.len() as f64
                 };
-                let queries = self.metrics.queries.iter().filter(|q| q.index == index);
-                let queries_issued = queries.clone().count();
-                let queries_succeeded = queries.filter(|q| q.success).count();
+                let stats = self.metrics.stats(index);
                 IndexSnapshot {
                     index,
                     mean_path_length,
                     balance_deviation: balance.deviation,
                     mean_replication,
-                    queries_issued,
-                    queries_succeeded,
+                    queries_issued: stats.issued as usize,
+                    queries_succeeded: stats.succeeded as usize,
+                    ranges_issued: stats.ranges_issued as usize,
+                    ranges_complete: stats.ranges_complete as usize,
+                    latency_p50_ms: stats.latency.p50(),
+                    latency_p99_ms: stats.latency.p99(),
+                    latency_p999_ms: stats.latency.p999(),
                 }
             })
             .collect();

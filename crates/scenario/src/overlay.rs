@@ -68,6 +68,10 @@ pub trait Overlay {
     /// online peer.
     fn issue_query(&mut self, index: IndexId, key: Key);
 
+    /// Issues one order-preserving range query for `[lo, hi]` against
+    /// `index` from an engine-chosen online peer.
+    fn issue_range_query(&mut self, index: IndexId, lo: Key, hi: Key);
+
     /// The keys of the ground-truth data assignment of `index` (the query
     /// workload draws from these).
     fn query_keys(&self, index: IndexId) -> Vec<Key>;
@@ -120,6 +124,17 @@ pub struct IndexSnapshot {
     pub queries_issued: usize,
     /// Of those, queries answered successfully.
     pub queries_succeeded: usize,
+    /// Range queries issued against this index so far.
+    pub ranges_issued: usize,
+    /// Of those, range queries whose slices covered the whole range.
+    pub ranges_complete: usize,
+    /// Median lookup latency in milliseconds (`None` for engines that
+    /// answer synchronously or before any query was answered).
+    pub latency_p50_ms: Option<u64>,
+    /// 99th-percentile lookup latency in milliseconds.
+    pub latency_p99_ms: Option<u64>,
+    /// 99.9th-percentile lookup latency in milliseconds.
+    pub latency_p999_ms: Option<u64>,
 }
 
 impl IndexSnapshot {

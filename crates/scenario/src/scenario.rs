@@ -109,6 +109,20 @@ pub enum Phase {
         /// Notional number of issuing peers (`0` = whole population).
         issuers: usize,
     },
+    /// Issue order-preserving range queries (each issuer queries every 1–2
+    /// minutes, like [`Phase::QueryLoad`]) until the boundary.  Range
+    /// bounds are drawn from the control RNG: a uniform start with a
+    /// keyspace-fraction width of `width`.
+    RangeLoad {
+        /// The index the range queries run against.
+        index: IndexId,
+        /// End of the range-load window, in minutes.
+        until_min: u64,
+        /// Notional number of issuing peers (`0` = whole population).
+        issuers: usize,
+        /// Width of each range as a fraction of the keyspace, in `(0, 1]`.
+        width: f64,
+    },
     /// Random churn: every peer independently leaves and returns, with the
     /// schedule drawn from the control RNG; optionally with concurrent
     /// query load (the Section-5.1 churn phase).
@@ -156,6 +170,11 @@ pub enum Phase {
     Drain,
 }
 
+/// Keyspace fraction each range query of a timeline-derived range window
+/// spans ([`Scenario::from_timeline`] and the cluster worker use the same
+/// width, so single-process and sharded range loads are comparable).
+pub const RANGE_LOAD_WIDTH: f64 = 0.15;
+
 /// An ordered program of [`Phase`]s plus the seed its event schedules and
 /// query workload derive from.
 #[derive(Clone, Debug, PartialEq)]
@@ -184,11 +203,24 @@ impl Scenario {
     /// config with the same `seed`, this reproduces the historical direct
     /// driver bit for bit (pinned by the `timeline_parity` test).
     pub fn from_timeline(seed: u64, timeline: &Timeline) -> Scenario {
-        Scenario::builder(seed)
+        let mut builder = Scenario::builder(seed)
             .join_wave(timeline.join_end_min, 6)
             .replicate(IndexId::PRIMARY, timeline.replicate_end_min)
             .start_construction(IndexId::PRIMARY)
-            .run_until(timeline.construct_end_min)
+            .run_until(timeline.construct_end_min);
+        // The optional range window sits between construction and the
+        // lookup load; the historical timelines leave it disabled
+        // (`range_end_min: 0`), which keeps this conversion bit-identical
+        // to the old direct driver.
+        if timeline.range_end_min > timeline.construct_end_min {
+            builder = builder.range_load(
+                IndexId::PRIMARY,
+                timeline.range_end_min,
+                0,
+                RANGE_LOAD_WIDTH,
+            );
+        }
+        builder
             .query_load(IndexId::PRIMARY, timeline.query_end_min)
             .churn(
                 timeline.end_min,
@@ -292,6 +324,22 @@ impl ScenarioBuilder {
         })
     }
 
+    /// Appends a [`Phase::RangeLoad`].
+    pub fn range_load(
+        self,
+        index: IndexId,
+        until_min: u64,
+        issuers: usize,
+        width: f64,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::RangeLoad {
+            index,
+            until_min,
+            issuers,
+            width,
+        })
+    }
+
     /// Appends a [`Phase::Churn`].
     pub fn churn(
         self,
@@ -381,6 +429,25 @@ mod tests {
             Phase::Churn { until_min, queries: Some(_), .. } if until_min == timeline.end_min
         ));
         assert!(matches!(scenario.phases[6], Phase::Drain));
+    }
+
+    #[test]
+    fn from_timeline_inserts_the_optional_range_window() {
+        let timeline = Timeline {
+            range_end_min: 70,
+            ..Timeline::default()
+        };
+        let scenario = Scenario::from_timeline(7, &timeline);
+        assert_eq!(scenario.phases.len(), 8);
+        assert!(matches!(
+            scenario.phases[4],
+            Phase::RangeLoad { until_min: 70, issuers: 0, width, .. }
+                if width == RANGE_LOAD_WIDTH
+        ));
+        assert!(matches!(
+            scenario.phases[5],
+            Phase::QueryLoad { until_min, .. } if until_min == timeline.query_end_min
+        ));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use pgrid_core::index::IndexId;
 use pgrid_core::key::Key;
 use pgrid_core::reference::ReferencePartitioning;
 use pgrid_core::routing::PeerId;
-use pgrid_core::search::{lookup, LookupStatus};
+use pgrid_core::search::{lookup, range_query, LookupStatus};
 use pgrid_sim::config::SimConfig;
 use pgrid_sim::construction::{ConstructedOverlay, SimNetwork};
 use rand::rngs::StdRng;
@@ -35,6 +35,8 @@ pub struct SimOverlay {
     rng: StdRng,
     queries_issued: usize,
     queries_succeeded: usize,
+    ranges_issued: usize,
+    ranges_complete: usize,
 }
 
 impl SimOverlay {
@@ -49,6 +51,8 @@ impl SimOverlay {
             rng: StdRng::seed_from_u64(config.seed ^ 0x51A7),
             queries_issued: 0,
             queries_succeeded: 0,
+            ranges_issued: 0,
+            ranges_complete: 0,
         }
     }
 
@@ -172,6 +176,34 @@ impl Overlay for SimOverlay {
         }
     }
 
+    fn issue_range_query(&mut self, index: IndexId, lo: Key, hi: Key) {
+        assert!(
+            index.is_primary(),
+            "the simulator hosts only the primary index"
+        );
+        let online: Vec<usize> = self
+            .network
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.online)
+            .map(|(i, _)| i)
+            .collect();
+        if online.is_empty() {
+            return;
+        }
+        let origin = PeerId(online[self.rng.gen_range(0..online.len())] as u64);
+        self.ranges_issued += 1;
+        if lo > hi {
+            self.ranges_complete += 1;
+            return;
+        }
+        let result = range_query(&self.network, origin, lo, hi, &mut self.rng);
+        if result.complete {
+            self.ranges_complete += 1;
+        }
+    }
+
     fn query_keys(&self, index: IndexId) -> Vec<Key> {
         assert!(
             index.is_primary(),
@@ -219,6 +251,11 @@ impl Overlay for SimOverlay {
                 mean_replication,
                 queries_issued: self.queries_issued,
                 queries_succeeded: self.queries_succeeded,
+                ranges_issued: self.ranges_issued,
+                ranges_complete: self.ranges_complete,
+                latency_p50_ms: None,
+                latency_p99_ms: None,
+                latency_p999_ms: None,
             }],
         }
     }

@@ -112,6 +112,54 @@ fn churn_heavy_construction_on_tcp() {
     );
 }
 
+/// Mixed lookup + range load after construction: every issued range must
+/// resolve with full interval coverage of its `[lo, hi]` bounds.
+fn range_load_scenario(seed: u64) -> Scenario {
+    Scenario::builder(seed)
+        .join_wave(3, 6)
+        .replicate(IndexId::PRIMARY, 5)
+        .start_construction(IndexId::PRIMARY)
+        .run_until(22)
+        .snapshot("constructed")
+        .query_load(IndexId::PRIMARY, 24)
+        .range_load(IndexId::PRIMARY, 26, 8, 0.2)
+        .drain()
+        .build()
+}
+
+fn assert_range_load(report: &ScenarioReport) {
+    let fin = report.final_snapshot().index(IndexId::PRIMARY).unwrap();
+    assert!(fin.queries_issued > 0);
+    assert!(fin.ranges_issued > 0, "range phase issued nothing");
+    assert_eq!(
+        fin.ranges_complete, fin.ranges_issued,
+        "{}/{} ranges resolved with complete coverage",
+        fin.ranges_complete, fin.ranges_issued
+    );
+}
+
+#[test]
+fn range_load_completes_on_loopback() {
+    let config = config(48, 73);
+    let mut overlay = Runtime::new(config.clone());
+    let report = pgrid_scenario::run(&mut overlay, &range_load_scenario(config.seed));
+    assert_range_load(&report);
+    let fin = report.final_snapshot().index(IndexId::PRIMARY).unwrap();
+    assert!(
+        fin.latency_p50_ms.is_some() && fin.latency_p999_ms.is_some(),
+        "query load must fill the latency histogram"
+    );
+}
+
+#[test]
+fn range_load_completes_on_tcp() {
+    let config = config(16, 73);
+    let mut overlay =
+        Runtime::with_transport(config.clone(), TcpTransport::new()).expect("register");
+    let report = pgrid_scenario::run(&mut overlay, &range_load_scenario(config.seed));
+    assert_range_load(&report);
+}
+
 /// Two indexes over one peer population: uniform keys on the primary,
 /// Pareto keys on the secondary.
 fn multi_index_scenario(seed: u64) -> Scenario {

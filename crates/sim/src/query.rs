@@ -5,13 +5,22 @@
 //! under churn), and range-query behaviour.
 
 use crate::construction::ConstructedOverlay;
+use pgrid_core::histogram::LogHistogram;
 use pgrid_core::routing::PeerId;
 use pgrid_core::search::{lookup, range_query, LookupStatus};
 use pgrid_workload::queries::Query;
 use rand::Rng;
 
+/// Default capacity of the per-query hop sample ring of [`QueryStats`].
+pub const DEFAULT_HOP_SAMPLE_CAP: usize = 256;
+
 /// Aggregated statistics of a query batch.
-#[derive(Clone, Debug, Default)]
+///
+/// Hop distributions are kept in a fixed-memory [`LogHistogram`] plus a
+/// capped ring of recent raw samples, so arbitrarily large batches cannot
+/// grow the stats without bound (the same discipline `pgrid_net` applies to
+/// its latency accounting).
+#[derive(Clone, Debug)]
 pub struct QueryStats {
     /// Queries issued.
     pub issued: usize,
@@ -22,8 +31,27 @@ pub struct QueryStats {
     pub total_hops: usize,
     /// Maximum hops of any single query.
     pub max_hops: usize,
-    /// Hops of each query (for latency distributions).
-    pub hops: Vec<usize>,
+    /// Hop distribution over all queries.
+    pub hops: LogHistogram,
+    /// The most recent queries' hop counts, capped at
+    /// [`QueryStats::sample_cap`].
+    pub hop_samples: std::collections::VecDeque<usize>,
+    /// Capacity of the sample ring (`0` disables it).
+    pub sample_cap: usize,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats {
+            issued: 0,
+            successful: 0,
+            total_hops: 0,
+            max_hops: 0,
+            hops: LogHistogram::new(),
+            hop_samples: std::collections::VecDeque::new(),
+            sample_cap: DEFAULT_HOP_SAMPLE_CAP,
+        }
+    }
 }
 
 impl QueryStats {
@@ -41,6 +69,18 @@ impl QueryStats {
             return 0.0;
         }
         self.total_hops as f64 / self.issued as f64
+    }
+
+    fn record_hops(&mut self, hops: usize) {
+        self.total_hops += hops;
+        self.max_hops = self.max_hops.max(hops);
+        self.hops.record(hops as u64);
+        if self.sample_cap > 0 {
+            if self.hop_samples.len() == self.sample_cap {
+                self.hop_samples.pop_front();
+            }
+            self.hop_samples.push_back(hops);
+        }
     }
 }
 
@@ -70,18 +110,14 @@ pub fn run_queries<R: Rng + ?Sized>(
         match query {
             Query::Lookup(key) => {
                 let res = lookup(overlay, start, *key, rng);
-                stats.total_hops += res.hops;
-                stats.max_hops = stats.max_hops.max(res.hops);
-                stats.hops.push(res.hops);
+                stats.record_hops(res.hops);
                 if matches!(res.status, LookupStatus::Found { .. }) {
                     stats.successful += 1;
                 }
             }
             Query::Range(lo, hi) => {
                 let res = range_query(overlay, start, *lo, *hi, rng);
-                stats.total_hops += res.hops;
-                stats.max_hops = stats.max_hops.max(res.hops);
-                stats.hops.push(res.hops);
+                stats.record_hops(res.hops);
                 if res.complete {
                     stats.successful += 1;
                 }
@@ -203,6 +239,109 @@ mod tests {
         let stats = run_queries(&overlay, &queries, &mut rng);
         assert_eq!(stats.issued, 1);
         assert!(stats.successful == 1, "range query should complete");
+    }
+
+    #[test]
+    fn hop_accounting_is_bounded() {
+        let overlay = overlay();
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<_> = overlay.original_entries.iter().map(|e| e.key).collect();
+        let queries = generate_queries(
+            &QueryWorkloadConfig {
+                count: DEFAULT_HOP_SAMPLE_CAP + 100,
+                range_fraction: 0.0,
+                existing_fraction: 1.0,
+                ..QueryWorkloadConfig::default()
+            },
+            &keys,
+            &mut rng,
+        );
+        let stats = run_queries(&overlay, &queries, &mut rng);
+        assert_eq!(stats.issued, DEFAULT_HOP_SAMPLE_CAP + 100);
+        // The histogram sees every query; the raw ring stays capped.
+        assert_eq!(stats.hops.total() as usize, stats.issued);
+        assert_eq!(stats.hop_samples.len(), DEFAULT_HOP_SAMPLE_CAP);
+        assert_eq!(stats.hops.sum() as usize, stats.total_hops);
+        assert_eq!(stats.hops.max() as usize, stats.max_hops);
+    }
+
+    mod range_parity {
+        use super::*;
+        use pgrid_core::key::Key;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// One shared overlay for all proptest cases (construction is the
+        /// expensive part; the properties only read it).
+        fn shared_overlay() -> &'static ConstructedOverlay {
+            static OVERLAY: OnceLock<ConstructedOverlay> = OnceLock::new();
+            OVERLAY.get_or_init(|| {
+                construct(&SimConfig {
+                    n_peers: 128,
+                    seed: 11,
+                    ..SimConfig::default()
+                })
+            })
+        }
+
+        /// The corpus keys in `[lo, hi]` that *every* online covering
+        /// replica stores.  On an emergent overlay replicas may diverge, so
+        /// this — not the full corpus slice — is the provable completeness
+        /// bound of a single-replica-per-partition range walk.
+        fn certainly_stored(overlay: &ConstructedOverlay, lo: Key, hi: Key) -> Vec<Key> {
+            overlay
+                .original_entries
+                .iter()
+                .map(|e| e.key)
+                .filter(|&k| lo <= k && k <= hi)
+                .filter(|&k| {
+                    overlay
+                        .peers
+                        .iter()
+                        .filter(|p| p.online && p.path.covers(k))
+                        .all(|p| p.store.contains_key(k))
+                })
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            // Parity against brute force on the emergent overlay: sound
+            // (nothing outside the corpus slice) and complete up to the
+            // certainty bound (every key all covering replicas hold).
+            #[test]
+            fn prop_sim_range_matches_brute_force(
+                a in 0.0f64..1.0,
+                b in 0.0f64..1.0,
+                start in 0usize..128,
+                rng_seed in any::<u64>(),
+            ) {
+                let overlay = shared_overlay();
+                let (lo, hi) = (
+                    Key::from_fraction(a.min(b)),
+                    Key::from_fraction(a.max(b)),
+                );
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                let res = range_query(overlay, PeerId(start as u64), lo, hi, &mut rng);
+                prop_assert!(res.complete, "healthy overlay walk must complete");
+                // Soundness: every returned entry is a corpus entry inside
+                // the requested bounds, in key order without duplicates.
+                let corpus: std::collections::BTreeSet<_> =
+                    overlay.original_entries.iter().copied().collect();
+                for entry in &res.entries {
+                    prop_assert!(lo <= entry.key && entry.key <= hi);
+                    prop_assert!(corpus.contains(entry), "unknown entry {entry:?}");
+                }
+                prop_assert!(res.entries.windows(2).all(|w| w[0] < w[1]));
+                // Completeness: certainly-stored keys must all be returned.
+                let got: std::collections::BTreeSet<Key> =
+                    res.entries.iter().map(|e| e.key).collect();
+                for key in certainly_stored(overlay, lo, hi) {
+                    prop_assert!(got.contains(&key), "missing certain key {key:?}");
+                }
+            }
+        }
     }
 
     #[test]

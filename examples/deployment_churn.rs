@@ -25,6 +25,7 @@ fn main() {
                 join_end_min: 3,
                 replicate_end_min: 5,
                 construct_end_min: 18,
+                range_end_min: 0,
                 query_end_min: 22,
                 end_min: 25,
             },

@@ -61,6 +61,35 @@ fn deployment_keeps_replication_and_hops_in_the_papers_ballpark() {
 }
 
 #[test]
+fn deployment_range_window_resolves_every_range() {
+    // A timeline with the optional range window enabled: every range query
+    // issued between construction and the lookup load must resolve with
+    // full interval coverage (stalled walks are retried by the origin).
+    let report = run_deployment(
+        &NetConfig {
+            n_peers: 48,
+            seed: 23,
+            ..NetConfig::default()
+        },
+        &Timeline {
+            join_end_min: 5,
+            replicate_end_min: 8,
+            construct_end_min: 25,
+            range_end_min: 28,
+            query_end_min: 32,
+            end_min: 36,
+        },
+    );
+    assert!(report.ranges_issued > 0, "range window issued nothing");
+    assert_eq!(
+        report.ranges_complete, report.ranges_issued,
+        "{}/{} ranges complete",
+        report.ranges_complete, report.ranges_issued
+    );
+    assert!(report.query_success_rate > 0.8);
+}
+
+#[test]
 fn construction_survives_heavy_message_loss() {
     let report = run_deployment(
         &NetConfig {

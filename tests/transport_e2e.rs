@@ -27,6 +27,7 @@ fn short_timeline() -> Timeline {
         join_end_min: 5,
         replicate_end_min: 8,
         construct_end_min: 28,
+        range_end_min: 0,
         query_end_min: 34,
         end_min: 38,
     }
