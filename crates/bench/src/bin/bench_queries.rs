@@ -274,6 +274,31 @@ fn main() {
     let (warm, _) = run_lookup_load(&mut warm_rt, "warm", total, batch);
     print_window(&warm);
 
+    // Traced: the cold configuration again, but with structured tracing
+    // on — every lookup allocates a trace ID, rides a `Traced` envelope
+    // and records its hop chain.  The delta against `cold` is the price
+    // of *enabled* tracing; `cold` itself runs with the tracer compiled
+    // in but off, so its floor assertion below is the
+    // tracing-disabled-overhead gate.
+    let mut traced_rt = build_runtime(n_peers, false);
+    traced_rt.enable_tracing();
+    let (traced, _) = run_lookup_load(&mut traced_rt, "traced", total, batch);
+    print_window(&traced);
+    let trace_events = traced_rt.tracer.drain().len();
+    assert!(
+        trace_events > 0,
+        "the traced window recorded no trace events"
+    );
+    let tracing_overhead = cold.lookups_per_min / traced.lookups_per_min - 1.0;
+    println!(
+        "tracing overhead: {:.0} -> {:.0} lookups/min ({:+.1}% when enabled, {} events)",
+        cold.lookups_per_min,
+        traced.lookups_per_min,
+        tracing_overhead * 100.0,
+        trace_events
+    );
+    drop(traced_rt);
+
     // Shift: skewed key wave + live re-balance on the warm overlay.
     let shift_total = if quick { total / 4 } else { total / 2 };
     let (shift, reconverge_min) = run_shift_segment(&mut warm_rt, shift_total.max(1_000), batch);
@@ -291,6 +316,15 @@ fn main() {
     );
 
     // -- Hard gates: a snapshot is only written if every claim holds. ----
+    // Tracing-disabled overhead: the instrumented-but-off data plane must
+    // stay within noise of the pre-instrumentation baseline, i.e. still
+    // clear the same 1M/min production floor the PR-6 runner pinned.
+    assert!(
+        cold.lookups_per_min >= FLOOR_PER_MIN,
+        "tracing-disabled run fell below the pre-instrumentation floor: \
+         {:.0} < {FLOOR_PER_MIN:.0} lookups/min",
+        cold.lookups_per_min
+    );
     for w in [&cold, &warm] {
         assert!(
             w.answered * 100 >= w.issued * 95,
@@ -349,10 +383,13 @@ fn main() {
     ));
     json.push_str(&format!("  \"route_cache_speedup\": {cache_speedup:.3},\n"));
     json.push_str(&format!(
+        "  \"tracing_enabled_overhead\": {tracing_overhead:.3},\n"
+    ));
+    json.push_str(&format!(
         "  \"shift_reconverge_virtual_min\": {reconverge_min:.2},\n"
     ));
     json.push_str("  \"windows\": [\n");
-    let windows = [&cold, &warm, &shift];
+    let windows = [&cold, &warm, &traced, &shift];
     for (at, w) in windows.iter().enumerate() {
         json.push_str(&format!(
             "    {}{}\n",

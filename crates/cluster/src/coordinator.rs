@@ -11,12 +11,18 @@ use crate::plan::shard_assignment;
 use crate::proto::{ClusterMsg, ControlChannel, ShardReport, PHASE_DONE, PHASE_WIRED};
 use pgrid_net::experiment::{assemble_report, DeploymentReport, ReportInputs, Timeline};
 use pgrid_net::runtime::{generate_peers, BandwidthSample, NetConfig};
+use pgrid_obs::recorder::FlightRecorder;
+use pgrid_obs::registry::MetricsRegistry;
+use pgrid_obs::scrape::{http_get, ScrapeState};
+use pgrid_obs::trace::{assemble, TraceEvent};
 use pgrid_transport::TransportStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::io::{Error, ErrorKind, Result};
-use std::net::TcpListener;
+use std::io::{Error, ErrorKind, Result, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long the coordinator waits for all workers to connect.
@@ -36,6 +42,38 @@ pub struct ClusterConfig {
     pub timeline: Timeline,
 }
 
+/// Observability options of a coordinator run.
+#[derive(Clone, Debug, Default)]
+pub struct ObsOptions {
+    /// Enable structured tracing on every worker; the coordinator merges
+    /// the shipped batches into cluster-wide hop chains.
+    pub tracing: bool,
+    /// A caller-owned scrape state the coordinator publishes the merged
+    /// registry and traces into at every phase barrier (the caller binds
+    /// the [`pgrid_obs::scrape::ScrapeServer`] itself, so it knows the
+    /// address up front).
+    pub scrape: Option<Arc<ScrapeState>>,
+    /// Where the merged trace is written as JSONL when the run finishes.
+    pub trace_out: Option<PathBuf>,
+    /// Where the coordinator's flight recorder dumps when a worker fails.
+    pub flight_dump: Option<PathBuf>,
+    /// Where the merged Prometheus text is flushed at every phase barrier
+    /// (and once more with the final report).
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// What the coordinator observed beyond the deployment report.
+#[derive(Debug, Default)]
+pub struct ObsReport {
+    /// The merged registry at the end of the run (worker series labelled
+    /// `worker="<index>"`).
+    pub registry: MetricsRegistry,
+    /// Every trace event shipped by any worker, in arrival order.
+    pub trace_events: Vec<TraceEvent>,
+    /// Scrape endpoint of each worker, in shard order (when serving).
+    pub worker_metrics_addrs: Vec<Option<SocketAddr>>,
+}
+
 fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
     Error::new(
         ErrorKind::InvalidData,
@@ -43,14 +81,153 @@ fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
     )
 }
 
+/// Coordinator-side observability merge state, rebuilt into one registry
+/// at each phase barrier.
+struct ObsMerge {
+    /// Latest registry snapshot streamed by each worker.
+    worker_regs: Vec<Option<MetricsRegistry>>,
+    /// Successful mid-run `/metrics` probes of each worker so far.
+    scrape_ok: Vec<u64>,
+    /// Body size of each worker's most recent successful probe.
+    scrape_bytes: Vec<u64>,
+    /// Merged publications performed (one per barrier plus the final one).
+    flushes: u64,
+    /// Trace events already pushed to the scrape state.
+    published_events: usize,
+}
+
+impl ObsMerge {
+    fn new(n_workers: usize) -> ObsMerge {
+        ObsMerge {
+            worker_regs: vec![None; n_workers],
+            scrape_ok: vec![0; n_workers],
+            scrape_bytes: vec![0; n_workers],
+            flushes: 0,
+            published_events: 0,
+        }
+    }
+
+    /// Probes every announced worker scrape endpoint over real HTTP,
+    /// rebuilds the cluster-wide registry (worker series labelled
+    /// `worker="<index>"`), publishes it to the scrape state and the
+    /// per-barrier metrics file, and returns it.
+    fn barrier_publish(
+        &mut self,
+        phase: u8,
+        cluster: &ClusterConfig,
+        obs: &ObsOptions,
+        observed: &ObsReport,
+    ) -> MetricsRegistry {
+        for (index, addr) in observed.worker_metrics_addrs.iter().enumerate() {
+            let Some(addr) = addr else { continue };
+            if let Ok(body) = http_get(*addr, "/metrics") {
+                self.scrape_ok[index] += 1;
+                self.scrape_bytes[index] = body.len() as u64;
+            }
+        }
+        self.flushes += 1;
+        let mut merged = MetricsRegistry::new();
+        merged.gauge(
+            "pgrid_cluster_workers",
+            "Number of worker processes in the cluster.",
+            &[],
+            cluster.n_workers as f64,
+        );
+        merged.gauge(
+            "pgrid_cluster_phase",
+            "Latest phase barrier the whole cluster reached.",
+            &[],
+            phase as f64,
+        );
+        merged.counter(
+            "pgrid_cluster_metrics_flushes_total",
+            "Merged metrics publications (one per phase barrier).",
+            &[],
+            self.flushes,
+        );
+        for (index, registry) in self.worker_regs.iter().enumerate() {
+            let worker = index.to_string();
+            if let Some(registry) = registry {
+                merged.absorb(registry, Some(("worker", &worker)));
+            }
+            if let Some(Some(addr)) = observed.worker_metrics_addrs.get(index) {
+                merged.gauge(
+                    "pgrid_cluster_worker_metrics_port",
+                    "Bound /metrics port of a worker scrape endpoint.",
+                    &[("worker", &worker)],
+                    addr.port() as f64,
+                );
+                merged.counter(
+                    "pgrid_cluster_worker_scrape_ok_total",
+                    "Successful mid-run HTTP scrapes of a worker's /metrics.",
+                    &[("worker", &worker)],
+                    self.scrape_ok[index],
+                );
+                merged.gauge(
+                    "pgrid_cluster_worker_scrape_bytes",
+                    "Body size of the latest successful worker scrape.",
+                    &[("worker", &worker)],
+                    self.scrape_bytes[index] as f64,
+                );
+            }
+        }
+        let text = merged.encode();
+        if let Some(state) = &obs.scrape {
+            state.publish_metrics(text.clone());
+            if observed.trace_events.len() > self.published_events {
+                state.publish_trace_events(&observed.trace_events[self.published_events..]);
+                self.published_events = observed.trace_events.len();
+            }
+        }
+        if let Some(path) = &obs.metrics_out {
+            let _ = std::fs::write(path, &text);
+        }
+        merged
+    }
+}
+
 /// Accepts `cluster.n_workers` workers on `listener`, runs the rendezvous
 /// and the barrier protocol to completion, and returns the merged report.
 pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result<DeploymentReport> {
+    run_coordinator_observed(listener, cluster, &ObsOptions::default()).map(|(report, _)| report)
+}
+
+/// [`run_coordinator`] with observability: merged metrics/trace publishing
+/// at every barrier, worker `/metrics` probing, and a flight-recorder dump
+/// when a worker fails mid-run.
+pub fn run_coordinator_observed(
+    listener: TcpListener,
+    cluster: &ClusterConfig,
+    obs: &ObsOptions,
+) -> Result<(DeploymentReport, ObsReport)> {
+    let mut recorder = FlightRecorder::default();
+    let mut observed = ObsReport::default();
+    match coordinate(listener, cluster, obs, &mut recorder, &mut observed) {
+        Ok(report) => Ok((report, observed)),
+        Err(e) => {
+            recorder.note(0, "worker_failure", e.to_string());
+            if let Some(path) = &obs.flight_dump {
+                let _ = recorder.dump_to(path, "worker failure");
+            }
+            pgrid_obs::error!("cluster::coordinator", "cluster run failed: {e}");
+            Err(e)
+        }
+    }
+}
+
+fn coordinate(
+    listener: TcpListener,
+    cluster: &ClusterConfig,
+    obs: &ObsOptions,
+    recorder: &mut FlightRecorder,
+    observed: &mut ObsReport,
+) -> Result<DeploymentReport> {
     assert!(
         cluster.n_workers >= 1,
         "a cluster needs at least one worker"
     );
     let shards = shard_assignment(cluster.net.n_peers, cluster.n_workers);
+    let mut merge = ObsMerge::new(cluster.n_workers);
 
     // --- accept and assign --------------------------------------------------
     listener.set_nonblocking(true)?;
@@ -75,6 +252,16 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
             Err(e) => return Err(e),
         }
     }
+    recorder.note(
+        0,
+        "accepted",
+        format!("{} workers connected", workers.len()),
+    );
+    pgrid_obs::info!(
+        "cluster::coordinator",
+        "{} workers connected, assigning shards",
+        workers.len()
+    );
     for (index, worker) in workers.iter_mut().enumerate() {
         let (start, len) = shards[index];
         worker.send(&ClusterMsg::Welcome {
@@ -84,6 +271,7 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
             shard_len: len as u64,
             config: cluster.net.clone(),
             timeline: cluster.timeline,
+            tracing: obs.tracing,
         })?;
     }
 
@@ -94,10 +282,17 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
         let ClusterMsg::Hello {
             shard_start,
             peer_addrs,
+            metrics_addr,
         } = hello
         else {
             return Err(protocol_error("Hello", &hello));
         };
+        observed.worker_metrics_addrs.push(metrics_addr);
+        recorder.note(
+            0,
+            "hello",
+            format!("worker={index} shard={shard_start} metrics={metrics_addr:?}"),
+        );
         let (start, len) = shards[index];
         if shard_start as usize != start || peer_addrs.len() != len {
             return Err(Error::new(
@@ -131,6 +326,13 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
             loop {
                 match worker.recv_timeout(PHASE_TIMEOUT)? {
                     ClusterMsg::Minutes { samples } => merge_minutes(samples),
+                    ClusterMsg::TraceBatch { events } => observed.trace_events.extend(events),
+                    ClusterMsg::MetricsSnapshot { registry } => {
+                        merge.worker_regs[index] = Some(
+                            MetricsRegistry::decode_wire(&registry)
+                                .map_err(|e| Error::new(ErrorKind::InvalidData, e))?,
+                        );
+                    }
                     ClusterMsg::PhaseDone { phase: p } if p == phase => break,
                     other => {
                         return Err(Error::new(
@@ -141,6 +343,11 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
                 }
             }
         }
+        // Every worker reached the barrier: refresh the merged live view
+        // before releasing them into the next phase.
+        merge.barrier_publish(phase, cluster, obs, observed);
+        recorder.note(0, "barrier", format!("phase={phase} released"));
+        pgrid_obs::debug!("cluster::coordinator", "phase {phase} barrier released");
         for worker in &mut workers {
             worker.send(&ClusterMsg::Proceed { phase })?;
         }
@@ -150,6 +357,13 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
         loop {
             match worker.recv_timeout(PHASE_TIMEOUT)? {
                 ClusterMsg::Minutes { samples } => merge_minutes(samples),
+                ClusterMsg::TraceBatch { events } => observed.trace_events.extend(events),
+                ClusterMsg::MetricsSnapshot { registry } => {
+                    merge.worker_regs[index] = Some(
+                        MetricsRegistry::decode_wire(&registry)
+                            .map_err(|e| Error::new(ErrorKind::InvalidData, e))?,
+                    );
+                }
                 ClusterMsg::Report(report) => {
                     reports.push(report);
                     break;
@@ -164,6 +378,21 @@ pub fn run_coordinator(listener: TcpListener, cluster: &ClusterConfig) -> Result
         }
     }
 
+    observed.registry = merge.barrier_publish(PHASE_DONE, cluster, obs, observed);
+    if let Some(path) = &obs.trace_out {
+        let mut file = std::fs::File::create(path)?;
+        for chain in assemble(&observed.trace_events).values() {
+            for event in chain {
+                writeln!(file, "{}", event.to_json())?;
+            }
+        }
+        pgrid_obs::info!(
+            "cluster::coordinator",
+            "merged trace ({} events) written to {}",
+            observed.trace_events.len(),
+            path.display()
+        );
+    }
     Ok(merge_reports(cluster, &shards, bandwidth, reports))
 }
 

@@ -35,9 +35,11 @@ pub mod worker;
 
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
-    pub use crate::coordinator::{run_coordinator, ClusterConfig};
-    pub use crate::local::{run_local, LocalOptions};
+    pub use crate::coordinator::{
+        run_coordinator, run_coordinator_observed, ClusterConfig, ObsOptions, ObsReport,
+    };
+    pub use crate::local::{run_local, run_local_observed, LocalOptions};
     pub use crate::plan::{churn_plan, join_plan, shard_assignment};
     pub use crate::proto::{ClusterMsg, ControlChannel, ShardReport};
-    pub use crate::worker::{run_worker, worker_scenario, ShardOverlay};
+    pub use crate::worker::{run_worker, worker_scenario, ShardOverlay, WorkerOptions};
 }

@@ -7,7 +7,7 @@
 //! worker binary pointed at it, and runs the rendezvous exactly as it would
 //! for workers started by hand on other machines.
 
-use crate::coordinator::{run_coordinator, ClusterConfig};
+use crate::coordinator::{run_coordinator_observed, ClusterConfig, ObsOptions, ObsReport};
 use pgrid_net::experiment::{DeploymentReport, Timeline};
 use pgrid_net::runtime::NetConfig;
 use std::io::{Error, Result};
@@ -27,6 +27,15 @@ pub struct LocalOptions {
     /// Whether worker stderr is passed through (stdout is always null —
     /// workers print nothing on success).
     pub inherit_stderr: bool,
+    /// Coordinator-side observability (tracing, merged scrape state,
+    /// trace/metrics files, flight dump).
+    pub obs: ObsOptions,
+    /// Spawn every worker with `--metrics-addr 127.0.0.1:0`, so each one
+    /// serves a live `/metrics` endpoint the coordinator probes mid-run.
+    pub worker_metrics: bool,
+    /// Directory the workers write their flight-recorder dumps into
+    /// (`worker-<index>.jsonl`).
+    pub worker_flight_dir: Option<PathBuf>,
 }
 
 impl Default for LocalOptions {
@@ -35,6 +44,9 @@ impl Default for LocalOptions {
             workers: 2,
             worker_exe: None,
             inherit_stderr: true,
+            obs: ObsOptions::default(),
+            worker_metrics: false,
+            worker_flight_dir: None,
         }
     }
 }
@@ -62,6 +74,17 @@ pub fn run_local(
     timeline: &Timeline,
     options: &LocalOptions,
 ) -> Result<DeploymentReport> {
+    run_local_observed(config, timeline, options).map(|(report, _)| report)
+}
+
+/// [`run_local`] returning the coordinator's observability report (merged
+/// registry, trace events, worker scrape endpoints) alongside the
+/// deployment report.
+pub fn run_local_observed(
+    config: &NetConfig,
+    timeline: &Timeline,
+    options: &LocalOptions,
+) -> Result<(DeploymentReport, ObsReport)> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let exe = match &options.worker_exe {
@@ -72,11 +95,18 @@ pub fn run_local(
     let mut reaper = Reaper {
         children: Vec::with_capacity(options.workers),
     };
-    for _ in 0..options.workers {
-        let child = Command::new(&exe)
-            .arg("worker")
-            .arg("--connect")
-            .arg(addr.to_string())
+    for index in 0..options.workers {
+        let mut command = Command::new(&exe);
+        command.arg("worker").arg("--connect").arg(addr.to_string());
+        if options.worker_metrics {
+            command.arg("--metrics-addr").arg("127.0.0.1:0");
+        }
+        if let Some(dir) = &options.worker_flight_dir {
+            command
+                .arg("--flight-dump")
+                .arg(dir.join(format!("worker-{index}.jsonl")));
+        }
+        let child = command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(if options.inherit_stderr {
@@ -93,7 +123,7 @@ pub fn run_local(
         net: config.clone(),
         timeline: *timeline,
     };
-    let report = run_coordinator(listener, &cluster)?;
+    let (report, observed) = run_coordinator_observed(listener, &cluster, &options.obs)?;
 
     // A clean run means every worker exits on its own with status 0.
     let children = std::mem::take(&mut reaper.children);
@@ -104,5 +134,5 @@ pub fn run_local(
             return Err(Error::other(format!("worker process exited with {status}")));
         }
     }
-    Ok(report)
+    Ok((report, observed))
 }

@@ -10,21 +10,45 @@
 //! is what CI exercises; `coordinator`/`worker` are the same roles started
 //! by hand, e.g. on separate machines.  On success the coordinator prints
 //! the merged per-minute series tail and the Section 5.2 summary.
+//!
+//! Observability flags (all optional):
+//!
+//! * `--metrics-addr ADDR` — serve a live `/metrics` + `/trace` HTTP
+//!   endpoint (coordinator: the merged cluster view; worker: its own
+//!   registry, refreshed at every phase barrier);
+//! * `--trace` / `--trace-out PATH` — enable per-query structured tracing
+//!   across all worker processes; `--trace-out` also writes the
+//!   reassembled hop chains as JSONL on exit (and implies `--trace`);
+//! * `--flight-dump PATH` — dump the flight recorder's ring as JSONL on
+//!   panic, query timeout, or coordinator-observed worker failure;
+//! * `--worker-metrics` (local mode) — spawn every worker with an
+//!   ephemeral `--metrics-addr` of its own;
+//! * `--metrics-out PATH` — write the merged Prometheus text dump, now
+//!   re-flushed at every phase barrier rather than only at exit.
+//!
+//! Progress and error reporting goes through the `pgrid-obs` leveled
+//! logger (filter with `PGRID_LOG`, e.g. `PGRID_LOG=debug`); the report
+//! tables on stdout are program output and stay `println!`.
 
-use pgrid_cluster::coordinator::{run_coordinator, ClusterConfig};
-use pgrid_cluster::local::{run_local, LocalOptions};
-use pgrid_cluster::worker::run_worker;
+use pgrid_cluster::coordinator::{run_coordinator_observed, ClusterConfig, ObsOptions};
+use pgrid_cluster::local::{run_local_observed, LocalOptions};
+use pgrid_cluster::worker::{run_worker, WorkerOptions};
 use pgrid_net::experiment::{DeploymentReport, Timeline};
 use pgrid_net::runtime::NetConfig;
+use pgrid_obs::scrape::{ScrapeServer, ScrapeState};
 use pgrid_workload::distributions::Distribution;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke] [--metrics-out PATH]\n\
-         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke] [--metrics-out PATH]\n\
-         \x20      pgrid-cluster worker --connect ADDR"
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke] [OBS]\n\
+         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke] [OBS]\n\
+         \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH]\n\
+         \x20      OBS: [--metrics-out PATH] [--metrics-addr ADDR] [--trace] [--trace-out PATH]\n\
+         \x20           [--flight-dump PATH] [--worker-metrics (local only)]"
     );
     ExitCode::from(2)
 }
@@ -68,22 +92,36 @@ fn run_config(args: &[String]) -> (NetConfig, Timeline) {
     (config, timeline)
 }
 
-/// Writes the merged report's Prometheus text dump when `--metrics-out`
-/// was given.
-fn write_metrics(args: &[String], report: &DeploymentReport) -> bool {
-    let Some(path) = option(args, "--metrics-out") else {
-        return true;
+/// Coordinator-side observability options from the command line.  Binds
+/// the scrape server here (before the blocking run starts) so the
+/// endpoint is live for the whole deployment; the server handle rides
+/// along to keep it alive.
+fn obs_config(args: &[String]) -> std::io::Result<(ObsOptions, Option<ScrapeServer>)> {
+    let trace_out = option(args, "--trace-out").map(PathBuf::from);
+    let mut obs = ObsOptions {
+        tracing: args.iter().any(|a| a == "--trace") || trace_out.is_some(),
+        scrape: None,
+        trace_out,
+        flight_dump: option(args, "--flight-dump").map(PathBuf::from),
+        metrics_out: option(args, "--metrics-out").map(PathBuf::from),
     };
-    match std::fs::write(&path, report.metrics_text()) {
-        Ok(()) => {
-            println!("metrics written to {path}");
-            true
-        }
-        Err(e) => {
-            eprintln!("cannot write metrics to {path}: {e}");
-            false
-        }
+    let mut server = None;
+    if let Some(addr) = option(args, "--metrics-addr") {
+        let state = Arc::new(ScrapeState::default());
+        let bound = ScrapeServer::serve(
+            addr.parse()
+                .map_err(|e| std::io::Error::other(format!("bad --metrics-addr {addr}: {e}")))?,
+            Arc::clone(&state),
+        )?;
+        pgrid_obs::info!(
+            "cluster::main",
+            "coordinator /metrics endpoint on http://{}",
+            bound.addr()
+        );
+        obs.scrape = Some(state);
+        server = Some(bound);
     }
+    Ok((obs, server))
 }
 
 fn print_report(report: &DeploymentReport, workers: usize) {
@@ -127,26 +165,34 @@ fn main() -> ExitCode {
                 .map(|v| v.parse().expect("--workers takes an integer"))
                 .unwrap_or(2);
             let (config, timeline) = run_config(&args);
-            println!(
+            let (obs, _scrape_server) = match obs_config(&args) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    pgrid_obs::error!("cluster::main", "{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            pgrid_obs::info!(
+                "cluster::main",
                 "local cluster: {workers} worker processes hosting {} peers (seed {})",
-                config.n_peers, config.seed
+                config.n_peers,
+                config.seed
             );
             let options = LocalOptions {
                 workers,
                 worker_exe: None,
                 inherit_stderr: true,
+                obs,
+                worker_metrics: args.iter().any(|a| a == "--worker-metrics"),
+                worker_flight_dir: None,
             };
-            match run_local(&config, &timeline, &options) {
-                Ok(report) => {
+            match run_local_observed(&config, &timeline, &options) {
+                Ok((report, _observed)) => {
                     print_report(&report, workers);
-                    if write_metrics(&args, &report) {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::FAILURE
-                    }
+                    ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("local cluster failed: {e}");
+                    pgrid_obs::error!("cluster::main", "local cluster failed: {e}");
                     ExitCode::FAILURE
                 }
             }
@@ -159,33 +205,38 @@ fn main() -> ExitCode {
                 .map(|v| v.parse().expect("--workers takes an integer"))
                 .unwrap_or(2);
             let (config, timeline) = run_config(&args);
-            let listener = match TcpListener::bind(&listen) {
-                Ok(l) => l,
+            let (obs, _scrape_server) = match obs_config(&args) {
+                Ok(pair) => pair,
                 Err(e) => {
-                    eprintln!("cannot listen on {listen}: {e}");
+                    pgrid_obs::error!("cluster::main", "{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            println!(
+            let listener = match TcpListener::bind(&listen) {
+                Ok(l) => l,
+                Err(e) => {
+                    pgrid_obs::error!("cluster::main", "cannot listen on {listen}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            pgrid_obs::info!(
+                "cluster::main",
                 "coordinator on {listen}: waiting for {workers} workers ({} peers, seed {})",
-                config.n_peers, config.seed
+                config.n_peers,
+                config.seed
             );
             let cluster = ClusterConfig {
                 n_workers: workers,
                 net: config,
                 timeline,
             };
-            match run_coordinator(listener, &cluster) {
-                Ok(report) => {
+            match run_coordinator_observed(listener, &cluster, &obs) {
+                Ok((report, _observed)) => {
                     print_report(&report, workers);
-                    if write_metrics(&args, &report) {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::FAILURE
-                    }
+                    ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("coordinator failed: {e}");
+                    pgrid_obs::error!("cluster::main", "coordinator failed: {e}");
                     ExitCode::FAILURE
                 }
             }
@@ -197,14 +248,21 @@ fn main() -> ExitCode {
             let addr = match connect.parse() {
                 Ok(addr) => addr,
                 Err(e) => {
-                    eprintln!("bad --connect address {connect}: {e}");
+                    pgrid_obs::error!("cluster::main", "bad --connect address {connect}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            match run_worker(addr) {
+            let options = WorkerOptions {
+                metrics_addr: option(&args, "--metrics-addr").map(|a| {
+                    a.parse()
+                        .expect("--metrics-addr takes a socket address like 127.0.0.1:0")
+                }),
+                flight_dump: option(&args, "--flight-dump").map(PathBuf::from),
+            };
+            match run_worker(addr, &options) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
-                    eprintln!("worker failed: {e}");
+                    pgrid_obs::error!("cluster::main", "worker failed: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 /// Protocol magic, checked on every message.
 const MAGIC: u16 = 0x5047; // "PG"
 /// Protocol version; bump on any wire-format change.
-const VERSION: u8 = 3;
+const VERSION: u8 = 4;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -96,6 +96,10 @@ pub enum ClusterMsg {
         config: NetConfig,
         /// Phase boundaries of the timeline.
         timeline: Timeline,
+        /// Whether the worker must enable structured tracing (with its
+        /// worker index as the trace-ID base, so merged IDs never
+        /// collide).
+        tracing: bool,
     },
     /// Worker → coordinator: listen addresses of the hosted peers.
     Hello {
@@ -103,6 +107,9 @@ pub enum ClusterMsg {
         shard_start: u64,
         /// `(peer id, socket address)` of every hosted peer.
         peer_addrs: Vec<(u64, SocketAddr)>,
+        /// Address of the worker's `/metrics` scrape endpoint, when one
+        /// is serving.
+        metrics_addr: Option<SocketAddr>,
     },
     /// Coordinator → worker: the address book of the whole cluster.
     AddressBook {
@@ -126,6 +133,21 @@ pub enum ClusterMsg {
         /// `(minute bucket, maintenance bytes, query bytes)` triples.
         samples: Vec<(u64, u64, u64)>,
     },
+    /// Worker → coordinator: trace events drained at a phase barrier.
+    /// Only sent while tracing is enabled; the coordinator merges the
+    /// batches into cluster-wide hop chains.
+    TraceBatch {
+        /// The drained events, in recording order.
+        events: Vec<pgrid_obs::trace::TraceEvent>,
+    },
+    /// Worker → coordinator: the worker's current metrics registry
+    /// (encoded with [`pgrid_obs::registry::MetricsRegistry::encode_wire`]),
+    /// streamed at each phase barrier so the coordinator's merged
+    /// `/metrics` view stays fresh mid-run.
+    MetricsSnapshot {
+        /// The wire-encoded registry snapshot.
+        registry: Vec<u8>,
+    },
     /// Worker → coordinator: the shard's final report.
     Report(ShardReport),
 }
@@ -144,6 +166,7 @@ impl ClusterMsg {
                 shard_len,
                 config,
                 timeline,
+                tracing,
             } => {
                 buf.put_u8(0);
                 buf.put_u32(*worker_index);
@@ -152,14 +175,23 @@ impl ClusterMsg {
                 buf.put_u64(*shard_len);
                 put_config(&mut buf, config);
                 put_timeline(&mut buf, timeline);
+                buf.put_u8(*tracing as u8);
             }
             ClusterMsg::Hello {
                 shard_start,
                 peer_addrs,
+                metrics_addr,
             } => {
                 buf.put_u8(1);
                 buf.put_u64(*shard_start);
                 put_addrs(&mut buf, peer_addrs);
+                match metrics_addr {
+                    Some(addr) => {
+                        buf.put_u8(1);
+                        put_addr(&mut buf, addr);
+                    }
+                    None => buf.put_u8(0),
+                }
             }
             ClusterMsg::AddressBook { peer_addrs } => {
                 buf.put_u8(2);
@@ -181,6 +213,23 @@ impl ClusterMsg {
                     buf.put_u64(*maintenance);
                     buf.put_u64(*query);
                 }
+            }
+            ClusterMsg::TraceBatch { events } => {
+                buf.put_u8(7);
+                buf.put_u32(events.len() as u32);
+                for event in events {
+                    buf.put_u64(event.trace_id);
+                    put_str(&mut buf, event.kind);
+                    buf.put_u64(event.peer);
+                    buf.put_u64(event.virtual_ms);
+                    buf.put_u64(event.wall_micros);
+                    put_str(&mut buf, &event.detail);
+                }
+            }
+            ClusterMsg::MetricsSnapshot { registry } => {
+                buf.put_u8(8);
+                buf.put_u32(registry.len() as u32);
+                buf.put_slice(registry);
             }
             ClusterMsg::Report(report) => {
                 buf.put_u8(6);
@@ -230,10 +279,16 @@ impl ClusterMsg {
                 shard_len: get_u64(&mut data)?,
                 config: get_config(&mut data)?,
                 timeline: get_timeline(&mut data)?,
+                tracing: get_u8(&mut data)? != 0,
             },
             1 => ClusterMsg::Hello {
                 shard_start: get_u64(&mut data)?,
                 peer_addrs: get_addrs(&mut data)?,
+                metrics_addr: match get_u8(&mut data)? {
+                    0 => None,
+                    1 => Some(get_addr(&mut data)?),
+                    _ => return None,
+                },
             },
             2 => ClusterMsg::AddressBook {
                 peer_addrs: get_addrs(&mut data)?,
@@ -258,6 +313,34 @@ impl ClusterMsg {
                     ));
                 }
                 ClusterMsg::Minutes { samples }
+            }
+            7 => {
+                let n = get_u32(&mut data)? as usize;
+                if n > 1 << 20 {
+                    return None;
+                }
+                let mut events = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let trace_id = get_u64(&mut data)?;
+                    let kind = pgrid_obs::trace::intern_kind(&get_string(&mut data)?);
+                    events.push(pgrid_obs::trace::TraceEvent {
+                        trace_id,
+                        kind,
+                        peer: get_u64(&mut data)?,
+                        virtual_ms: get_u64(&mut data)?,
+                        wall_micros: get_u64(&mut data)?,
+                        detail: get_string(&mut data)?,
+                    });
+                }
+                ClusterMsg::TraceBatch { events }
+            }
+            8 => {
+                let len = get_u32(&mut data)? as usize;
+                if len > 1 << 26 || data.remaining() < len {
+                    return None;
+                }
+                let registry = data.split_to(len).as_slice().to_vec();
+                ClusterMsg::MetricsSnapshot { registry }
             }
             6 => {
                 let shard_start = get_u64(&mut data)?;
@@ -522,21 +605,43 @@ fn get_timeline(data: &mut Bytes) -> Option<Timeline> {
     })
 }
 
+fn put_addr(buf: &mut BytesMut, addr: &SocketAddr) {
+    match addr.ip() {
+        IpAddr::V4(ip) => {
+            buf.put_u8(4);
+            buf.put_slice(&ip.octets());
+        }
+        IpAddr::V6(ip) => {
+            buf.put_u8(6);
+            buf.put_slice(&ip.octets());
+        }
+    }
+    buf.put_u16(addr.port());
+}
+
+fn get_addr(data: &mut Bytes) -> Option<SocketAddr> {
+    let ip: IpAddr = match get_u8(data)? {
+        4 => {
+            let mut octets = [0u8; 4];
+            get_bytes(data, &mut octets)?;
+            Ipv4Addr::from(octets).into()
+        }
+        6 => {
+            let mut octets = [0u8; 16];
+            get_bytes(data, &mut octets)?;
+            Ipv6Addr::from(octets).into()
+        }
+        _ => return None,
+    };
+    let port = get_u16(data)?;
+    Some(SocketAddr::new(ip, port))
+}
+
 fn put_addrs(buf: &mut BytesMut, addrs: &[(u64, SocketAddr)]) {
     buf.put_u32(addrs.len() as u32);
     for (peer, addr) in addrs {
         buf.put_u64(*peer);
-        match addr.ip() {
-            IpAddr::V4(ip) => {
-                buf.put_u8(4);
-                buf.put_slice(&ip.octets());
-            }
-            IpAddr::V6(ip) => {
-                buf.put_u8(6);
-                buf.put_slice(&ip.octets());
-            }
-        }
-        buf.put_u16(addr.port());
+        put_addr(buf, addr);
     }
 }
 
@@ -548,23 +653,22 @@ fn get_addrs(data: &mut Bytes) -> Option<Vec<(u64, SocketAddr)>> {
     let mut addrs = Vec::with_capacity(n.min(65536));
     for _ in 0..n {
         let peer = get_u64(data)?;
-        let ip: IpAddr = match get_u8(data)? {
-            4 => {
-                let mut octets = [0u8; 4];
-                get_bytes(data, &mut octets)?;
-                Ipv4Addr::from(octets).into()
-            }
-            6 => {
-                let mut octets = [0u8; 16];
-                get_bytes(data, &mut octets)?;
-                Ipv6Addr::from(octets).into()
-            }
-            _ => return None,
-        };
-        let port = get_u16(data)?;
-        addrs.push((peer, SocketAddr::new(ip, port)));
+        addrs.push((peer, get_addr(data)?));
     }
     Some(addrs)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(data: &mut Bytes) -> Option<String> {
+    let len = get_u32(data)? as usize;
+    if len > 1 << 16 || data.remaining() < len {
+        return None;
+    }
+    String::from_utf8(data.split_to(len).as_slice().to_vec()).ok()
 }
 
 fn put_path(buf: &mut BytesMut, path: &Path) {
@@ -745,6 +849,7 @@ mod tests {
                 ..NetConfig::default()
             },
             timeline: Timeline::default(),
+            tracing: true,
         });
         roundtrip(ClusterMsg::Hello {
             shard_start: 0,
@@ -752,6 +857,12 @@ mod tests {
                 (0, "127.0.0.1:4000".parse().unwrap()),
                 (1, "[::1]:4001".parse().unwrap()),
             ],
+            metrics_addr: Some("127.0.0.1:9100".parse().unwrap()),
+        });
+        roundtrip(ClusterMsg::Hello {
+            shard_start: 16,
+            peer_addrs: vec![(16, "127.0.0.1:4016".parse().unwrap())],
+            metrics_addr: None,
         });
         roundtrip(ClusterMsg::AddressBook {
             peer_addrs: (0..32u64)
@@ -764,6 +875,31 @@ mod tests {
         roundtrip(ClusterMsg::Proceed { phase: PHASE_DONE });
         roundtrip(ClusterMsg::Minutes {
             samples: vec![(0, 1200, 0), (1, 900, 30), (7, 0, 4096)],
+        });
+        roundtrip(ClusterMsg::TraceBatch {
+            events: vec![
+                pgrid_obs::trace::TraceEvent {
+                    trace_id: (1 << 40) | 3,
+                    kind: pgrid_obs::trace::intern_kind("query_issued"),
+                    peer: 17,
+                    virtual_ms: 120_000,
+                    wall_micros: 1_700_000_000_000_000,
+                    detail: "id=3 index=0 key=0.25".to_string(),
+                },
+                pgrid_obs::trace::TraceEvent {
+                    trace_id: (1 << 40) | 3,
+                    kind: pgrid_obs::trace::intern_kind("query_hop"),
+                    peer: 4,
+                    virtual_ms: 120_040,
+                    wall_micros: 1_700_000_000_000_900,
+                    detail: "path=\"01\" cached=false".to_string(),
+                },
+            ],
+        });
+        let mut registry = pgrid_obs::registry::MetricsRegistry::new();
+        registry.counter("pgrid_net_messages_delivered_total", "m", &[], 42);
+        roundtrip(ClusterMsg::MetricsSnapshot {
+            registry: registry.encode_wire(),
         });
         let mut primary = QueryAggregates {
             issued: 120,
@@ -838,6 +974,7 @@ mod tests {
                     ..NetConfig::default()
                 },
                 timeline: Timeline::default(),
+                tracing: false,
             });
         }
     }

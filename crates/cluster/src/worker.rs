@@ -35,6 +35,9 @@ use pgrid_core::key::Key;
 use pgrid_core::routing::PeerId;
 use pgrid_net::experiment::Timeline;
 use pgrid_net::runtime::{Millis, NetConfig, Runtime};
+use pgrid_obs::recorder::{install_panic_dump, shared, SharedRecorder};
+use pgrid_obs::registry::MetricsRegistry;
+use pgrid_obs::scrape::{ScrapeServer, ScrapeState};
 use pgrid_scenario::scenario::CONTROL_SEED_SALT;
 use pgrid_scenario::{Overlay, OverlaySnapshot, Phase, QuerySpec, Scenario, ScenarioHooks};
 use pgrid_transport::tcp::TcpTransport;
@@ -42,6 +45,8 @@ use pgrid_transport::{PeerAddr, Transport};
 use std::collections::BTreeSet;
 use std::io::{Error, ErrorKind, Result};
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a worker waits for handshake messages.
@@ -61,6 +66,98 @@ fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
         ErrorKind::InvalidData,
         format!("expected {what}, got {got:?}"),
     )
+}
+
+/// Largest trace batch shipped in one control frame; bigger drains are
+/// split.
+const TRACE_BATCH_MAX: usize = 4_096;
+
+/// Observability options of one worker process.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerOptions {
+    /// Bind address of the worker's `/metrics`+`/trace` scrape endpoint
+    /// (port 0 picks a free port; the bound address is announced to the
+    /// coordinator in `Hello`).
+    pub metrics_addr: Option<SocketAddr>,
+    /// Where the flight recorder dumps on a panic or a query/range
+    /// timeout.
+    pub flight_dump: Option<PathBuf>,
+}
+
+/// Observability state threaded through the worker's barriers.
+struct WorkerObs {
+    /// The local scrape endpoint, when serving.
+    scrape: Option<(ScrapeServer, Arc<ScrapeState>)>,
+    /// Control-plane flight notes (rendezvous, barriers) shared with the
+    /// panic hook.
+    control: SharedRecorder,
+    worker_index: u32,
+    shard_start: u64,
+    shard_len: u64,
+}
+
+impl WorkerObs {
+    /// Renders the worker's current metrics registry: the runtime's
+    /// network counters, the transport link stats, and the shard
+    /// assignment.
+    fn registry(&self, runtime: &Runtime<TcpTransport>) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        runtime.metrics.to_registry(&mut registry);
+        runtime.transport_stats().to_registry(&mut registry);
+        registry.gauge(
+            "pgrid_cluster_shard_start",
+            "First peer id hosted by this worker.",
+            &[],
+            self.shard_start as f64,
+        );
+        registry.gauge(
+            "pgrid_cluster_shard_len",
+            "Number of peers hosted by this worker.",
+            &[],
+            self.shard_len as f64,
+        );
+        registry.gauge(
+            "pgrid_cluster_worker_index",
+            "Index of this worker in the cluster.",
+            &[],
+            self.worker_index as f64,
+        );
+        registry
+    }
+
+    /// Publishes the current registry and any freshly drained trace
+    /// events locally, and streams both to the coordinator.
+    fn publish(
+        &mut self,
+        ctl: &mut ControlChannel,
+        runtime: &mut Runtime<TcpTransport>,
+        phase: u8,
+    ) -> Result<()> {
+        let registry = self.registry(runtime);
+        if let Some((_, state)) = &self.scrape {
+            state.publish_metrics(registry.encode());
+        }
+        ctl.send(&ClusterMsg::MetricsSnapshot {
+            registry: registry.encode_wire(),
+        })?;
+        let events = runtime.tracer.drain();
+        if !events.is_empty() {
+            if let Some((_, state)) = &self.scrape {
+                state.publish_trace_events(&events);
+            }
+            for chunk in events.chunks(TRACE_BATCH_MAX) {
+                ctl.send(&ClusterMsg::TraceBatch {
+                    events: chunk.to_vec(),
+                })?;
+            }
+        }
+        self.control.lock().unwrap().note(
+            runtime.now(),
+            "barrier",
+            format!("phase={phase} worker={}", self.worker_index),
+        );
+        Ok(())
+    }
 }
 
 /// The worker's shard wrapped as a scenario overlay: every operation
@@ -157,6 +254,7 @@ impl Overlay for ShardOverlay {
 struct BarrierHooks<'a> {
     ctl: &'a mut ControlChannel,
     streamed: &'a mut BTreeSet<u64>,
+    obs: &'a mut WorkerObs,
     /// The barrier each phase index parks at, precomputed by
     /// [`barrier_plan`] so a barrier class spanning several phases (range
     /// load followed by lookup load) reports exactly once.
@@ -204,14 +302,20 @@ impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
         let Some(barrier_phase) = self.plan.get(phase_index).copied().flatten() else {
             return Ok(());
         };
-        barrier(self.ctl, &mut overlay.runtime, barrier_phase, self.streamed)
+        barrier(
+            self.ctl,
+            &mut overlay.runtime,
+            barrier_phase,
+            self.streamed,
+            self.obs,
+        )
     }
 }
 
 /// Connects to the coordinator at `coordinator` and runs one worker to
 /// completion: rendezvous, the full sharded timeline, and the final shard
 /// report.
-pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
+pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()> {
     let stream = TcpStream::connect(coordinator)?;
     let mut ctl = ControlChannel::new(stream)?;
 
@@ -224,11 +328,42 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
         shard_len,
         config,
         timeline,
+        tracing,
     } = welcome
     else {
         return Err(protocol_error("Welcome", &welcome));
     };
     let shard = shard_start as usize..(shard_start + shard_len) as usize;
+    pgrid_obs::info!(
+        "cluster::worker",
+        "worker {worker_index}: shard {shard_start}+{shard_len}, tracing {}",
+        if tracing { "on" } else { "off" }
+    );
+
+    let scrape = match options.metrics_addr {
+        Some(addr) => {
+            let state = ScrapeState::new();
+            let server = ScrapeServer::serve(addr, Arc::clone(&state))?;
+            pgrid_obs::info!(
+                "cluster::worker",
+                "worker {worker_index}: serving /metrics on {}",
+                server.addr()
+            );
+            Some((server, state))
+        }
+        None => None,
+    };
+    let control = shared(pgrid_obs::recorder::DEFAULT_CAPACITY);
+    if let Some(path) = &options.flight_dump {
+        install_panic_dump(Arc::clone(&control), path.clone());
+    }
+    let mut obs = WorkerObs {
+        scrape,
+        control,
+        worker_index,
+        shard_start,
+        shard_len,
+    };
 
     let mut transport = TcpTransport::new();
     let mut peer_addrs = Vec::with_capacity(shard.len());
@@ -244,6 +379,7 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
     ctl.send(&ClusterMsg::Hello {
         shard_start,
         peer_addrs,
+        metrics_addr: obs.scrape.as_ref().map(|(server, _)| server.addr()),
     })?;
 
     let book = ctl.recv_timeout(HANDSHAKE_TIMEOUT)?;
@@ -258,8 +394,14 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
         }
     }
 
-    let runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
+    let mut runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
         .map_err(|e| Error::other(e.to_string()))?;
+    if tracing {
+        // Worker index + 1 as the base keeps every worker's trace IDs in
+        // a disjoint, recognisably-tagged space after the merge.
+        runtime.enable_tracing_with_base(worker_index as u64 + 1);
+    }
+    runtime.flight_dump = options.flight_dump.clone();
     let mut overlay = ShardOverlay { runtime };
     let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
     barrier(
@@ -267,6 +409,7 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
         &mut overlay.runtime,
         PHASE_WIRED,
         &mut streamed_minutes,
+        &mut obs,
     )?;
 
     // --- the timeline as a scenario ------------------------------------------
@@ -279,6 +422,7 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
     let mut hooks = BarrierHooks {
         ctl: &mut ctl,
         streamed: &mut streamed_minutes,
+        obs: &mut obs,
         plan,
     };
     pgrid_scenario::run_with_hooks(&mut overlay, &scenario, &mut hooks)?;
@@ -303,6 +447,13 @@ pub fn run_worker(coordinator: SocketAddr) -> Result<()> {
         messages_delivered: runtime.metrics.messages_delivered as u64,
         messages_lost: runtime.metrics.messages_lost as u64,
     }))?;
+    pgrid_obs::info!(
+        "cluster::worker",
+        "worker {worker_index}: shard report sent, exiting"
+    );
+    if let Some((server, _)) = obs.scrape.take() {
+        server.shutdown();
+    }
     Ok(())
 }
 
@@ -383,6 +534,7 @@ fn barrier(
     runtime: &mut Runtime<TcpTransport>,
     phase: u8,
     streamed: &mut BTreeSet<u64>,
+    obs: &mut WorkerObs,
 ) -> Result<()> {
     // Let stragglers from faster shards drain before declaring the phase
     // over: keep answering until the wire stays quiet for a moment.
@@ -401,6 +553,15 @@ fn barrier(
     }
     // Buckets below the current minute can no longer grow in this phase.
     stream_minutes(ctl, runtime, streamed, runtime.now() / MINUTE_MS)?;
+    // Fresh registry snapshot and drained trace events ride along with
+    // every barrier, so the coordinator's merged view stays current.
+    obs.publish(ctl, runtime, phase)?;
+    pgrid_obs::debug!(
+        "cluster::worker",
+        "worker {}: phase {phase} done at virtual minute {}",
+        obs.worker_index,
+        runtime.now() / MINUTE_MS
+    );
     ctl.send(&ClusterMsg::PhaseDone { phase })?;
     let deadline = Instant::now() + BARRIER_TIMEOUT;
     loop {

@@ -53,6 +53,7 @@ fn two_worker_processes_converge_like_the_single_process_run() {
             workers: 2,
             worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
             inherit_stderr: true,
+            ..LocalOptions::default()
         },
     )
     .expect("the 2-process cluster run must complete");
@@ -167,6 +168,7 @@ fn two_worker_processes_resolve_range_queries_across_shards() {
             workers: 2,
             worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
             inherit_stderr: true,
+            ..LocalOptions::default()
         },
     )
     .expect("the 2-process range run must complete");
@@ -200,6 +202,7 @@ fn four_worker_processes_also_complete_the_timeline() {
             workers: 4,
             worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
             inherit_stderr: true,
+            ..LocalOptions::default()
         },
     )
     .expect("the 4-process cluster run must complete");

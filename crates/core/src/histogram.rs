@@ -187,22 +187,31 @@ impl LogHistogram {
         h
     }
 
+    /// The cumulative bucket view Prometheus exposition needs: one
+    /// `(inclusive_upper_bound, cumulative_count)` pair per non-empty
+    /// bucket, in increasing bound order (the `+Inf` series is implied by
+    /// [`LogHistogram::total`]).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut cumulative = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count != 0)
+            .map(|(bucket, &count)| {
+                cumulative += count;
+                (bucket_upper(bucket), cumulative)
+            })
+            .collect()
+    }
+
     /// Renders the histogram as Prometheus exposition lines for the metric
     /// `name` (cumulative `_bucket{le=...}` series plus `_sum`/`_count`),
     /// emitting only the non-empty buckets and the closing `+Inf` series.
     pub fn prometheus_text(&self, name: &str) -> String {
         let mut out = String::new();
         out.push_str(&format!("# TYPE {name} histogram\n"));
-        let mut cumulative = 0u64;
-        for (bucket, &count) in self.counts.iter().enumerate() {
-            if count == 0 {
-                continue;
-            }
-            cumulative += count;
-            out.push_str(&format!(
-                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                bucket_upper(bucket)
-            ));
+        for (upper, cumulative) in self.cumulative_buckets() {
+            out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
         }
         out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", self.total));
         out.push_str(&format!("{name}_sum {}\n", self.sum));

@@ -109,12 +109,10 @@ pub struct DeploymentReport {
 }
 
 impl DeploymentReport {
-    /// Renders the report's summary statistics plus its transport counters
-    /// in the Prometheus text exposition format (what `pgrid-cluster
-    /// --metrics-out` writes).
-    pub fn metrics_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
+    /// Populates `registry` with the report's summary statistics plus its
+    /// transport counters — the producer behind `pgrid-cluster
+    /// --metrics-out` and the coordinator's merged `/metrics` view.
+    pub fn to_registry(&self, registry: &mut pgrid_obs::registry::MetricsRegistry) {
         for (name, help, value) in [
             (
                 "pgrid_deployment_balance_deviation",
@@ -142,9 +140,7 @@ impl DeploymentReport {
                 self.mean_replication,
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            registry.gauge(name, help, &[], value);
         }
         // Byte totals are counters (the `_total` suffix is reserved for
         // them in the Prometheus conventions).
@@ -160,9 +156,7 @@ impl DeploymentReport {
                 self.total_query_bytes,
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            registry.counter(name, help, &[], value as u64);
         }
         for (name, help, value) in [
             (
@@ -191,17 +185,25 @@ impl DeploymentReport {
                 self.query_latency.p999(),
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", value.unwrap_or(0));
+            registry.gauge(name, help, &[], value.unwrap_or(0) as f64);
         }
-        out.push_str(
-            &self
-                .query_latency
-                .prometheus_text("pgrid_deployment_query_latency_ms"),
+        registry.histogram(
+            "pgrid_deployment_query_latency_ms",
+            "Latency distribution of answered lookups in virtual milliseconds.",
+            &[],
+            &self.query_latency,
         );
-        out.push_str(&self.transport.metrics_text());
-        out
+        self.transport.to_registry(registry);
+    }
+
+    /// Renders the report's summary statistics plus its transport counters
+    /// in the Prometheus text exposition format (what `pgrid-cluster
+    /// --metrics-out` writes), through the shared
+    /// [`pgrid_obs::registry::MetricsRegistry`] encoder.
+    pub fn metrics_text(&self) -> String {
+        let mut registry = pgrid_obs::registry::MetricsRegistry::new();
+        self.to_registry(&mut registry);
+        registry.encode()
     }
 }
 
@@ -241,14 +243,30 @@ fn drive_deployment<T: Transport>(
         runtime.join_peer(peer, 6);
     }
     runtime.run_until(join_end);
+    pgrid_obs::debug!(
+        "net::experiment",
+        "join phase done: {} peers online at minute {}",
+        config.n_peers,
+        timeline.join_end_min
+    );
 
     // --- Phase 2: replication -------------------------------------------------
     runtime.replication_phase();
     runtime.run_until(timeline.replicate_end_min * minute);
+    pgrid_obs::debug!(
+        "net::experiment",
+        "replication phase done at minute {}",
+        timeline.replicate_end_min
+    );
 
     // --- Phase 3: construction -------------------------------------------------
     runtime.start_construction();
     runtime.run_until(timeline.construct_end_min * minute);
+    pgrid_obs::debug!(
+        "net::experiment",
+        "construction phase done at minute {}",
+        timeline.construct_end_min
+    );
 
     // --- Phase 4: queries -------------------------------------------------------
     let keys: Vec<_> = runtime.original_entries.iter().map(|e| e.key).collect();
@@ -264,6 +282,17 @@ fn drive_deployment<T: Transport>(
         let key = keys[control_rng.gen_range(0..keys.len())];
         runtime.issue_query(key);
     }
+    pgrid_obs::debug!(
+        "net::experiment",
+        "query phase done at minute {}: {} queries issued",
+        timeline.query_end_min,
+        runtime
+            .metrics
+            .query_stats
+            .values()
+            .map(|agg| agg.issued)
+            .sum::<u64>()
+    );
 
     // --- Phase 5: churn + queries -----------------------------------------------
     // Each peer independently goes offline for 1–5 minutes every 5–10 minutes.
@@ -288,6 +317,11 @@ fn drive_deployment<T: Transport>(
     }
     // Drain outstanding query timeouts.
     runtime.run_until(churn_end + runtime.config.query_timeout_ms);
+    pgrid_obs::debug!(
+        "net::experiment",
+        "churn phase done at minute {}, building report",
+        timeline.end_min
+    );
 
     build_report(&runtime, timeline)
 }

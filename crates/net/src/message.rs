@@ -124,6 +124,21 @@ pub enum Message {
         /// The enveloped protocol message.
         inner: Box<Message>,
     },
+    /// Outermost envelope carrying the trace ID of a traced lookup, so a
+    /// query's hop chain can be reassembled across peers (and across
+    /// cluster worker processes).
+    ///
+    /// Only emitted while tracing is enabled and the runtime is handling
+    /// a traced query — trace ID `0` means "not traced" and is never put
+    /// on the wire, so a tracing-disabled run produces byte-identical
+    /// frames.  `Traced` is strictly the outermost envelope: it may wrap
+    /// a [`Message::ForIndex`], never another `Traced`.
+    Traced {
+        /// The trace the inner message belongs to (non-zero).
+        trace_id: u64,
+        /// The enveloped protocol message.
+        inner: Box<Message>,
+    },
 }
 
 /// Decision taken by the contacted peer of an [`Message::Exchange`].
@@ -297,11 +312,21 @@ impl Message {
             }
             Message::ForIndex { index, inner } => {
                 debug_assert!(
-                    !matches!(**inner, Message::ForIndex { .. }),
+                    !matches!(**inner, Message::ForIndex { .. } | Message::Traced { .. }),
                     "index envelopes do not nest"
                 );
                 buf.put_u8(7);
                 buf.put_u16(*index);
+                inner.encode_into(buf);
+            }
+            Message::Traced { trace_id, inner } => {
+                debug_assert!(
+                    !matches!(**inner, Message::Traced { .. }),
+                    "trace envelopes do not nest"
+                );
+                debug_assert!(*trace_id != 0, "trace id 0 is never enveloped");
+                buf.put_u8(10);
+                buf.put_u64(*trace_id);
                 inner.encode_into(buf);
             }
         }
@@ -406,12 +431,26 @@ impl Message {
             7 => {
                 let index = checked_u16(&mut data)?;
                 let inner = Message::decode(data)?;
-                // Envelopes carry a non-zero index and never nest.
-                if index == 0 || matches!(inner, Message::ForIndex { .. }) {
+                // Envelopes carry a non-zero index and never nest; a trace
+                // envelope is strictly outermost so it cannot appear here.
+                if index == 0 || matches!(inner, Message::ForIndex { .. } | Message::Traced { .. })
+                {
                     return None;
                 }
                 Message::ForIndex {
                     index,
+                    inner: Box::new(inner),
+                }
+            }
+            10 => {
+                let trace_id = checked_u64(&mut data)?;
+                let inner = Message::decode(data)?;
+                // Trace envelopes carry a non-zero ID and never nest.
+                if trace_id == 0 || matches!(inner, Message::Traced { .. }) {
+                    return None;
+                }
+                Message::Traced {
+                    trace_id,
                     inner: Box::new(inner),
                 }
             }
@@ -434,6 +473,7 @@ impl Message {
             | Message::RangeQuery { .. }
             | Message::RangeResponse { .. } => true,
             Message::ForIndex { inner, .. } => inner.is_query_traffic(),
+            Message::Traced { inner, .. } => inner.is_query_traffic(),
             _ => false,
         }
     }
@@ -684,6 +724,63 @@ mod tests {
         assert!(Message::decode(buf.freeze()).is_none());
         // Truncated index.
         assert!(Message::decode(Bytes::from_static(&[7, 0])).is_none());
+    }
+
+    #[test]
+    fn trace_envelopes_roundtrip_and_classify() {
+        let inner = Message::Query {
+            origin: PeerId(3),
+            id: 9,
+            key: Key::from_fraction(0.5),
+            hops: 1,
+        };
+        let traced = Message::Traced {
+            trace_id: (2 << 40) | 5,
+            inner: Box::new(inner.clone()),
+        };
+        roundtrip(traced.clone());
+        assert!(traced.is_query_traffic());
+        // A traced secondary-index query nests Traced around ForIndex.
+        let traced_secondary = Message::Traced {
+            trace_id: 7,
+            inner: Box::new(Message::ForIndex {
+                index: 2,
+                inner: Box::new(inner.clone()),
+            }),
+        };
+        roundtrip(traced_secondary.clone());
+        assert!(traced_secondary.is_query_traffic());
+        // The envelope costs exactly tag + trace id on the wire.
+        assert_eq!(traced.wire_size(), inner.wire_size() + 9);
+    }
+
+    #[test]
+    fn malformed_trace_envelopes_are_rejected() {
+        // Trace id 0 is the "not traced" sentinel and never enveloped.
+        let mut buf = BytesMut::new();
+        buf.put_u8(10);
+        buf.put_u64(0);
+        buf.put_slice(Message::Join { peer: PeerId(1) }.encode().as_slice());
+        assert!(Message::decode(buf.freeze()).is_none());
+        // Trace envelopes do not nest.
+        let mut buf = BytesMut::new();
+        buf.put_u8(10);
+        buf.put_u64(1);
+        buf.put_u8(10);
+        buf.put_u64(2);
+        buf.put_slice(Message::Join { peer: PeerId(1) }.encode().as_slice());
+        assert!(Message::decode(buf.freeze()).is_none());
+        // A trace envelope inside an index envelope is rejected: Traced is
+        // strictly outermost.
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(1);
+        buf.put_u8(10);
+        buf.put_u64(3);
+        buf.put_slice(Message::Join { peer: PeerId(1) }.encode().as_slice());
+        assert!(Message::decode(buf.freeze()).is_none());
+        // Truncated trace id.
+        assert!(Message::decode(Bytes::from_static(&[10, 0, 0])).is_none());
     }
 
     #[test]

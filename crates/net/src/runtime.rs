@@ -21,6 +21,8 @@ use pgrid_core::peer::PeerState;
 use pgrid_core::reference::BalanceParams;
 use pgrid_core::routing::{PeerId, RoutingEntry};
 use pgrid_core::store::{KeyStore, StoreRead};
+use pgrid_obs::recorder::FlightRecorder;
+use pgrid_obs::trace::{Tracer, AMBIENT_TRACE, NO_TRACE};
 use pgrid_transport::frame;
 use pgrid_transport::loopback::{LoopbackConfig, LoopbackTransport};
 use pgrid_transport::{PeerAddr, Transport, TransportError, TransportStats};
@@ -412,13 +414,12 @@ impl NetMetrics {
         self.range_samples.push_back(sample);
     }
 
-    /// Renders the runtime counters in the Prometheus text exposition
-    /// format (companion to
-    /// [`pgrid_transport::TransportStats::metrics_text`]), including the
-    /// query latency histogram and its p50/p99/p999 gauges.
-    pub fn metrics_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
+    /// Populates `registry` with the runtime counters — message-level
+    /// totals, merged query aggregates (plus per-index attribution when
+    /// secondary indexes saw traffic), latency percentile gauges and the
+    /// full latency histogram.  The one producer the text renderer and
+    /// the live scrape endpoint share.
+    pub fn to_registry(&self, registry: &mut pgrid_obs::registry::MetricsRegistry) {
         let totals = self.merged_stats();
         let queries_answered = totals.answered as usize;
         let queries_succeeded = totals.succeeded as usize;
@@ -500,9 +501,7 @@ impl NetMetrics {
                     .sum(),
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            registry.counter(name, help, &[], value as u64);
         }
         for (name, help, value) in [
             (
@@ -521,12 +520,57 @@ impl NetMetrics {
                 totals.latency.p999().unwrap_or(0),
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {value}");
+            registry.gauge(name, help, &[], value as f64);
         }
-        out.push_str(&totals.latency.prometheus_text("pgrid_net_query_latency_ms"));
-        out
+        registry.histogram(
+            "pgrid_net_query_latency_ms",
+            "Latency distribution of answered lookups in virtual milliseconds.",
+            &[],
+            &totals.latency,
+        );
+        // Per-index attribution, only once secondary indexes exist (a
+        // single-index exposition stays exactly the totals above).
+        if self.query_stats.len() > 1 {
+            for (index, agg) in &self.query_stats {
+                let idx = index.0.to_string();
+                let labels = [("index", idx.as_str())];
+                registry.counter(
+                    "pgrid_net_index_queries_issued_total",
+                    "Queries issued on this index.",
+                    &labels,
+                    agg.issued,
+                );
+                registry.counter(
+                    "pgrid_net_index_queries_succeeded_total",
+                    "Queries answered successfully on this index.",
+                    &labels,
+                    agg.succeeded,
+                );
+                registry.counter(
+                    "pgrid_net_index_queries_timed_out_total",
+                    "Queries that expired unanswered on this index.",
+                    &labels,
+                    agg.timed_out,
+                );
+                registry.histogram(
+                    "pgrid_net_index_query_latency_ms",
+                    "Latency distribution of answered lookups per index.",
+                    &labels,
+                    &agg.latency,
+                );
+            }
+        }
+    }
+
+    /// Renders the runtime counters in the Prometheus text exposition
+    /// format through the shared [`pgrid_obs::registry::MetricsRegistry`]
+    /// encoder (companion to
+    /// [`pgrid_transport::TransportStats::metrics_text`]), including the
+    /// query latency histogram and its p50/p99/p999 gauges.
+    pub fn metrics_text(&self) -> String {
+        let mut registry = pgrid_obs::registry::MetricsRegistry::new();
+        self.to_registry(&mut registry);
+        registry.encode()
     }
 
     fn account(&mut self, now: Millis, message: &Message) {
@@ -553,6 +597,8 @@ enum EventKind {
 struct PendingQuery {
     index: IndexId,
     issued_at: Millis,
+    /// Trace of this lookup ([`NO_TRACE`] when tracing is off).
+    trace_id: u64,
 }
 
 /// A set of merged, disjoint key intervals — the origin-side coverage
@@ -629,6 +675,8 @@ struct RangeState {
     /// [`MAX_RANGE_RETRIES`]): a walk killed by frame loss is restarted
     /// from the first uncovered key instead of giving up.
     retries: u32,
+    /// Trace of this range walk ([`NO_TRACE`] when tracing is off).
+    trace_id: u64,
 }
 
 /// How often a stalled range walk is restarted before the origin reports
@@ -893,6 +941,24 @@ pub struct Runtime<T: Transport = LoopbackTransport> {
     /// level)`; only consulted with [`NetConfig::route_cache`] on, and
     /// invalidated whenever a peer's path or routing table changes.
     route_cache: HashMap<(usize, IndexId, usize), PeerId>,
+    /// Structured tracing sink — disabled by default (enable with
+    /// [`Runtime::enable_tracing`]).  Recording never consumes the RNG,
+    /// and a disabled tracer hands out no trace IDs, so pinned seeds and
+    /// wire bytes are bit-identical with tracing off.
+    pub tracer: Tracer,
+    /// Always-on bounded ring of coarse events (phase starts, timeouts,
+    /// churn), dumped as JSONL when something goes wrong.
+    pub recorder: FlightRecorder,
+    /// When set, a query timeout or an incomplete range walk dumps the
+    /// flight-recorder ring to this path.
+    pub flight_dump: Option<std::path::PathBuf>,
+    /// Trace context of the message currently being handled
+    /// ([`NO_TRACE`] outside traced handling) — what [`Runtime::send`]
+    /// stamps onto outgoing query traffic.
+    current_trace: u64,
+    /// Frames shipped while tracing is enabled (drives the 1-in-64
+    /// sampling of ambient frame-send trace events).
+    frames_traced: u64,
     rng: StdRng,
 }
 
@@ -1010,8 +1076,35 @@ impl<T: Transport> Runtime<T> {
             range_timeout_queue: VecDeque::new(),
             online_hosted: Vec::new(),
             route_cache: HashMap::new(),
+            tracer: Tracer::disabled(),
+            recorder: FlightRecorder::default(),
+            flight_dump: None,
+            current_trace: NO_TRACE,
+            frames_traced: 0,
             rng,
         })
+    }
+
+    /// Enables structured tracing with the default buffer capacity.
+    pub fn enable_tracing(&mut self) {
+        self.tracer = Tracer::enabled();
+    }
+
+    /// Enables structured tracing and gives this runtime's trace IDs a
+    /// disjoint `base` ID space (cluster workers pass their shard index
+    /// so merged trace IDs never collide across processes).
+    pub fn enable_tracing_with_base(&mut self, base: u64) {
+        let mut tracer = Tracer::enabled();
+        tracer.set_id_base(base);
+        self.tracer = tracer;
+    }
+
+    /// Dumps the flight-recorder ring to the configured
+    /// [`Runtime::flight_dump`] path (a no-op without one).
+    fn dump_flight(&self, reason: &str) {
+        if let Some(path) = &self.flight_dump {
+            let _ = self.recorder.dump_to(path, reason);
+        }
     }
 
     /// Balance parameters the exchange engine decides with (derived from
@@ -1249,7 +1342,21 @@ impl<T: Transport> Runtime<T> {
     /// Queues a message for the next frame to `to`: accounts its bandwidth
     /// and either batches it until the current event finishes or (with
     /// batching disabled) flushes it as a single-message frame right away.
+    ///
+    /// Query traffic sent while handling a traced lookup is wrapped in a
+    /// [`Message::Traced`] envelope carrying the trace ID to the next
+    /// peer (and, through the transport, to the next worker process).
+    /// With tracing disabled `current_trace` is always [`NO_TRACE`], so
+    /// no envelope — and no extra wire byte — ever exists.
     fn send(&mut self, to: usize, message: Message) {
+        let message = if self.current_trace != NO_TRACE && message.is_query_traffic() {
+            Message::Traced {
+                trace_id: self.current_trace,
+                inner: Box::new(message),
+            }
+        } else {
+            message
+        };
         self.metrics.account(self.now, &message);
         self.pending.entry(to).or_default().push(message);
         if !self.config.batch_per_tick {
@@ -1303,6 +1410,18 @@ impl<T: Transport> Runtime<T> {
         if payloads.len() > 1 {
             self.metrics.multi_message_frames += 1;
         }
+        // Frame-level tracing is sampled (1 in 64) so an enabled tracer's
+        // buffer is not drowned in construction-phase frames.
+        if self.tracer.is_enabled() {
+            self.frames_traced += 1;
+            if self.frames_traced % 64 == 1 {
+                let n = payloads.len();
+                self.tracer
+                    .record(AMBIENT_TRACE, "frame_sent", to as u64, self.now, || {
+                        format!("messages={n} sample=1/64")
+                    });
+            }
+        }
         let frame = frame::encode_frame(&payloads);
         if self
             .transport
@@ -1326,8 +1445,23 @@ impl<T: Transport> Runtime<T> {
         }
         let Ok(payloads) = frame::decode_frame(&frame_bytes) else {
             self.metrics.decode_failures += 1;
+            self.recorder.note(
+                self.now,
+                "decode_failure",
+                format!(
+                    "undecodable frame of {} bytes for peer {to}",
+                    frame_bytes.len()
+                ),
+            );
             return;
         };
+        if self.tracer.is_enabled() && self.frames_traced % 64 == 1 {
+            let n = payloads.len();
+            self.tracer
+                .record(AMBIENT_TRACE, "frame_received", to as u64, self.now, || {
+                    format!("messages={n} sample=1/64")
+                });
+        }
         for payload in payloads {
             let Some(message) = Message::decode(payload) else {
                 self.metrics.decode_failures += 1;
@@ -1428,6 +1562,11 @@ impl<T: Transport> Runtime<T> {
 
     /// The replication phase of one index.
     pub fn replication_phase_on(&mut self, index: IndexId) {
+        self.recorder.note(
+            self.now,
+            "phase",
+            format!("replication phase started on index {}", index.0),
+        );
         let n_min = self.config.n_min;
         for peer in self.shard.clone() {
             if !self.nodes[peer].state.online {
@@ -1469,6 +1608,11 @@ impl<T: Transport> Runtime<T> {
     /// re-armed, so a scenario can re-engage construction after a churn
     /// window (or after [`Runtime::insert_entries`] shifted the data).
     pub fn start_construction_on(&mut self, index: IndexId) {
+        self.recorder.note(
+            self.now,
+            "phase",
+            format!("construction started on index {}", index.0),
+        );
         for peer in self.shard.clone() {
             if self.nodes[peer].state.online {
                 let armed = index_tick_armed_mut(&mut self.nodes, &mut self.secondary, index, peer);
@@ -1525,11 +1669,17 @@ impl<T: Transport> Runtime<T> {
         let id = self.next_query_id;
         self.next_query_id += 1;
         self.metrics.stats_mut(index).issued += 1;
+        let trace_id = self.tracer.new_trace();
+        self.tracer
+            .record(trace_id, "query_issued", origin as u64, self.now, || {
+                format!("id={id} index={} key={}", index.0, key.0)
+            });
         self.outstanding_queries.insert(
             id,
             PendingQuery {
                 index,
                 issued_at: self.now,
+                trace_id,
             },
         );
         self.timeout_queue
@@ -1540,7 +1690,12 @@ impl<T: Transport> Runtime<T> {
             key,
             hops: 0,
         };
+        // Handle locally under the lookup's trace context, so everything
+        // the origin sends on (a forward or its own response) carries it.
+        let previous = self.current_trace;
+        self.current_trace = trace_id;
         self.handle_message_on(origin, index, message);
+        self.current_trace = previous;
     }
 
     /// Issues a range query for `[lo, hi]` (inclusive) from a random hosted
@@ -1589,6 +1744,11 @@ impl<T: Transport> Runtime<T> {
             return Some(id);
         }
         let deadline = self.now + self.config.query_timeout_ms;
+        let trace_id = self.tracer.new_trace();
+        self.tracer
+            .record(trace_id, "range_issued", origin as u64, self.now, || {
+                format!("id={id} index={} lo={} hi={}", index.0, lo.0, hi.0)
+            });
         self.outstanding_ranges.insert(
             id,
             RangeState {
@@ -1601,10 +1761,14 @@ impl<T: Transport> Runtime<T> {
                 hops: 0,
                 deadline,
                 retries: 0,
+                trace_id,
             },
         );
         self.range_timeout_queue.push_back((deadline, id));
+        let previous = self.current_trace;
+        self.current_trace = trace_id;
         self.handle_range_message(index, origin, PeerId(origin as u64), id, lo, hi, lo, 0);
+        self.current_trace = previous;
         self.flush_pending();
         Some(id)
     }
@@ -1691,12 +1855,16 @@ impl<T: Transport> Runtime<T> {
             EventKind::ConstructTick { index, peer } => self.construct_tick(index, peer),
             EventKind::GoOffline { peer } => {
                 self.nodes[peer].state.online = false;
+                self.recorder
+                    .note(self.now, "churn", format!("peer {peer} went offline"));
                 self.rebuild_online_cache();
             }
             EventKind::GoOnline { peer } => {
                 if self.nodes[peer].joined {
                     self.nodes[peer].state.online = true;
                 }
+                self.recorder
+                    .note(self.now, "churn", format!("peer {peer} came back online"));
                 self.rebuild_online_cache();
             }
         }
@@ -1730,6 +1898,22 @@ impl<T: Transport> Runtime<T> {
             self.timeout_queue.pop_front();
             if let Some(pending) = self.outstanding_queries.remove(&id) {
                 self.metrics.stats_mut(pending.index).timed_out += 1;
+                self.tracer.record(
+                    pending.trace_id,
+                    "query_timeout",
+                    u64::MAX,
+                    self.now,
+                    || format!("id={id} issued_at={}", pending.issued_at),
+                );
+                self.recorder.note(
+                    self.now,
+                    "query_timeout",
+                    format!(
+                        "query {id} on index {} issued at {} expired unanswered",
+                        pending.index.0, pending.issued_at
+                    ),
+                );
+                self.dump_flight("query timeout");
                 self.metrics.push_query_sample(QueryRecord {
                     index: pending.index,
                     issued_at: pending.issued_at,
@@ -1769,9 +1953,16 @@ impl<T: Transport> Runtime<T> {
                         .coverage
                         .first_uncovered(state.lo, state.hi)
                         .expect("an uncovering walk always has a gap");
-                    (state.index, state.lo, state.hi, cursor, state.hops)
+                    (
+                        state.index,
+                        state.lo,
+                        state.hi,
+                        cursor,
+                        state.hops,
+                        state.trace_id,
+                    )
                 });
-            if let Some((index, lo, hi, cursor, hops)) = restart {
+            if let Some((index, lo, hi, cursor, hops, trace_id)) = restart {
                 if !self.online_hosted.is_empty() {
                     let peer = self.online_hosted[self.rng.gen_range(0..self.online_hosted.len())];
                     let state = self.outstanding_ranges.get_mut(&id).expect("checked above");
@@ -1779,6 +1970,12 @@ impl<T: Transport> Runtime<T> {
                     state.deadline = self.now + self.config.query_timeout_ms;
                     let new_deadline = state.deadline;
                     self.range_timeout_queue.push_back((new_deadline, id));
+                    self.tracer
+                        .record(trace_id, "range_retry", peer as u64, self.now, || {
+                            format!("id={id} cursor={} hops={hops}", cursor.0)
+                        });
+                    let previous = self.current_trace;
+                    self.current_trace = trace_id;
                     self.handle_range_message(
                         index,
                         peer,
@@ -1789,12 +1986,29 @@ impl<T: Transport> Runtime<T> {
                         cursor,
                         hops,
                     );
+                    self.current_trace = previous;
                     continue;
                 }
             }
             if let Some(mut state) = self.outstanding_ranges.remove(&id) {
                 state.entries.sort_unstable();
                 state.entries.dedup();
+                self.tracer.record(
+                    state.trace_id,
+                    "range_incomplete",
+                    u64::MAX,
+                    self.now,
+                    || format!("id={id} hops={} retries={}", state.hops, state.retries),
+                );
+                self.recorder.note(
+                    self.now,
+                    "range_timeout",
+                    format!(
+                        "range {id} on index {} gave up after {} retries",
+                        state.index.0, state.retries
+                    ),
+                );
+                self.dump_flight("range timeout");
                 self.metrics.push_range_sample(RangeSample {
                     index: state.index,
                     id,
@@ -1822,6 +2036,15 @@ impl<T: Transport> Runtime<T> {
                 }
                 self.handle_message_on(to, index, *inner);
             }
+            Message::Traced { trace_id, inner } => {
+                // Adopt the sender's trace context for the inner message:
+                // everything it triggers (forwards, responses) carries the
+                // same trace ID onwards.
+                let previous = self.current_trace;
+                self.current_trace = trace_id;
+                self.handle_message(to, *inner);
+                self.current_trace = previous;
+            }
             other => self.handle_message_on(to, IndexId::PRIMARY, other),
         }
     }
@@ -1843,6 +2066,21 @@ impl<T: Transport> Runtime<T> {
                 entries,
             } => {
                 let reply = self.decide_exchange(index, to, from, path, &entries);
+                if self.tracer.is_enabled() {
+                    let outcome = match &reply {
+                        ExchangeOutcome::Split { .. } => "split",
+                        ExchangeOutcome::Replicate { .. } => "replicate",
+                        ExchangeOutcome::Refer { .. } => "refer",
+                        ExchangeOutcome::Nothing => "nothing",
+                    };
+                    self.tracer.record(
+                        AMBIENT_TRACE,
+                        "exchange_decision",
+                        to as u64,
+                        self.now,
+                        || format!("from={} index={} outcome={outcome}", from.0, index.0),
+                    );
+                }
                 let responder_path = self.peer_state(index, to).path;
                 self.send_on(
                     index,
@@ -1882,6 +2120,13 @@ impl<T: Transport> Runtime<T> {
                 if let Some(pending) = self.outstanding_queries.remove(&id) {
                     let latency = self.now - pending.issued_at;
                     let success = found && !entries.is_empty();
+                    self.tracer.record(
+                        pending.trace_id,
+                        "query_resolved",
+                        to as u64,
+                        self.now,
+                        || format!("id={id} hops={hops} latency_ms={latency} success={success}"),
+                    );
                     let agg = self.metrics.stats_mut(pending.index);
                     agg.answered += 1;
                     if success {
@@ -1925,18 +2170,28 @@ impl<T: Transport> Runtime<T> {
                 hops,
             } => {
                 let deadline = self.now + self.config.query_timeout_ms;
-                let finished = if let Some(state) = self.outstanding_ranges.get_mut(&id) {
+                let slice = if let Some(state) = self.outstanding_ranges.get_mut(&id) {
                     state.coverage.add(from, upto);
                     state.entries.extend(entries);
                     state.hops = state.hops.max(hops);
                     // Progress resets the clock: the walk may legitimately
                     // cross many partitions, it just must not stall.
                     state.deadline = deadline;
-                    state.coverage.covers(state.lo, state.hi)
+                    Some((state.trace_id, state.coverage.covers(state.lo, state.hi)))
                 } else {
                     self.metrics.stats_mut(index).late_responses += 1;
-                    false
+                    None
                 };
+                if let Some((trace_id, covered)) = slice {
+                    self.tracer
+                        .record(trace_id, "range_slice", to as u64, self.now, || {
+                            format!(
+                                "id={id} from={} upto={} hops={hops} complete={covered}",
+                                from.0, upto.0
+                            )
+                        });
+                }
+                let finished = slice.is_some_and(|(_, covered)| covered);
                 if self.outstanding_ranges.contains_key(&id) && !finished {
                     self.range_timeout_queue.push_back((deadline, id));
                 }
@@ -1965,7 +2220,7 @@ impl<T: Transport> Runtime<T> {
                 }
                 let _ = to;
             }
-            Message::ForIndex { .. } => {
+            Message::ForIndex { .. } | Message::Traced { .. } => {
                 // Nested envelopes are rejected at decode time; reaching
                 // one here means a hand-crafted message — drop it.
                 self.metrics.decode_failures += 1;
@@ -2326,6 +2581,7 @@ impl<T: Transport> Runtime<T> {
         key: Key,
         hops: u32,
     ) {
+        let trace = self.current_trace;
         let path = self.peer_state(index, at).path;
         let mismatch = (0..path.len()).find(|&i| path.bit(i) != key.bit(i));
         match mismatch {
@@ -2350,6 +2606,13 @@ impl<T: Transport> Runtime<T> {
                         .copied()
                         .find(|p| p.0 as usize != at && self.nodes[p.0 as usize].state.online);
                     if let Some(peer) = next {
+                        self.tracer.record(
+                            trace,
+                            "query_replica_forward",
+                            at as u64,
+                            self.now,
+                            || format!("id={id} to={} hop={}", peer.0, hops + 1),
+                        );
                         self.send_on(
                             index,
                             peer.0 as usize,
@@ -2364,6 +2627,10 @@ impl<T: Transport> Runtime<T> {
                     }
                 }
                 let found = !entries.is_empty();
+                self.tracer
+                    .record(trace, "query_answered", at as u64, self.now, || {
+                        format!("id={id} found={found} hops={hops} path={path}")
+                    });
                 self.send_on(
                     index,
                     origin.0 as usize,
@@ -2384,6 +2651,13 @@ impl<T: Transport> Runtime<T> {
                     if let Some(&peer) = self.route_cache.get(&(at, index, level)) {
                         if self.nodes[peer.0 as usize].state.online {
                             if hops as usize > pgrid_core::search::MAX_HOPS {
+                                self.tracer.record(
+                                    trace,
+                                    "query_dead_end",
+                                    at as u64,
+                                    self.now,
+                                    || format!("id={id} hops={hops} reason=hop_budget"),
+                                );
                                 self.send_on(
                                     index,
                                     origin.0 as usize,
@@ -2396,6 +2670,14 @@ impl<T: Transport> Runtime<T> {
                                 );
                                 return;
                             }
+                            self.tracer
+                                .record(trace, "query_hop", at as u64, self.now, || {
+                                    format!(
+                                        "id={id} level={level} to={} hop={} cached=true",
+                                        peer.0,
+                                        hops + 1
+                                    )
+                                });
                             self.send_on(
                                 index,
                                 peer.0 as usize,
@@ -2428,6 +2710,13 @@ impl<T: Transport> Runtime<T> {
                 match next {
                     Some(peer) => {
                         if hops as usize > pgrid_core::search::MAX_HOPS {
+                            self.tracer.record(
+                                trace,
+                                "query_dead_end",
+                                at as u64,
+                                self.now,
+                                || format!("id={id} hops={hops} reason=hop_budget"),
+                            );
                             self.send_on(
                                 index,
                                 origin.0 as usize,
@@ -2443,6 +2732,14 @@ impl<T: Transport> Runtime<T> {
                         if self.config.route_cache {
                             self.route_cache.insert((at, index, level), peer);
                         }
+                        self.tracer
+                            .record(trace, "query_hop", at as u64, self.now, || {
+                                format!(
+                                    "id={id} level={level} to={} hop={} cached=false",
+                                    peer.0,
+                                    hops + 1
+                                )
+                            });
                         self.send_on(
                             index,
                             peer.0 as usize,
@@ -2455,6 +2752,10 @@ impl<T: Transport> Runtime<T> {
                         );
                     }
                     None => {
+                        self.tracer
+                            .record(trace, "query_dead_end", at as u64, self.now, || {
+                                format!("id={id} hops={hops} reason=no_online_reference")
+                            });
                         self.send_on(
                             index,
                             origin.0 as usize,
@@ -2489,6 +2790,7 @@ impl<T: Transport> Runtime<T> {
         // scales with the partition safety net of the core traversal, not
         // with a single lookup's.
         const RANGE_HOP_BUDGET: u32 = (pgrid_core::search::MAX_HOPS * 32) as u32;
+        let trace = self.current_trace;
         let path = self.peer_state(index, at).path;
         let mismatch = (0..path.len()).find(|&i| path.bit(i) != cursor.bit(i));
         match mismatch {
@@ -2504,6 +2806,15 @@ impl<T: Transport> Runtime<T> {
                     .range(cursor, upto)
                     .copied()
                     .collect();
+                self.tracer
+                    .record(trace, "range_answered", at as u64, self.now, || {
+                        format!(
+                            "id={id} from={} upto={} entries={} hops={hops}",
+                            cursor.0,
+                            upto.0,
+                            entries.len()
+                        )
+                    });
                 self.send_on(
                     index,
                     origin.0 as usize,
@@ -2529,6 +2840,14 @@ impl<T: Transport> Runtime<T> {
                 if self.config.route_cache {
                     if let Some(&peer) = self.route_cache.get(&(at, index, level)) {
                         if self.nodes[peer.0 as usize].state.online {
+                            self.tracer
+                                .record(trace, "range_hop", at as u64, self.now, || {
+                                    format!(
+                                        "id={id} level={level} to={} hop={} cached=true",
+                                        peer.0,
+                                        hops + 1
+                                    )
+                                });
                             self.send_on(
                                 index,
                                 peer.0 as usize,
@@ -2561,6 +2880,14 @@ impl<T: Transport> Runtime<T> {
                     if self.config.route_cache {
                         self.route_cache.insert((at, index, level), peer);
                     }
+                    self.tracer
+                        .record(trace, "range_hop", at as u64, self.now, || {
+                            format!(
+                                "id={id} level={level} to={} hop={} cached=false",
+                                peer.0,
+                                hops + 1
+                            )
+                        });
                     self.send_on(
                         index,
                         peer.0 as usize,
@@ -2590,6 +2917,10 @@ impl<T: Transport> Runtime<T> {
                     .collect();
                 if !detour.is_empty() {
                     let peer = detour[self.rng.gen_range(0..detour.len())];
+                    self.tracer
+                        .record(trace, "range_detour", at as u64, self.now, || {
+                            format!("id={id} to={peer} hop={}", hops + 1)
+                        });
                     self.send_on(
                         index,
                         peer,

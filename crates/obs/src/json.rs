@@ -1,0 +1,30 @@
+//! Minimal JSON string escaping shared by the trace and flight-recorder
+//! serialisers (the workspace has no serde; every JSON artifact in this
+//! repo is hand-rolled).
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escape_covers_controls_and_quotes() {
+        assert_eq!(super::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::escape("\u{1}"), "\\u0001");
+        assert_eq!(super::escape("plain"), "plain");
+    }
+}

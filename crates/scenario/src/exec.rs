@@ -83,6 +83,12 @@ where
     };
     for (i, phase) in scenario.phases.iter().enumerate() {
         execute_phase(overlay, &mut ctx, phase);
+        pgrid_obs::debug!(
+            "scenario::exec",
+            "phase {i} ({}) done at minute {}",
+            phase_kind(phase),
+            overlay.now() / MINUTE_MS
+        );
         hooks.after_phase(overlay, i, phase)?;
     }
     ctx.snapshots.push(overlay.snapshot("final"));
@@ -104,6 +110,25 @@ struct Context {
     boundary_min: u64,
     next_query: Option<Millis>,
     snapshots: Vec<OverlaySnapshot>,
+}
+
+/// Stable phase label of the executor's progress logs.
+fn phase_kind(phase: &Phase) -> &'static str {
+    match phase {
+        Phase::JoinWave { .. } => "join_wave",
+        Phase::JoinSchedule { .. } => "join_schedule",
+        Phase::Replicate { .. } => "replicate",
+        Phase::StartConstruction { .. } => "start_construction",
+        Phase::RunUntil { .. } => "run_until",
+        Phase::ConstructUntilQuiescent { .. } => "construct_until_quiescent",
+        Phase::QueryLoad { .. } => "query_load",
+        Phase::RangeLoad { .. } => "range_load",
+        Phase::Churn { .. } => "churn",
+        Phase::ChurnSchedule { .. } => "churn_schedule",
+        Phase::ShiftDistribution { .. } => "shift_distribution",
+        Phase::Snapshot { .. } => "snapshot",
+        Phase::Drain => "drain",
+    }
 }
 
 fn execute_phase<O: Overlay + ?Sized>(overlay: &mut O, ctx: &mut Context, phase: &Phase) {

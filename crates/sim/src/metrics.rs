@@ -55,6 +55,67 @@ impl ConstructionMetrics {
         self.total_keys_moved() as f64 / self.per_peer_interactions.len() as f64
     }
 
+    /// Folds the counters into a metrics registry under the
+    /// `pgrid_construction_*` namespace, so the simulator's run drivers
+    /// expose the same registry-backed `/metrics` text as the network
+    /// engines.
+    pub fn to_registry(&self, registry: &mut pgrid_obs::registry::MetricsRegistry) {
+        registry.counter(
+            "pgrid_construction_interactions_total",
+            "Interactions initiated during construction",
+            &[],
+            self.interactions as u64,
+        );
+        registry.counter(
+            "pgrid_construction_fruitless_interactions_total",
+            "Interactions that produced no state change",
+            &[],
+            self.fruitless_interactions as u64,
+        );
+        registry.counter(
+            "pgrid_construction_refer_hops_total",
+            "Refer hops performed during construction",
+            &[],
+            self.refer_hops as u64,
+        );
+        registry.counter(
+            "pgrid_construction_splits_total",
+            "Balanced or unbalanced splits performed",
+            &[],
+            self.splits as u64,
+        );
+        registry.counter(
+            "pgrid_construction_replications_total",
+            "Replicate/reconcile interactions",
+            &[],
+            self.replications as u64,
+        );
+        registry.counter(
+            "pgrid_construction_keys_moved_total",
+            "Data keys moved over the network",
+            &[("phase", "replication")],
+            self.replication_keys_moved as u64,
+        );
+        registry.counter(
+            "pgrid_construction_keys_moved_total",
+            "Data keys moved over the network",
+            &[("phase", "construction")],
+            self.construction_keys_moved as u64,
+        );
+        registry.gauge(
+            "pgrid_construction_rounds",
+            "Parallel rounds until quiescence (the latency proxy)",
+            &[],
+            self.rounds as f64,
+        );
+        registry.gauge(
+            "pgrid_construction_interactions_per_peer",
+            "Mean interactions initiated per peer",
+            &[],
+            self.interactions_per_peer(),
+        );
+    }
+
     /// Adds one executor delta to the totals.
     pub fn absorb(&mut self, delta: &MetricsDelta) {
         self.interactions += delta.interactions;
@@ -116,6 +177,28 @@ mod tests {
         assert!((m.keys_moved_per_peer() - 8.0).abs() < 1e-12);
         let empty = ConstructionMetrics::default();
         assert_eq!(empty.interactions_per_peer(), 0.0);
+    }
+
+    #[test]
+    fn registry_export_covers_every_counter() {
+        let mut m = ConstructionMetrics::new(4);
+        m.interactions = 8;
+        m.fruitless_interactions = 2;
+        m.refer_hops = 3;
+        m.splits = 5;
+        m.replications = 4;
+        m.replication_keys_moved = 20;
+        m.construction_keys_moved = 12;
+        m.rounds = 9;
+        let mut registry = pgrid_obs::registry::MetricsRegistry::default();
+        m.to_registry(&mut registry);
+        let text = registry.encode();
+        assert!(text.contains("pgrid_construction_interactions_total 8"));
+        assert!(text.contains("pgrid_construction_splits_total 5"));
+        assert!(text.contains("pgrid_construction_keys_moved_total{phase=\"replication\"} 20"));
+        assert!(text.contains("pgrid_construction_keys_moved_total{phase=\"construction\"} 12"));
+        assert!(text.contains("pgrid_construction_rounds 9"));
+        assert!(text.contains("pgrid_construction_interactions_per_peer 2"));
     }
 
     #[test]

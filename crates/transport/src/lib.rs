@@ -121,12 +121,10 @@ pub struct TransportStats {
 }
 
 impl TransportStats {
-    /// Renders the counters in the Prometheus text exposition format
-    /// (`# TYPE` headers, per-peer counters as labelled series), so a run's
-    /// transport state can be dumped somewhere scrapeable.
-    pub fn metrics_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
+    /// Populates `registry` with the transport counters (per-peer link
+    /// counters as `peer`-labelled series) — the one producer every
+    /// renderer and the live scrape endpoint share.
+    pub fn to_registry(&self, registry: &mut pgrid_obs::registry::MetricsRegistry) {
         for (name, help, value) in [
             (
                 "pgrid_transport_frames_sent_total",
@@ -149,51 +147,54 @@ impl TransportStats {
                 self.bytes_delivered,
             ),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
+            registry.counter(name, help, &[], value);
         }
-        if !self.per_peer.is_empty() {
-            for (name, help, get) in [
-                (
-                    "pgrid_transport_peer_frames_sent_total",
-                    "Frames sent to this peer.",
-                    (|l: &LinkStats| l.frames_sent) as fn(&LinkStats) -> u64,
-                ),
-                (
-                    "pgrid_transport_peer_bytes_sent_total",
-                    "Frame bytes sent to this peer.",
-                    |l| l.bytes_sent,
-                ),
-                (
-                    "pgrid_transport_peer_frames_received_total",
-                    "Frames received for this peer.",
-                    |l| l.frames_received,
-                ),
-                (
-                    "pgrid_transport_peer_bytes_received_total",
-                    "Frame bytes received for this peer.",
-                    |l| l.bytes_received,
-                ),
-                (
-                    "pgrid_transport_peer_reconnects_total",
-                    "Times the cached outbound connection was re-established.",
-                    |l| l.reconnects,
-                ),
-                (
-                    "pgrid_transport_peer_send_failures_total",
-                    "Sends that failed even after a reconnect attempt.",
-                    |l| l.send_failures,
-                ),
-            ] {
-                let _ = writeln!(out, "# HELP {name} {help}");
-                let _ = writeln!(out, "# TYPE {name} counter");
-                for (peer, link) in &self.per_peer {
-                    let _ = writeln!(out, "{name}{{peer=\"{peer}\"}} {}", get(link));
-                }
+        for (name, help, get) in [
+            (
+                "pgrid_transport_peer_frames_sent_total",
+                "Frames sent to this peer.",
+                (|l: &LinkStats| l.frames_sent) as fn(&LinkStats) -> u64,
+            ),
+            (
+                "pgrid_transport_peer_bytes_sent_total",
+                "Frame bytes sent to this peer.",
+                |l| l.bytes_sent,
+            ),
+            (
+                "pgrid_transport_peer_frames_received_total",
+                "Frames received for this peer.",
+                |l| l.frames_received,
+            ),
+            (
+                "pgrid_transport_peer_bytes_received_total",
+                "Frame bytes received for this peer.",
+                |l| l.bytes_received,
+            ),
+            (
+                "pgrid_transport_peer_reconnects_total",
+                "Times the cached outbound connection was re-established.",
+                |l| l.reconnects,
+            ),
+            (
+                "pgrid_transport_peer_send_failures_total",
+                "Sends that failed even after a reconnect attempt.",
+                |l| l.send_failures,
+            ),
+        ] {
+            for (peer, link) in &self.per_peer {
+                registry.counter(name, help, &[("peer", &peer.to_string())], get(link));
             }
         }
-        out
+    }
+
+    /// Renders the counters in the Prometheus text exposition format
+    /// through the shared [`pgrid_obs::registry::MetricsRegistry`]
+    /// encoder, so a run's transport state can be dumped somewhere
+    /// scrapeable.
+    pub fn metrics_text(&self) -> String {
+        let mut registry = pgrid_obs::registry::MetricsRegistry::new();
+        self.to_registry(&mut registry);
+        registry.encode()
     }
 
     /// Folds another stats snapshot into this one (summing the global
