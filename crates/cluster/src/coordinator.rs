@@ -6,9 +6,22 @@
 //! reached them, and merges the streamed per-minute samples plus the final
 //! shard reports into a single [`DeploymentReport`] through the same
 //! [`assemble_report`] pipeline the single-process driver uses.
+//!
+//! Since proto v5 the coordinator is also the cluster's failure detector
+//! and healer: it polls every worker's control channel (instead of blocking
+//! on one at a time), tracks liveness through heartbeats, and when a worker
+//! dies mid-run it reassigns the orphaned shard onto the survivors at the
+//! next barrier — who take over the endpoints and rebuild the lost peers'
+//! state from live P-Grid replicas (see [`crate::worker`]).  With healing
+//! disabled a failure degrades the run instead of aborting it: the dead
+//! shard goes dark, the flight recorder dumps, and the final report is
+//! assembled from whatever the survivors deliver.
 
 use crate::plan::shard_assignment;
-use crate::proto::{ClusterMsg, ControlChannel, ShardReport, PHASE_DONE, PHASE_WIRED};
+use crate::proto::{
+    ClusterMsg, ControlChannel, ReassignMove, ShardReport, PHASE_DONE, PHASE_WIRED,
+};
+use pgrid_core::path::Path;
 use pgrid_net::experiment::{assemble_report, DeploymentReport, ReportInputs, Timeline};
 use pgrid_net::runtime::{generate_peers, BandwidthSample, NetConfig};
 use pgrid_obs::recorder::FlightRecorder;
@@ -18,7 +31,7 @@ use pgrid_obs::trace::{assemble, TraceEvent};
 use pgrid_transport::TransportStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{Error, ErrorKind, Result, Write as _};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -31,6 +44,10 @@ const ACCEPT_TIMEOUT: Duration = Duration::from_secs(120);
 /// How long the coordinator waits for one worker to finish a phase.
 const PHASE_TIMEOUT: Duration = Duration::from_secs(600);
 
+/// How long the coordinator waits for a recovery step (endpoint takeover,
+/// replica rebuild) of one healing round.
+const RECOVERY_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// A cluster run description.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -40,6 +57,45 @@ pub struct ClusterConfig {
     pub net: NetConfig,
     /// The phase timeline every worker receives.
     pub timeline: Timeline,
+    /// Failure detection and self-healing parameters.
+    pub heal: HealConfig,
+}
+
+/// Failure-detection and healing parameters of a cluster run.
+#[derive(Clone, Debug)]
+pub struct HealConfig {
+    /// Wall-clock interval between worker heartbeats (milliseconds; `0`
+    /// disables heartbeat-based detection, leaving only EOF detection).
+    pub heartbeat_ms: u64,
+    /// Wall-clock silence after which a worker is declared dead
+    /// (milliseconds; only meaningful with heartbeats enabled).
+    pub failure_timeout_ms: u64,
+    /// Whether a dead worker's shard is reassigned onto the survivors
+    /// (`false` records the failure and degrades the run instead).
+    pub heal: bool,
+    /// Fault injection: make one worker kill its own process at a virtual
+    /// minute of the timeline.
+    pub kill: Option<KillPlan>,
+}
+
+impl Default for HealConfig {
+    fn default() -> HealConfig {
+        HealConfig {
+            heartbeat_ms: 500,
+            failure_timeout_ms: 10_000,
+            heal: true,
+            kill: None,
+        }
+    }
+}
+
+/// Fault injection: one worker kills its own process mid-run.
+#[derive(Clone, Copy, Debug)]
+pub struct KillPlan {
+    /// Index of the worker to kill (in accept order).
+    pub worker: u32,
+    /// Virtual minute at which the worker exits.
+    pub at_min: u64,
 }
 
 /// Observability options of a coordinator run.
@@ -72,6 +128,32 @@ pub struct ObsReport {
     pub trace_events: Vec<TraceEvent>,
     /// Scrape endpoint of each worker, in shard order (when serving).
     pub worker_metrics_addrs: Vec<Option<SocketAddr>>,
+    /// Every worker failure the coordinator detected, in detection order.
+    pub failures: Vec<WorkerFailure>,
+}
+
+/// One worker death as the coordinator observed (and possibly healed) it.
+#[derive(Clone, Debug)]
+pub struct WorkerFailure {
+    /// Index of the dead worker.
+    pub worker: u32,
+    /// First peer id of the orphaned shard.
+    pub shard_start: u64,
+    /// Number of orphaned peers.
+    pub shard_len: u64,
+    /// Wall-clock milliseconds between the worker's last sign of life and
+    /// the coordinator declaring it dead (the detection latency).
+    pub detected_after_ms: u64,
+    /// Whether the shard was reassigned onto survivors.
+    pub healed: bool,
+    /// Wall-clock milliseconds the healing round took (reassignment,
+    /// endpoint takeovers, replica rebuilds); `0` when not healed.
+    pub recovery_ms: u64,
+    /// Orphans whose state was rebuilt from a live replica.
+    pub recovered_replica: u64,
+    /// Orphans restored from the seeded local regeneration (no reachable
+    /// replica).
+    pub recovered_local: u64,
 }
 
 fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
@@ -145,6 +227,23 @@ impl ObsMerge {
             &[],
             self.flushes,
         );
+        merged.counter(
+            "pgrid_cluster_worker_failures_total",
+            "Worker deaths the coordinator has detected.",
+            &[],
+            observed.failures.len() as u64,
+        );
+        merged.counter(
+            "pgrid_cluster_peers_recovered_total",
+            "Orphaned peers rebuilt on survivors (replica pulls plus the \
+             seeded local fallback).",
+            &[],
+            observed
+                .failures
+                .iter()
+                .map(|f| f.recovered_replica + f.recovered_local)
+                .sum(),
+        );
         for (index, registry) in self.worker_regs.iter().enumerate() {
             let worker = index.to_string();
             if let Some(registry) = registry {
@@ -215,6 +314,86 @@ pub fn run_coordinator_observed(
     }
 }
 
+/// One worker's coordinator-side control state.
+struct Slot {
+    ctl: ControlChannel,
+    /// `false` once the coordinator declared this worker dead.
+    alive: bool,
+    /// Whether the worker reached the barrier currently being collected.
+    done: bool,
+    /// Last time any control message arrived from this worker.
+    last_seen: Instant,
+}
+
+/// Everything the failure detector and healer track across barriers.
+struct Membership {
+    /// Original `(start, len)` shard of each worker.
+    shards: Vec<(usize, usize)>,
+    /// Current host worker of every peer (updated on adoption).
+    host_of: Vec<usize>,
+    /// Last path each peer reported at a barrier (via `ShardPaths`), the
+    /// raw material of replica hints and partial reports.
+    last_paths: Vec<Path>,
+    /// Monotonic membership epoch, bumped per healing round.
+    epoch: u64,
+    /// The current address book, re-broadcast after endpoint takeovers.
+    book: Vec<(u64, SocketAddr)>,
+}
+
+/// Drains one worker's channel: routine traffic (minutes, traces, metrics,
+/// heartbeats, shard paths) is absorbed in place, anything else is handed
+/// to the caller.  `Ok(None)` means the channel is quiet right now.
+#[allow(clippy::too_many_arguments)]
+fn poll_routine(
+    index: usize,
+    slot: &mut Slot,
+    merge: &mut ObsMerge,
+    observed: &mut ObsReport,
+    bandwidth: &mut HashMap<u64, BandwidthSample>,
+    membership: &mut Membership,
+) -> Result<Option<ClusterMsg>> {
+    loop {
+        let Some(msg) = slot.ctl.try_recv()? else {
+            return Ok(None);
+        };
+        slot.last_seen = Instant::now();
+        match msg {
+            ClusterMsg::Minutes { samples } => {
+                for (minute, maintenance, query) in samples {
+                    let entry = bandwidth.entry(minute).or_default();
+                    entry.maintenance_bytes += maintenance as usize;
+                    entry.query_bytes += query as usize;
+                }
+            }
+            ClusterMsg::TraceBatch { events } => observed.trace_events.extend(events),
+            ClusterMsg::MetricsSnapshot { registry } => {
+                merge.worker_regs[index] = Some(
+                    MetricsRegistry::decode_wire(&registry)
+                        .map_err(|e| Error::new(ErrorKind::InvalidData, e))?,
+                );
+            }
+            ClusterMsg::Heartbeat { .. } => {}
+            ClusterMsg::ShardPaths { shard_start, paths } => {
+                for (offset, path) in paths.iter().enumerate() {
+                    let peer = shard_start as usize + offset;
+                    if peer < membership.last_paths.len() {
+                        membership.last_paths[peer] = *path;
+                    }
+                }
+            }
+            other => return Ok(Some(other)),
+        }
+    }
+}
+
+/// Length of the common prefix of two trie paths.
+fn common_prefix(a: &Path, b: &Path) -> usize {
+    a.bits_iter()
+        .zip(b.bits_iter())
+        .take_while(|(x, y)| x == y)
+        .count()
+}
+
 fn coordinate(
     listener: TcpListener,
     cluster: &ClusterConfig,
@@ -264,6 +443,11 @@ fn coordinate(
     );
     for (index, worker) in workers.iter_mut().enumerate() {
         let (start, len) = shards[index];
+        let kill_at_min = cluster
+            .heal
+            .kill
+            .filter(|plan| plan.worker as usize == index)
+            .map(|plan| plan.at_min);
         worker.send(&ClusterMsg::Welcome {
             worker_index: index as u32,
             n_workers: cluster.n_workers as u32,
@@ -272,11 +456,15 @@ fn coordinate(
             config: cluster.net.clone(),
             timeline: cluster.timeline,
             tracing: obs.tracing,
+            heartbeat_ms: cluster.heal.heartbeat_ms,
+            failure_timeout_ms: cluster.heal.failure_timeout_ms,
+            heal: cluster.heal.heal,
+            kill_at_min,
         })?;
     }
 
     // --- gather endpoints, broadcast the address book -----------------------
-    let mut book: Vec<(u64, std::net::SocketAddr)> = Vec::with_capacity(cluster.net.n_peers);
+    let mut book: Vec<(u64, SocketAddr)> = Vec::with_capacity(cluster.net.n_peers);
     for (index, worker) in workers.iter_mut().enumerate() {
         let hello = worker.recv_timeout(PHASE_TIMEOUT)?;
         let ClusterMsg::Hello {
@@ -312,67 +500,101 @@ fn coordinate(
         })?;
     }
 
-    // --- barriers, sample streaming, final reports --------------------------
-    let mut bandwidth: HashMap<u64, BandwidthSample> = HashMap::new();
-    let mut merge_minutes = |samples: Vec<(u64, u64, u64)>| {
-        for (minute, maintenance, query) in samples {
-            let entry = bandwidth.entry(minute).or_default();
-            entry.maintenance_bytes += maintenance as usize;
-            entry.query_bytes += query as usize;
+    // --- barriers with failure detection and healing ------------------------
+    let mut slots: Vec<Slot> = workers
+        .into_iter()
+        .map(|ctl| Slot {
+            ctl,
+            alive: true,
+            done: false,
+            last_seen: Instant::now(),
+        })
+        .collect();
+    let mut host_of = vec![0usize; cluster.net.n_peers];
+    for (index, &(start, len)) in shards.iter().enumerate() {
+        for host in &mut host_of[start..start + len] {
+            *host = index;
         }
+    }
+    let mut membership = Membership {
+        shards: shards.clone(),
+        host_of,
+        last_paths: vec![Path::root(); cluster.net.n_peers],
+        epoch: 0,
+        book,
     };
+    let mut bandwidth: HashMap<u64, BandwidthSample> = HashMap::new();
+
     for phase in PHASE_WIRED..=PHASE_DONE {
-        for (index, worker) in workers.iter_mut().enumerate() {
-            loop {
-                match worker.recv_timeout(PHASE_TIMEOUT)? {
-                    ClusterMsg::Minutes { samples } => merge_minutes(samples),
-                    ClusterMsg::TraceBatch { events } => observed.trace_events.extend(events),
-                    ClusterMsg::MetricsSnapshot { registry } => {
-                        merge.worker_regs[index] = Some(
-                            MetricsRegistry::decode_wire(&registry)
-                                .map_err(|e| Error::new(ErrorKind::InvalidData, e))?,
-                        );
-                    }
-                    ClusterMsg::PhaseDone { phase: p } if p == phase => break,
-                    other => {
-                        return Err(Error::new(
-                            ErrorKind::InvalidData,
-                            format!("worker {index}: expected PhaseDone({phase}), got {other:?}"),
-                        ))
-                    }
-                }
-            }
+        let newly_failed = collect_barrier(
+            &mut slots,
+            phase,
+            cluster,
+            &mut merge,
+            observed,
+            &mut bandwidth,
+            &mut membership,
+            recorder,
+            obs,
+        )?;
+        if !newly_failed.is_empty() && cluster.heal.heal {
+            heal_round(
+                &mut slots,
+                &newly_failed,
+                cluster,
+                &mut merge,
+                observed,
+                &mut bandwidth,
+                &mut membership,
+                recorder,
+            )?;
         }
-        // Every worker reached the barrier: refresh the merged live view
-        // before releasing them into the next phase.
+        // Every surviving worker reached the barrier (and any orphaned
+        // shard was reassigned): refresh the merged live view before
+        // releasing them into the next phase.
         merge.barrier_publish(phase, cluster, obs, observed);
         recorder.note(0, "barrier", format!("phase={phase} released"));
         pgrid_obs::debug!("cluster::coordinator", "phase {phase} barrier released");
-        for worker in &mut workers {
-            worker.send(&ClusterMsg::Proceed { phase })?;
+        for slot in slots.iter_mut().filter(|s| s.alive) {
+            slot.ctl.send(&ClusterMsg::Proceed { phase })?;
         }
     }
+
+    // --- final reports -------------------------------------------------------
     let mut reports: Vec<ShardReport> = Vec::with_capacity(cluster.n_workers);
-    for (index, worker) in workers.iter_mut().enumerate() {
+    for index in 0..slots.len() {
+        if !slots[index].alive {
+            continue;
+        }
+        let deadline = Instant::now() + PHASE_TIMEOUT;
         loop {
-            match worker.recv_timeout(PHASE_TIMEOUT)? {
-                ClusterMsg::Minutes { samples } => merge_minutes(samples),
-                ClusterMsg::TraceBatch { events } => observed.trace_events.extend(events),
-                ClusterMsg::MetricsSnapshot { registry } => {
-                    merge.worker_regs[index] = Some(
-                        MetricsRegistry::decode_wire(&registry)
-                            .map_err(|e| Error::new(ErrorKind::InvalidData, e))?,
-                    );
+            match poll_routine(
+                index,
+                &mut slots[index],
+                &mut merge,
+                observed,
+                &mut bandwidth,
+                &mut membership,
+            ) {
+                Ok(None) => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::new(
+                            ErrorKind::TimedOut,
+                            format!("worker {index} never sent its report"),
+                        ));
+                    }
                 }
-                ClusterMsg::Report(report) => {
+                Ok(Some(ClusterMsg::Report(report))) => {
                     reports.push(report);
                     break;
                 }
-                other => {
-                    return Err(Error::new(
-                        ErrorKind::InvalidData,
-                        format!("worker {index}: expected Report, got {other:?}"),
-                    ))
+                Ok(Some(other)) => return Err(protocol_error("Report", &other)),
+                Err(e) => {
+                    // A worker dying after its last barrier can no longer
+                    // be healed (the run is over); record the failure and
+                    // assemble a partial report.
+                    mark_failed(&mut slots, index, cluster, observed, recorder, obs, &e);
+                    break;
                 }
             }
         }
@@ -393,14 +615,354 @@ fn coordinate(
             path.display()
         );
     }
-    Ok(merge_reports(cluster, &shards, bandwidth, reports))
+    Ok(merge_reports(
+        cluster,
+        &membership.shards,
+        &membership.last_paths,
+        bandwidth,
+        reports,
+    ))
+}
+
+/// Declares worker `index` dead: stops polling it, records the failure in
+/// the observability report, and dumps the flight recorder.
+fn mark_failed(
+    slots: &mut [Slot],
+    index: usize,
+    cluster: &ClusterConfig,
+    observed: &mut ObsReport,
+    recorder: &mut FlightRecorder,
+    obs: &ObsOptions,
+    error: &Error,
+) {
+    if !slots[index].alive {
+        return;
+    }
+    slots[index].alive = false;
+    let detected_after_ms = slots[index].last_seen.elapsed().as_millis() as u64;
+    let shards = shard_assignment(cluster.net.n_peers, cluster.n_workers);
+    let (start, len) = shards[index];
+    recorder.note(
+        0,
+        "worker_failed",
+        format!("worker={index} shard={start}+{len} after_ms={detected_after_ms} error={error}"),
+    );
+    if let Some(path) = &obs.flight_dump {
+        let _ = recorder.dump_to(path, "worker failure");
+    }
+    pgrid_obs::error!(
+        "cluster::coordinator",
+        "worker {index} (shard {start}+{len}) died: {error} \
+         (detected after {detected_after_ms}ms)"
+    );
+    observed.failures.push(WorkerFailure {
+        worker: index as u32,
+        shard_start: start as u64,
+        shard_len: len as u64,
+        detected_after_ms,
+        healed: false,
+        recovery_ms: 0,
+        recovered_replica: 0,
+        recovered_local: 0,
+    });
+}
+
+/// Collects `PhaseDone(phase)` from every live worker, detecting failures
+/// along the way (connection EOF, heartbeat silence).  Returns the indices
+/// of workers that died during this barrier.
+#[allow(clippy::too_many_arguments)]
+fn collect_barrier(
+    slots: &mut [Slot],
+    phase: u8,
+    cluster: &ClusterConfig,
+    merge: &mut ObsMerge,
+    observed: &mut ObsReport,
+    bandwidth: &mut HashMap<u64, BandwidthSample>,
+    membership: &mut Membership,
+    recorder: &mut FlightRecorder,
+    obs: &ObsOptions,
+) -> Result<Vec<usize>> {
+    for slot in slots.iter_mut() {
+        slot.done = false;
+        // Liveness clocks restart per barrier: a worker is only expected
+        // to be silent for as long as its phase lasts minus heartbeats.
+        slot.last_seen = Instant::now();
+    }
+    let heartbeats = cluster.heal.heartbeat_ms > 0;
+    let failure_timeout = Duration::from_millis(cluster.heal.failure_timeout_ms.max(1));
+    let deadline = Instant::now() + PHASE_TIMEOUT;
+    let mut newly_failed = Vec::new();
+    while slots.iter().any(|s| s.alive && !s.done) {
+        for index in 0..slots.len() {
+            if !slots[index].alive || slots[index].done {
+                continue;
+            }
+            match poll_routine(
+                index,
+                &mut slots[index],
+                merge,
+                observed,
+                bandwidth,
+                membership,
+            ) {
+                Ok(None) => {}
+                Ok(Some(ClusterMsg::PhaseDone { phase: p })) if p == phase => {
+                    slots[index].done = true;
+                }
+                Ok(Some(other)) => {
+                    return Err(Error::new(
+                        ErrorKind::InvalidData,
+                        format!("worker {index}: expected PhaseDone({phase}), got {other:?}"),
+                    ))
+                }
+                Err(e) => {
+                    mark_failed(slots, index, cluster, observed, recorder, obs, &e);
+                    newly_failed.push(index);
+                    continue;
+                }
+            }
+            if heartbeats && slots[index].last_seen.elapsed() > failure_timeout {
+                let e = Error::new(
+                    ErrorKind::TimedOut,
+                    format!(
+                        "no heartbeat for {}ms",
+                        slots[index].last_seen.elapsed().as_millis()
+                    ),
+                );
+                mark_failed(slots, index, cluster, observed, recorder, obs, &e);
+                newly_failed.push(index);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(Error::new(
+                ErrorKind::TimedOut,
+                format!("phase {phase} barrier never completed"),
+            ));
+        }
+    }
+    Ok(newly_failed)
+}
+
+/// One healing round: announce the new epoch, reassign every orphaned peer
+/// onto the survivors, collect the takeover addresses, re-broadcast the
+/// address book, and wait for the replica rebuilds to finish.
+#[allow(clippy::too_many_arguments)]
+fn heal_round(
+    slots: &mut [Slot],
+    newly_failed: &[usize],
+    cluster: &ClusterConfig,
+    merge: &mut ObsMerge,
+    observed: &mut ObsReport,
+    bandwidth: &mut HashMap<u64, BandwidthSample>,
+    membership: &mut Membership,
+    recorder: &mut FlightRecorder,
+) -> Result<()> {
+    let survivors: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].alive).collect();
+    if survivors.is_empty() {
+        pgrid_obs::error!(
+            "cluster::coordinator",
+            "no survivors left to heal onto; degrading"
+        );
+        return Ok(());
+    }
+    let heal_started = Instant::now();
+    membership.epoch += 1;
+    let epoch = membership.epoch;
+    for &failed in newly_failed {
+        let (start, len) = membership.shards[failed];
+        for &index in &survivors {
+            slots[index].ctl.send(&ClusterMsg::WorkerFailed {
+                epoch,
+                worker_index: failed as u32,
+                shard_start: start as u64,
+                shard_len: len as u64,
+            })?;
+        }
+    }
+
+    // Map every orphan onto a survivor (round robin keeps the adopted load
+    // even) with a replica hint: the live peer whose last barrier path
+    // shares the longest prefix with the orphan's — an exact match *is* a
+    // replica of the orphan's partition.
+    let failed_set: BTreeSet<usize> = newly_failed.iter().copied().collect();
+    let dead_workers: BTreeSet<usize> = (0..slots.len()).filter(|&i| !slots[i].alive).collect();
+    let mut moves: Vec<ReassignMove> = Vec::new();
+    let mut rr = 0usize;
+    for &failed in &failed_set {
+        let (start, len) = membership.shards[failed];
+        for peer in start..start + len {
+            if membership.host_of[peer] != failed {
+                continue; // previously adopted elsewhere
+            }
+            let to_worker = survivors[rr % survivors.len()];
+            rr += 1;
+            let path = membership.last_paths[peer];
+            // Prefer true replicas (identical path) over mere prefix
+            // neighbours ...
+            let score = |p: usize| {
+                let lcp = common_prefix(&path, &membership.last_paths[p]);
+                (usize::from(membership.last_paths[p] == path), lcp)
+            };
+            let candidates: Vec<usize> = (0..cluster.net.n_peers)
+                .filter(|&p| p != peer && !dead_workers.contains(&membership.host_of[p]))
+                .collect();
+            let source = match candidates.iter().copied().map(score).max() {
+                // ... and rotate through equally-good sources, so a batch
+                // of orphans does not pile its rebuilt state onto one
+                // replica's partition.
+                Some(best) => {
+                    let tied: Vec<usize> = candidates
+                        .into_iter()
+                        .filter(|&p| score(p) == best)
+                        .collect();
+                    tied[peer % tied.len()]
+                }
+                None => peer,
+            };
+            moves.push(ReassignMove {
+                peer: peer as u64,
+                to_worker: to_worker as u32,
+                source_peer: source as u64,
+                path,
+            });
+        }
+    }
+    recorder.note(
+        0,
+        "shard_reassign",
+        format!("epoch={epoch} moves={}", moves.len()),
+    );
+    for &index in &survivors {
+        slots[index].ctl.send(&ClusterMsg::ShardReassign {
+            epoch,
+            moves: moves.clone(),
+        })?;
+    }
+
+    // Endpoint takeovers: every adopter re-binds the orphaned endpoints
+    // locally and reports the fresh addresses.
+    let adopters: BTreeSet<usize> = moves.iter().map(|m| m.to_worker as usize).collect();
+    let mut new_addrs: Vec<(u64, SocketAddr)> = Vec::new();
+    for &index in &adopters {
+        let deadline = Instant::now() + RECOVERY_TIMEOUT;
+        loop {
+            match poll_routine(
+                index,
+                &mut slots[index],
+                merge,
+                observed,
+                bandwidth,
+                membership,
+            )? {
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::new(
+                            ErrorKind::TimedOut,
+                            format!("worker {index} never sent RecoveryAddrs"),
+                        ));
+                    }
+                }
+                Some(ClusterMsg::RecoveryAddrs {
+                    epoch: e,
+                    peer_addrs,
+                }) if e == epoch => {
+                    new_addrs.extend(peer_addrs);
+                    break;
+                }
+                Some(other) => return Err(protocol_error("RecoveryAddrs", &other)),
+            }
+        }
+    }
+    for (peer, addr) in &new_addrs {
+        match membership.book.iter_mut().find(|(p, _)| p == peer) {
+            Some(entry) => entry.1 = *addr,
+            None => membership.book.push((*peer, *addr)),
+        }
+    }
+    membership.book.sort_unstable_by_key(|&(peer, _)| peer);
+    for &index in &survivors {
+        slots[index].ctl.send(&ClusterMsg::AddressBook {
+            peer_addrs: membership.book.clone(),
+        })?;
+    }
+
+    // Replica rebuilds: each adopter pulls the orphans' state from live
+    // replicas over the data plane (local seeded fallback guarantees
+    // termination) and acknowledges.
+    let mut recovered_replica = 0u64;
+    let mut recovered_local = 0u64;
+    for &index in &adopters {
+        let deadline = Instant::now() + RECOVERY_TIMEOUT;
+        loop {
+            match poll_routine(
+                index,
+                &mut slots[index],
+                merge,
+                observed,
+                bandwidth,
+                membership,
+            )? {
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(Error::new(
+                            ErrorKind::TimedOut,
+                            format!("worker {index} never sent RecoveryDone"),
+                        ));
+                    }
+                }
+                Some(ClusterMsg::RecoveryDone {
+                    epoch: e,
+                    recovered,
+                }) if e == epoch => {
+                    for (peer, via_replica) in recovered {
+                        membership.host_of[peer as usize] = index;
+                        if via_replica {
+                            recovered_replica += 1;
+                        } else {
+                            recovered_local += 1;
+                        }
+                    }
+                    break;
+                }
+                Some(other) => return Err(protocol_error("RecoveryDone", &other)),
+            }
+        }
+    }
+    recorder.note(
+        0,
+        "recovery_done",
+        format!("epoch={epoch} replica={recovered_replica} local={recovered_local}"),
+    );
+    pgrid_obs::info!(
+        "cluster::coordinator",
+        "epoch {epoch}: healed {} orphans ({recovered_replica} from replicas, \
+         {recovered_local} locally)",
+        recovered_replica + recovered_local
+    );
+    // Attribute the recovery to the failures healed this round.
+    let per_failure = newly_failed.len().max(1) as u64;
+    let recovery_ms = heal_started.elapsed().as_millis() as u64;
+    for failure in observed.failures.iter_mut().rev() {
+        if failed_set.contains(&(failure.worker as usize)) && !failure.healed {
+            failure.healed = true;
+            failure.recovery_ms = recovery_ms;
+            failure.recovered_replica = recovered_replica / per_failure;
+            failure.recovered_local = recovered_local / per_failure;
+        }
+    }
+    Ok(())
 }
 
 /// Merges the shard reports into the single-process report shape: paths at
 /// their global indices, query aggregates folded, counters summed.
+///
+/// `last_paths` seeds the path vector so peers of a dead, unhealed shard
+/// keep their last barrier-observed path in the partial report; live
+/// shards and adopted peers overwrite their entries.
 fn merge_reports(
     cluster: &ClusterConfig,
     shards: &[(usize, usize)],
+    last_paths: &[Path],
     bandwidth: HashMap<u64, BandwidthSample>,
     reports: Vec<ShardReport>,
 ) -> DeploymentReport {
@@ -409,7 +971,8 @@ fn merge_reports(
     let mut rng = StdRng::seed_from_u64(cluster.net.seed);
     let (_, original_entries) = generate_peers(&cluster.net, &mut rng);
 
-    let mut paths = vec![pgrid_core::path::Path::root(); cluster.net.n_peers];
+    let mut paths = last_paths.to_vec();
+    paths.resize(cluster.net.n_peers, Path::root());
     let mut queries = pgrid_net::runtime::QueryAggregates::default();
     let mut online_at_end = 0usize;
     let mut transport = TransportStats::default();
@@ -420,6 +983,11 @@ fn merge_reports(
             .any(|&(s, l)| s == start && l == report.paths.len()));
         for (offset, path) in report.paths.iter().enumerate() {
             paths[start + offset] = *path;
+        }
+        for (peer, path) in &report.extra_paths {
+            if (*peer as usize) < paths.len() {
+                paths[*peer as usize] = *path;
+            }
         }
         // Histograms, counters and per-minute buckets all merge by
         // addition, so the fold is order-independent across shards.

@@ -22,7 +22,12 @@
 //!   process must agree on (join ramp, bootstrap adjacency, churn schedule)
 //!   from the shared seed instead of shipping it;
 //! * **local mode** ([`local`]) self-spawns N worker child processes for
-//!   tests, CI and quick demos (`pgrid-cluster local --workers 2`).
+//!   tests, CI and quick demos (`pgrid-cluster local --workers 2`);
+//! * **self-healing** (proto v5): workers heartbeat on the control channel,
+//!   the coordinator detects unplanned worker death (EOF or heartbeat
+//!   silence), reassigns the orphaned shard onto the survivors, and the
+//!   adopters rebuild the lost peers' state from live P-Grid replicas —
+//!   the paper's own replication doubling as the recovery mechanism.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,10 +41,11 @@ pub mod worker;
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
     pub use crate::coordinator::{
-        run_coordinator, run_coordinator_observed, ClusterConfig, ObsOptions, ObsReport,
+        run_coordinator, run_coordinator_observed, ClusterConfig, HealConfig, KillPlan, ObsOptions,
+        ObsReport, WorkerFailure,
     };
     pub use crate::local::{run_local, run_local_observed, LocalOptions};
     pub use crate::plan::{churn_plan, join_plan, shard_assignment};
-    pub use crate::proto::{ClusterMsg, ControlChannel, ShardReport};
+    pub use crate::proto::{ClusterMsg, ControlChannel, ReassignMove, ShardReport};
     pub use crate::worker::{run_worker, worker_scenario, ShardOverlay, WorkerOptions};
 }

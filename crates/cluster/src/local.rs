@@ -7,7 +7,9 @@
 //! worker binary pointed at it, and runs the rendezvous exactly as it would
 //! for workers started by hand on other machines.
 
-use crate::coordinator::{run_coordinator_observed, ClusterConfig, ObsOptions, ObsReport};
+use crate::coordinator::{
+    run_coordinator_observed, ClusterConfig, HealConfig, ObsOptions, ObsReport,
+};
 use pgrid_net::experiment::{DeploymentReport, Timeline};
 use pgrid_net::runtime::NetConfig;
 use std::io::{Error, Result};
@@ -36,6 +38,9 @@ pub struct LocalOptions {
     /// Directory the workers write their flight-recorder dumps into
     /// (`worker-<index>.jsonl`).
     pub worker_flight_dir: Option<PathBuf>,
+    /// Failure detection and self-healing parameters (including the
+    /// optional kill-worker fault injection).
+    pub heal: HealConfig,
 }
 
 impl Default for LocalOptions {
@@ -47,6 +52,7 @@ impl Default for LocalOptions {
             obs: ObsOptions::default(),
             worker_metrics: false,
             worker_flight_dir: None,
+            heal: HealConfig::default(),
         }
     }
 }
@@ -122,16 +128,29 @@ pub fn run_local_observed(
         n_workers: options.workers,
         net: config.clone(),
         timeline: *timeline,
+        heal: options.heal.clone(),
     };
     let (report, observed) = run_coordinator_observed(listener, &cluster, &options.obs)?;
 
-    // A clean run means every worker exits on its own with status 0.
+    // A clean run means every worker exits on its own with status 0 —
+    // except the workers the coordinator itself watched die (injected
+    // kills, real crashes): each observed failure excuses exactly one
+    // non-success child exit.
+    let mut failures_budget = observed.failures.len();
     let children = std::mem::take(&mut reaper.children);
     drop(reaper);
     for mut child in children {
         let status = child.wait()?;
         if !status.success() {
-            return Err(Error::other(format!("worker process exited with {status}")));
+            if failures_budget > 0 {
+                failures_budget -= 1;
+                pgrid_obs::info!(
+                    "cluster::local",
+                    "worker process exited with {status} (coordinator-observed failure)"
+                );
+            } else {
+                return Err(Error::other(format!("worker process exited with {status}")));
+            }
         }
     }
     Ok((report, observed))

@@ -30,7 +30,9 @@
 //! logger (filter with `PGRID_LOG`, e.g. `PGRID_LOG=debug`); the report
 //! tables on stdout are program output and stay `println!`.
 
-use pgrid_cluster::coordinator::{run_coordinator_observed, ClusterConfig, ObsOptions};
+use pgrid_cluster::coordinator::{
+    run_coordinator_observed, ClusterConfig, HealConfig, KillPlan, ObsOptions, ObsReport,
+};
 use pgrid_cluster::local::{run_local_observed, LocalOptions};
 use pgrid_cluster::worker::{run_worker, WorkerOptions};
 use pgrid_net::experiment::{DeploymentReport, Timeline};
@@ -44,9 +46,11 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--smoke] [OBS]\n\
-         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--smoke] [OBS]\n\
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [HEAL] [OBS]\n\
+         \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [HEAL] [OBS]\n\
          \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH]\n\
+         \x20      HEAL: [--heartbeat-ms MS] [--failure-timeout-ms MS] [--no-heal]\n\
+         \x20            [--kill-worker INDEX [--kill-at-min MIN]]\n\
          \x20      OBS: [--metrics-out PATH] [--metrics-addr ADDR] [--trace] [--trace-out PATH]\n\
          \x20           [--flight-dump PATH] [--worker-metrics (local only)]"
     );
@@ -81,15 +85,42 @@ fn run_config(args: &[String]) -> (NetConfig, Timeline) {
     let seed = option(args, "--seed")
         .map(|v| v.parse().expect("--seed takes an integer"))
         .unwrap_or(12);
+    let n_min = option(args, "--n-min")
+        .map(|v| v.parse().expect("--n-min takes an integer"))
+        .unwrap_or(5);
     let config = NetConfig {
         n_peers,
         keys_per_peer: 10,
-        n_min: 5,
+        n_min,
         distribution: Distribution::Uniform,
         seed,
         ..NetConfig::default()
     };
     (config, timeline)
+}
+
+/// Failure-detection, healing and fault-injection flags of the
+/// coordinator-side subcommands.
+fn heal_config(args: &[String]) -> HealConfig {
+    let mut heal = HealConfig::default();
+    if let Some(v) = option(args, "--heartbeat-ms") {
+        heal.heartbeat_ms = v.parse().expect("--heartbeat-ms takes milliseconds");
+    }
+    if let Some(v) = option(args, "--failure-timeout-ms") {
+        heal.failure_timeout_ms = v.parse().expect("--failure-timeout-ms takes milliseconds");
+    }
+    if args.iter().any(|a| a == "--no-heal") {
+        heal.heal = false;
+    }
+    if let Some(v) = option(args, "--kill-worker") {
+        heal.kill = Some(KillPlan {
+            worker: v.parse().expect("--kill-worker takes a worker index"),
+            at_min: option(args, "--kill-at-min")
+                .map(|v| v.parse().expect("--kill-at-min takes a minute"))
+                .unwrap_or(10),
+        });
+    }
+    heal
 }
 
 /// Coordinator-side observability options from the command line.  Binds
@@ -122,6 +153,26 @@ fn obs_config(args: &[String]) -> std::io::Result<(ObsOptions, Option<ScrapeServ
         server = Some(bound);
     }
     Ok((obs, server))
+}
+
+fn print_failures(observed: &ObsReport) {
+    for f in &observed.failures {
+        println!(
+            "  worker {} failure: shard {}+{} detected after {}ms, {}",
+            f.worker,
+            f.shard_start,
+            f.shard_len,
+            f.detected_after_ms,
+            if f.healed {
+                format!(
+                    "healed in {}ms ({} peers from replicas, {} locally)",
+                    f.recovery_ms, f.recovered_replica, f.recovered_local
+                )
+            } else {
+                "not healed (partial report)".to_string()
+            }
+        );
+    }
 }
 
 fn print_report(report: &DeploymentReport, workers: usize) {
@@ -185,10 +236,12 @@ fn main() -> ExitCode {
                 obs,
                 worker_metrics: args.iter().any(|a| a == "--worker-metrics"),
                 worker_flight_dir: None,
+                heal: heal_config(&args),
             };
             match run_local_observed(&config, &timeline, &options) {
-                Ok((report, _observed)) => {
+                Ok((report, observed)) => {
                     print_report(&report, workers);
+                    print_failures(&observed);
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
@@ -229,10 +282,12 @@ fn main() -> ExitCode {
                 n_workers: workers,
                 net: config,
                 timeline,
+                heal: heal_config(&args),
             };
             match run_coordinator_observed(listener, &cluster, &obs) {
-                Ok((report, _observed)) => {
+                Ok((report, observed)) => {
                     print_report(&report, workers);
+                    print_failures(&observed);
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

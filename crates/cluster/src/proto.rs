@@ -40,7 +40,10 @@ use std::time::{Duration, Instant};
 /// Protocol magic, checked on every message.
 const MAGIC: u16 = 0x5047; // "PG"
 /// Protocol version; bump on any wire-format change.
-const VERSION: u8 = 4;
+///
+/// v5 adds the self-healing control plane: liveness heartbeats, membership
+/// epochs, and the worker-failure / shard-reassignment / recovery messages.
+const VERSION: u8 = 5;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -77,6 +80,27 @@ pub struct ShardReport {
     pub messages_delivered: u64,
     /// Protocol messages lost (emulated loss + broken connections).
     pub messages_lost: u64,
+    /// Final `(peer id, path)` of peers this worker *adopted* from a dead
+    /// worker during recovery (empty on a healthy run); the coordinator
+    /// merges them at their global indices like the shard paths.
+    pub extra_paths: Vec<(u64, Path)>,
+}
+
+/// One peer being moved off a dead worker during recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReassignMove {
+    /// The orphaned peer.
+    pub peer: u64,
+    /// Index of the surviving (or replacement) worker that adopts it.
+    pub to_worker: u32,
+    /// A live peer believed to replicate the orphan's partition (the
+    /// coordinator's longest-common-prefix hint); equal to `peer` when no
+    /// candidate is known, in which case the adopter recovers locally from
+    /// the seeded regeneration.
+    pub source_peer: u64,
+    /// The orphan's last path the coordinator observed at a barrier (the
+    /// local-recovery fallback path).
+    pub path: Path,
 }
 
 /// A control-plane message.
@@ -100,6 +124,18 @@ pub enum ClusterMsg {
         /// worker index as the trace-ID base, so merged IDs never
         /// collide).
         tracing: bool,
+        /// Wall-clock interval between worker liveness heartbeats
+        /// (milliseconds; `0` disables heartbeats).
+        heartbeat_ms: u64,
+        /// Wall-clock silence after which the coordinator declares this
+        /// worker dead (milliseconds).
+        failure_timeout_ms: u64,
+        /// Whether the coordinator heals worker failures (reassigns the
+        /// dead shard to survivors) instead of merely recording them.
+        heal: bool,
+        /// Fault injection: virtual minute at which this worker must kill
+        /// its own process (`None` for all workers of a healthy run).
+        kill_at_min: Option<u64>,
     },
     /// Worker → coordinator: listen addresses of the hosted peers.
     Hello {
@@ -150,6 +186,61 @@ pub enum ClusterMsg {
     },
     /// Worker → coordinator: the shard's final report.
     Report(ShardReport),
+    /// Worker → coordinator: periodic liveness signal, carrying the
+    /// membership epoch the worker currently believes in.
+    Heartbeat {
+        /// The worker's current membership epoch.
+        epoch: u64,
+    },
+    /// Worker → coordinator: current paths of the originally assigned
+    /// shard, sent at every barrier while healing is enabled — the
+    /// coordinator's raw material for replica hints and partial reports.
+    ShardPaths {
+        /// First peer id of the shard.
+        shard_start: u64,
+        /// Current path of every originally hosted peer, in shard order.
+        paths: Vec<Path>,
+    },
+    /// Coordinator → workers: a worker died; a new membership epoch
+    /// begins.
+    WorkerFailed {
+        /// The new membership epoch.
+        epoch: u64,
+        /// Index of the dead worker.
+        worker_index: u32,
+        /// First peer id of the orphaned shard.
+        shard_start: u64,
+        /// Number of orphaned peers.
+        shard_len: u64,
+    },
+    /// Coordinator → workers: how the orphaned peers are redistributed.
+    /// Every worker receives the full move list; each adopts the moves
+    /// targeting its own index and learns which endpoints will re-appear
+    /// elsewhere.
+    ShardReassign {
+        /// The membership epoch these moves belong to.
+        epoch: u64,
+        /// One entry per orphaned peer.
+        moves: Vec<ReassignMove>,
+    },
+    /// Worker → coordinator: the listen addresses of the endpoints this
+    /// worker just took over, to be folded into a fresh address book.
+    RecoveryAddrs {
+        /// The membership epoch of the takeover.
+        epoch: u64,
+        /// `(peer id, socket address)` of every adopted endpoint.
+        peer_addrs: Vec<(u64, SocketAddr)>,
+    },
+    /// Worker → coordinator: state rebuild of the adopted peers finished;
+    /// the barrier may release.
+    RecoveryDone {
+        /// The membership epoch of the recovery.
+        epoch: u64,
+        /// `(peer id, via_replica)` per recovered peer: `true` when the
+        /// state was pulled from a live replica, `false` for the seeded
+        /// local fallback.
+        recovered: Vec<(u64, bool)>,
+    },
 }
 
 impl ClusterMsg {
@@ -167,6 +258,10 @@ impl ClusterMsg {
                 config,
                 timeline,
                 tracing,
+                heartbeat_ms,
+                failure_timeout_ms,
+                heal,
+                kill_at_min,
             } => {
                 buf.put_u8(0);
                 buf.put_u32(*worker_index);
@@ -176,6 +271,16 @@ impl ClusterMsg {
                 put_config(&mut buf, config);
                 put_timeline(&mut buf, timeline);
                 buf.put_u8(*tracing as u8);
+                buf.put_u64(*heartbeat_ms);
+                buf.put_u64(*failure_timeout_ms);
+                buf.put_u8(*heal as u8);
+                match kill_at_min {
+                    Some(at) => {
+                        buf.put_u8(1);
+                        buf.put_u64(*at);
+                    }
+                    None => buf.put_u8(0),
+                }
             }
             ClusterMsg::Hello {
                 shard_start,
@@ -260,6 +365,60 @@ impl ClusterMsg {
                 }
                 buf.put_u64(report.messages_delivered);
                 buf.put_u64(report.messages_lost);
+                buf.put_u32(report.extra_paths.len() as u32);
+                for (peer, path) in &report.extra_paths {
+                    buf.put_u64(*peer);
+                    put_path(&mut buf, path);
+                }
+            }
+            ClusterMsg::Heartbeat { epoch } => {
+                buf.put_u8(9);
+                buf.put_u64(*epoch);
+            }
+            ClusterMsg::ShardPaths { shard_start, paths } => {
+                buf.put_u8(10);
+                buf.put_u64(*shard_start);
+                buf.put_u32(paths.len() as u32);
+                for path in paths {
+                    put_path(&mut buf, path);
+                }
+            }
+            ClusterMsg::WorkerFailed {
+                epoch,
+                worker_index,
+                shard_start,
+                shard_len,
+            } => {
+                buf.put_u8(11);
+                buf.put_u64(*epoch);
+                buf.put_u32(*worker_index);
+                buf.put_u64(*shard_start);
+                buf.put_u64(*shard_len);
+            }
+            ClusterMsg::ShardReassign { epoch, moves } => {
+                buf.put_u8(12);
+                buf.put_u64(*epoch);
+                buf.put_u32(moves.len() as u32);
+                for m in moves {
+                    buf.put_u64(m.peer);
+                    buf.put_u32(m.to_worker);
+                    buf.put_u64(m.source_peer);
+                    put_path(&mut buf, &m.path);
+                }
+            }
+            ClusterMsg::RecoveryAddrs { epoch, peer_addrs } => {
+                buf.put_u8(13);
+                buf.put_u64(*epoch);
+                put_addrs(&mut buf, peer_addrs);
+            }
+            ClusterMsg::RecoveryDone { epoch, recovered } => {
+                buf.put_u8(14);
+                buf.put_u64(*epoch);
+                buf.put_u32(recovered.len() as u32);
+                for (peer, via_replica) in recovered {
+                    buf.put_u64(*peer);
+                    buf.put_u8(*via_replica as u8);
+                }
             }
         }
         buf.freeze()
@@ -280,6 +439,14 @@ impl ClusterMsg {
                 config: get_config(&mut data)?,
                 timeline: get_timeline(&mut data)?,
                 tracing: get_u8(&mut data)? != 0,
+                heartbeat_ms: get_u64(&mut data)?,
+                failure_timeout_ms: get_u64(&mut data)?,
+                heal: get_u8(&mut data)? != 0,
+                kill_at_min: match get_u8(&mut data)? {
+                    0 => None,
+                    1 => Some(get_u64(&mut data)?),
+                    _ => return None,
+                },
             },
             1 => ClusterMsg::Hello {
                 shard_start: get_u64(&mut data)?,
@@ -385,15 +552,82 @@ impl ClusterMsg {
                     };
                     transport.per_peer.insert(peer, link);
                 }
+                let messages_delivered = get_u64(&mut data)?;
+                let messages_lost = get_u64(&mut data)?;
+                let n_extra = get_u32(&mut data)? as usize;
+                if n_extra > 1 << 24 {
+                    return None;
+                }
+                let mut extra_paths = Vec::with_capacity(n_extra.min(65536));
+                for _ in 0..n_extra {
+                    let peer = get_u64(&mut data)?;
+                    extra_paths.push((peer, get_path(&mut data)?));
+                }
                 ClusterMsg::Report(ShardReport {
                     shard_start,
                     paths,
                     query_stats,
                     online_at_end,
                     transport,
-                    messages_delivered: get_u64(&mut data)?,
-                    messages_lost: get_u64(&mut data)?,
+                    messages_delivered,
+                    messages_lost,
+                    extra_paths,
                 })
+            }
+            9 => ClusterMsg::Heartbeat {
+                epoch: get_u64(&mut data)?,
+            },
+            10 => {
+                let shard_start = get_u64(&mut data)?;
+                let n = get_u32(&mut data)? as usize;
+                if n > 1 << 24 {
+                    return None;
+                }
+                let mut paths = Vec::with_capacity(n.min(65536));
+                for _ in 0..n {
+                    paths.push(get_path(&mut data)?);
+                }
+                ClusterMsg::ShardPaths { shard_start, paths }
+            }
+            11 => ClusterMsg::WorkerFailed {
+                epoch: get_u64(&mut data)?,
+                worker_index: get_u32(&mut data)?,
+                shard_start: get_u64(&mut data)?,
+                shard_len: get_u64(&mut data)?,
+            },
+            12 => {
+                let epoch = get_u64(&mut data)?;
+                let n = get_u32(&mut data)? as usize;
+                if n > 1 << 24 {
+                    return None;
+                }
+                let mut moves = Vec::with_capacity(n.min(65536));
+                for _ in 0..n {
+                    moves.push(ReassignMove {
+                        peer: get_u64(&mut data)?,
+                        to_worker: get_u32(&mut data)?,
+                        source_peer: get_u64(&mut data)?,
+                        path: get_path(&mut data)?,
+                    });
+                }
+                ClusterMsg::ShardReassign { epoch, moves }
+            }
+            13 => ClusterMsg::RecoveryAddrs {
+                epoch: get_u64(&mut data)?,
+                peer_addrs: get_addrs(&mut data)?,
+            },
+            14 => {
+                let epoch = get_u64(&mut data)?;
+                let n = get_u32(&mut data)? as usize;
+                if n > 1 << 24 {
+                    return None;
+                }
+                let mut recovered = Vec::with_capacity(n.min(65536));
+                for _ in 0..n {
+                    let peer = get_u64(&mut data)?;
+                    recovered.push((peer, get_u8(&mut data)? != 0));
+                }
+                ClusterMsg::RecoveryDone { epoch, recovered }
             }
             _ => return None,
         })
@@ -850,6 +1084,10 @@ mod tests {
             },
             timeline: Timeline::default(),
             tracing: true,
+            heartbeat_ms: 500,
+            failure_timeout_ms: 10_000,
+            heal: true,
+            kill_at_min: Some(10),
         });
         roundtrip(ClusterMsg::Hello {
             shard_start: 0,
@@ -958,7 +1196,47 @@ mod tests {
             },
             messages_delivered: 2048,
             messages_lost: 17,
+            extra_paths: vec![(3, Path::parse("011")), (9, Path::root())],
         }));
+        roundtrip(ClusterMsg::Heartbeat { epoch: 2 });
+        roundtrip(ClusterMsg::ShardPaths {
+            shard_start: 16,
+            paths: vec![Path::parse("01"), Path::root(), Path::parse("110")],
+        });
+        roundtrip(ClusterMsg::WorkerFailed {
+            epoch: 1,
+            worker_index: 2,
+            shard_start: 22,
+            shard_len: 10,
+        });
+        roundtrip(ClusterMsg::ShardReassign {
+            epoch: 1,
+            moves: vec![
+                ReassignMove {
+                    peer: 22,
+                    to_worker: 0,
+                    source_peer: 4,
+                    path: Path::parse("010"),
+                },
+                ReassignMove {
+                    peer: 23,
+                    to_worker: 1,
+                    source_peer: 23,
+                    path: Path::root(),
+                },
+            ],
+        });
+        roundtrip(ClusterMsg::RecoveryAddrs {
+            epoch: 1,
+            peer_addrs: vec![
+                (22, "127.0.0.1:6022".parse().unwrap()),
+                (23, "[::1]:6023".parse().unwrap()),
+            ],
+        });
+        roundtrip(ClusterMsg::RecoveryDone {
+            epoch: 1,
+            recovered: vec![(22, true), (23, false)],
+        });
     }
 
     #[test]
@@ -975,6 +1253,10 @@ mod tests {
                 },
                 timeline: Timeline::default(),
                 tracing: false,
+                heartbeat_ms: 0,
+                failure_timeout_ms: 0,
+                heal: false,
+                kill_at_min: None,
             });
         }
     }

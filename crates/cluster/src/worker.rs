@@ -22,16 +22,26 @@
 //!   while continuing to service the data transport, so peers of slower
 //!   shards still get their exchanges answered.
 //!
+//! Since proto v5 the worker is also one node of the self-healing loop: it
+//! heartbeats on the control channel while advancing and while parked, and
+//! when the coordinator reassigns a dead worker's shard it takes over the
+//! orphaned endpoints ([`TcpTransport::register_takeover`]), adopts the
+//! peers, and rebuilds their state from live P-Grid replicas — the paper's
+//! own replication doubling as the recovery mechanism — with the seeded
+//! local regeneration as the guaranteed-termination fallback.
+//!
 //! [`Phase::JoinSchedule`]: pgrid_scenario::Phase::JoinSchedule
 //! [`Phase::ChurnSchedule`]: pgrid_scenario::Phase::ChurnSchedule
+//! [`TcpTransport::register_takeover`]: pgrid_transport::tcp::TcpTransport::register_takeover
 
 use crate::plan::{churn_plan, join_plan, MINUTE_MS};
 use crate::proto::{
-    ClusterMsg, ControlChannel, ShardReport, PHASE_CONSTRUCTED, PHASE_DONE, PHASE_JOINED,
-    PHASE_QUERIED, PHASE_REPLICATED, PHASE_WIRED,
+    ClusterMsg, ControlChannel, ReassignMove, ShardReport, PHASE_CONSTRUCTED, PHASE_DONE,
+    PHASE_JOINED, PHASE_QUERIED, PHASE_REPLICATED, PHASE_WIRED,
 };
 use pgrid_core::index::IndexId;
 use pgrid_core::key::Key;
+use pgrid_core::path::Path;
 use pgrid_core::routing::PeerId;
 use pgrid_net::experiment::Timeline;
 use pgrid_net::runtime::{Millis, NetConfig, Runtime};
@@ -42,10 +52,12 @@ use pgrid_scenario::scenario::CONTROL_SEED_SALT;
 use pgrid_scenario::{Overlay, OverlaySnapshot, Phase, QuerySpec, Scenario, ScenarioHooks};
 use pgrid_transport::tcp::TcpTransport;
 use pgrid_transport::{PeerAddr, Transport};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::io::{Error, ErrorKind, Result};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,6 +72,35 @@ const SETTLE: Duration = Duration::from_micros(700);
 
 /// Maximum real time a worker parks at one barrier before giving up.
 const BARRIER_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Rendezvous connect attempts before giving up (capped exponential
+/// backoff with deterministic jitter between attempts).
+const CONNECT_ATTEMPTS: u32 = 6;
+
+/// First rendezvous retry delay; doubles per attempt up to
+/// [`CONNECT_BACKOFF_CAP`].
+const CONNECT_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Ceiling of the rendezvous retry delay.
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Wall-clock budget for one replica-rebuild round before the seeded
+/// local fallback kicks in for the stragglers.
+const RECOVERY_SETTLE: Duration = Duration::from_secs(10);
+
+/// How much virtual time a recovery round may consume driving the data
+/// plane (pulls and pushes ride scheduled messages like all traffic).
+const RECOVERY_VIRTUAL_MS: Millis = 5_000;
+
+/// How often an unanswered replica pull is re-issued during the recovery
+/// window (the first attempt can race the address-book update on the
+/// source's side).
+const RECOVERY_RETRY: Duration = Duration::from_secs(2);
+
+/// Exit code of a worker that killed itself on schedule (fault
+/// injection); [`crate::local`] tolerates this many non-success children
+/// as the coordinator observed failures.
+pub const KILL_EXIT_CODE: i32 = 113;
 
 fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
     Error::new(
@@ -160,12 +201,50 @@ impl WorkerObs {
     }
 }
 
+/// Liveness and healing state of one worker.
+struct HealState {
+    /// Whether the coordinator reassigns dead shards (from `Welcome`).
+    heal: bool,
+    /// Wall-clock heartbeat interval (0 disables).
+    heartbeat_ms: u64,
+    /// Last heartbeat actually sent.
+    last_heartbeat: Instant,
+    /// Latest membership epoch announced by the coordinator.
+    epoch: u64,
+    /// Fault injection: kill the process once the virtual clock reaches
+    /// this instant.
+    kill_at: Option<Millis>,
+    /// Adoptions announced by `ShardReassign` and not yet rebuilt:
+    /// `(peer, source hint, last observed path)`.
+    pending: Vec<(usize, usize, Path)>,
+    worker_index: u32,
+}
+
 /// The worker's shard wrapped as a scenario overlay: every operation
 /// delegates to the sharded [`Runtime`], except that advancing virtual
-/// time is paced against the wire (see the module docs).
+/// time is paced against the wire (see the module docs), heartbeats the
+/// control channel, and honours a scheduled self-kill.
 pub struct ShardOverlay {
     /// The sharded runtime this worker hosts.
     pub runtime: Runtime<TcpTransport>,
+    ctl: Rc<RefCell<ControlChannel>>,
+    heal: HealState,
+}
+
+impl ShardOverlay {
+    /// Sends a heartbeat if the interval elapsed; send errors are ignored
+    /// here (a dead coordinator surfaces at the next barrier anyway).
+    fn maybe_heartbeat(&mut self) {
+        if self.heal.heartbeat_ms == 0 {
+            return;
+        }
+        if self.heal.last_heartbeat.elapsed() < Duration::from_millis(self.heal.heartbeat_ms) {
+            return;
+        }
+        self.heal.last_heartbeat = Instant::now();
+        let epoch = self.heal.epoch;
+        let _ = self.ctl.borrow_mut().send(&ClusterMsg::Heartbeat { epoch });
+    }
 }
 
 impl Overlay for ShardOverlay {
@@ -183,7 +262,23 @@ impl Overlay for ShardOverlay {
         // phase boundary.
         while self.runtime.now() < until {
             let next = (self.runtime.now() + PACE_SLICE_MS).min(until);
+            if let Some(kill_at) = self.heal.kill_at {
+                if kill_at <= next {
+                    // Unplanned death, as far as the rest of the cluster is
+                    // concerned: advance to the instant and exit without a
+                    // word on any channel.
+                    self.runtime.run_until(kill_at);
+                    pgrid_obs::info!(
+                        "cluster::worker",
+                        "worker {}: fault injection — dying at virtual minute {}",
+                        self.heal.worker_index,
+                        kill_at / MINUTE_MS
+                    );
+                    std::process::exit(KILL_EXIT_CODE);
+                }
+            }
             self.runtime.run_until(next);
+            self.maybe_heartbeat();
             let deadline = Instant::now() + SETTLE;
             loop {
                 if self.runtime.service_network() == 0 {
@@ -244,6 +339,14 @@ impl Overlay for ShardOverlay {
         Overlay::query_timeout_ms(&self.runtime)
     }
 
+    fn schedule_kill(&mut self, at: Millis) {
+        self.heal.kill_at = Some(at);
+    }
+
+    fn inject_partition(&mut self, groups: &[Vec<usize>], from: Millis, until: Millis) -> bool {
+        Overlay::inject_partition(&mut self.runtime, groups, from, until)
+    }
+
     fn snapshot(&self, label: &str) -> OverlaySnapshot {
         Overlay::snapshot(&self.runtime, label)
     }
@@ -252,7 +355,6 @@ impl Overlay for ShardOverlay {
 /// Phase hooks of the worker: after each boundary phase, stream completed
 /// bandwidth minutes and park at the coordinator's barrier.
 struct BarrierHooks<'a> {
-    ctl: &'a mut ControlChannel,
     streamed: &'a mut BTreeSet<u64>,
     obs: &'a mut WorkerObs,
     /// The barrier each phase index parks at, precomputed by
@@ -302,25 +404,53 @@ impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
         let Some(barrier_phase) = self.plan.get(phase_index).copied().flatten() else {
             return Ok(());
         };
-        barrier(
-            self.ctl,
-            &mut overlay.runtime,
-            barrier_phase,
-            self.streamed,
-            self.obs,
-        )
+        barrier(overlay, barrier_phase, self.streamed, self.obs)
     }
+}
+
+/// Connects to the coordinator with capped exponential backoff and
+/// deterministic jitter, so workers racing a slow-to-bind rendezvous (or a
+/// supervisor restart) converge instead of failing on the first refusal.
+fn connect_with_retry(coordinator: SocketAddr) -> Result<TcpStream> {
+    let mut delay = CONNECT_BACKOFF;
+    let mut last = None;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(coordinator) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                pgrid_obs::debug!(
+                    "cluster::worker",
+                    "rendezvous connect attempt {} failed: {e}",
+                    attempt + 1
+                );
+                last = Some(e);
+            }
+        }
+        if attempt + 1 < CONNECT_ATTEMPTS {
+            // Plain xorshift off the port and attempt number: enough to
+            // decorrelate workers without touching any experiment RNG.
+            let mut x =
+                (coordinator.port() as u64 + 1) ^ ((attempt as u64 + 1) * 0x9E37_79B9_7F4A_7C15);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let jitter = x % (delay.as_millis() as u64 / 2 + 1);
+            std::thread::sleep(delay + Duration::from_millis(jitter));
+            delay = (delay * 2).min(CONNECT_BACKOFF_CAP);
+        }
+    }
+    Err(last.unwrap_or_else(|| Error::new(ErrorKind::ConnectionRefused, "no connect attempt ran")))
 }
 
 /// Connects to the coordinator at `coordinator` and runs one worker to
 /// completion: rendezvous, the full sharded timeline, and the final shard
 /// report.
 pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()> {
-    let stream = TcpStream::connect(coordinator)?;
-    let mut ctl = ControlChannel::new(stream)?;
+    let stream = connect_with_retry(coordinator)?;
+    let ctl = Rc::new(RefCell::new(ControlChannel::new(stream)?));
 
     // --- rendezvous: assignment, endpoints, address book -------------------
-    let welcome = ctl.recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let welcome = ctl.borrow_mut().recv_timeout(HANDSHAKE_TIMEOUT)?;
     let ClusterMsg::Welcome {
         worker_index,
         n_workers: _,
@@ -329,6 +459,10 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         config,
         timeline,
         tracing,
+        heartbeat_ms,
+        failure_timeout_ms: _,
+        heal,
+        kill_at_min,
     } = welcome
     else {
         return Err(protocol_error("Welcome", &welcome));
@@ -336,8 +470,10 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
     let shard = shard_start as usize..(shard_start + shard_len) as usize;
     pgrid_obs::info!(
         "cluster::worker",
-        "worker {worker_index}: shard {shard_start}+{shard_len}, tracing {}",
-        if tracing { "on" } else { "off" }
+        "worker {worker_index}: shard {shard_start}+{shard_len}, tracing {}, \
+         heartbeat {heartbeat_ms}ms, heal {}",
+        if tracing { "on" } else { "off" },
+        if heal { "on" } else { "off" }
     );
 
     let scrape = match options.metrics_addr {
@@ -376,13 +512,13 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         };
         peer_addrs.push((peer as u64, addr));
     }
-    ctl.send(&ClusterMsg::Hello {
+    ctl.borrow_mut().send(&ClusterMsg::Hello {
         shard_start,
         peer_addrs,
         metrics_addr: obs.scrape.as_ref().map(|(server, _)| server.addr()),
     })?;
 
-    let book = ctl.recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let book = ctl.borrow_mut().recv_timeout(HANDSHAKE_TIMEOUT)?;
     let ClusterMsg::AddressBook { peer_addrs: book } = book else {
         return Err(protocol_error("AddressBook", &book));
     };
@@ -402,15 +538,21 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         runtime.enable_tracing_with_base(worker_index as u64 + 1);
     }
     runtime.flight_dump = options.flight_dump.clone();
-    let mut overlay = ShardOverlay { runtime };
+    let mut overlay = ShardOverlay {
+        runtime,
+        ctl: Rc::clone(&ctl),
+        heal: HealState {
+            heal,
+            heartbeat_ms,
+            last_heartbeat: Instant::now(),
+            epoch: 0,
+            kill_at: kill_at_min.map(|m| m * MINUTE_MS),
+            pending: Vec::new(),
+            worker_index,
+        },
+    };
     let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
-    barrier(
-        &mut ctl,
-        &mut overlay.runtime,
-        PHASE_WIRED,
-        &mut streamed_minutes,
-        &mut obs,
-    )?;
+    barrier(&mut overlay, PHASE_WIRED, &mut streamed_minutes, &mut obs)?;
 
     // --- the timeline as a scenario ------------------------------------------
     // Same phase program as the single-process Section-5 scenario, with the
@@ -420,7 +562,6 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
     let scenario = worker_scenario(&config, &timeline, worker_index, shard.len());
     let plan = barrier_plan(&scenario);
     let mut hooks = BarrierHooks {
-        ctl: &mut ctl,
         streamed: &mut streamed_minutes,
         obs: &mut obs,
         plan,
@@ -429,8 +570,13 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
 
     // --- final report --------------------------------------------------------
     let runtime = &overlay.runtime;
-    stream_minutes(&mut ctl, runtime, &mut streamed_minutes, u64::MAX)?;
-    ctl.send(&ClusterMsg::Report(ShardReport {
+    stream_minutes(
+        &mut ctl.borrow_mut(),
+        runtime,
+        &mut streamed_minutes,
+        u64::MAX,
+    )?;
+    ctl.borrow_mut().send(&ClusterMsg::Report(ShardReport {
         shard_start,
         paths: shard
             .clone()
@@ -446,6 +592,11 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         transport: runtime.transport_stats(),
         messages_delivered: runtime.metrics.messages_delivered as u64,
         messages_lost: runtime.metrics.messages_lost as u64,
+        extra_paths: runtime
+            .adopted_peers()
+            .into_iter()
+            .map(|peer| (peer as u64, runtime.nodes[peer].state.path))
+            .collect(),
     }))?;
     pgrid_obs::info!(
         "cluster::worker",
@@ -527,21 +678,181 @@ fn stream_minutes(
     ctl.send(&ClusterMsg::Minutes { samples })
 }
 
+/// Takes over the endpoints of every orphan reassigned to this worker,
+/// adopts the peers, and reports the fresh listen addresses; the actual
+/// state rebuild waits for the updated address book (see [`run_recovery`]).
+fn handle_reassign(
+    overlay: &mut ShardOverlay,
+    epoch: u64,
+    moves: &[ReassignMove],
+    obs: &mut WorkerObs,
+) -> Result<()> {
+    let mut addrs: Vec<(u64, SocketAddr)> = Vec::new();
+    for m in moves
+        .iter()
+        .filter(|m| m.to_worker == overlay.heal.worker_index)
+    {
+        let peer = m.peer as usize;
+        let addr = overlay
+            .runtime
+            .transport_mut()
+            .register_takeover(PeerId(m.peer))
+            .map_err(|e| Error::other(e.to_string()))?;
+        let PeerAddr::Socket(sock) = addr else {
+            unreachable!("the TCP backend returns socket addresses");
+        };
+        overlay.runtime.adopt_peer(peer);
+        overlay
+            .heal
+            .pending
+            .push((peer, m.source_peer as usize, m.path));
+        addrs.push((m.peer, sock));
+        obs.control.lock().unwrap().note(
+            overlay.runtime.now(),
+            "recovery",
+            format!(
+                "epoch={epoch} adopting peer {peer} (source hint {})",
+                m.source_peer
+            ),
+        );
+    }
+    if !addrs.is_empty() {
+        overlay.ctl.borrow_mut().send(&ClusterMsg::RecoveryAddrs {
+            epoch,
+            peer_addrs: addrs,
+        })?;
+    }
+    Ok(())
+}
+
+/// Re-points every non-hosted peer at its (possibly moved) endpoint and
+/// clears the link state towards it: a peer that was unreachable because
+/// its worker died is reachable again once a survivor re-hosts it.
+fn apply_book(overlay: &mut ShardOverlay, book: &[(u64, SocketAddr)]) {
+    for &(peer, addr) in book {
+        let p = peer as usize;
+        if overlay.runtime.hosted(p) {
+            continue;
+        }
+        // A book entry the transport does not know (it never spoke to the
+        // peer) is not an error worth failing recovery over.
+        let _ = overlay
+            .runtime
+            .transport_mut()
+            .update_remote(PeerId(peer), addr);
+        overlay.runtime.set_peer_addr(p, PeerAddr::Socket(addr));
+    }
+}
+
+/// Rebuilds every pending adoption: replica pulls over the data plane
+/// (local replica scan first, then the coordinator's hint), the seeded
+/// local regeneration as the fallback, and a `RecoveryDone` acknowledgment
+/// once the shard is whole again.
+fn run_recovery(overlay: &mut ShardOverlay, obs: &mut WorkerObs) -> Result<()> {
+    if overlay.heal.pending.is_empty() {
+        return Ok(());
+    }
+    let pending = std::mem::take(&mut overlay.heal.pending);
+    let epoch = overlay.heal.epoch;
+    let mut local: BTreeSet<usize> = BTreeSet::new();
+    let source_of = |overlay: &ShardOverlay, peer: usize, hint: usize| {
+        overlay
+            .runtime
+            .find_replica_source(peer)
+            .or_else(|| (hint != peer).then_some(hint))
+    };
+    for &(peer, hint, path) in &pending {
+        match source_of(overlay, peer, hint) {
+            Some(source) => overlay.runtime.begin_replica_pull(peer, source),
+            None => {
+                overlay.runtime.recover_locally(peer, path);
+                local.insert(peer);
+            }
+        }
+    }
+    // Drive the data plane until every pull is answered.  Pulls ride
+    // scheduled messages like all traffic, so the virtual clock inches
+    // forward (bounded — the next phase re-synchronises at its barrier);
+    // unanswered pulls are re-issued in case the first one raced the
+    // address-book update on the source's side, and the wall-clock bound
+    // plus the local fallback guarantee termination even if every replica
+    // died with the worker.
+    let wall_deadline = Instant::now() + RECOVERY_SETTLE;
+    let virtual_cap = overlay.runtime.now() + RECOVERY_VIRTUAL_MS;
+    let mut next_retry = Instant::now() + RECOVERY_RETRY;
+    while overlay.runtime.pending_recoveries() > 0 && Instant::now() < wall_deadline {
+        overlay.runtime.service_network();
+        let now = overlay.runtime.now();
+        if now < virtual_cap {
+            overlay.runtime.run_until(now + 10);
+        }
+        overlay.maybe_heartbeat();
+        if Instant::now() >= next_retry {
+            for peer in overlay.runtime.recovering_peers() {
+                let hint = pending
+                    .iter()
+                    .find(|&&(p, _, _)| p == peer)
+                    .map_or(peer, |&(_, hint, _)| hint);
+                if let Some(source) = source_of(overlay, peer, hint) {
+                    overlay.runtime.begin_replica_pull(peer, source);
+                }
+            }
+            next_retry += RECOVERY_RETRY;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for peer in overlay.runtime.recovering_peers() {
+        let path = pending
+            .iter()
+            .find(|&&(p, _, _)| p == peer)
+            .map_or_else(Path::root, |&(_, _, path)| path);
+        overlay.runtime.recover_locally(peer, path);
+        local.insert(peer);
+    }
+    let recovered: Vec<(u64, bool)> = pending
+        .iter()
+        .map(|&(peer, _, _)| (peer as u64, !local.contains(&peer)))
+        .collect();
+    obs.control.lock().unwrap().note(
+        overlay.runtime.now(),
+        "recovery",
+        format!(
+            "epoch={epoch} rebuilt {} peers ({} from replicas)",
+            recovered.len(),
+            recovered.iter().filter(|(_, via)| *via).count()
+        ),
+    );
+    pgrid_obs::info!(
+        "cluster::worker",
+        "worker {}: rebuilt {} adopted peers ({} from replicas, {} locally)",
+        overlay.heal.worker_index,
+        recovered.len(),
+        recovered.iter().filter(|(_, via)| *via).count(),
+        local.len()
+    );
+    overlay
+        .ctl
+        .borrow_mut()
+        .send(&ClusterMsg::RecoveryDone { epoch, recovered })?;
+    Ok(())
+}
+
 /// Reports the end of `phase` and parks until the coordinator releases the
-/// barrier, servicing the data transport the whole time.
+/// barrier, servicing the data transport (and the healing protocol) the
+/// whole time.
 fn barrier(
-    ctl: &mut ControlChannel,
-    runtime: &mut Runtime<TcpTransport>,
+    overlay: &mut ShardOverlay,
     phase: u8,
     streamed: &mut BTreeSet<u64>,
     obs: &mut WorkerObs,
 ) -> Result<()> {
+    let ctl = Rc::clone(&overlay.ctl);
     // Let stragglers from faster shards drain before declaring the phase
     // over: keep answering until the wire stays quiet for a moment.
     let mut quiet_since = Instant::now();
     let grace_deadline = Instant::now() + Duration::from_millis(400);
     loop {
-        if runtime.service_network() > 0 {
+        if overlay.runtime.service_network() > 0 {
             quiet_since = Instant::now();
         } else if quiet_since.elapsed() >= Duration::from_millis(20)
             || Instant::now() >= grace_deadline
@@ -550,24 +861,68 @@ fn barrier(
         } else {
             std::thread::sleep(Duration::from_micros(200));
         }
+        overlay.maybe_heartbeat();
     }
     // Buckets below the current minute can no longer grow in this phase.
-    stream_minutes(ctl, runtime, streamed, runtime.now() / MINUTE_MS)?;
+    stream_minutes(
+        &mut ctl.borrow_mut(),
+        &overlay.runtime,
+        streamed,
+        overlay.runtime.now() / MINUTE_MS,
+    )?;
     // Fresh registry snapshot and drained trace events ride along with
     // every barrier, so the coordinator's merged view stays current.
-    obs.publish(ctl, runtime, phase)?;
+    obs.publish(&mut ctl.borrow_mut(), &mut overlay.runtime, phase)?;
+    if overlay.heal.heal {
+        // The coordinator keeps every peer's last barrier path: the raw
+        // material of replica hints and of partial reports for unhealed
+        // shards.
+        let paths: Vec<Path> = overlay
+            .runtime
+            .shard()
+            .map(|peer| overlay.runtime.nodes[peer].state.path)
+            .collect();
+        ctl.borrow_mut().send(&ClusterMsg::ShardPaths {
+            shard_start: overlay.runtime.shard().start as u64,
+            paths,
+        })?;
+    }
     pgrid_obs::debug!(
         "cluster::worker",
         "worker {}: phase {phase} done at virtual minute {}",
         obs.worker_index,
-        runtime.now() / MINUTE_MS
+        overlay.runtime.now() / MINUTE_MS
     );
-    ctl.send(&ClusterMsg::PhaseDone { phase })?;
+    ctl.borrow_mut().send(&ClusterMsg::PhaseDone { phase })?;
     let deadline = Instant::now() + BARRIER_TIMEOUT;
     loop {
-        runtime.service_network();
-        match ctl.try_recv()? {
+        overlay.runtime.service_network();
+        overlay.maybe_heartbeat();
+        let msg = ctl.borrow_mut().try_recv()?;
+        match msg {
             Some(ClusterMsg::Proceed { phase: p }) if p == phase => return Ok(()),
+            Some(ClusterMsg::WorkerFailed {
+                epoch,
+                worker_index,
+                shard_start,
+                shard_len,
+            }) => {
+                overlay.heal.epoch = overlay.heal.epoch.max(epoch);
+                pgrid_obs::info!(
+                    "cluster::worker",
+                    "worker {}: told worker {worker_index} died \
+                     (shard {shard_start}+{shard_len}, epoch {epoch})",
+                    overlay.heal.worker_index
+                );
+            }
+            Some(ClusterMsg::ShardReassign { epoch, moves }) => {
+                overlay.heal.epoch = overlay.heal.epoch.max(epoch);
+                handle_reassign(overlay, epoch, &moves, obs)?;
+            }
+            Some(ClusterMsg::AddressBook { peer_addrs }) => {
+                apply_book(overlay, &peer_addrs);
+                run_recovery(overlay, obs)?;
+            }
             Some(other) => return Err(protocol_error("Proceed", &other)),
             None => {
                 if Instant::now() >= deadline {

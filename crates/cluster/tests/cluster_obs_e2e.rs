@@ -86,6 +86,7 @@ fn tracing_cluster_reassembles_cross_process_hop_chains_and_serves_metrics() {
         },
         worker_metrics: true,
         worker_flight_dir: None,
+        heal: Default::default(),
     };
     let (config, timeline) = (config(), short_timeline());
     let run = std::thread::spawn(move || run_local_observed(&config, &timeline, &options));
@@ -212,6 +213,7 @@ fn coordinator_dumps_flight_recorder_when_a_worker_fails() {
         n_workers: 1,
         net: config(),
         timeline: short_timeline(),
+        heal: Default::default(),
     };
     let obs = ObsOptions {
         flight_dump: Some(dump.clone()),

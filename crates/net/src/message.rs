@@ -139,6 +139,27 @@ pub enum Message {
         /// The enveloped protocol message.
         inner: Box<Message>,
     },
+    /// Recovery request: a peer rebuilt after a worker failure asks a live
+    /// replica of its partition for a state snapshot.  This is the wire
+    /// half of the paper's availability argument — the replication factor
+    /// is what makes the lost state recoverable at all.
+    ReplicaPull {
+        /// The recovering peer (receives the [`Message::ReplicaPush`]).
+        origin: PeerId,
+    },
+    /// Reply to [`Message::ReplicaPull`]: a full snapshot of the replica's
+    /// partition — path, key-store entries, and routing references — from
+    /// which the recovering peer rebuilds its `KeyStore` and routing table.
+    ReplicaPush {
+        /// The replica's current path (adopted by the recovering peer).
+        path: Path,
+        /// Every entry of the replica's key store.
+        entries: Vec<DataEntry>,
+        /// Flattened routing references as `(level, peer, path)`.
+        routing: Vec<(u8, PeerId, Path)>,
+        /// Peers the replica believes share its partition.
+        replicas: Vec<PeerId>,
+    },
 }
 
 /// Decision taken by the contacted peer of an [`Message::Exchange`].
@@ -329,6 +350,30 @@ impl Message {
                 buf.put_u64(*trace_id);
                 inner.encode_into(buf);
             }
+            Message::ReplicaPull { origin } => {
+                buf.put_u8(11);
+                buf.put_u64(origin.0);
+            }
+            Message::ReplicaPush {
+                path,
+                entries,
+                routing,
+                replicas,
+            } => {
+                buf.put_u8(12);
+                put_path(buf, path);
+                put_entries(buf, entries);
+                buf.put_u32(routing.len() as u32);
+                for (level, peer, path) in routing {
+                    buf.put_u8(*level);
+                    buf.put_u64(peer.0);
+                    put_path(buf, path);
+                }
+                buf.put_u32(replicas.len() as u32);
+                for r in replicas {
+                    buf.put_u64(r.0);
+                }
+            }
         }
     }
 
@@ -452,6 +497,38 @@ impl Message {
                 Message::Traced {
                     trace_id,
                     inner: Box::new(inner),
+                }
+            }
+            11 => Message::ReplicaPull {
+                origin: PeerId(checked_u64(&mut data)?),
+            },
+            12 => {
+                let path = get_path(&mut data)?;
+                let entries = get_entries(&mut data)?;
+                let n = checked_u32(&mut data)? as usize;
+                if n > 65_536 {
+                    return None;
+                }
+                let mut routing = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let level = checked_u8(&mut data)?;
+                    let peer = PeerId(checked_u64(&mut data)?);
+                    let path = get_path(&mut data)?;
+                    routing.push((level, peer, path));
+                }
+                let n = checked_u32(&mut data)? as usize;
+                if n > 65_536 {
+                    return None;
+                }
+                let mut replicas = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    replicas.push(PeerId(checked_u64(&mut data)?));
+                }
+                Message::ReplicaPush {
+                    path,
+                    entries,
+                    routing,
+                    replicas,
                 }
             }
             _ => return None,
@@ -626,6 +703,16 @@ mod tests {
             entries: entries(4),
             hops: 2,
         });
+        roundtrip(Message::ReplicaPull { origin: PeerId(12) });
+        roundtrip(Message::ReplicaPush {
+            path: Path::parse("0110"),
+            entries: entries(7),
+            routing: vec![
+                (0, PeerId(3), Path::parse("1")),
+                (1, PeerId(4), Path::parse("00")),
+            ],
+            replicas: vec![PeerId(5), PeerId(9)],
+        });
     }
 
     #[test]
@@ -679,6 +766,28 @@ mod tests {
         buf.put_u32(10);
         buf.put_u64(1);
         assert!(Message::decode(buf.freeze()).is_none());
+        // truncated replica pull
+        assert!(Message::decode(Bytes::from_static(&[11, 0, 0])).is_none());
+        // replica push with an absurd routing count
+        let mut buf = BytesMut::new();
+        buf.put_u8(12);
+        buf.put_u8(0); // root path
+        buf.put_u64(0);
+        buf.put_u32(0); // no entries
+        buf.put_u32(1 << 20); // routing count over the cap
+        assert!(Message::decode(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn recovery_messages_are_maintenance_traffic() {
+        assert!(!Message::ReplicaPull { origin: PeerId(1) }.is_query_traffic());
+        assert!(!Message::ReplicaPush {
+            path: Path::root(),
+            entries: Vec::new(),
+            routing: Vec::new(),
+            replicas: Vec::new(),
+        }
+        .is_query_traffic());
     }
 
     #[test]

@@ -25,13 +25,13 @@ use pgrid_obs::recorder::FlightRecorder;
 use pgrid_obs::trace::{Tracer, AMBIENT_TRACE, NO_TRACE};
 use pgrid_transport::frame;
 use pgrid_transport::loopback::{LoopbackConfig, LoopbackTransport};
-use pgrid_transport::{PeerAddr, Transport, TransportError, TransportStats};
+use pgrid_transport::{LinkFault, PeerAddr, Transport, TransportError, TransportStats};
 use pgrid_workload::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
 
 /// Milliseconds of virtual time.
 pub type Millis = u64;
@@ -353,6 +353,18 @@ pub struct NetMetrics {
     /// Frames that carried more than one message (the per-tick batching at
     /// work; always zero with [`NetConfig::batch_per_tick`] disabled).
     pub multi_message_frames: usize,
+    /// Links that entered the Suspect state (a send to the peer failed and
+    /// the link backed off); always zero on virtual-time transports.
+    pub links_suspected: usize,
+    /// Links declared Dead after repeated send failures.
+    pub links_dead: usize,
+    /// Peers adopted from a failed worker's shard.
+    pub peers_adopted: usize,
+    /// Adopted peers whose state was rebuilt from a live P-Grid replica.
+    pub peers_recovered_replica: usize,
+    /// Adopted peers rebuilt from the locally regenerated data assignment
+    /// (no live replica answered in time).
+    pub peers_recovered_local: usize,
 }
 
 impl Default for NetMetrics {
@@ -368,6 +380,11 @@ impl Default for NetMetrics {
             messages_to_offline: 0,
             decode_failures: 0,
             multi_message_frames: 0,
+            links_suspected: 0,
+            links_dead: 0,
+            peers_adopted: 0,
+            peers_recovered_replica: 0,
+            peers_recovered_local: 0,
         }
     }
 }
@@ -448,6 +465,31 @@ impl NetMetrics {
                 "pgrid_net_multi_message_frames_total",
                 "Frames that carried more than one message.",
                 self.multi_message_frames,
+            ),
+            (
+                "pgrid_net_links_suspected_total",
+                "Links that entered the Suspect state after a send failure.",
+                self.links_suspected,
+            ),
+            (
+                "pgrid_net_links_dead_total",
+                "Links declared Dead after repeated send failures.",
+                self.links_dead,
+            ),
+            (
+                "pgrid_net_peers_adopted_total",
+                "Peers adopted from a failed worker's shard.",
+                self.peers_adopted,
+            ),
+            (
+                "pgrid_net_peers_recovered_replica_total",
+                "Adopted peers rebuilt from a live P-Grid replica.",
+                self.peers_recovered_replica,
+            ),
+            (
+                "pgrid_net_peers_recovered_local_total",
+                "Adopted peers rebuilt from the regenerated data assignment.",
+                self.peers_recovered_local,
             ),
             (
                 "pgrid_net_queries_issued_total",
@@ -879,6 +921,40 @@ impl Ord for Event {
     }
 }
 
+/// First backoff window after a send failure marks a link Suspect;
+/// doubles per further failure, capped at [`LINK_BACKOFF_CAP_MS`].
+const LINK_SUSPECT_BACKOFF_MS: Millis = 250;
+
+/// Upper bound of the Suspect retry backoff.
+const LINK_BACKOFF_CAP_MS: Millis = 2_000;
+
+/// Consecutive send failures after which a link is declared Dead.
+const LINK_DEAD_AFTER: u32 = 3;
+
+/// Life-cycle of the link to one (remote) peer, driven by transport send
+/// failures.  Virtual-time transports never fail a send, so every link
+/// stays `Connected` in single-process runs; over TCP a dead worker's
+/// endpoints walk Connected → Suspect → Dead, and the data plane keeps
+/// advancing — sends to a suppressed link count as loss instead of
+/// stalling the virtual clock on connect timeouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkHealth {
+    /// Sends flow normally.
+    Connected,
+    /// A recent send failed; further sends are dropped (as loss) until
+    /// `retry_at`, with exponential backoff per consecutive failure.
+    Suspect {
+        /// Virtual time at which the next send may be attempted.
+        retry_at: Millis,
+        /// Consecutive failures so far.
+        failures: u32,
+    },
+    /// Too many consecutive failures: sends are suppressed and the peer is
+    /// skipped as a query-forwarding candidate until the link is revived
+    /// by recovery ([`Runtime::revive_link`]).
+    Dead,
+}
+
 /// The deployment runtime: peers, a frame transport and the virtual clock.
 ///
 /// Generic over the [`Transport`] backend; [`Runtime::new`] builds the
@@ -912,10 +988,26 @@ pub struct Runtime<T: Transport = LoopbackTransport> {
     /// The contiguous range of peer ids this runtime hosts (all peers in
     /// single-process mode).
     shard: std::ops::Range<usize>,
+    /// Peers adopted from a failed worker's shard, hosted here beyond
+    /// `shard`.  Empty in single-process runs and in healthy clusters.
+    adopted: BTreeSet<usize>,
+    /// Adopted peers whose replica pull is still outstanding.
+    recovering: BTreeSet<usize>,
+    /// Link life-cycle per destination peer (absent = Connected).  Only
+    /// ever populated by transport send failures, which virtual-time
+    /// backends never produce.
+    link_health: HashMap<usize, LinkHealth>,
     /// Per-destination batch buffer, flushed as one frame per destination
     /// after every processed event (BTreeMap so the flush order — and with
     /// it the loss and latency draws — is deterministic).
     pending: BTreeMap<usize, Vec<Message>>,
+    /// First sending peer of each pending per-destination batch — the
+    /// sender identity a frame is stamped with so link-level faults
+    /// (partitions) can tell which side of a split it crosses.
+    pending_from: HashMap<usize, usize>,
+    /// The peer whose handler/event is currently executing (the `from` of
+    /// anything it sends).
+    current_actor: usize,
     queue: BinaryHeap<Reverse<Event>>,
     now: Millis,
     seq: u64,
@@ -1065,7 +1157,12 @@ impl<T: Transport> Runtime<T> {
             transport,
             addrs,
             shard,
+            adopted: BTreeSet::new(),
+            recovering: BTreeSet::new(),
+            link_health: HashMap::new(),
             pending: BTreeMap::new(),
+            pending_from: HashMap::new(),
+            current_actor: 0,
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
@@ -1234,7 +1331,7 @@ impl<T: Transport> Runtime<T> {
     /// all.
     pub fn construction_quiescent(&self) -> bool {
         for index in self.index_ids() {
-            for peer in self.shard.clone() {
+            for peer in self.hosted_peers() {
                 if !self.nodes[peer].joined || !self.nodes[peer].state.online {
                     continue;
                 }
@@ -1277,15 +1374,22 @@ impl<T: Transport> Runtime<T> {
     }
 
     /// Whether `peer`'s protocol state lives in this runtime (as opposed to
-    /// a remote process reachable through the transport).
+    /// a remote process reachable through the transport): part of the
+    /// contiguous shard, or adopted from a failed worker.
     pub fn hosted(&self, peer: usize) -> bool {
-        self.shard.contains(&peer)
+        self.shard.contains(&peer) || self.adopted.contains(&peer)
+    }
+
+    /// Every peer hosted by this runtime: the contiguous shard plus any
+    /// adopted peers (ascending within each group; adopted peers always
+    /// come from other shards, so there are no duplicates).
+    fn hosted_peers(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shard.clone().chain(self.adopted.iter().copied())
     }
 
     /// Number of hosted peers currently online.
     pub fn hosted_online_count(&self) -> usize {
-        self.shard
-            .clone()
+        self.hosted_peers()
             .filter(|&i| self.nodes[i].joined && self.nodes[i].state.online)
             .count()
     }
@@ -1311,6 +1415,128 @@ impl<T: Transport> Runtime<T> {
     /// Frame-level counters of the underlying transport.
     pub fn transport_stats(&self) -> TransportStats {
         self.transport.stats()
+    }
+
+    /// The transport backend, mutable — cluster shard reassignment uses
+    /// this to take over a dead worker's endpoints
+    /// ([`pgrid_transport::tcp::TcpTransport::register_takeover`]) and
+    /// re-point moved ones.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Injects a link-level fault into the transport (per-link jitter, a
+    /// healing partition window); returns whether the backend emulates it.
+    pub fn inject_link_fault(&mut self, fault: LinkFault) -> bool {
+        self.transport.inject_fault(fault)
+    }
+
+    /// Replaces the cached address of `peer` after its endpoint moved
+    /// during recovery, and clears any Suspect/Dead link state towards it.
+    pub fn set_peer_addr(&mut self, peer: usize, addr: PeerAddr) {
+        self.addrs[peer] = addr;
+        self.revive_link(peer);
+    }
+
+    /// Clears the link life-cycle state towards `peer` (its endpoint came
+    /// back or moved to a live process).
+    pub fn revive_link(&mut self, peer: usize) {
+        self.link_health.remove(&peer);
+    }
+
+    // ----- shard reassignment & replica-driven recovery ---------------------
+
+    /// Adopts a peer from a failed worker's shard: this runtime becomes the
+    /// host of its protocol state.  The peer starts offline — its state is
+    /// a stub until [`Runtime::begin_replica_pull`] rebuilds it from a live
+    /// replica (or [`Runtime::recover_locally`] falls back to the
+    /// regenerated data assignment) — so queries do not route into a
+    /// hollow shell meanwhile.
+    pub fn adopt_peer(&mut self, peer: usize) {
+        if self.shard.contains(&peer) || !self.adopted.insert(peer) {
+            return;
+        }
+        self.metrics.peers_adopted += 1;
+        self.link_health.remove(&peer);
+        self.nodes[peer].state.online = false;
+        self.nodes[peer].tick_armed = false;
+        self.rebuild_online_cache();
+        self.recorder
+            .note(self.now, "recovery", format!("adopted peer {peer}"));
+    }
+
+    /// Peers adopted from failed workers, ascending.
+    pub fn adopted_peers(&self) -> Vec<usize> {
+        self.adopted.iter().copied().collect()
+    }
+
+    /// Asks the live peer `source` for a replica snapshot on behalf of the
+    /// adopted peer `peer`.  The answer (a [`Message::ReplicaPush`])
+    /// rebuilds the peer's exact `KeyStore`, path and routing table and
+    /// brings it back online.
+    pub fn begin_replica_pull(&mut self, peer: usize, source: usize) {
+        debug_assert!(self.hosted(peer), "only hosted peers recover here");
+        self.recovering.insert(peer);
+        self.current_actor = peer;
+        self.tracer.record(
+            AMBIENT_TRACE,
+            "recovery_pull",
+            peer as u64,
+            self.now,
+            || format!("source={source}"),
+        );
+        self.send(
+            source,
+            Message::ReplicaPull {
+                origin: PeerId(peer as u64),
+            },
+        );
+        self.flush_pending();
+    }
+
+    /// Number of adopted peers whose replica snapshot has not arrived yet.
+    pub fn pending_recoveries(&self) -> usize {
+        self.recovering.len()
+    }
+
+    /// Number of adopted peers rebuilt from a live replica so far.
+    pub fn replica_recovered_count(&self) -> usize {
+        self.metrics.peers_recovered_replica
+    }
+
+    /// Peers whose replica pull is still outstanding, ascending.
+    pub fn recovering_peers(&self) -> Vec<usize> {
+        self.recovering.iter().copied().collect()
+    }
+
+    /// A live hosted peer that lists `peer` as a replica, if any — the
+    /// cheapest replica source for a pull, since the snapshot never leaves
+    /// the process.
+    pub fn find_replica_source(&self, peer: usize) -> Option<usize> {
+        let target = PeerId(peer as u64);
+        self.hosted_peers()
+            .filter(|&p| p != peer && self.nodes[p].joined && self.nodes[p].state.online)
+            .find(|&p| self.nodes[p].state.replicas.contains(&target))
+    }
+
+    /// Fallback recovery without a live replica: the peer keeps its
+    /// regenerated original entries (every process derives the full data
+    /// assignment from the seed) and adopts `path` — its last path known
+    /// to the coordinator — then rejoins.  Used when no replica answers
+    /// the pull within the healing window, so recovery always terminates.
+    pub fn recover_locally(&mut self, peer: usize, path: Path) {
+        self.recovering.remove(&peer);
+        self.metrics.peers_recovered_local += 1;
+        self.nodes[peer].state.path = path;
+        self.recorder.note(
+            self.now,
+            "recovery",
+            format!(
+                "peer {peer} recovered locally (path len {})",
+                self.nodes[peer].state.path.len()
+            ),
+        );
+        self.finish_recovery(peer);
     }
 
     fn schedule(&mut self, time: Millis, kind: EventKind) {
@@ -1359,9 +1585,11 @@ impl<T: Transport> Runtime<T> {
         };
         self.metrics.account(self.now, &message);
         self.pending.entry(to).or_default().push(message);
+        self.pending_from.entry(to).or_insert(self.current_actor);
         if !self.config.batch_per_tick {
             if let Some(messages) = self.pending.remove(&to) {
-                self.flush_frame(to, messages);
+                let from = self.pending_from.remove(&to).unwrap_or(to);
+                self.flush_frame(from, to, messages);
             }
         }
     }
@@ -1369,15 +1597,17 @@ impl<T: Transport> Runtime<T> {
     /// Flushes every per-destination batch as one frame each.
     fn flush_pending(&mut self) {
         for (to, messages) in std::mem::take(&mut self.pending) {
-            self.flush_frame(to, messages);
+            let from = self.pending_from.remove(&to).unwrap_or(to);
+            self.flush_frame(from, to, messages);
         }
+        self.pending_from.clear();
     }
 
     /// Encodes `messages` into frames for `to` and hands them to the
     /// transport.  A batch normally fits one frame; batches that would
     /// exceed the framing bounds (which the receiver rejects as corrupt)
     /// are split across several frames.
-    fn flush_frame(&mut self, to: usize, messages: Vec<Message>) {
+    fn flush_frame(&mut self, from: usize, to: usize, messages: Vec<Message>) {
         let mut chunk: Vec<Bytes> = Vec::with_capacity(messages.len());
         let mut chunk_bytes = 0usize;
         for message in &messages {
@@ -1388,24 +1618,38 @@ impl<T: Transport> Runtime<T> {
             {
                 let full = std::mem::take(&mut chunk);
                 chunk_bytes = 0;
-                self.ship_frame(to, full);
+                self.ship_frame(from, to, full);
             }
             chunk_bytes += payload.len() + 4;
             chunk.push(payload);
         }
         if !chunk.is_empty() {
-            self.ship_frame(to, chunk);
+            self.ship_frame(from, to, chunk);
         }
     }
 
-    /// Puts one frame on the wire, applying the emulated frame loss.
-    fn ship_frame(&mut self, to: usize, payloads: Vec<Bytes>) {
+    /// Puts one frame on the wire, applying the emulated frame loss and the
+    /// link life-cycle: frames to a Suspect link in its backoff window or
+    /// to a Dead link are dropped as loss instead of hitting the transport,
+    /// so a dead worker's endpoints cannot stall the clock on every send.
+    fn ship_frame(&mut self, from: usize, to: usize, payloads: Vec<Bytes>) {
         if self
             .rng
             .gen_bool(self.config.loss_probability.clamp(0.0, 1.0))
         {
             self.metrics.messages_lost += payloads.len();
             return;
+        }
+        match self.link_health.get(&to) {
+            Some(LinkHealth::Dead) => {
+                self.metrics.messages_lost += payloads.len();
+                return;
+            }
+            Some(LinkHealth::Suspect { retry_at, .. }) if self.now < *retry_at => {
+                self.metrics.messages_lost += payloads.len();
+                return;
+            }
+            _ => {}
         }
         if payloads.len() > 1 {
             self.metrics.multi_message_frames += 1;
@@ -1425,21 +1669,73 @@ impl<T: Transport> Runtime<T> {
         let frame = frame::encode_frame(&payloads);
         if self
             .transport
-            .send(self.now, PeerId(to as u64), frame)
+            .send_from(self.now, PeerId(from as u64), PeerId(to as u64), frame)
             .is_err()
         {
-            // A broken connection behaves like loss on the wire.
+            // A broken connection behaves like loss on the wire — and
+            // escalates the link's life-cycle state.
             self.metrics.messages_lost += payloads.len();
+            self.record_link_failure(to);
+        } else if self.link_health.contains_key(&to) {
+            // A successful retry heals the link.
+            self.link_health.remove(&to);
         }
+    }
+
+    /// Escalates the link to `to` after a transport send failure:
+    /// Connected → Suspect (with exponential backoff per consecutive
+    /// failure) → Dead after [`LINK_DEAD_AFTER`] failures.
+    fn record_link_failure(&mut self, to: usize) {
+        let failures = match self.link_health.get(&to) {
+            Some(LinkHealth::Suspect { failures, .. }) => failures + 1,
+            Some(LinkHealth::Dead) => return,
+            _ => 1,
+        };
+        if failures >= LINK_DEAD_AFTER {
+            self.metrics.links_dead += 1;
+            self.link_health.insert(to, LinkHealth::Dead);
+            self.recorder.note(
+                self.now,
+                "link_dead",
+                format!("link to peer {to} declared dead after {failures} send failures"),
+            );
+        } else {
+            if failures == 1 {
+                self.metrics.links_suspected += 1;
+            }
+            let backoff = (LINK_SUSPECT_BACKOFF_MS << (failures - 1)).min(LINK_BACKOFF_CAP_MS);
+            self.link_health.insert(
+                to,
+                LinkHealth::Suspect {
+                    retry_at: self.now + backoff,
+                    failures,
+                },
+            );
+        }
+    }
+
+    /// The link life-cycle state towards `to` (Connected when no failure
+    /// was ever recorded).
+    pub fn link_health(&self, to: usize) -> LinkHealth {
+        self.link_health
+            .get(&to)
+            .copied()
+            .unwrap_or(LinkHealth::Connected)
+    }
+
+    /// Whether the link to `peer` is usable as a forwarding target (hosted
+    /// peers always are; remote ones unless their link is Dead).
+    fn link_ok(&self, peer: usize) -> bool {
+        !matches!(self.link_health.get(&peer), Some(LinkHealth::Dead))
     }
 
     /// Decodes an arrived frame and handles its messages.
     fn deliver_frame(&mut self, to: PeerId, frame_bytes: Bytes) {
         let to = to.0 as usize;
         // A frame for a peer this runtime does not host can only come from
-        // a mis-wired address book; never apply it to a stub.
-        if !self.shard.contains(&to) {
-            debug_assert!(false, "frame for non-hosted peer {to}");
+        // a mis-wired address book — or from a sender that has not yet
+        // learnt about a shard reassignment; never apply it to a stub.
+        if !self.hosted(to) {
             self.metrics.decode_failures += 1;
             return;
         }
@@ -1467,11 +1763,14 @@ impl<T: Transport> Runtime<T> {
                 self.metrics.decode_failures += 1;
                 continue;
             };
-            if !self.nodes[to].state.online {
+            // A replica snapshot is what brings a recovering peer back
+            // online, so it must reach the peer while it is still offline.
+            if !self.nodes[to].state.online && !matches!(message, Message::ReplicaPush { .. }) {
                 self.metrics.messages_to_offline += 1;
                 continue;
             }
             self.metrics.messages_delivered += 1;
+            self.current_actor = to;
             self.handle_message(to, message);
         }
     }
@@ -1531,7 +1830,7 @@ impl<T: Transport> Runtime<T> {
         let node = &mut self.nodes[peer];
         node.joined = true;
         node.state.online = true;
-        if self.shard.contains(&peer) && !neighbours.is_empty() {
+        if self.hosted(peer) && !neighbours.is_empty() {
             let join = Message::Join {
                 peer: PeerId(peer as u64),
             };
@@ -1568,10 +1867,12 @@ impl<T: Transport> Runtime<T> {
             format!("replication phase started on index {}", index.0),
         );
         let n_min = self.config.n_min;
-        for peer in self.shard.clone() {
+        let hosted: Vec<usize> = self.hosted_peers().collect();
+        for peer in hosted {
             if !self.nodes[peer].state.online {
                 continue;
             }
+            self.current_actor = peer;
             let entries: Vec<DataEntry> = index_state(&self.nodes, &self.secondary, index, peer)
                 .store
                 .iter()
@@ -1613,7 +1914,8 @@ impl<T: Transport> Runtime<T> {
             "phase",
             format!("construction started on index {}", index.0),
         );
-        for peer in self.shard.clone() {
+        let hosted: Vec<usize> = self.hosted_peers().collect();
+        for peer in hosted {
             if self.nodes[peer].state.online {
                 let armed = index_tick_armed_mut(&mut self.nodes, &mut self.secondary, index, peer);
                 if *armed {
@@ -1694,6 +1996,7 @@ impl<T: Transport> Runtime<T> {
         // the origin sends on (a forward or its own response) carries it.
         let previous = self.current_trace;
         self.current_trace = trace_id;
+        self.current_actor = origin;
         self.handle_message_on(origin, index, message);
         self.current_trace = previous;
     }
@@ -1767,6 +2070,7 @@ impl<T: Transport> Runtime<T> {
         self.range_timeout_queue.push_back((deadline, id));
         let previous = self.current_trace;
         self.current_trace = trace_id;
+        self.current_actor = origin;
         self.handle_range_message(index, origin, PeerId(origin as u64), id, lo, hi, lo, 0);
         self.current_trace = previous;
         self.flush_pending();
@@ -1871,13 +2175,15 @@ impl<T: Transport> Runtime<T> {
     }
 
     /// Recomputes the cached list of hosted online peers (ascending, the
-    /// exact filter the per-query scan used to apply).
+    /// exact filter the per-query scan used to apply).  Adopted peers sort
+    /// into place; without adoptions the shard range is already ascending
+    /// and the sort is a no-op, so the origin draws are unchanged.
     fn rebuild_online_cache(&mut self) {
         self.online_hosted = self
-            .shard
-            .clone()
+            .hosted_peers()
             .filter(|&i| self.nodes[i].joined && self.nodes[i].state.online)
             .collect();
+        self.online_hosted.sort_unstable();
     }
 
     /// Expires every queued deadline up to `cutoff` (strictly below it
@@ -1976,6 +2282,7 @@ impl<T: Transport> Runtime<T> {
                         });
                     let previous = self.current_trace;
                     self.current_trace = trace_id;
+                    self.current_actor = peer;
                     self.handle_range_message(
                         index,
                         peer,
@@ -2220,6 +2527,51 @@ impl<T: Transport> Runtime<T> {
                 }
                 let _ = to;
             }
+            Message::ReplicaPull { origin } => {
+                // Snapshot this peer's partition for the recovering peer:
+                // path, every stored entry, the routing table, and the
+                // replica set — the paper's replication factor is exactly
+                // what makes this answer possible.
+                let state = index_state(&self.nodes, &self.secondary, index, to);
+                let path = state.path;
+                let entries: Vec<DataEntry> = state.store.iter().copied().collect();
+                let routing: Vec<(u8, PeerId, Path)> = state
+                    .routing
+                    .entries()
+                    .map(|(level, entry)| (level as u8, entry.peer, entry.path))
+                    .collect();
+                let mut replicas: Vec<PeerId> = state.replicas.clone();
+                replicas.retain(|p| *p != origin);
+                replicas.push(PeerId(to as u64));
+                // The recovering peer becomes another replica of this
+                // partition.
+                let state = index_state_mut(&mut self.nodes, &mut self.secondary, index, to);
+                if !state.replicas.contains(&origin) {
+                    state.replicas.push(origin);
+                }
+                self.tracer
+                    .record(AMBIENT_TRACE, "replica_pull", to as u64, self.now, || {
+                        format!("origin={} index={}", origin.0, index.0)
+                    });
+                self.send_on(
+                    index,
+                    origin.0 as usize,
+                    Message::ReplicaPush {
+                        path,
+                        entries,
+                        routing,
+                        replicas,
+                    },
+                );
+            }
+            Message::ReplicaPush {
+                path,
+                entries,
+                routing,
+                replicas,
+            } => {
+                self.apply_replica_push(index, to, path, entries, routing, replicas);
+            }
             Message::ForIndex { .. } | Message::Traced { .. } => {
                 // Nested envelopes are rejected at decode time; reaching
                 // one here means a hand-crafted message — drop it.
@@ -2228,9 +2580,90 @@ impl<T: Transport> Runtime<T> {
         }
     }
 
+    /// Rebuilds a recovering peer's state from a replica snapshot: exact
+    /// key store, the replica's path, its routing references and replica
+    /// set.  A snapshot for a peer that already finished recovering (a
+    /// second replica answered late) is ignored.
+    fn apply_replica_push(
+        &mut self,
+        index: IndexId,
+        to: usize,
+        path: Path,
+        entries: Vec<DataEntry>,
+        routing: Vec<(u8, PeerId, Path)>,
+        replicas: Vec<PeerId>,
+    ) {
+        if !self.recovering.contains(&to) {
+            return;
+        }
+        let fanout = self.config.routing_fanout;
+        let mut table = pgrid_core::routing::RoutingTable::new(fanout);
+        for (level, peer, rpath) in routing {
+            table.add(
+                level as usize,
+                RoutingEntry { peer, path: rpath },
+                &mut self.rng,
+            );
+        }
+        let state = index_state_mut(&mut self.nodes, &mut self.secondary, index, to);
+        state.path = path;
+        state.store = KeyStore::from_entries(entries);
+        state.routing = table;
+        state.replicas = replicas;
+        state.replicas.retain(|p| p.0 as usize != to);
+        self.recovering.remove(&to);
+        self.metrics.peers_recovered_replica += 1;
+        self.tracer.record(
+            AMBIENT_TRACE,
+            "replica_recovered",
+            to as u64,
+            self.now,
+            || format!("index={} path_len={}", index.0, path.len()),
+        );
+        self.recorder.note(
+            self.now,
+            "recovery",
+            format!(
+                "peer {to} rebuilt from a live replica (path len {})",
+                path.len()
+            ),
+        );
+        self.finish_recovery(to);
+    }
+
+    /// Brings a recovered peer back into service: joined + online, cache
+    /// rebuilt, route-cache entries invalidated, and — when construction
+    /// is still running on this index population — a re-armed tick chain
+    /// so the peer keeps participating in the exchange protocol.
+    fn finish_recovery(&mut self, peer: usize) {
+        self.nodes[peer].joined = true;
+        self.nodes[peer].state.online = true;
+        self.rebuild_online_cache();
+        self.invalidate_route_cache(peer, IndexId::PRIMARY);
+        let construction_live = self
+            .shard
+            .clone()
+            .any(|p| self.nodes[p].constructing && self.nodes[p].tick_armed);
+        if construction_live && !self.nodes[peer].tick_armed {
+            self.nodes[peer].tick_armed = true;
+            self.nodes[peer].constructing = true;
+            let jitter = self
+                .rng
+                .gen_range(0..self.config.construct_interval_ms.max(1));
+            self.schedule(
+                self.now + jitter,
+                EventKind::ConstructTick {
+                    index: IndexId::PRIMARY,
+                    peer,
+                },
+            );
+        }
+    }
+
     // ----- construction protocol ---------------------------------------------
 
     fn construct_tick(&mut self, index: IndexId, peer: usize) {
+        self.current_actor = peer;
         let constructing = index_constructing(&self.nodes, &self.secondary, index, peer);
         if !self.nodes[peer].state.online || !constructing {
             // The chain ends here (no reschedule, as in the paper's
@@ -2601,10 +3034,11 @@ impl<T: Transport> Runtime<T> {
                     // Liveness is shared across indexes: the primary node
                     // state is the failure detector for all of them.
                     let replicas: Vec<PeerId> = self.peer_state(index, at).replicas.clone();
-                    let next = replicas
-                        .iter()
-                        .copied()
-                        .find(|p| p.0 as usize != at && self.nodes[p.0 as usize].state.online);
+                    let next = replicas.iter().copied().find(|p| {
+                        p.0 as usize != at
+                            && self.nodes[p.0 as usize].state.online
+                            && self.link_ok(p.0 as usize)
+                    });
                     if let Some(peer) = next {
                         self.tracer.record(
                             trace,
@@ -2649,7 +3083,8 @@ impl<T: Transport> Runtime<T> {
                 // the full resolution below and is evicted).
                 if self.config.route_cache {
                     if let Some(&peer) = self.route_cache.get(&(at, index, level)) {
-                        if self.nodes[peer.0 as usize].state.online {
+                        if self.nodes[peer.0 as usize].state.online && self.link_ok(peer.0 as usize)
+                        {
                             if hops as usize > pgrid_core::search::MAX_HOPS {
                                 self.tracer.record(
                                     trace,
@@ -2706,7 +3141,7 @@ impl<T: Transport> Runtime<T> {
                 refs.shuffle(&mut self.rng);
                 let next = refs
                     .into_iter()
-                    .find(|p| self.nodes[p.0 as usize].state.online);
+                    .find(|p| self.nodes[p.0 as usize].state.online && self.link_ok(p.0 as usize));
                 match next {
                     Some(peer) => {
                         if hops as usize > pgrid_core::search::MAX_HOPS {
@@ -2839,7 +3274,8 @@ impl<T: Transport> Runtime<T> {
                 }
                 if self.config.route_cache {
                     if let Some(&peer) = self.route_cache.get(&(at, index, level)) {
-                        if self.nodes[peer.0 as usize].state.online {
+                        if self.nodes[peer.0 as usize].state.online && self.link_ok(peer.0 as usize)
+                        {
                             self.tracer
                                 .record(trace, "range_hop", at as u64, self.now, || {
                                     format!(
@@ -2875,7 +3311,7 @@ impl<T: Transport> Runtime<T> {
                 refs.shuffle(&mut self.rng);
                 let next = refs
                     .into_iter()
-                    .find(|p| self.nodes[p.0 as usize].state.online);
+                    .find(|p| self.nodes[p.0 as usize].state.online && self.link_ok(p.0 as usize));
                 if let Some(peer) = next {
                     if self.config.route_cache {
                         self.route_cache.insert((at, index, level), peer);
@@ -3414,5 +3850,148 @@ mod tests {
         rt.run_until(5_000);
         assert!(rt.metrics.messages_lost > 0);
         assert_eq!(rt.metrics.messages_delivered, 0);
+    }
+
+    /// Builds a sharded loopback runtime hosting peers `0..n-1` with the
+    /// final peer pre-registered (an endpoint a "dead" worker used to own).
+    fn sharded_with_spare(n: usize, seed: u64) -> Runtime {
+        let config = NetConfig {
+            n_peers: n,
+            seed,
+            ..NetConfig::default()
+        };
+        let mut transport = LoopbackTransport::new(LoopbackConfig {
+            latency_min_ms: config.latency_min_ms,
+            latency_max_ms: config.latency_max_ms,
+            seed: config.seed ^ 0x7A4E,
+        });
+        transport
+            .register(PeerId((n - 1) as u64))
+            .expect("spare endpoint");
+        Runtime::with_transport_sharded(config, transport, 0..n - 1).expect("sharded runtime")
+    }
+
+    #[test]
+    fn replica_rebuild_restores_exact_keystore() {
+        let mut rt = sharded_with_spare(24, 7);
+        for i in 0..23 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(10_000);
+        rt.start_construction();
+        rt.run_until(400_000);
+
+        // Snapshot the live source peer 23 will be rebuilt from.
+        let source = 0;
+        let want_path = rt.nodes[source].state.path;
+        let want_entries: Vec<DataEntry> = rt.nodes[source].state.store.iter().copied().collect();
+        let mut want_routing: Vec<(usize, PeerId)> = rt.nodes[source]
+            .state
+            .routing
+            .entries()
+            .map(|(level, e)| (level, e.peer))
+            .collect();
+        want_routing.sort_unstable();
+        assert!(!want_entries.is_empty(), "source must hold data");
+
+        rt.adopt_peer(23);
+        assert_eq!(rt.adopted_peers(), vec![23]);
+        assert!(!rt.nodes[23].state.online, "adopted peer starts offline");
+        rt.begin_replica_pull(23, source);
+        assert_eq!(rt.pending_recoveries(), 1);
+        let deadline = rt.now() + 30_000;
+        while rt.pending_recoveries() > 0 && rt.now() < deadline {
+            let next = rt.now() + 50;
+            rt.run_until(next);
+        }
+        assert_eq!(rt.pending_recoveries(), 0, "pull must complete");
+        assert_eq!(rt.replica_recovered_count(), 1);
+
+        // Exact rebuild: path, every key, and the routing topology match
+        // the replica snapshot bit-for-bit.
+        let got = &rt.nodes[23].state;
+        assert!(got.online);
+        assert_eq!(got.path, want_path);
+        let got_entries: Vec<DataEntry> = got.store.iter().copied().collect();
+        assert_eq!(got_entries, want_entries);
+        let mut got_routing: Vec<(usize, PeerId)> = got
+            .routing
+            .entries()
+            .map(|(level, e)| (level, e.peer))
+            .collect();
+        got_routing.sort_unstable();
+        assert_eq!(got_routing, want_routing);
+        assert!(
+            got.replicas.contains(&PeerId(source as u64)),
+            "recovered peer must list its source as a replica"
+        );
+        assert!(!got.replicas.contains(&PeerId(23)));
+        assert!(
+            rt.nodes[source].state.replicas.contains(&PeerId(23)),
+            "source must adopt the recovered peer as a replica"
+        );
+        assert_eq!(rt.metrics.peers_adopted, 1);
+        assert_eq!(rt.metrics.peers_recovered_replica, 1);
+    }
+
+    #[test]
+    fn local_recovery_fallback_restores_original_entries() {
+        let mut rt = sharded_with_spare(16, 11);
+        for i in 0..15 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(10_000);
+
+        // No live replica reachable: fall back to the seeded regeneration
+        // every process holds (same seed => same original entries).
+        let want: Vec<DataEntry> = rt.nodes[15].state.store.iter().copied().collect();
+        assert!(!want.is_empty());
+        rt.adopt_peer(15);
+        let path = rt.nodes[15].state.path;
+        rt.recover_locally(15, path);
+        assert_eq!(rt.pending_recoveries(), 0);
+        assert!(rt.nodes[15].state.online);
+        let got: Vec<DataEntry> = rt.nodes[15].state.store.iter().copied().collect();
+        assert_eq!(got, want);
+        assert_eq!(rt.metrics.peers_recovered_local, 1);
+    }
+
+    #[test]
+    fn link_failures_back_off_then_die_and_revive() {
+        let mut rt = small_runtime();
+        assert_eq!(rt.link_health(3), LinkHealth::Connected);
+        assert!(rt.link_ok(3));
+
+        rt.record_link_failure(3);
+        match rt.link_health(3) {
+            LinkHealth::Suspect { retry_at, failures } => {
+                assert_eq!(failures, 1);
+                assert_eq!(retry_at, rt.now() + LINK_SUSPECT_BACKOFF_MS);
+            }
+            other => panic!("expected Suspect, got {other:?}"),
+        }
+        assert!(rt.link_ok(3), "suspect links stay query candidates");
+
+        rt.record_link_failure(3);
+        match rt.link_health(3) {
+            LinkHealth::Suspect { retry_at, failures } => {
+                assert_eq!(failures, 2);
+                // backoff doubles per consecutive failure
+                assert_eq!(retry_at, rt.now() + 2 * LINK_SUSPECT_BACKOFF_MS);
+            }
+            other => panic!("expected Suspect, got {other:?}"),
+        }
+
+        rt.record_link_failure(3);
+        assert_eq!(rt.link_health(3), LinkHealth::Dead);
+        assert!(!rt.link_ok(3), "dead links are skipped as candidates");
+        assert_eq!(rt.metrics.links_suspected, 1);
+        assert_eq!(rt.metrics.links_dead, 1);
+
+        rt.revive_link(3);
+        assert_eq!(rt.link_health(3), LinkHealth::Connected);
+        assert!(rt.link_ok(3));
     }
 }

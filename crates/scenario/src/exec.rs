@@ -126,6 +126,8 @@ fn phase_kind(phase: &Phase) -> &'static str {
         Phase::Churn { .. } => "churn",
         Phase::ChurnSchedule { .. } => "churn_schedule",
         Phase::ShiftDistribution { .. } => "shift_distribution",
+        Phase::KillWorker { .. } => "kill_worker",
+        Phase::Partition { .. } => "partition",
         Phase::Snapshot { .. } => "snapshot",
         Phase::Drain => "drain",
     }
@@ -283,6 +285,23 @@ fn execute_phase<O: Overlay + ?Sized>(overlay: &mut O, ctx: &mut Context, phase:
             }
             // Fresh data re-opens the partitioning question.
             overlay.begin_construction(*index);
+        }
+        Phase::KillWorker { at_min } => {
+            overlay.schedule_kill(at_min * MINUTE_MS);
+        }
+        Phase::Partition {
+            groups,
+            from_min,
+            until_min,
+        } => {
+            let supported =
+                overlay.inject_partition(groups, from_min * MINUTE_MS, until_min * MINUTE_MS);
+            if !supported {
+                pgrid_obs::debug!(
+                    "scenario::exec",
+                    "partition fault ignored: transport has no fault hooks"
+                );
+            }
         }
         Phase::Snapshot { label } => {
             let snapshot = overlay.snapshot(label);

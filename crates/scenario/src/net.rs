@@ -73,6 +73,18 @@ impl<T: Transport> Overlay for Runtime<T> {
         self.config.query_timeout_ms
     }
 
+    fn inject_partition(&mut self, groups: &[Vec<usize>], from: Millis, until: Millis) -> bool {
+        let groups = groups
+            .iter()
+            .map(|g| g.iter().map(|&p| PeerId(p as u64)).collect())
+            .collect();
+        self.inject_link_fault(pgrid_transport::LinkFault::Partition {
+            groups,
+            from,
+            until,
+        })
+    }
+
     fn snapshot(&self, label: &str) -> OverlaySnapshot {
         let online = self.online_count();
         let indexes = self

@@ -83,6 +83,20 @@ pub trait Overlay {
     /// A labelled measurement of the overlay's current quality and query
     /// statistics, one entry per hosted index.
     fn snapshot(&self, label: &str) -> OverlaySnapshot;
+
+    /// Requests that the hosting process die abruptly once virtual time
+    /// reaches `at` (the cluster's unplanned-worker-death fault injection;
+    /// the worker overlay exits the process mid-run).  Engines without a
+    /// process boundary ignore it.
+    fn schedule_kill(&mut self, _at: Millis) {}
+
+    /// Injects a healing network partition: peers in different `groups`
+    /// cannot exchange frames while `from <= now < until`.  Returns whether
+    /// the engine's transport supports partition faults (`false` means the
+    /// fault was ignored).
+    fn inject_partition(&mut self, _groups: &[Vec<usize>], _from: Millis, _until: Millis) -> bool {
+        false
+    }
 }
 
 /// One labelled measurement of an overlay, taken by [`Phase::Snapshot`]

@@ -160,6 +160,28 @@ pub enum Phase {
         /// Fresh keys per peer.
         keys_per_peer: usize,
     },
+    /// Abruptly kill the hosting worker process once virtual time reaches
+    /// `at_min` (the cluster's unplanned-death fault injection;
+    /// single-process engines ignore it).  Instantaneous: the phase arms
+    /// the kill, the death happens while a later phase advances time.
+    KillWorker {
+        /// Minute of virtual time at which the process dies.
+        at_min: u64,
+    },
+    /// Inject a healing network partition: peers in different `groups`
+    /// cannot exchange frames during `[from_min, until_min)`.
+    /// Instantaneous: the phase schedules the window, the partition plays
+    /// out (and heals) while later phases advance time.  Ignored by
+    /// engines whose transport has no fault hooks.
+    Partition {
+        /// The isolated peer groups (peer indices; peers in different
+        /// groups lose all frames between them).
+        groups: Vec<Vec<usize>>,
+        /// Minute the partition starts.
+        from_min: u64,
+        /// Minute the partition heals.
+        until_min: u64,
+    },
     /// Record a labelled metric snapshot.
     Snapshot {
         /// Label of the snapshot in the report.
@@ -383,6 +405,25 @@ impl ScenarioBuilder {
             index,
             distribution,
             keys_per_peer,
+        })
+    }
+
+    /// Appends a [`Phase::KillWorker`].
+    pub fn kill_worker(self, at_min: u64) -> ScenarioBuilder {
+        self.phase(Phase::KillWorker { at_min })
+    }
+
+    /// Appends a [`Phase::Partition`].
+    pub fn partition(
+        self,
+        groups: Vec<Vec<usize>>,
+        from_min: u64,
+        until_min: u64,
+    ) -> ScenarioBuilder {
+        self.phase(Phase::Partition {
+            groups,
+            from_min,
+            until_min,
         })
     }
 

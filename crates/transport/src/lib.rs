@@ -51,6 +51,34 @@ impl std::fmt::Display for PeerAddr {
     }
 }
 
+/// A fault injected into a transport's link layer.
+///
+/// Virtual-time backends (loopback) accept these and emulate the fault
+/// deterministically; real-time backends ignore them (their faults are
+/// real).  [`Transport::inject_fault`] reports whether the fault was
+/// accepted.
+#[derive(Clone, Debug)]
+pub enum LinkFault {
+    /// Adds a stable per-directed-link latency offset, drawn once per link
+    /// in `0..=max_ms` from a seeded RNG, on top of the base latency model.
+    Jitter {
+        /// Upper bound of the per-link offset in milliseconds.
+        max_ms: u64,
+    },
+    /// Drops every frame crossing a group boundary while
+    /// `from <= now < until`, then heals: the network splits into the
+    /// given groups for the window and reunites afterwards.
+    Partition {
+        /// The peer groups; frames between peers of different groups are
+        /// dropped during the window.  Peers in no group are unaffected.
+        groups: Vec<Vec<PeerId>>,
+        /// Virtual time at which the partition starts.
+        from: Millis,
+        /// Virtual time at which the partition heals.
+        until: Millis,
+    },
+}
+
 /// Transport failure.
 #[derive(Debug)]
 pub enum TransportError {
@@ -231,6 +259,27 @@ pub trait Transport {
     /// virtual time (ignored by real-time backends).
     fn send(&mut self, now: Millis, to: PeerId, frame: Bytes) -> Result<(), TransportError>;
 
+    /// [`Transport::send`] with the sending peer identified, so link-level
+    /// faults (partitions, per-link jitter) can be applied.  Backends
+    /// without link faults ignore `from`.
+    fn send_from(
+        &mut self,
+        now: Millis,
+        from: PeerId,
+        to: PeerId,
+        frame: Bytes,
+    ) -> Result<(), TransportError> {
+        let _ = from;
+        self.send(now, to, frame)
+    }
+
+    /// Injects a link-level fault; returns whether the backend emulates it
+    /// (real-time backends return `false` and do nothing).
+    fn inject_fault(&mut self, fault: LinkFault) -> bool {
+        let _ = fault;
+        false
+    }
+
     /// Returns the frames that have arrived for delivery by virtual time
     /// `now`, in arrival order, as `(destination, frame)` pairs.
     fn poll(&mut self, now: Millis) -> Vec<(PeerId, Bytes)>;
@@ -259,7 +308,7 @@ pub mod prelude {
     pub use crate::frame::{decode_frame, encode_frame, FrameReader};
     pub use crate::loopback::{LoopbackConfig, LoopbackTransport};
     pub use crate::tcp::TcpTransport;
-    pub use crate::{LinkStats, PeerAddr, Transport, TransportError, TransportStats};
+    pub use crate::{LinkFault, LinkStats, PeerAddr, Transport, TransportError, TransportStats};
 }
 
 #[cfg(test)]

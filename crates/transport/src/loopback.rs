@@ -7,13 +7,17 @@
 //! for the emulated wide-area network of the deployment experiments, while
 //! carrying the exact same frame bytes as the TCP backend.
 
-use crate::{Millis, PeerAddr, Transport, TransportError, TransportStats};
+use crate::{LinkFault, Millis, PeerAddr, Transport, TransportError, TransportStats};
 use bytes::Bytes;
 use pgrid_core::routing::PeerId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+/// Seed salt of the per-link jitter RNG, so enabling jitter never perturbs
+/// the base latency stream (which parity tests pin bit-exactly).
+const JITTER_SEED_SALT: u64 = 0x4A17;
 
 /// Latency model and seed of the loopback backend.
 #[derive(Copy, Clone, Debug)]
@@ -60,6 +64,14 @@ impl Ord for Queued {
     }
 }
 
+/// A window-scoped network split: frames between different groups are
+/// dropped while the window is open, then the network heals.
+struct Partition {
+    group_of: BTreeMap<PeerId, usize>,
+    from: Millis,
+    until: Millis,
+}
+
 /// The in-memory virtual-time backend.
 pub struct LoopbackTransport {
     config: LoopbackConfig,
@@ -68,6 +80,15 @@ pub struct LoopbackTransport {
     registered: BTreeSet<PeerId>,
     seq: u64,
     stats: TransportStats,
+    /// Injected faults.  All empty/zero by default, in which case the
+    /// fault paths draw nothing from any RNG and the delivery schedule is
+    /// bit-identical to a fault-free transport.
+    jitter_max_ms: u64,
+    jitter_rng: StdRng,
+    link_jitter: HashMap<(PeerId, PeerId), u64>,
+    partitions: Vec<Partition>,
+    /// Frames dropped by an active partition window.
+    frames_dropped: u64,
 }
 
 impl LoopbackTransport {
@@ -75,12 +96,64 @@ impl LoopbackTransport {
     pub fn new(config: LoopbackConfig) -> LoopbackTransport {
         LoopbackTransport {
             rng: StdRng::seed_from_u64(config.seed),
+            jitter_rng: StdRng::seed_from_u64(config.seed ^ JITTER_SEED_SALT),
             config,
             queue: BinaryHeap::new(),
             registered: BTreeSet::new(),
             seq: 0,
             stats: TransportStats::default(),
+            jitter_max_ms: 0,
+            link_jitter: HashMap::new(),
+            partitions: Vec::new(),
+            frames_dropped: 0,
         }
+    }
+
+    /// Frames dropped so far by partition windows.
+    pub fn frames_dropped(&self) -> u64 {
+        self.frames_dropped
+    }
+
+    /// Whether an active partition window separates `from` and `to` at
+    /// virtual time `now`.
+    fn partitioned(&self, now: Millis, from: PeerId, to: PeerId) -> bool {
+        self.partitions.iter().any(|p| {
+            now >= p.from
+                && now < p.until
+                && matches!(
+                    (p.group_of.get(&from), p.group_of.get(&to)),
+                    (Some(a), Some(b)) if a != b
+                )
+        })
+    }
+
+    /// Stable per-directed-link latency offset, drawn lazily on first use.
+    fn link_jitter_for(&mut self, from: PeerId, to: PeerId) -> u64 {
+        if self.jitter_max_ms == 0 {
+            return 0;
+        }
+        match self.link_jitter.entry((from, to)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let draw = self.jitter_rng.gen_range(0..=self.jitter_max_ms);
+                *v.insert(draw)
+            }
+        }
+    }
+
+    fn enqueue(&mut self, now: Millis, to: PeerId, extra_latency: Millis, frame: Bytes) {
+        let latency = self.rng.gen_range(
+            self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms),
+        );
+        self.seq += 1;
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        self.queue.push(Reverse(Queued {
+            due: now + latency + extra_latency,
+            seq: self.seq,
+            to,
+            frame,
+        }));
     }
 
     /// A loopback transport that delivers every frame instantly (zero
@@ -106,19 +179,53 @@ impl Transport for LoopbackTransport {
         if !self.registered.contains(&to) {
             return Err(TransportError::UnknownPeer(to));
         }
-        let latency = self.rng.gen_range(
-            self.config.latency_min_ms..=self.config.latency_max_ms.max(self.config.latency_min_ms),
-        );
-        self.seq += 1;
-        self.stats.frames_sent += 1;
-        self.stats.bytes_sent += frame.len() as u64;
-        self.queue.push(Reverse(Queued {
-            due: now + latency,
-            seq: self.seq,
-            to,
-            frame,
-        }));
+        self.enqueue(now, to, 0, frame);
         Ok(())
+    }
+
+    fn send_from(
+        &mut self,
+        now: Millis,
+        from: PeerId,
+        to: PeerId,
+        frame: Bytes,
+    ) -> Result<(), TransportError> {
+        if !self.registered.contains(&to) {
+            return Err(TransportError::UnknownPeer(to));
+        }
+        if self.partitioned(now, from, to) {
+            // Partitioned frames vanish on the wire (like loss); the
+            // sender sees no error, queries time out and retry.
+            self.frames_dropped += 1;
+            return Ok(());
+        }
+        let extra = self.link_jitter_for(from, to);
+        self.enqueue(now, to, extra, frame);
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, fault: LinkFault) -> bool {
+        match fault {
+            LinkFault::Jitter { max_ms } => self.jitter_max_ms = max_ms,
+            LinkFault::Partition {
+                groups,
+                from,
+                until,
+            } => {
+                let mut group_of = BTreeMap::new();
+                for (group, members) in groups.iter().enumerate() {
+                    for &peer in members {
+                        group_of.insert(peer, group);
+                    }
+                }
+                self.partitions.push(Partition {
+                    group_of,
+                    from,
+                    until,
+                });
+            }
+        }
+        true
     }
 
     fn poll(&mut self, now: Millis) -> Vec<(PeerId, Bytes)> {
@@ -207,6 +314,85 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn send_from_without_faults_matches_send_exactly() {
+        let config = LoopbackConfig {
+            latency_min_ms: 5,
+            latency_max_ms: 500,
+            seed: 42,
+        };
+        let run = |use_from: bool| {
+            let mut t = LoopbackTransport::new(config);
+            t.register(PeerId(0)).unwrap();
+            t.register(PeerId(1)).unwrap();
+            for i in 0..32 {
+                if use_from {
+                    t.send_from(0, PeerId(0), PeerId(1), frame(i)).unwrap();
+                } else {
+                    t.send(0, PeerId(1), frame(i)).unwrap();
+                }
+            }
+            t.poll(10_000)
+                .into_iter()
+                .map(|(_, f)| f.as_slice().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn partition_window_drops_cross_group_frames_then_heals() {
+        let mut t = LoopbackTransport::instant();
+        let (a, b) = (PeerId(0), PeerId(1));
+        t.register(a).unwrap();
+        t.register(b).unwrap();
+        assert!(t.inject_fault(LinkFault::Partition {
+            groups: vec![vec![a], vec![b]],
+            from: 100,
+            until: 200,
+        }));
+        // Before the window: delivered.
+        t.send_from(50, a, b, frame(1)).unwrap();
+        assert_eq!(t.poll(60).len(), 1);
+        // Inside the window: cross-group dropped, same-group unaffected.
+        t.send_from(150, a, b, frame(2)).unwrap();
+        t.send_from(150, b, a, frame(3)).unwrap();
+        t.send_from(150, a, a, frame(4)).unwrap();
+        assert_eq!(t.poll(160).len(), 1);
+        assert_eq!(t.frames_dropped(), 2);
+        // After the window: healed.
+        t.send_from(200, a, b, frame(5)).unwrap();
+        assert_eq!(t.poll(210).len(), 1);
+    }
+
+    #[test]
+    fn per_link_jitter_is_stable_and_seeded() {
+        let due_times = |seed| {
+            let mut t = LoopbackTransport::new(LoopbackConfig {
+                latency_min_ms: 10,
+                latency_max_ms: 10,
+                seed,
+            });
+            t.register(PeerId(0)).unwrap();
+            t.register(PeerId(1)).unwrap();
+            assert!(t.inject_fault(LinkFault::Jitter { max_ms: 500 }));
+            t.send_from(0, PeerId(0), PeerId(1), frame(1)).unwrap();
+            t.send_from(0, PeerId(0), PeerId(1), frame(2)).unwrap();
+            t.send_from(0, PeerId(1), PeerId(0), frame(3)).unwrap();
+            let mut dues = Vec::new();
+            while let Some(due) = t.next_due() {
+                dues.push(due);
+                t.poll(due);
+            }
+            dues
+        };
+        let dues = due_times(7);
+        // Same link, same offset: both frames share a due time.
+        assert_eq!(dues.len(), 2, "two distinct link offsets: {dues:?}");
+        assert_eq!(due_times(7), due_times(7));
+        assert_ne!(due_times(7), due_times(8));
     }
 
     #[test]

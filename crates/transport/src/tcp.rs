@@ -30,6 +30,21 @@ use std::time::Duration;
 /// flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
+/// Outbound connect attempts before a send is reported as failed.
+///
+/// A refused connect is retried with capped exponential backoff plus a
+/// little deterministic jitter, so a listener that is still coming up
+/// during startup — or restarting while a shard is reassigned — does not
+/// make the first send fatal.
+const CONNECT_ATTEMPTS: u32 = 3;
+
+/// First backoff delay of [`connect_with_backoff`]; doubles per attempt,
+/// capped at [`CONNECT_BACKOFF_CAP_MS`].
+const CONNECT_BACKOFF_MS: u64 = 5;
+
+/// Upper bound of the per-attempt backoff delay.
+const CONNECT_BACKOFF_CAP_MS: u64 = 40;
+
 /// Default capacity of the shared inbox, in frames.
 ///
 /// The inbox is a bounded channel: when a burst of inbound frames outruns
@@ -110,17 +125,67 @@ impl TcpTransport {
         Ok(PeerAddr::Socket(addr))
     }
 
+    /// Re-points an already known *remote* peer at a new address — it moved
+    /// to another process during shard reassignment — and drops the stale
+    /// cached connection so the next send dials the new endpoint.
+    pub fn update_remote(&mut self, peer: PeerId, addr: SocketAddr) -> Result<(), TransportError> {
+        if self.local.contains(&peer) {
+            return Err(TransportError::AlreadyRegistered(peer));
+        }
+        self.addrs.insert(peer, addr);
+        self.outbound.remove(&peer);
+        Ok(())
+    }
+
+    /// Takes over hosting of a peer previously registered as remote: binds
+    /// a fresh local listener for it and drops any cached connection to the
+    /// dead endpoint.  Used by a survivor worker adopting a failed worker's
+    /// peers; the returned address is what the coordinator redistributes.
+    pub fn register_takeover(&mut self, peer: PeerId) -> Result<PeerAddr, TransportError> {
+        if self.local.contains(&peer) {
+            return Err(TransportError::AlreadyRegistered(peer));
+        }
+        self.addrs.remove(&peer);
+        self.outbound.remove(&peer);
+        self.register(peer)
+    }
+
     fn connect(&mut self, to: PeerId) -> Result<&mut TcpStream, TransportError> {
         let addr = *self.addrs.get(&to).ok_or(TransportError::UnknownPeer(to))?;
         match self.outbound.entry(to) {
             std::collections::hash_map::Entry::Occupied(cached) => Ok(cached.into_mut()),
             std::collections::hash_map::Entry::Vacant(vacant) => {
-                let stream = TcpStream::connect(addr)?;
+                let stream = connect_with_backoff(addr, CONNECT_ATTEMPTS)?;
                 stream.set_nodelay(true)?;
                 Ok(vacant.insert(stream))
             }
         }
     }
+}
+
+/// Dials `addr`, retrying refused/reset connects with capped exponential
+/// backoff plus deterministic jitter derived from the address and attempt
+/// (no RNG state, so nothing observable by parity tests is consumed).
+fn connect_with_backoff(addr: SocketAddr, attempts: u32) -> std::io::Result<TcpStream> {
+    let mut delay_ms = CONNECT_BACKOFF_MS;
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts {
+            let mut j =
+                u64::from(addr.port()) ^ ((u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9));
+            j ^= j << 13;
+            j ^= j >> 7;
+            j ^= j << 17;
+            let jitter = j % (delay_ms / 2 + 1);
+            std::thread::sleep(Duration::from_millis(delay_ms + jitter));
+            delay_ms = (delay_ms * 2).min(CONNECT_BACKOFF_CAP_MS);
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
 }
 
 /// Receives length-prefixed frames for `peer` from one accepted connection
@@ -430,6 +495,38 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, remote);
         assert_eq!(got[0].1, frame);
+    }
+
+    #[test]
+    fn takeover_rebinds_a_remote_peer_locally() {
+        let peer = PeerId(21);
+        let mut dead_host = TcpTransport::new();
+        let PeerAddr::Socket(old_addr) = dead_host.register(peer).unwrap() else {
+            panic!("tcp register returns socket addrs");
+        };
+        let mut survivor = TcpTransport::new();
+        survivor.register_remote(peer, old_addr).unwrap();
+        drop(dead_host); // the hosting process dies
+        let PeerAddr::Socket(new_addr) = survivor.register_takeover(peer).unwrap() else {
+            panic!("takeover returns socket addrs");
+        };
+        assert_ne!(old_addr, new_addr);
+        // A third process is re-pointed at the survivor and its frames
+        // arrive at the adopted peer's new listener.
+        let mut other = TcpTransport::new();
+        other.register_remote(peer, old_addr).unwrap();
+        other.update_remote(peer, new_addr).unwrap();
+        let frame = encode_frame(&[payload(5, 48)]);
+        other.send(0, peer, frame.clone()).unwrap();
+        let got = poll_n(&mut survivor, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, peer);
+        assert_eq!(got[0].1, frame);
+        // The survivor now hosts the peer; a second takeover is an error.
+        assert!(matches!(
+            survivor.register_takeover(peer),
+            Err(TransportError::AlreadyRegistered(_))
+        ));
     }
 
     #[test]
