@@ -1,0 +1,202 @@
+//! Durability runner: append throughput of the log-structured store,
+//! crash-recovery replay speed, compaction reclaim, and the cost of a
+//! copy-on-write store snapshot against a deep clone — emitted as an
+//! aligned text table and a `BENCH_durable.json` snapshot for CI archival.
+//!
+//! ```text
+//! cargo run --release -p pgrid-bench --bin bench_durable
+//! cargo run --release -p pgrid-bench --bin bench_durable -- --quick
+//! cargo run --release -p pgrid-bench --bin bench_durable -- \
+//!     --records 40000 --out BENCH_durable.json
+//! ```
+//!
+//! The append phase drives [`DurableStore::observe`] the way the cluster
+//! worker does — a rolling set of peers mutating their `KeyStore`s, one
+//! delta record per changed peer, one fsync per batch (a pacing slice).
+//! The replay phase reopens the directory cold and times the rebuild of
+//! the mirror.  The snapshot phase pins the PR's copy-on-write claim:
+//! cloning a `KeyStore` must be O(1) pointer work, orders of magnitude
+//! cheaper than duplicating the entry set.
+
+use pgrid_core::key::{DataEntry, DataId, Key};
+use pgrid_core::path::Path;
+use pgrid_core::store::KeyStore;
+use pgrid_durable::{DurableStore, LogOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Records appended between two fsyncs — the shape of one pacing slice.
+const SYNC_BATCH: u64 = 64;
+
+/// Hosted peers whose stores the append phase mutates round-robin.
+const PEERS: u32 = 8;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let option = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|at| args.get(at + 1))
+            .cloned()
+    };
+    let records: u64 = option("--records")
+        .map(|v| v.parse().expect("--records must be an integer"))
+        .unwrap_or(if quick { 4_000 } else { 40_000 });
+    let snapshot_entries: usize = option("--snapshot-entries")
+        .map(|v| v.parse().expect("--snapshot-entries must be an integer"))
+        .unwrap_or(if quick { 20_000 } else { 200_000 });
+    let out = option("--out").unwrap_or_else(|| "BENCH_durable.json".to_string());
+
+    let dir = std::env::temp_dir().join(format!("pgrid-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- append ---------------------------------------------------------
+    let mut store = DurableStore::open(&dir, LogOptions::default()).expect("open log");
+    let mut rng = StdRng::seed_from_u64(0xD0C5);
+    let mut stores: Vec<(KeyStore, Path)> = (0..PEERS)
+        .map(|p| {
+            (
+                KeyStore::new(),
+                Path::parse(if p % 2 == 0 { "0" } else { "1" }),
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    let mut appended = 0u64;
+    while appended < records {
+        for _ in 0..SYNC_BATCH.min(records - appended) {
+            let peer = rng.gen_range(0..PEERS);
+            let (ks, path) = &mut stores[peer as usize];
+            for _ in 0..4 {
+                ks.insert(DataEntry {
+                    key: Key(rng.gen()),
+                    id: DataId(rng.gen()),
+                });
+            }
+            let routing = [(0u8, u64::from(peer) ^ 1, *path)];
+            if store
+                .observe(
+                    0,
+                    peer,
+                    *path,
+                    ks,
+                    &routing,
+                    &[u64::from(peer) + PEERS as u64],
+                )
+                .expect("observe")
+            {
+                appended += 1;
+            }
+        }
+        store.sync().expect("fsync");
+    }
+    let append_wall = start.elapsed().as_secs_f64();
+    let stats = store.stats().clone();
+    let append_bytes = stats.appended_bytes;
+    let records_per_s = appended as f64 / append_wall;
+    let mb_per_s = append_bytes as f64 / (1024.0 * 1024.0) / append_wall;
+    let fsync_p50 = stats.fsync_micros.quantile(0.50).unwrap_or(0);
+    let fsync_p99 = stats.fsync_micros.quantile(0.99).unwrap_or(0);
+    let live_entries: usize = stores.iter().map(|(ks, _)| ks.len()).sum();
+    println!(
+        "append : {appended} records ({append_bytes} B) in {append_wall:.3}s — \
+         {records_per_s:.0} rec/s, {mb_per_s:.1} MiB/s, fsync p50 {fsync_p50}µs p99 {fsync_p99}µs \
+         ({} syncs, {} segments)",
+        stats.syncs,
+        store.segment_count()
+    );
+
+    // --- replay ---------------------------------------------------------
+    drop(store);
+    let start = Instant::now();
+    let reopened = DurableStore::open(&dir, LogOptions::default()).expect("reopen log");
+    let replay_wall = start.elapsed().as_secs_f64();
+    let replayed = reopened.stats().replayed_records;
+    let mirrored: usize = reopened
+        .images()
+        .map(|(_, image)| image.entries.len())
+        .sum();
+    assert_eq!(replayed, appended, "replay lost records");
+    assert_eq!(
+        mirrored, live_entries,
+        "the rebuilt mirror does not match the live stores"
+    );
+    let ms_per_10k = replay_wall * 1_000.0 / (replayed as f64 / 10_000.0);
+    println!(
+        "replay : {replayed} records -> {mirrored} entries in {replay_wall:.3}s — \
+         {ms_per_10k:.1} ms per 10k records"
+    );
+
+    // --- compaction ------------------------------------------------------
+    let mut compacting = reopened;
+    let before_bytes = compacting.total_bytes();
+    let start = Instant::now();
+    compacting.compact().expect("compact");
+    let compact_wall = start.elapsed().as_secs_f64();
+    let reclaimed = before_bytes.saturating_sub(compacting.total_bytes());
+    assert!(
+        compacting.total_bytes() < before_bytes,
+        "compaction reclaimed nothing from a delta-heavy log"
+    );
+    println!(
+        "compact: {before_bytes} -> {} B ({reclaimed} reclaimed) in {compact_wall:.3}s",
+        compacting.total_bytes()
+    );
+    drop(compacting);
+
+    // --- snapshot: copy-on-write vs deep clone ---------------------------
+    let big = KeyStore::from_entries((0..snapshot_entries as u64).map(|i| DataEntry {
+        key: Key(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        id: DataId(i),
+    }));
+    let cow_iters = 100_000u32;
+    let start = Instant::now();
+    let mut last = big.clone();
+    for _ in 1..cow_iters {
+        last = big.clone();
+    }
+    let cow_ns = start.elapsed().as_nanos() as f64 / f64::from(cow_iters);
+    assert!(
+        last.shares_storage_with(&big),
+        "a COW snapshot must share storage until a write"
+    );
+    let deep_iters = if quick { 20u32 } else { 100 };
+    let start = Instant::now();
+    let mut deep = big.deep_clone();
+    for _ in 1..deep_iters {
+        deep = big.deep_clone();
+    }
+    let deep_ns = start.elapsed().as_nanos() as f64 / f64::from(deep_iters);
+    assert!(
+        !deep.shares_storage_with(&big),
+        "a deep clone must own its storage"
+    );
+    let speedup = deep_ns / cow_ns;
+    println!(
+        "snapshot: {snapshot_entries} entries — COW {cow_ns:.0} ns vs deep clone {deep_ns:.0} ns \
+         ({speedup:.0}x)"
+    );
+    // The COW claim the scenario executor's lazy snapshots rely on: a
+    // snapshot is pointer work, not proportional to the store.
+    assert!(
+        speedup >= 10.0,
+        "COW snapshot is not meaningfully cheaper than a deep clone: {speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"durable\",\n  \"quick\": {quick},\n  \"append\": {{\"records\": {appended}, \
+         \"bytes\": {append_bytes}, \"wall_s\": {append_wall:.3}, \"records_per_s\": {records_per_s:.0}, \
+         \"mib_per_s\": {mb_per_s:.2}, \"fsync_p50_us\": {fsync_p50}, \"fsync_p99_us\": {fsync_p99}, \
+         \"syncs\": {}}},\n  \"replay\": {{\"records\": {replayed}, \"entries\": {mirrored}, \
+         \"wall_s\": {replay_wall:.4}, \"ms_per_10k_records\": {ms_per_10k:.2}}},\n  \
+         \"compact\": {{\"before_bytes\": {before_bytes}, \"reclaimed_bytes\": {reclaimed}, \
+         \"wall_s\": {compact_wall:.4}}},\n  \"snapshot\": {{\"entries\": {snapshot_entries}, \
+         \"cow_ns\": {cow_ns:.0}, \"deep_clone_ns\": {deep_ns:.0}, \"speedup\": {speedup:.1}}}\n}}\n",
+        stats.syncs
+    );
+    std::fs::write(&out, &json).expect("snapshot file must be writable");
+    println!("snapshot written to {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -73,6 +73,10 @@ pub struct HealConfig {
     /// Whether a dead worker's shard is reassigned onto the survivors
     /// (`false` records the failure and degrades the run instead).
     pub heal: bool,
+    /// Wall-clock window after a failure during which a relaunched worker
+    /// may reconnect and reclaim its own shard from its durable log
+    /// (milliseconds; `0` disables warm rejoin and always reassigns).
+    pub rejoin_grace_ms: u64,
     /// Fault injection: make one worker kill its own process at a virtual
     /// minute of the timeline.
     pub kill: Option<KillPlan>,
@@ -84,6 +88,7 @@ impl Default for HealConfig {
             heartbeat_ms: 500,
             failure_timeout_ms: 10_000,
             heal: true,
+            rejoin_grace_ms: 0,
             kill: None,
         }
     }
@@ -154,6 +159,11 @@ pub struct WorkerFailure {
     /// Orphans restored from the seeded local regeneration (no reachable
     /// replica).
     pub recovered_local: u64,
+    /// Whether the dead worker itself reconnected and reclaimed the shard
+    /// from its durable log (a warm restart) instead of being reassigned.
+    pub rejoined: bool,
+    /// Orphans replayed from the rejoining worker's durable log.
+    pub recovered_warm: u64,
 }
 
 fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
@@ -243,6 +253,13 @@ impl ObsMerge {
                 .iter()
                 .map(|f| f.recovered_replica + f.recovered_local)
                 .sum(),
+        );
+        merged.counter(
+            "pgrid_cluster_peers_recovered_warm_total",
+            "Orphaned peers restored by their own relaunched worker replaying \
+             its durable log (warm rejoins).",
+            &[],
+            observed.failures.iter().map(|f| f.recovered_warm).sum(),
         );
         for (index, registry) in self.worker_regs.iter().enumerate() {
             let worker = index.to_string();
@@ -540,8 +557,11 @@ fn coordinate(
         if !newly_failed.is_empty() && cluster.heal.heal {
             heal_round(
                 &mut slots,
+                &listener,
                 &newly_failed,
+                phase,
                 cluster,
+                obs,
                 &mut merge,
                 observed,
                 &mut bandwidth,
@@ -664,6 +684,8 @@ fn mark_failed(
         recovery_ms: 0,
         recovered_replica: 0,
         recovered_local: 0,
+        rejoined: false,
+        recovered_warm: 0,
     });
 }
 
@@ -743,22 +765,209 @@ fn collect_barrier(
     Ok(newly_failed)
 }
 
-/// One healing round: announce the new epoch, reassign every orphaned peer
-/// onto the survivors, collect the takeover addresses, re-broadcast the
-/// address book, and wait for the replica rebuilds to finish.
+/// Polls the rendezvous listener for up to `rejoin_grace_ms` for the
+/// relaunched worker `failed` to reconnect with a matching [`Rejoin`]
+/// (same shard, same seed — a durable log from another run is rejected),
+/// replays the initial handshake against it (Welcome, Hello, AddressBook
+/// with the re-bound endpoints), tells it which phase to resume at, and
+/// waits for its local log replay to finish.  Returns the number of peers
+/// it restored, or `None` when no valid rejoin arrived in time and the
+/// caller must fall back to reassignment.
+///
+/// [`Rejoin`]: ClusterMsg::Rejoin
+#[allow(clippy::too_many_arguments)]
+fn try_rejoin(
+    slots: &mut [Slot],
+    listener: &TcpListener,
+    failed: usize,
+    phase: u8,
+    epoch: u64,
+    cluster: &ClusterConfig,
+    obs: &ObsOptions,
+    merge: &mut ObsMerge,
+    observed: &mut ObsReport,
+    bandwidth: &mut HashMap<u64, BandwidthSample>,
+    membership: &mut Membership,
+    recorder: &mut FlightRecorder,
+) -> Result<Option<u64>> {
+    let (start, len) = membership.shards[failed];
+    let deadline = Instant::now() + Duration::from_millis(cluster.heal.rejoin_grace_ms);
+    let mut ctl = loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut candidate = ControlChannel::new(stream)?;
+                match candidate.recv_timeout(RECOVERY_TIMEOUT) {
+                    Ok(ClusterMsg::Rejoin {
+                        shard_start,
+                        shard_len,
+                        epoch: log_epoch,
+                        phase: log_phase,
+                        now_ms,
+                        seed,
+                    }) if shard_start as usize == start
+                        && shard_len as usize == len
+                        && seed == cluster.net.seed =>
+                    {
+                        recorder.note(
+                            0,
+                            "rejoin",
+                            format!(
+                                "worker={failed} shard={start}+{len} log_epoch={log_epoch} \
+                                 log_phase={log_phase} log_ms={now_ms}"
+                            ),
+                        );
+                        break candidate;
+                    }
+                    Ok(other) => {
+                        pgrid_obs::warn!(
+                            "cluster::coordinator",
+                            "rejected rejoin connection for worker {failed}: {other:?}"
+                        );
+                    }
+                    Err(e) => {
+                        pgrid_obs::warn!(
+                            "cluster::coordinator",
+                            "rejoin connection for worker {failed} died during handshake: {e}"
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    // The initial handshake, replayed: the rejoiner re-binds its shard
+    // endpoints at fresh ports, everyone learns the new address book, and
+    // the rejoiner is told which phase the cluster is parked at.  No kill
+    // plan the second time around.
+    ctl.send(&ClusterMsg::Welcome {
+        worker_index: failed as u32,
+        n_workers: cluster.n_workers as u32,
+        shard_start: start as u64,
+        shard_len: len as u64,
+        config: cluster.net.clone(),
+        timeline: cluster.timeline,
+        tracing: obs.tracing,
+        heartbeat_ms: cluster.heal.heartbeat_ms,
+        failure_timeout_ms: cluster.heal.failure_timeout_ms,
+        heal: cluster.heal.heal,
+        kill_at_min: None,
+    })?;
+    let hello = ctl.recv_timeout(RECOVERY_TIMEOUT)?;
+    let ClusterMsg::Hello {
+        shard_start,
+        peer_addrs,
+        metrics_addr,
+    } = hello
+    else {
+        return Err(protocol_error("Hello", &hello));
+    };
+    if shard_start as usize != start || peer_addrs.len() != len {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "rejoined worker {failed} announced shard {shard_start}+{} instead of \
+                 {start}+{len}",
+                peer_addrs.len()
+            ),
+        ));
+    }
+    for (peer, addr) in peer_addrs {
+        match membership.book.iter_mut().find(|(p, _)| *p == peer) {
+            Some(entry) => entry.1 = addr,
+            None => membership.book.push((peer, addr)),
+        }
+    }
+    membership.book.sort_unstable_by_key(|&(peer, _)| peer);
+    if let Some(slot_addr) = observed.worker_metrics_addrs.get_mut(failed) {
+        *slot_addr = metrics_addr;
+    }
+    ctl.send(&ClusterMsg::AddressBook {
+        peer_addrs: membership.book.clone(),
+    })?;
+    for slot in slots.iter_mut().filter(|slot| slot.alive) {
+        slot.ctl.send(&ClusterMsg::AddressBook {
+            peer_addrs: membership.book.clone(),
+        })?;
+    }
+    ctl.send(&ClusterMsg::Resume { epoch, phase })?;
+    // The barrier for `phase` was already collected without this worker:
+    // it re-enters the protocol parked (`done`), waiting for Proceed.
+    slots[failed] = Slot {
+        ctl,
+        alive: true,
+        done: true,
+        last_seen: Instant::now(),
+    };
+
+    let deadline = Instant::now() + RECOVERY_TIMEOUT;
+    loop {
+        match poll_routine(
+            failed,
+            &mut slots[failed],
+            merge,
+            observed,
+            bandwidth,
+            membership,
+        )? {
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(Error::new(
+                        ErrorKind::TimedOut,
+                        format!("rejoined worker {failed} never sent RecoveryDone"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(ClusterMsg::RecoveryDone {
+                epoch: e,
+                recovered,
+            }) if e == epoch => {
+                let warm = recovered.len() as u64;
+                for (peer, _) in recovered {
+                    if (peer as usize) < membership.host_of.len() {
+                        membership.host_of[peer as usize] = failed;
+                    }
+                }
+                recorder.note(0, "rejoin_done", format!("worker={failed} warm={warm}"));
+                pgrid_obs::info!(
+                    "cluster::coordinator",
+                    "epoch {epoch}: worker {failed} rejoined warm, replayed {warm} peers \
+                     from its durable log"
+                );
+                return Ok(Some(warm));
+            }
+            Some(other) => return Err(protocol_error("RecoveryDone", &other)),
+        }
+    }
+}
+
+/// One healing round: announce the new epoch, give each dead worker's
+/// relaunched process a chance to reclaim its own shard from its durable
+/// log (warm rejoin), reassign the remaining orphans onto the survivors,
+/// collect the takeover addresses, re-broadcast the address book, and wait
+/// for the replica rebuilds to finish.
 #[allow(clippy::too_many_arguments)]
 fn heal_round(
     slots: &mut [Slot],
+    listener: &TcpListener,
     newly_failed: &[usize],
+    phase: u8,
     cluster: &ClusterConfig,
+    obs: &ObsOptions,
     merge: &mut ObsMerge,
     observed: &mut ObsReport,
     bandwidth: &mut HashMap<u64, BandwidthSample>,
     membership: &mut Membership,
     recorder: &mut FlightRecorder,
 ) -> Result<()> {
-    let survivors: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].alive).collect();
-    if survivors.is_empty() {
+    if slots.iter().all(|s| !s.alive) && cluster.heal.rejoin_grace_ms == 0 {
         pgrid_obs::error!(
             "cluster::coordinator",
             "no survivors left to heal onto; degrading"
@@ -768,6 +977,52 @@ fn heal_round(
     let heal_started = Instant::now();
     membership.epoch += 1;
     let epoch = membership.epoch;
+
+    // Warm rejoin first: a relaunched worker holding the shard's durable
+    // log replays it locally, which beats rebuilding every orphan over the
+    // data plane from replicas.
+    let mut remaining: Vec<usize> = Vec::new();
+    for &failed in newly_failed {
+        let warm = if cluster.heal.rejoin_grace_ms > 0 {
+            try_rejoin(
+                slots, listener, failed, phase, epoch, cluster, obs, merge, observed, bandwidth,
+                membership, recorder,
+            )?
+        } else {
+            None
+        };
+        match warm {
+            Some(recovered_warm) => {
+                let recovery_ms = heal_started.elapsed().as_millis() as u64;
+                if let Some(failure) = observed
+                    .failures
+                    .iter_mut()
+                    .rev()
+                    .find(|f| f.worker as usize == failed && !f.healed)
+                {
+                    failure.healed = true;
+                    failure.rejoined = true;
+                    failure.recovery_ms = recovery_ms;
+                    failure.recovered_warm = recovered_warm;
+                }
+            }
+            None => remaining.push(failed),
+        }
+    }
+    if remaining.is_empty() {
+        return Ok(());
+    }
+    // Rejoined workers count as survivors for the remaining orphans: they
+    // are parked at the barrier and absorb reassignments like anyone else.
+    let survivors: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].alive).collect();
+    if survivors.is_empty() {
+        pgrid_obs::error!(
+            "cluster::coordinator",
+            "no survivors left to heal onto; degrading"
+        );
+        return Ok(());
+    }
+    let newly_failed: &[usize] = &remaining;
     for &failed in newly_failed {
         let (start, len) = membership.shards[failed];
         for &index in &survivors {

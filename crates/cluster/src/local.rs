@@ -10,12 +10,15 @@
 use crate::coordinator::{
     run_coordinator_observed, ClusterConfig, HealConfig, ObsOptions, ObsReport,
 };
+use crate::worker::KILL_EXIT_CODE;
 use pgrid_net::experiment::{DeploymentReport, Timeline};
 use pgrid_net::runtime::NetConfig;
 use std::io::{Error, Result};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Options of a local (self-spawned) cluster run.
 #[derive(Clone, Debug)]
@@ -41,6 +44,15 @@ pub struct LocalOptions {
     /// Failure detection and self-healing parameters (including the
     /// optional kill-worker fault injection).
     pub heal: HealConfig,
+    /// Base directory for per-worker durable logs: worker `i` is spawned
+    /// with `--data-dir <base>/worker-<i>`.  `None` runs without
+    /// persistence (the pre-v6 behaviour).
+    pub data_dir: Option<PathBuf>,
+    /// Respawn a worker that exits with [`KILL_EXIT_CODE`] (fault
+    /// injection) with identical arguments, so it can warm-rejoin from its
+    /// durable log.  Requires `data_dir` to be useful and a
+    /// `heal.rejoin_grace_ms > 0` coordinator to be accepted.
+    pub relaunch: bool,
 }
 
 impl Default for LocalOptions {
@@ -53,6 +65,8 @@ impl Default for LocalOptions {
             worker_metrics: false,
             worker_flight_dir: None,
             heal: HealConfig::default(),
+            data_dir: None,
+            relaunch: false,
         }
     }
 }
@@ -98,10 +112,7 @@ pub fn run_local_observed(
         None => std::env::current_exe()?,
     };
 
-    let mut reaper = Reaper {
-        children: Vec::with_capacity(options.workers),
-    };
-    for index in 0..options.workers {
+    let spawn = |index: usize| -> Result<Child> {
         let mut command = Command::new(&exe);
         command.arg("worker").arg("--connect").arg(addr.to_string());
         if options.worker_metrics {
@@ -112,7 +123,12 @@ pub fn run_local_observed(
                 .arg("--flight-dump")
                 .arg(dir.join(format!("worker-{index}.jsonl")));
         }
-        let child = command
+        if let Some(dir) = &options.data_dir {
+            command
+                .arg("--data-dir")
+                .arg(dir.join(format!("worker-{index}")));
+        }
+        command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(if options.inherit_stderr {
@@ -120,8 +136,14 @@ pub fn run_local_observed(
             } else {
                 Stdio::null()
             })
-            .spawn()?;
-        reaper.children.push(child);
+            .spawn()
+    };
+
+    let mut reaper = Reaper {
+        children: Vec::with_capacity(options.workers),
+    };
+    for index in 0..options.workers {
+        reaper.children.push(spawn(index)?);
     }
 
     let cluster = ClusterConfig {
@@ -130,7 +152,54 @@ pub fn run_local_observed(
         timeline: *timeline,
         heal: options.heal.clone(),
     };
-    let (report, observed) = run_coordinator_observed(listener, &cluster, &options.obs)?;
+    let result = if options.relaunch {
+        // Hand the children to a monitor thread that respawns any worker
+        // exiting with the fault-injection code — with identical arguments,
+        // so it finds its durable log and warm-rejoins.  The slot index IS
+        // the spawn index (a replacement takes its predecessor's slot).
+        let stop = AtomicBool::new(false);
+        let children = std::mem::take(&mut reaper.children);
+        let monitor_loop = |mut children: Vec<Child>| -> Vec<Child> {
+            while !stop.load(Ordering::SeqCst) {
+                for (index, child) in children.iter_mut().enumerate() {
+                    let Ok(Some(status)) = child.try_wait() else {
+                        continue;
+                    };
+                    if status.code() != Some(KILL_EXIT_CODE) {
+                        continue;
+                    }
+                    match spawn(index) {
+                        Ok(replacement) => {
+                            pgrid_obs::info!(
+                                "cluster::local",
+                                "worker process in slot {index} exited with the kill code; \
+                                 relaunching it with the same arguments"
+                            );
+                            *child = replacement;
+                        }
+                        Err(e) => {
+                            pgrid_obs::warn!(
+                                "cluster::local",
+                                "relaunch of worker process in slot {index} failed: {e}"
+                            );
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            children
+        };
+        std::thread::scope(|scope| {
+            let monitor = scope.spawn(|| monitor_loop(children));
+            let result = run_coordinator_observed(listener, &cluster, &options.obs);
+            stop.store(true, Ordering::SeqCst);
+            reaper.children = monitor.join().expect("relaunch monitor panicked");
+            result
+        })
+    } else {
+        run_coordinator_observed(listener, &cluster, &options.obs)
+    };
+    let (report, observed) = result?;
 
     // A clean run means every worker exits on its own with status 0 —
     // except the workers the coordinator itself watched die (injected

@@ -46,11 +46,11 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [HEAL] [OBS]\n\
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [--data-dir DIR] [--relaunch] [HEAL] [OBS]\n\
          \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [HEAL] [OBS]\n\
-         \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH]\n\
+         \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH] [--data-dir DIR]\n\
          \x20      HEAL: [--heartbeat-ms MS] [--failure-timeout-ms MS] [--no-heal]\n\
-         \x20            [--kill-worker INDEX [--kill-at-min MIN]]\n\
+         \x20            [--rejoin-grace-ms MS] [--kill-worker INDEX [--kill-at-min MIN]]\n\
          \x20      OBS: [--metrics-out PATH] [--metrics-addr ADDR] [--trace] [--trace-out PATH]\n\
          \x20           [--flight-dump PATH] [--worker-metrics (local only)]"
     );
@@ -112,6 +112,9 @@ fn heal_config(args: &[String]) -> HealConfig {
     if args.iter().any(|a| a == "--no-heal") {
         heal.heal = false;
     }
+    if let Some(v) = option(args, "--rejoin-grace-ms") {
+        heal.rejoin_grace_ms = v.parse().expect("--rejoin-grace-ms takes milliseconds");
+    }
     if let Some(v) = option(args, "--kill-worker") {
         heal.kill = Some(KillPlan {
             worker: v.parse().expect("--kill-worker takes a worker index"),
@@ -163,7 +166,12 @@ fn print_failures(observed: &ObsReport) {
             f.shard_start,
             f.shard_len,
             f.detected_after_ms,
-            if f.healed {
+            if f.rejoined {
+                format!(
+                    "warm-rejoined in {}ms ({} peers replayed from the durable log)",
+                    f.recovery_ms, f.recovered_warm
+                )
+            } else if f.healed {
                 format!(
                     "healed in {}ms ({} peers from replicas, {} locally)",
                     f.recovery_ms, f.recovered_replica, f.recovered_local
@@ -237,6 +245,8 @@ fn main() -> ExitCode {
                 worker_metrics: args.iter().any(|a| a == "--worker-metrics"),
                 worker_flight_dir: None,
                 heal: heal_config(&args),
+                data_dir: option(&args, "--data-dir").map(PathBuf::from),
+                relaunch: args.iter().any(|a| a == "--relaunch"),
             };
             match run_local_observed(&config, &timeline, &options) {
                 Ok((report, observed)) => {
@@ -313,6 +323,7 @@ fn main() -> ExitCode {
                         .expect("--metrics-addr takes a socket address like 127.0.0.1:0")
                 }),
                 flight_dump: option(&args, "--flight-dump").map(PathBuf::from),
+                data_dir: option(&args, "--data-dir").map(PathBuf::from),
             };
             match run_worker(addr, &options) {
                 Ok(()) => ExitCode::SUCCESS,

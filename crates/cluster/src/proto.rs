@@ -43,7 +43,11 @@ const MAGIC: u16 = 0x5047; // "PG"
 ///
 /// v5 adds the self-healing control plane: liveness heartbeats, membership
 /// epochs, and the worker-failure / shard-reassignment / recovery messages.
-const VERSION: u8 = 5;
+///
+/// v6 adds the warm-restart handshake (`Rejoin` / `Resume`: a relaunched
+/// worker offers its durability-log shard back instead of waiting for a
+/// `Welcome`) and the replica-pull retry pacing fields of the run config.
+const VERSION: u8 = 6;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -241,6 +245,36 @@ pub enum ClusterMsg {
         /// local fallback.
         recovered: Vec<(u64, bool)>,
     },
+    /// Relaunched worker → coordinator: the first message of a warm
+    /// restart.  A fresh worker waits silently for a `Welcome`; a worker
+    /// relaunched over a durability log speaks first and offers its
+    /// retained shard back, so the coordinator can prefer it over
+    /// round-robin reassignment during a healing round.
+    Rejoin {
+        /// First peer id of the shard the durability log holds.
+        shard_start: u64,
+        /// Number of peers in that shard.
+        shard_len: u64,
+        /// The membership epoch the log last recorded.
+        epoch: u64,
+        /// The `PHASE_*` barrier class the log last recorded.
+        phase: u8,
+        /// Virtual time the log last recorded, in milliseconds.
+        now_ms: u64,
+        /// The run seed the log belongs to (the coordinator rejects a
+        /// rejoin from a different run).
+        seed: u64,
+    },
+    /// Coordinator → relaunched worker: accepts the rejoin (follows the
+    /// `Welcome` that re-assigns the retained shard) and tells the worker
+    /// which barrier class the run is currently in, so it can pace its
+    /// replayed runtime forward and skip the already-executed phases.
+    Resume {
+        /// The current membership epoch.
+        epoch: u64,
+        /// The `PHASE_*` class the cluster is currently executing.
+        phase: u8,
+    },
 }
 
 impl ClusterMsg {
@@ -419,6 +453,27 @@ impl ClusterMsg {
                     buf.put_u64(*peer);
                     buf.put_u8(*via_replica as u8);
                 }
+            }
+            ClusterMsg::Rejoin {
+                shard_start,
+                shard_len,
+                epoch,
+                phase,
+                now_ms,
+                seed,
+            } => {
+                buf.put_u8(15);
+                buf.put_u64(*shard_start);
+                buf.put_u64(*shard_len);
+                buf.put_u64(*epoch);
+                buf.put_u8(*phase);
+                buf.put_u64(*now_ms);
+                buf.put_u64(*seed);
+            }
+            ClusterMsg::Resume { epoch, phase } => {
+                buf.put_u8(16);
+                buf.put_u64(*epoch);
+                buf.put_u8(*phase);
             }
         }
         buf.freeze()
@@ -629,6 +684,18 @@ impl ClusterMsg {
                 }
                 ClusterMsg::RecoveryDone { epoch, recovered }
             }
+            15 => ClusterMsg::Rejoin {
+                shard_start: get_u64(&mut data)?,
+                shard_len: get_u64(&mut data)?,
+                epoch: get_u64(&mut data)?,
+                phase: get_u8(&mut data)?,
+                now_ms: get_u64(&mut data)?,
+                seed: get_u64(&mut data)?,
+            },
+            16 => ClusterMsg::Resume {
+                epoch: get_u64(&mut data)?,
+                phase: get_u8(&mut data)?,
+            },
             _ => return None,
         })
     }
@@ -677,6 +744,8 @@ fn put_config(buf: &mut BytesMut, config: &NetConfig) {
     buf.put_u8(config.batch_per_tick as u8);
     buf.put_u8(config.route_cache as u8);
     buf.put_u64(config.query_sample_cap as u64);
+    buf.put_u64(config.recovery_retry_ms);
+    buf.put_u64(config.recovery_retry_max_ms);
 }
 
 fn get_config(data: &mut Bytes) -> Option<NetConfig> {
@@ -713,6 +782,8 @@ fn get_config(data: &mut Bytes) -> Option<NetConfig> {
     let batch_per_tick = get_u8(data)? != 0;
     let route_cache = get_u8(data)? != 0;
     let query_sample_cap = get_u64(data)? as usize;
+    let recovery_retry_ms = get_u64(data)?;
+    let recovery_retry_max_ms = get_u64(data)?;
     Some(NetConfig {
         n_peers,
         keys_per_peer,
@@ -729,6 +800,8 @@ fn get_config(data: &mut Bytes) -> Option<NetConfig> {
         batch_per_tick,
         route_cache,
         query_sample_cap,
+        recovery_retry_ms,
+        recovery_retry_max_ms,
     })
 }
 
@@ -1236,6 +1309,39 @@ mod tests {
         roundtrip(ClusterMsg::RecoveryDone {
             epoch: 1,
             recovered: vec![(22, true), (23, false)],
+        });
+        roundtrip(ClusterMsg::Rejoin {
+            shard_start: 16,
+            shard_len: 8,
+            epoch: 2,
+            phase: PHASE_CONSTRUCTED,
+            now_ms: 1_380_000,
+            seed: 12,
+        });
+        roundtrip(ClusterMsg::Resume {
+            epoch: 3,
+            phase: PHASE_QUERIED,
+        });
+    }
+
+    #[test]
+    fn config_retry_pacing_survives_the_codec() {
+        roundtrip(ClusterMsg::Welcome {
+            worker_index: 0,
+            n_workers: 1,
+            shard_start: 0,
+            shard_len: 8,
+            config: NetConfig {
+                recovery_retry_ms: 500,
+                recovery_retry_max_ms: 7_000,
+                ..NetConfig::default()
+            },
+            timeline: Timeline::default(),
+            tracing: false,
+            heartbeat_ms: 0,
+            failure_timeout_ms: 0,
+            heal: false,
+            kill_at_min: None,
         });
     }
 

@@ -30,6 +30,15 @@
 //! own replication doubling as the recovery mechanism — with the seeded
 //! local regeneration as the guaranteed-termination fallback.
 //!
+//! Since proto v6 a worker given `--data-dir` journals its shard through
+//! [`pgrid_durable::DurableStore`] (one observation per pacing slice, one
+//! fsync per slice that changed anything) and can **warm-restart**: a
+//! relaunched worker that finds a matching log replays it locally, sends
+//! [`ClusterMsg::Rejoin`] instead of waiting for `Welcome`, re-enters the
+//! run at the barrier the cluster is parked at, and reconciles each
+//! replayed peer against a live remote replica with an anti-entropy diff
+//! ([`Runtime::begin_replica_diff`]) instead of a cold full pull.
+//!
 //! [`Phase::JoinSchedule`]: pgrid_scenario::Phase::JoinSchedule
 //! [`Phase::ChurnSchedule`]: pgrid_scenario::Phase::ChurnSchedule
 //! [`TcpTransport::register_takeover`]: pgrid_transport::tcp::TcpTransport::register_takeover
@@ -43,6 +52,7 @@ use pgrid_core::index::IndexId;
 use pgrid_core::key::Key;
 use pgrid_core::path::Path;
 use pgrid_core::routing::PeerId;
+use pgrid_durable::{DurableStore, LogOptions, MetaImage};
 use pgrid_net::experiment::Timeline;
 use pgrid_net::runtime::{Millis, NetConfig, Runtime};
 use pgrid_obs::recorder::{install_panic_dump, shared, SharedRecorder};
@@ -92,10 +102,11 @@ const RECOVERY_SETTLE: Duration = Duration::from_secs(10);
 /// plane (pulls and pushes ride scheduled messages like all traffic).
 const RECOVERY_VIRTUAL_MS: Millis = 5_000;
 
-/// How often an unanswered replica pull is re-issued during the recovery
-/// window (the first attempt can race the address-book update on the
-/// source's side).
-const RECOVERY_RETRY: Duration = Duration::from_secs(2);
+/// How long a rejoining worker waits for the coordinator's `Welcome`: the
+/// rendezvous listener is only polled during a healing round, which starts
+/// at the next phase barrier — potentially several real minutes after the
+/// relaunch.
+const REJOIN_WELCOME_TIMEOUT: Duration = Duration::from_secs(600);
 
 /// Exit code of a worker that killed itself on schedule (fault
 /// injection); [`crate::local`] tolerates this many non-success children
@@ -123,6 +134,11 @@ pub struct WorkerOptions {
     /// Where the flight recorder dumps on a panic or a query/range
     /// timeout.
     pub flight_dump: Option<PathBuf>,
+    /// Directory of the worker's durable log.  When set, the shard is
+    /// journaled through [`DurableStore`]; when the directory already
+    /// holds a matching log at startup, the worker attempts a warm rejoin
+    /// instead of a fresh rendezvous.
+    pub data_dir: Option<PathBuf>,
 }
 
 /// Observability state threaded through the worker's barriers.
@@ -139,12 +155,73 @@ struct WorkerObs {
 
 impl WorkerObs {
     /// Renders the worker's current metrics registry: the runtime's
-    /// network counters, the transport link stats, and the shard
-    /// assignment.
-    fn registry(&self, runtime: &Runtime<TcpTransport>) -> MetricsRegistry {
+    /// network counters, the transport link stats, the shard assignment,
+    /// and — when journaling — the durability counters.
+    fn registry(
+        &self,
+        runtime: &Runtime<TcpTransport>,
+        durable: Option<&DurableStore>,
+    ) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
         runtime.metrics.to_registry(&mut registry);
         runtime.transport_stats().to_registry(&mut registry);
+        if let Some(durable) = durable {
+            let stats = durable.stats();
+            registry.counter(
+                "pgrid_durable_appended_records_total",
+                "Journal records appended this session.",
+                &[],
+                stats.appended_records,
+            );
+            registry.counter(
+                "pgrid_durable_appended_bytes_total",
+                "Journal frame bytes appended this session.",
+                &[],
+                stats.appended_bytes,
+            );
+            registry.counter(
+                "pgrid_durable_syncs_total",
+                "Journal fsync calls this session.",
+                &[],
+                stats.syncs,
+            );
+            registry.histogram(
+                "pgrid_durable_fsync_micros",
+                "Journal fsync latency distribution, in microseconds.",
+                &[],
+                &stats.fsync_micros,
+            );
+            registry.counter(
+                "pgrid_durable_replayed_records_total",
+                "Journal records replayed at open (warm restarts).",
+                &[],
+                stats.replayed_records,
+            );
+            registry.counter(
+                "pgrid_durable_compactions_total",
+                "Journal compaction runs this session.",
+                &[],
+                stats.compactions,
+            );
+            registry.counter(
+                "pgrid_durable_compacted_bytes_total",
+                "Journal bytes reclaimed by compaction this session.",
+                &[],
+                stats.compacted_bytes,
+            );
+            registry.gauge(
+                "pgrid_durable_segments",
+                "Journal segment files (sealed plus active).",
+                &[],
+                durable.segment_count() as f64,
+            );
+            registry.gauge(
+                "pgrid_durable_log_bytes",
+                "Total bytes across all journal segments.",
+                &[],
+                durable.total_bytes() as f64,
+            );
+        }
         registry.gauge(
             "pgrid_cluster_shard_start",
             "First peer id hosted by this worker.",
@@ -172,9 +249,10 @@ impl WorkerObs {
         &mut self,
         ctl: &mut ControlChannel,
         runtime: &mut Runtime<TcpTransport>,
+        durable: Option<&DurableStore>,
         phase: u8,
     ) -> Result<()> {
-        let registry = self.registry(runtime);
+        let registry = self.registry(runtime, durable);
         if let Some((_, state)) = &self.scrape {
             state.publish_metrics(registry.encode());
         }
@@ -229,6 +307,11 @@ pub struct ShardOverlay {
     pub runtime: Runtime<TcpTransport>,
     ctl: Rc<RefCell<ControlChannel>>,
     heal: HealState,
+    /// The shard's durable journal, when `--data-dir` was given.
+    durable: Option<DurableStore>,
+    /// Last phase barrier this worker passed, journaled in the log's
+    /// metadata so a relaunch knows where the run stood.
+    durable_phase: u8,
 }
 
 impl ShardOverlay {
@@ -244,6 +327,61 @@ impl ShardOverlay {
         self.heal.last_heartbeat = Instant::now();
         let epoch = self.heal.epoch;
         let _ = self.ctl.borrow_mut().send(&ClusterMsg::Heartbeat { epoch });
+    }
+
+    /// Journals every hosted peer whose state changed since the last
+    /// observation, plus the run metadata, and fsyncs when anything was
+    /// appended (at most one sync per pacing slice).  Write errors are
+    /// logged, not fatal: a full disk degrades durability, not the run.
+    fn persist(&mut self) {
+        let Some(durable) = self.durable.as_mut() else {
+            return;
+        };
+        let mut dirty = false;
+        let hosted: Vec<usize> = self
+            .runtime
+            .shard()
+            .chain(self.runtime.adopted_peers())
+            .collect();
+        for peer in hosted {
+            let state = &self.runtime.nodes[peer].state;
+            let routing: Vec<(u8, u64, Path)> = state
+                .routing
+                .entries()
+                .map(|(level, e)| (level as u8, e.peer.0, e.path))
+                .collect();
+            let replicas: Vec<u64> = state.replicas.iter().map(|p| p.0).collect();
+            match durable.observe(
+                0,
+                peer as u32,
+                state.path,
+                &state.store,
+                &routing,
+                &replicas,
+            ) {
+                Ok(appended) => dirty |= appended,
+                Err(e) => {
+                    pgrid_obs::warn!("cluster::worker", "durable observe of peer {peer}: {e}");
+                    return;
+                }
+            }
+        }
+        let shard = self.runtime.shard();
+        let meta = MetaImage {
+            shard_start: shard.start as u32,
+            shard_len: shard.len() as u32,
+            epoch: self.heal.epoch,
+            phase: self.durable_phase,
+            now_ms: self.runtime.now(),
+            seed: self.runtime.config.seed,
+        };
+        dirty |= durable.set_meta(meta).unwrap_or(false);
+        if dirty {
+            if let Err(e) = durable.sync() {
+                pgrid_obs::warn!("cluster::worker", "durable sync failed: {e}");
+            }
+            let _ = durable.maybe_compact();
+        }
     }
 }
 
@@ -288,6 +426,9 @@ impl Overlay for ShardOverlay {
                     std::thread::sleep(Duration::from_micros(100));
                 }
             }
+            // One journal cut per settled slice: every record boundary is
+            // a consistent observation of the shard.
+            self.persist();
         }
     }
 
@@ -445,7 +586,117 @@ fn connect_with_retry(coordinator: SocketAddr) -> Result<TcpStream> {
 /// Connects to the coordinator at `coordinator` and runs one worker to
 /// completion: rendezvous, the full sharded timeline, and the final shard
 /// report.
+///
+/// With a `data_dir`, the shard is journaled along the way; a directory
+/// already holding a matching log routes through the warm-rejoin path
+/// instead of the fresh rendezvous.
 pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()> {
+    let durable = match &options.data_dir {
+        Some(dir) => {
+            let store = DurableStore::open(dir, LogOptions::default())?;
+            if store.recovered() && store.meta().is_some() && store.peer_count() > 0 {
+                return run_rejoin(coordinator, options, store);
+            }
+            Some(store)
+        }
+        None => None,
+    };
+    run_fresh(coordinator, options, durable)
+}
+
+/// Builds the worker's observability state: the optional scrape endpoint
+/// and the control-plane flight recorder (wired into the panic hook).
+fn worker_obs(
+    options: &WorkerOptions,
+    worker_index: u32,
+    shard_start: u64,
+    shard_len: u64,
+) -> Result<WorkerObs> {
+    let scrape = match options.metrics_addr {
+        Some(addr) => {
+            let state = ScrapeState::new();
+            let server = ScrapeServer::serve(addr, Arc::clone(&state))?;
+            pgrid_obs::info!(
+                "cluster::worker",
+                "worker {worker_index}: serving /metrics on {}",
+                server.addr()
+            );
+            Some((server, state))
+        }
+        None => None,
+    };
+    let control = shared(pgrid_obs::recorder::DEFAULT_CAPACITY);
+    if let Some(path) = &options.flight_dump {
+        install_panic_dump(Arc::clone(&control), path.clone());
+    }
+    Ok(WorkerObs {
+        scrape,
+        control,
+        worker_index,
+        shard_start,
+        shard_len,
+    })
+}
+
+/// Registers a TCP endpoint for every hosted peer and returns the
+/// transport plus the announced `(peer, address)` pairs.
+fn register_shard(
+    shard: &std::ops::Range<usize>,
+) -> Result<(TcpTransport, Vec<(u64, SocketAddr)>)> {
+    let mut transport = TcpTransport::new();
+    let mut peer_addrs = Vec::with_capacity(shard.len());
+    for peer in shard.clone() {
+        let addr = transport
+            .register(PeerId(peer as u64))
+            .map_err(|e| Error::other(e.to_string()))?;
+        let PeerAddr::Socket(addr) = addr else {
+            unreachable!("the TCP backend returns socket addresses");
+        };
+        peer_addrs.push((peer as u64, addr));
+    }
+    Ok((transport, peer_addrs))
+}
+
+/// Streams the remaining bandwidth minutes and sends the final
+/// [`ShardReport`].
+fn send_report(
+    ctl: &mut ControlChannel,
+    runtime: &Runtime<TcpTransport>,
+    shard_start: u64,
+    streamed: &mut BTreeSet<u64>,
+) -> Result<()> {
+    stream_minutes(ctl, runtime, streamed, u64::MAX)?;
+    let shard = runtime.shard();
+    ctl.send(&ClusterMsg::Report(ShardReport {
+        shard_start,
+        paths: shard
+            .clone()
+            .map(|peer| runtime.nodes[peer].state.path)
+            .collect(),
+        query_stats: runtime
+            .metrics
+            .query_stats
+            .iter()
+            .map(|(&index, stats)| (index, stats.clone()))
+            .collect(),
+        online_at_end: runtime.hosted_online_count() as u64,
+        transport: runtime.transport_stats(),
+        messages_delivered: runtime.metrics.messages_delivered as u64,
+        messages_lost: runtime.metrics.messages_lost as u64,
+        extra_paths: runtime
+            .adopted_peers()
+            .into_iter()
+            .map(|peer| (peer as u64, runtime.nodes[peer].state.path))
+            .collect(),
+    }))
+}
+
+/// The fresh-rendezvous worker run (the only path before proto v6).
+fn run_fresh(
+    coordinator: SocketAddr,
+    options: &WorkerOptions,
+    durable: Option<DurableStore>,
+) -> Result<()> {
     let stream = connect_with_retry(coordinator)?;
     let ctl = Rc::new(RefCell::new(ControlChannel::new(stream)?));
 
@@ -476,42 +727,8 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         if heal { "on" } else { "off" }
     );
 
-    let scrape = match options.metrics_addr {
-        Some(addr) => {
-            let state = ScrapeState::new();
-            let server = ScrapeServer::serve(addr, Arc::clone(&state))?;
-            pgrid_obs::info!(
-                "cluster::worker",
-                "worker {worker_index}: serving /metrics on {}",
-                server.addr()
-            );
-            Some((server, state))
-        }
-        None => None,
-    };
-    let control = shared(pgrid_obs::recorder::DEFAULT_CAPACITY);
-    if let Some(path) = &options.flight_dump {
-        install_panic_dump(Arc::clone(&control), path.clone());
-    }
-    let mut obs = WorkerObs {
-        scrape,
-        control,
-        worker_index,
-        shard_start,
-        shard_len,
-    };
-
-    let mut transport = TcpTransport::new();
-    let mut peer_addrs = Vec::with_capacity(shard.len());
-    for peer in shard.clone() {
-        let addr = transport
-            .register(PeerId(peer as u64))
-            .map_err(|e| Error::other(e.to_string()))?;
-        let PeerAddr::Socket(addr) = addr else {
-            unreachable!("the TCP backend returns socket addresses");
-        };
-        peer_addrs.push((peer as u64, addr));
-    }
+    let mut obs = worker_obs(options, worker_index, shard_start, shard_len)?;
+    let (mut transport, peer_addrs) = register_shard(&shard)?;
     ctl.borrow_mut().send(&ClusterMsg::Hello {
         shard_start,
         peer_addrs,
@@ -550,6 +767,8 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
             pending: Vec::new(),
             worker_index,
         },
+        durable,
+        durable_phase: PHASE_WIRED,
     };
     let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
     barrier(&mut overlay, PHASE_WIRED, &mut streamed_minutes, &mut obs)?;
@@ -569,35 +788,12 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
     pgrid_scenario::run_with_hooks(&mut overlay, &scenario, &mut hooks)?;
 
     // --- final report --------------------------------------------------------
-    let runtime = &overlay.runtime;
-    stream_minutes(
+    send_report(
         &mut ctl.borrow_mut(),
-        runtime,
-        &mut streamed_minutes,
-        u64::MAX,
-    )?;
-    ctl.borrow_mut().send(&ClusterMsg::Report(ShardReport {
+        &overlay.runtime,
         shard_start,
-        paths: shard
-            .clone()
-            .map(|peer| runtime.nodes[peer].state.path)
-            .collect(),
-        query_stats: runtime
-            .metrics
-            .query_stats
-            .iter()
-            .map(|(&index, stats)| (index, stats.clone()))
-            .collect(),
-        online_at_end: runtime.hosted_online_count() as u64,
-        transport: runtime.transport_stats(),
-        messages_delivered: runtime.metrics.messages_delivered as u64,
-        messages_lost: runtime.metrics.messages_lost as u64,
-        extra_paths: runtime
-            .adopted_peers()
-            .into_iter()
-            .map(|peer| (peer as u64, runtime.nodes[peer].state.path))
-            .collect(),
-    }))?;
+        &mut streamed_minutes,
+    )?;
     pgrid_obs::info!(
         "cluster::worker",
         "worker {worker_index}: shard report sent, exiting"
@@ -606,6 +802,307 @@ pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()
         server.shutdown();
     }
     Ok(())
+}
+
+/// Warm restart: the relaunched worker replays its durable log, announces
+/// itself with [`ClusterMsg::Rejoin`] (the rejoiner speaks first; a fresh
+/// worker waits silently for `Welcome`), and — once the coordinator's
+/// healing round accepts it — re-enters the run at the barrier the
+/// cluster is parked at:
+///
+/// 1. replay the journal into the sharded runtime ([`Runtime::restore_peer`]),
+/// 2. reconcile every replayed peer against a live remote replica with an
+///    anti-entropy diff ([`Runtime::begin_replica_diff`]) — merging what
+///    the crash window lost instead of re-pulling whole partitions,
+/// 3. acknowledge with `RecoveryDone` (the diffs settle while pacing),
+/// 4. advance to the parked barrier's boundary minute, wait for `Proceed`
+///    *without* re-reporting `PhaseDone` (the coordinator collected that
+///    barrier without us), and
+/// 5. run the remaining suffix of the phase program.
+fn run_rejoin(
+    coordinator: SocketAddr,
+    options: &WorkerOptions,
+    durable: DurableStore,
+) -> Result<()> {
+    let meta = durable.meta().expect("caller checked recovery").clone();
+    pgrid_obs::info!(
+        "cluster::worker",
+        "durable log holds shard {}+{} at phase {} (virtual minute {}): attempting warm rejoin",
+        meta.shard_start,
+        meta.shard_len,
+        meta.phase,
+        meta.now_ms / MINUTE_MS
+    );
+    let stream = connect_with_retry(coordinator)?;
+    let ctl = Rc::new(RefCell::new(ControlChannel::new(stream)?));
+    ctl.borrow_mut().send(&ClusterMsg::Rejoin {
+        shard_start: meta.shard_start as u64,
+        shard_len: meta.shard_len as u64,
+        epoch: meta.epoch,
+        phase: meta.phase,
+        now_ms: meta.now_ms,
+        seed: meta.seed,
+    })?;
+    let welcome = ctl.borrow_mut().recv_timeout(REJOIN_WELCOME_TIMEOUT)?;
+    let ClusterMsg::Welcome {
+        worker_index,
+        n_workers: _,
+        shard_start,
+        shard_len,
+        config,
+        timeline,
+        tracing,
+        heartbeat_ms,
+        failure_timeout_ms: _,
+        heal,
+        kill_at_min: _,
+    } = welcome
+    else {
+        return Err(protocol_error("Welcome", &welcome));
+    };
+    if shard_start != meta.shard_start as u64
+        || shard_len != meta.shard_len as u64
+        || config.seed != meta.seed
+    {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "rejoin mismatch: log holds shard {}+{} of seed {}, coordinator assigned \
+                 {shard_start}+{shard_len} of seed {}",
+                meta.shard_start, meta.shard_len, meta.seed, config.seed
+            ),
+        ));
+    }
+    let shard = shard_start as usize..(shard_start + shard_len) as usize;
+    let mut obs = worker_obs(options, worker_index, shard_start, shard_len)?;
+    let (mut transport, peer_addrs) = register_shard(&shard)?;
+    ctl.borrow_mut().send(&ClusterMsg::Hello {
+        shard_start,
+        peer_addrs,
+        metrics_addr: obs.scrape.as_ref().map(|(server, _)| server.addr()),
+    })?;
+    let book = ctl.borrow_mut().recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let ClusterMsg::AddressBook { peer_addrs: book } = book else {
+        return Err(protocol_error("AddressBook", &book));
+    };
+    for (peer, addr) in book {
+        if !shard.contains(&(peer as usize)) {
+            transport
+                .register_remote(PeerId(peer), addr)
+                .map_err(|e| Error::other(e.to_string()))?;
+        }
+    }
+    let resume = ctl.borrow_mut().recv_timeout(HANDSHAKE_TIMEOUT)?;
+    let ClusterMsg::Resume {
+        epoch,
+        phase: resume_phase,
+    } = resume
+    else {
+        return Err(protocol_error("Resume", &resume));
+    };
+
+    let mut runtime = Runtime::with_transport_sharded(config.clone(), transport, shard.clone())
+        .map_err(|e| Error::other(e.to_string()))?;
+    if tracing {
+        runtime.enable_tracing_with_base(worker_index as u64 + 1);
+    }
+    runtime.flight_dump = options.flight_dump.clone();
+
+    // Replay: jump the fresh runtime's clock to the journaled instant (no
+    // peer has joined yet, so only time moves), graft every mirrored peer
+    // state on top, then start an anti-entropy diff against a live remote
+    // replica for each — the crash window's lost mutations flow back as a
+    // merge, not a full rebuild.
+    runtime.run_until(meta.now_ms);
+    let constructing = resume_phase >= PHASE_CONSTRUCTED;
+    let images: Vec<(u32, pgrid_durable::MirrorImage)> = durable
+        .images()
+        .filter(|(key, _)| key.0 == 0)
+        .map(|(key, image)| (key.1, image.clone()))
+        .collect();
+    let mut recovered: Vec<(u64, bool)> = Vec::with_capacity(images.len());
+    for (peer, image) in &images {
+        let routing: Vec<(u8, PeerId, Path)> = image
+            .routing
+            .iter()
+            .map(|&(level, peer, path)| (level, PeerId(peer), path))
+            .collect();
+        let replicas: Vec<PeerId> = image.replicas.iter().map(|&p| PeerId(p)).collect();
+        runtime.restore_peer(
+            IndexId::PRIMARY,
+            *peer as usize,
+            image.path,
+            image.entries.iter().copied().collect(),
+            routing,
+            replicas,
+            constructing,
+        );
+        recovered.push((*peer as u64, true));
+    }
+    for (peer, image) in &images {
+        let source = image
+            .replicas
+            .iter()
+            .map(|&p| p as usize)
+            .find(|&p| !runtime.hosted(p));
+        if let Some(source) = source {
+            runtime.begin_replica_diff(*peer as usize, source);
+        }
+    }
+    pgrid_obs::info!(
+        "cluster::worker",
+        "worker {worker_index}: warm rejoin accepted — {} peers replayed from the log, \
+         resuming at phase {resume_phase} (epoch {epoch})",
+        recovered.len()
+    );
+    obs.control.lock().unwrap().note(
+        runtime.now(),
+        "recovery",
+        format!(
+            "warm rejoin: {} peers replayed, resume phase {resume_phase} epoch {epoch}",
+            recovered.len()
+        ),
+    );
+
+    let mut overlay = ShardOverlay {
+        runtime,
+        ctl: Rc::clone(&ctl),
+        heal: HealState {
+            heal,
+            heartbeat_ms,
+            last_heartbeat: Instant::now(),
+            epoch,
+            kill_at: None,
+            pending: Vec::new(),
+            worker_index,
+        },
+        durable: Some(durable),
+        durable_phase: resume_phase,
+    };
+    ctl.borrow_mut()
+        .send(&ClusterMsg::RecoveryDone { epoch, recovered })?;
+
+    // Catch up to the parked barrier's boundary minute (peers exchange on
+    // the way — the survivors answer from their park loops), then wait
+    // for the release without re-reporting PhaseDone.
+    let boundary = phase_boundary_min(&timeline, resume_phase) * MINUTE_MS;
+    let deadline = Instant::now() + BARRIER_TIMEOUT;
+    let mut proceeded = false;
+    loop {
+        if overlay.runtime.now() < boundary {
+            let next = (overlay.runtime.now() + PACE_SLICE_MS).min(boundary);
+            Overlay::advance_to(&mut overlay, next);
+        } else if proceeded {
+            break;
+        } else {
+            overlay.runtime.service_network();
+            overlay.maybe_heartbeat();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let msg = ctl.borrow_mut().try_recv()?;
+        match msg {
+            Some(ClusterMsg::Proceed { phase }) if phase == resume_phase => proceeded = true,
+            Some(ClusterMsg::WorkerFailed { epoch, .. }) => {
+                overlay.heal.epoch = overlay.heal.epoch.max(epoch);
+            }
+            Some(ClusterMsg::ShardReassign { epoch, moves }) => {
+                overlay.heal.epoch = overlay.heal.epoch.max(epoch);
+                handle_reassign(&mut overlay, epoch, &moves, &mut obs)?;
+            }
+            Some(ClusterMsg::AddressBook { peer_addrs }) => {
+                apply_book(&mut overlay, &peer_addrs);
+                run_recovery(&mut overlay, &mut obs)?;
+            }
+            Some(other) => return Err(protocol_error("Proceed", &other)),
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(Error::new(
+                        ErrorKind::TimedOut,
+                        format!("resume barrier for phase {resume_phase} never released"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- the remaining timeline ---------------------------------------------
+    let scenario = resume_scenario(
+        worker_scenario(&config, &timeline, worker_index, shard.len()),
+        resume_phase,
+    );
+    let plan = barrier_plan(&scenario);
+    let mut streamed_minutes: BTreeSet<u64> = BTreeSet::new();
+    let mut hooks = BarrierHooks {
+        streamed: &mut streamed_minutes,
+        obs: &mut obs,
+        plan,
+    };
+    pgrid_scenario::run_with_hooks(&mut overlay, &scenario, &mut hooks)?;
+
+    send_report(
+        &mut ctl.borrow_mut(),
+        &overlay.runtime,
+        shard_start,
+        &mut streamed_minutes,
+    )?;
+    pgrid_obs::info!(
+        "cluster::worker",
+        "worker {worker_index}: shard report sent after warm rejoin, exiting"
+    );
+    if let Some((server, _)) = obs.scrape.take() {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+/// The timeline minute a barrier class completes at: where a rejoining
+/// worker must advance to before waiting for that barrier's release.
+fn phase_boundary_min(timeline: &Timeline, phase: u8) -> u64 {
+    match phase {
+        PHASE_JOINED => timeline.join_end_min,
+        PHASE_REPLICATED => timeline.replicate_end_min,
+        PHASE_CONSTRUCTED => timeline.construct_end_min,
+        PHASE_QUERIED => timeline.query_end_min,
+        PHASE_DONE => timeline.end_min,
+        _ => 0,
+    }
+}
+
+/// Drops every phase already covered by the barrier class the cluster is
+/// parked at: a rejoining worker replays its log instead of re-running
+/// them.  Classless phases (start-construction, churn windows) inherit the
+/// class of the *next* classed phase, so construction arming is skipped on
+/// a resume past the construct barrier while the churn window survives a
+/// resume past the query barrier.
+fn resume_scenario(mut scenario: Scenario, resume_phase: u8) -> Scenario {
+    let mut classes: Vec<Option<u8>> = scenario
+        .phases
+        .iter()
+        .map(|phase| match phase {
+            Phase::JoinSchedule { .. } | Phase::JoinWave { .. } => Some(PHASE_JOINED),
+            Phase::Replicate { .. } => Some(PHASE_REPLICATED),
+            Phase::RunUntil { .. } | Phase::ConstructUntilQuiescent { .. } => {
+                Some(PHASE_CONSTRUCTED)
+            }
+            Phase::QueryLoad { .. } | Phase::RangeLoad { .. } => Some(PHASE_QUERIED),
+            Phase::Drain => Some(PHASE_DONE),
+            _ => None,
+        })
+        .collect();
+    let mut next = PHASE_DONE;
+    for slot in classes.iter_mut().rev() {
+        match *slot {
+            Some(class) => next = class,
+            None => *slot = Some(next),
+        }
+    }
+    let mut index = 0;
+    scenario.phases.retain(|_| {
+        let keep = classes[index].expect("filled above") > resume_phase;
+        index += 1;
+        keep
+    });
+    scenario
 }
 
 /// The worker's phase program for one Section-5 timeline.
@@ -779,7 +1276,20 @@ fn run_recovery(overlay: &mut ShardOverlay, obs: &mut WorkerObs) -> Result<()> {
     // died with the worker.
     let wall_deadline = Instant::now() + RECOVERY_SETTLE;
     let virtual_cap = overlay.runtime.now() + RECOVERY_VIRTUAL_MS;
-    let mut next_retry = Instant::now() + RECOVERY_RETRY;
+    // Config-driven re-issue pacing with capped exponential backoff: a
+    // large recovery fans its retries out instead of hammering the same
+    // sources on a fixed clock.
+    let retry_base =
+        Duration::from_millis(overlay.runtime.config.recovery_retry_ms.clamp(1, 60_000));
+    let retry_cap = Duration::from_millis(
+        overlay
+            .runtime
+            .config
+            .recovery_retry_max_ms
+            .clamp(overlay.runtime.config.recovery_retry_ms.max(1), 600_000),
+    );
+    let mut retry_delay = retry_base;
+    let mut next_retry = Instant::now() + retry_delay;
     while overlay.runtime.pending_recoveries() > 0 && Instant::now() < wall_deadline {
         overlay.runtime.service_network();
         let now = overlay.runtime.now();
@@ -797,7 +1307,8 @@ fn run_recovery(overlay: &mut ShardOverlay, obs: &mut WorkerObs) -> Result<()> {
                     overlay.runtime.begin_replica_pull(peer, source);
                 }
             }
-            next_retry += RECOVERY_RETRY;
+            retry_delay = (retry_delay * 2).min(retry_cap);
+            next_retry = Instant::now() + retry_delay;
         }
         std::thread::sleep(Duration::from_micros(200));
     }
@@ -863,6 +1374,11 @@ fn barrier(
         }
         overlay.maybe_heartbeat();
     }
+    // The phase is complete: journal it (and the settled shard state)
+    // before telling the coordinator, so a crash while parked replays to
+    // exactly this barrier.
+    overlay.durable_phase = phase;
+    overlay.persist();
     // Buckets below the current minute can no longer grow in this phase.
     stream_minutes(
         &mut ctl.borrow_mut(),
@@ -872,7 +1388,12 @@ fn barrier(
     )?;
     // Fresh registry snapshot and drained trace events ride along with
     // every barrier, so the coordinator's merged view stays current.
-    obs.publish(&mut ctl.borrow_mut(), &mut overlay.runtime, phase)?;
+    obs.publish(
+        &mut ctl.borrow_mut(),
+        &mut overlay.runtime,
+        overlay.durable.as_ref(),
+        phase,
+    )?;
     if overlay.heal.heal {
         // The coordinator keeps every peer's last barrier path: the raw
         // material of replica hints and of partial reports for unhealed

@@ -65,6 +65,7 @@ fn killed_worker_is_healed_and_the_run_converges() {
         heartbeat_ms: 200,
         failure_timeout_ms: 8_000,
         heal: true,
+        rejoin_grace_ms: 0,
         kill: Some(KillPlan {
             worker: 2,
             at_min: 10,
@@ -132,6 +133,7 @@ fn heal_disabled_still_produces_a_partial_report() {
         heartbeat_ms: 200,
         failure_timeout_ms: 8_000,
         heal: false,
+        rejoin_grace_ms: 0,
         kill: Some(KillPlan {
             worker: 1,
             at_min: 10,

@@ -87,6 +87,7 @@ fn tracing_cluster_reassembles_cross_process_hop_chains_and_serves_metrics() {
         worker_metrics: true,
         worker_flight_dir: None,
         heal: Default::default(),
+        ..LocalOptions::default()
     };
     let (config, timeline) = (config(), short_timeline());
     let run = std::thread::spawn(move || run_local_observed(&config, &timeline, &options));

@@ -13,6 +13,7 @@ use crate::path::Path;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Read-only access to a set of entries, implemented both by the owning
 /// [`KeyStore`] and by the borrowed [`RestrictedView`].
@@ -66,9 +67,16 @@ pub trait StoreRead {
 ///
 /// Entries are kept in a `BTreeSet` ordered by `(key, id)` so that range
 /// queries and per-partition counting are logarithmic plus output size.
+///
+/// The set lives behind an [`Arc`] with copy-on-write semantics:
+/// [`Clone`] is an O(1) snapshot sharing the same storage, and the first
+/// mutation after a snapshot copies the set exactly once (the
+/// log-structured pattern — a sealed shared run, copied only before
+/// diverging).  Use [`KeyStore::shares_storage_with`] to assert sharing
+/// and [`KeyStore::deep_clone`] when an eager private copy is wanted.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KeyStore {
-    entries: BTreeSet<DataEntry>,
+    entries: Arc<BTreeSet<DataEntry>>,
 }
 
 impl KeyStore {
@@ -80,18 +88,39 @@ impl KeyStore {
     /// Builds a store from an iterator of entries.
     pub fn from_entries<I: IntoIterator<Item = DataEntry>>(entries: I) -> KeyStore {
         KeyStore {
-            entries: entries.into_iter().collect(),
+            entries: Arc::new(entries.into_iter().collect()),
         }
+    }
+
+    /// Mutable access to the set, copying it first iff a snapshot still
+    /// shares it (the single copy-on-write point of every mutator).
+    fn make_mut(&mut self) -> &mut BTreeSet<DataEntry> {
+        Arc::make_mut(&mut self.entries)
     }
 
     /// Inserts an entry; returns `true` if it was not present before.
     pub fn insert(&mut self, entry: DataEntry) -> bool {
-        self.entries.insert(entry)
+        self.make_mut().insert(entry)
     }
 
     /// Removes an entry; returns `true` if it was present.
     pub fn remove(&mut self, entry: &DataEntry) -> bool {
-        self.entries.remove(entry)
+        self.make_mut().remove(entry)
+    }
+
+    /// An eager private copy that shares no storage with `self` (the
+    /// pre-COW `Clone` semantics, kept for cost comparisons).
+    pub fn deep_clone(&self) -> KeyStore {
+        KeyStore {
+            entries: Arc::new((*self.entries).clone()),
+        }
+    }
+
+    /// Whether this store and `other` currently share one underlying
+    /// entry set (true right after a [`Clone`], false once either side
+    /// mutated or after [`KeyStore::deep_clone`]).
+    pub fn shares_storage_with(&self, other: &KeyStore) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
     }
 
     /// Number of stored entries.
@@ -151,7 +180,7 @@ impl KeyStore {
             .iter()
             .copied()
             .partition(|e| path.covers(e.key));
-        self.entries = keep;
+        self.entries = Arc::new(keep);
         give.into_iter().collect()
     }
 
@@ -159,9 +188,10 @@ impl KeyStore {
     /// and reconcile content" interaction), returning the number of entries
     /// that were actually new.
     pub fn merge_from<I: IntoIterator<Item = DataEntry>>(&mut self, entries: I) -> usize {
+        let set = self.make_mut();
         let mut added = 0;
         for e in entries {
-            if self.entries.insert(e) {
+            if set.insert(e) {
                 added += 1;
             }
         }
@@ -182,9 +212,10 @@ impl KeyStore {
             return 0;
         }
         entries.sort_unstable();
-        let before = self.entries.len();
-        self.entries.extend(entries);
-        self.entries.len() - before
+        let set = self.make_mut();
+        let before = set.len();
+        set.extend(entries);
+        set.len() - before
     }
 
     /// Draws `count` entries uniformly at random (without replacement) from
@@ -279,7 +310,12 @@ impl KeyStore {
 
     /// Removes and returns all entries, leaving the store empty.
     pub fn drain(&mut self) -> Vec<DataEntry> {
-        std::mem::take(&mut self.entries).into_iter().collect()
+        let set = std::mem::take(&mut self.entries);
+        match Arc::try_unwrap(set) {
+            Ok(owned) => owned.into_iter().collect(),
+            // A snapshot still shares the set: leave its copy untouched.
+            Err(shared) => shared.iter().copied().collect(),
+        }
     }
 
     /// Size of the set intersection with another store (number of common
@@ -530,6 +566,49 @@ mod tests {
         assert_eq!(dedup.len(), 5);
         // asking for more than available returns everything
         assert_eq!(s.sample_in(&Path::root(), 100, &mut rng).len(), 8);
+    }
+
+    #[test]
+    fn cow_snapshot_shares_until_mutation() {
+        let mut live = store_with(&[0.1, 0.2, 0.3]);
+        let snapshot = live.clone();
+        // The O(1) snapshot shares storage — zero entries were copied.
+        assert!(snapshot.shares_storage_with(&live));
+        assert!(!live.deep_clone().shares_storage_with(&live));
+
+        // First mutation diverges the live store; the snapshot is frozen.
+        live.insert(entry(0.9, 42));
+        assert!(!snapshot.shares_storage_with(&live));
+        assert_eq!(snapshot.len(), 3);
+        assert_eq!(live.len(), 4);
+
+        // Draining a shared store leaves the snapshot's copy intact.
+        let snapshot2 = live.clone();
+        let drained = live.drain();
+        assert_eq!(drained.len(), 4);
+        assert!(live.is_empty());
+        assert_eq!(snapshot2.len(), 4);
+
+        // Further mutations while unshared stay in place (no re-copy).
+        let mut solo = store_with(&[0.4]);
+        let before = solo.clone();
+        drop(before);
+        solo.insert(entry(0.5, 7));
+        assert_eq!(solo.len(), 2);
+    }
+
+    #[test]
+    fn split_retain_does_not_disturb_snapshots() {
+        let mut live = store_with(&[0.1, 0.2, 0.6, 0.7]);
+        let snapshot = live.clone();
+        let given = live.split_retain(&Path::parse("0"));
+        assert_eq!(given.len(), 2);
+        assert_eq!(live.len(), 2);
+        assert_eq!(
+            snapshot.len(),
+            4,
+            "the snapshot must keep the pre-split set"
+        );
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! [`DurableStore`]: the journal a cluster worker writes its shard
+//! through.
+//!
+//! The store keeps an in-memory **mirror** of the last journaled image
+//! of every `(index, peer)` it has observed.  `observe` diffs the live
+//! state against the mirror and appends at most one [`Record`] per
+//! call, so every record boundary in the log is a consistent cut of one
+//! peer's state — replay after a crash reconstructs exactly the mirror
+//! as of the last acknowledged (synced) record, never a hybrid.
+
+use crate::record::{MetaImage, PeerDelta, PeerImage, Record};
+use crate::segment::{Log, LogOptions};
+use pgrid_core::histogram::LogHistogram;
+use pgrid_core::key::DataEntry;
+use pgrid_core::path::Path as TriePath;
+use pgrid_core::store::KeyStore;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// Durability counters and the fsync latency distribution, exported
+/// into the worker's metrics registry.
+#[derive(Clone, Debug, Default)]
+pub struct DurableStats {
+    /// Records appended this session.
+    pub appended_records: u64,
+    /// Frame bytes appended this session.
+    pub appended_bytes: u64,
+    /// Fsync calls this session.
+    pub syncs: u64,
+    /// Fsync latency distribution, in microseconds.
+    pub fsync_micros: LogHistogram,
+    /// Records replayed at open.
+    pub replayed_records: u64,
+    /// Torn segment tails truncated at open.
+    pub torn_truncations: u64,
+    /// Headerless segment files deleted at open.
+    pub deleted_segments: u64,
+    /// Compaction runs this session.
+    pub compactions: u64,
+    /// Bytes reclaimed by compaction this session.
+    pub compacted_bytes: u64,
+}
+
+/// The mirror image of one peer: what the log last said about it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MirrorImage {
+    /// The peer's trie path.
+    pub path: TriePath,
+    /// Every stored entry.
+    pub entries: BTreeSet<DataEntry>,
+    /// Routing references as `(level, peer, path)`.
+    pub routing: Vec<(u8, u64, TriePath)>,
+    /// Replica peers of this peer's partition.
+    pub replicas: Vec<u64>,
+}
+
+impl MirrorImage {
+    fn from_image(image: PeerImage) -> MirrorImage {
+        MirrorImage {
+            path: image.path,
+            entries: image.entries.into_iter().collect(),
+            routing: image.routing,
+            replicas: image.replicas,
+        }
+    }
+
+    fn to_image(&self) -> PeerImage {
+        PeerImage {
+            path: self.path,
+            entries: self.entries.iter().copied().collect(),
+            routing: self.routing.clone(),
+            replicas: self.replicas.clone(),
+        }
+    }
+
+    fn apply(&mut self, delta: PeerDelta) {
+        if let Some(path) = delta.path {
+            self.path = path;
+        }
+        for e in delta.removed {
+            self.entries.remove(&e);
+        }
+        for e in delta.added {
+            self.entries.insert(e);
+        }
+        if let Some(routing) = delta.routing {
+            self.routing = routing;
+        }
+        if let Some(replicas) = delta.replicas {
+            self.replicas = replicas;
+        }
+    }
+}
+
+/// Compact once the log grows past this floor…
+const COMPACT_MIN_BYTES: u64 = 256 << 10;
+/// …and past this multiple of the last checkpoint's size.
+const COMPACT_GROWTH_FACTOR: u64 = 4;
+
+/// A journaled view of a worker's shard, layered over [`Log`].
+pub struct DurableStore {
+    log: Log,
+    mirror: BTreeMap<(u32, u32), MirrorImage>,
+    meta: Option<MetaImage>,
+    stats: DurableStats,
+    last_checkpoint_bytes: u64,
+}
+
+impl DurableStore {
+    /// Opens the journal in `dir`, replaying whatever survived — an
+    /// empty or missing directory yields a fresh, unrecovered store.
+    pub fn open(dir: &Path, options: LogOptions) -> io::Result<DurableStore> {
+        let (log, payloads, outcome) = Log::open(dir, options)?;
+        let mut store = DurableStore {
+            log,
+            mirror: BTreeMap::new(),
+            meta: None,
+            stats: DurableStats {
+                replayed_records: outcome.records as u64,
+                torn_truncations: outcome.torn_truncations as u64,
+                deleted_segments: outcome.deleted_segments as u64,
+                ..DurableStats::default()
+            },
+            last_checkpoint_bytes: 0,
+        };
+        for payload in payloads {
+            let record = Record::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            store.replay(record);
+        }
+        Ok(store)
+    }
+
+    fn replay(&mut self, record: Record) {
+        match record {
+            Record::Meta(meta) => self.meta = Some(meta),
+            Record::Image { index, peer, image } => {
+                self.mirror
+                    .insert((index, peer), MirrorImage::from_image(image));
+            }
+            Record::Delta { index, peer, delta } => {
+                self.mirror.entry((index, peer)).or_default().apply(delta);
+            }
+        }
+    }
+
+    /// Whether the log held any prior state.
+    pub fn recovered(&self) -> bool {
+        self.meta.is_some() || !self.mirror.is_empty()
+    }
+
+    /// The last journaled worker metadata.
+    pub fn meta(&self) -> Option<&MetaImage> {
+        self.meta.as_ref()
+    }
+
+    /// Journals new worker metadata (no-op when unchanged).
+    pub fn set_meta(&mut self, meta: MetaImage) -> io::Result<bool> {
+        if self.meta.as_ref() == Some(&meta) {
+            return Ok(false);
+        }
+        self.append(&Record::Meta(meta.clone()))?;
+        self.meta = Some(meta);
+        Ok(true)
+    }
+
+    /// The recovered per-peer images, keyed by `(index, peer)`.
+    pub fn images(&self) -> impl Iterator<Item = (&(u32, u32), &MirrorImage)> {
+        self.mirror.iter()
+    }
+
+    /// Number of mirrored peers.
+    pub fn peer_count(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Journals the difference between the live state of `(index, peer)`
+    /// and its mirror: a full image for a first observation, at most one
+    /// delta record otherwise.  Returns whether anything was appended.
+    pub fn observe(
+        &mut self,
+        index: u32,
+        peer: u32,
+        path: TriePath,
+        store: &KeyStore,
+        routing: &[(u8, u64, TriePath)],
+        replicas: &[u64],
+    ) -> io::Result<bool> {
+        let Some(mirror) = self.mirror.get(&(index, peer)) else {
+            let image = PeerImage {
+                path,
+                entries: store.iter().copied().collect(),
+                routing: routing.to_vec(),
+                replicas: replicas.to_vec(),
+            };
+            self.append(&Record::Image {
+                index,
+                peer,
+                image: image.clone(),
+            })?;
+            self.mirror
+                .insert((index, peer), MirrorImage::from_image(image));
+            return Ok(true);
+        };
+
+        let (added, removed) = set_diff(store, &mirror.entries);
+        let delta = PeerDelta {
+            path: (mirror.path != path).then_some(path),
+            added,
+            removed,
+            routing: (mirror.routing.as_slice() != routing).then(|| routing.to_vec()),
+            replicas: (mirror.replicas.as_slice() != replicas).then(|| replicas.to_vec()),
+        };
+        if delta.is_empty() {
+            return Ok(false);
+        }
+        self.append(&Record::Delta {
+            index,
+            peer,
+            delta: delta.clone(),
+        })?;
+        self.mirror
+            .get_mut(&(index, peer))
+            .expect("mirror entry checked above")
+            .apply(delta);
+        Ok(true)
+    }
+
+    fn append(&mut self, record: &Record) -> io::Result<()> {
+        let bytes = self.log.append(&record.encode())?;
+        self.stats.appended_records += 1;
+        self.stats.appended_bytes += bytes;
+        Ok(())
+    }
+
+    /// Fsyncs the journal; the sync latency lands in the stats
+    /// histogram.  A record is only *acknowledged* — guaranteed to
+    /// survive a crash — once a sync after it returned.
+    pub fn sync(&mut self) -> io::Result<Duration> {
+        let elapsed = self.log.sync()?;
+        self.stats.syncs += 1;
+        self.stats
+            .fsync_micros
+            .record(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+        Ok(elapsed)
+    }
+
+    /// Compacts the log into one checkpoint of the mirror when it has
+    /// grown past both the size floor and a multiple of the previous
+    /// checkpoint.  Returns whether a compaction ran.
+    pub fn maybe_compact(&mut self) -> io::Result<bool> {
+        let total = self.log.total_bytes();
+        if total < COMPACT_MIN_BYTES.max(self.last_checkpoint_bytes * COMPACT_GROWTH_FACTOR) {
+            return Ok(false);
+        }
+        self.compact()?;
+        Ok(true)
+    }
+
+    /// Unconditionally rewrites the log as one checkpoint of the mirror.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(self.mirror.len() + 1);
+        if let Some(meta) = &self.meta {
+            payloads.push(Record::Meta(meta.clone()).encode());
+        }
+        for (&(index, peer), image) in &self.mirror {
+            payloads.push(
+                Record::Image {
+                    index,
+                    peer,
+                    image: image.to_image(),
+                }
+                .encode(),
+            );
+        }
+        let outcome = self.log.compact(payloads.iter().map(|p| p.as_slice()))?;
+        self.stats.compactions += 1;
+        self.stats.compacted_bytes += outcome.reclaimed_bytes;
+        self.last_checkpoint_bytes = outcome.checkpoint_bytes;
+        Ok(())
+    }
+
+    /// Durability counters for the metrics registry.
+    pub fn stats(&self) -> &DurableStats {
+        &self.stats
+    }
+
+    /// Number of segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.log.segment_count()
+    }
+
+    /// Total bytes across all segments.
+    pub fn total_bytes(&self) -> u64 {
+        self.log.total_bytes()
+    }
+}
+
+/// `(added, removed)` between a live store and a mirror set, both
+/// iterated in sorted order (a single merge walk, no hashing).
+fn set_diff(live: &KeyStore, mirror: &BTreeSet<DataEntry>) -> (Vec<DataEntry>, Vec<DataEntry>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let mut a = live.iter().copied().peekable();
+    let mut b = mirror.iter().copied().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    added.push(x);
+                    a.next();
+                } else if y < x {
+                    removed.push(y);
+                    b.next();
+                } else {
+                    a.next();
+                    b.next();
+                }
+            }
+            (Some(_), None) => {
+                added.extend(a.by_ref());
+                break;
+            }
+            (None, Some(_)) => {
+                removed.extend(b.by_ref());
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgrid_core::key::{DataId, Key};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgrid-dstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(key: u64, id: u64) -> DataEntry {
+        DataEntry {
+            key: Key(key),
+            id: DataId(id),
+        }
+    }
+
+    #[test]
+    fn observe_then_reopen_round_trips_the_mirror() {
+        let dir = temp_dir("roundtrip");
+        let mut store = DurableStore::open(&dir, LogOptions::default()).unwrap();
+        assert!(!store.recovered());
+
+        let mut ks = KeyStore::new();
+        ks.insert(entry(1, 1));
+        ks.insert(entry(2, 2));
+        let routing = vec![(0u8, 7u64, TriePath::parse("1"))];
+        assert!(store
+            .observe(0, 3, TriePath::parse("0"), &ks, &routing, &[5])
+            .unwrap());
+        // Unchanged state appends nothing.
+        assert!(!store
+            .observe(0, 3, TriePath::parse("0"), &ks, &routing, &[5])
+            .unwrap());
+        // A mutation appends a delta.
+        ks.insert(entry(9, 9));
+        ks.remove(&entry(1, 1));
+        assert!(store
+            .observe(0, 3, TriePath::parse("01"), &ks, &routing, &[5, 6])
+            .unwrap());
+        store
+            .set_meta(MetaImage {
+                shard_start: 3,
+                shard_len: 1,
+                epoch: 0,
+                phase: 1,
+                now_ms: 60_000,
+                seed: 42,
+            })
+            .unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let reopened = DurableStore::open(&dir, LogOptions::default()).unwrap();
+        assert!(reopened.recovered());
+        assert_eq!(reopened.meta().unwrap().seed, 42);
+        let (&key, image) = reopened.images().next().unwrap();
+        assert_eq!(key, (0, 3));
+        assert_eq!(image.path, TriePath::parse("01"));
+        assert_eq!(
+            image.entries.iter().copied().collect::<Vec<_>>(),
+            vec![entry(2, 2), entry(9, 9)]
+        );
+        assert_eq!(image.replicas, vec![5, 6]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_the_mirror_and_shrinks_the_log() {
+        let dir = temp_dir("compact");
+        let mut store = DurableStore::open(&dir, LogOptions { segment_bytes: 512 }).unwrap();
+        let mut ks = KeyStore::new();
+        for i in 0..200u64 {
+            ks.insert(entry(i, i));
+            store
+                .observe(0, 1, TriePath::root(), &ks, &[], &[])
+                .unwrap();
+        }
+        store.sync().unwrap();
+        let before = store.total_bytes();
+        store.compact().unwrap();
+        assert!(store.total_bytes() < before);
+        drop(store);
+        let reopened = DurableStore::open(&dir, LogOptions::default()).unwrap();
+        assert_eq!(reopened.images().next().unwrap().1.entries.len(), 200);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -90,6 +90,13 @@ pub struct NetConfig {
     /// [`QueryAggregates`] (bounded memory at any rate); the sample rings
     /// only keep the most recent `query_sample_cap` records.
     pub query_sample_cap: usize,
+    /// Base interval between re-issues of an unanswered recovery
+    /// `ReplicaPull`, in virtual milliseconds.  Each retry doubles the
+    /// wait (capped by [`NetConfig::recovery_retry_max_ms`]), so a large
+    /// shard recovering many peers does not stampede its replica sources.
+    pub recovery_retry_ms: u64,
+    /// Upper bound of the recovery re-issue backoff.
+    pub recovery_retry_max_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -113,6 +120,8 @@ impl Default for NetConfig {
             batch_per_tick: true,
             route_cache: false,
             query_sample_cap: DEFAULT_QUERY_SAMPLE_CAP,
+            recovery_retry_ms: 2_000,
+            recovery_retry_max_ms: 16_000,
         }
     }
 }
@@ -365,6 +374,15 @@ pub struct NetMetrics {
     /// Adopted peers rebuilt from the locally regenerated data assignment
     /// (no live replica answered in time).
     pub peers_recovered_local: usize,
+    /// Peers restored from a local durability log (warm restart) instead
+    /// of a replica pull or the regenerated assignment.
+    pub peers_recovered_warm: usize,
+    /// Warm-restored peers that finished an anti-entropy reconciliation
+    /// with a live replica after replay.
+    pub peers_reconciled: usize,
+    /// Entries merged into warm-restored peers by reconciliation (what
+    /// the log had missed since its last sync).
+    pub reconciled_entries: usize,
 }
 
 impl Default for NetMetrics {
@@ -385,6 +403,9 @@ impl Default for NetMetrics {
             peers_adopted: 0,
             peers_recovered_replica: 0,
             peers_recovered_local: 0,
+            peers_recovered_warm: 0,
+            peers_reconciled: 0,
+            reconciled_entries: 0,
         }
     }
 }
@@ -490,6 +511,21 @@ impl NetMetrics {
                 "pgrid_net_peers_recovered_local_total",
                 "Adopted peers rebuilt from the regenerated data assignment.",
                 self.peers_recovered_local,
+            ),
+            (
+                "pgrid_net_peers_recovered_warm_total",
+                "Peers restored from a local durability log (warm restart).",
+                self.peers_recovered_warm,
+            ),
+            (
+                "pgrid_net_peers_reconciled_total",
+                "Warm-restored peers reconciled with a live replica.",
+                self.peers_reconciled,
+            ),
+            (
+                "pgrid_net_reconciled_entries_total",
+                "Entries merged into warm-restored peers by reconciliation.",
+                self.reconciled_entries,
             ),
             (
                 "pgrid_net_queries_issued_total",
@@ -993,6 +1029,11 @@ pub struct Runtime<T: Transport = LoopbackTransport> {
     adopted: BTreeSet<usize>,
     /// Adopted peers whose replica pull is still outstanding.
     recovering: BTreeSet<usize>,
+    /// Warm-restored peers whose anti-entropy reconciliation with a live
+    /// replica is still outstanding.  Unlike `recovering`, these peers
+    /// are already online serving their replayed state; a replica's
+    /// answer is *merged into* it instead of replacing it.
+    reconciling: BTreeSet<usize>,
     /// Link life-cycle per destination peer (absent = Connected).  Only
     /// ever populated by transport send failures, which virtual-time
     /// backends never produce.
@@ -1159,6 +1200,7 @@ impl<T: Transport> Runtime<T> {
             shard,
             adopted: BTreeSet::new(),
             recovering: BTreeSet::new(),
+            reconciling: BTreeSet::new(),
             link_health: HashMap::new(),
             pending: BTreeMap::new(),
             pending_from: HashMap::new(),
@@ -1497,6 +1539,126 @@ impl<T: Transport> Runtime<T> {
     /// Number of adopted peers whose replica snapshot has not arrived yet.
     pub fn pending_recoveries(&self) -> usize {
         self.recovering.len()
+    }
+
+    /// Restores a hosted peer from a durability-log image (the warm
+    /// restart path): exact path, entries, routing references and replica
+    /// set, brought online immediately — no replica pull.  With
+    /// `constructing` the peer's maintenance tick chain is re-armed, as
+    /// [`Runtime::start_construction_on`] would.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_peer(
+        &mut self,
+        index: IndexId,
+        peer: usize,
+        path: Path,
+        entries: Vec<DataEntry>,
+        routing: Vec<(u8, PeerId, Path)>,
+        replicas: Vec<PeerId>,
+        constructing: bool,
+    ) {
+        debug_assert!(self.hosted(peer), "only hosted peers are restored here");
+        let fanout = self.config.routing_fanout;
+        let mut table = pgrid_core::routing::RoutingTable::new(fanout);
+        for (level, rpeer, rpath) in routing {
+            table.add(
+                level as usize,
+                RoutingEntry {
+                    peer: rpeer,
+                    path: rpath,
+                },
+                &mut self.rng,
+            );
+        }
+        let path_len = path.len();
+        let state = index_state_mut(&mut self.nodes, &mut self.secondary, index, peer);
+        state.path = path;
+        state.store = KeyStore::from_entries(entries);
+        state.routing = table;
+        state.replicas = replicas;
+        state.replicas.retain(|p| p.0 as usize != peer);
+        if index.is_primary() {
+            self.nodes[peer].joined = true;
+            self.nodes[peer].state.online = true;
+            self.rebuild_online_cache();
+        }
+        self.invalidate_route_cache(peer, index);
+        self.metrics.peers_recovered_warm += 1;
+        if constructing && !self.nodes[peer].tick_armed {
+            self.nodes[peer].tick_armed = true;
+            self.nodes[peer].constructing = true;
+            let jitter = self
+                .rng
+                .gen_range(0..self.config.construct_interval_ms.max(1));
+            self.schedule(
+                self.now + jitter,
+                EventKind::ConstructTick {
+                    index: IndexId::PRIMARY,
+                    peer,
+                },
+            );
+        }
+        self.recorder.note(
+            self.now,
+            "recovery",
+            format!("peer {peer} restored from durability log (path len {path_len})"),
+        );
+    }
+
+    /// Asks the live peer `source` for a replica snapshot to *reconcile*
+    /// the warm-restored peer `peer` with (anti-entropy): the answer is
+    /// merged into the replayed state instead of replacing it, closing
+    /// whatever gap the log's last sync left.  The peer keeps serving
+    /// meanwhile — this is strictly background traffic.
+    pub fn begin_replica_diff(&mut self, peer: usize, source: usize) {
+        debug_assert!(self.hosted(peer), "only hosted peers reconcile here");
+        self.reconciling.insert(peer);
+        self.current_actor = peer;
+        self.tracer.record(
+            AMBIENT_TRACE,
+            "recovery_diff",
+            peer as u64,
+            self.now,
+            || format!("source={source}"),
+        );
+        self.send(
+            source,
+            Message::ReplicaPull {
+                origin: PeerId(peer as u64),
+            },
+        );
+        self.flush_pending();
+    }
+
+    /// Number of warm-restored peers whose reconciliation answer has not
+    /// arrived yet.
+    pub fn pending_reconciliations(&self) -> usize {
+        self.reconciling.len()
+    }
+
+    /// Peers whose reconciliation is still outstanding, ascending.
+    pub fn reconciling_peers(&self) -> Vec<usize> {
+        self.reconciling.iter().copied().collect()
+    }
+
+    /// Copy-on-write snapshots of the hosted peers' primary stores, as
+    /// `(peer, store)` pairs ascending by peer.  Each handle shares
+    /// storage with the live peer (`Arc`-backed) until either side
+    /// mutates, so this is O(1) per peer, not O(entries).
+    pub fn capture_primary_stores(&self) -> Vec<(usize, KeyStore)> {
+        let mut out: Vec<(usize, KeyStore)> = self
+            .shard
+            .clone()
+            .map(|p| (p, self.nodes[p].state.store.clone()))
+            .collect();
+        out.extend(
+            self.adopted
+                .iter()
+                .map(|&p| (p, self.nodes[p].state.store.clone())),
+        );
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out.dedup_by_key(|&mut (p, _)| p);
+        out
     }
 
     /// Number of adopted peers rebuilt from a live replica so far.
@@ -2593,6 +2755,10 @@ impl<T: Transport> Runtime<T> {
         routing: Vec<(u8, PeerId, Path)>,
         replicas: Vec<PeerId>,
     ) {
+        if self.reconciling.contains(&to) {
+            self.apply_replica_diff(index, to, path, entries, routing, replicas);
+            return;
+        }
         if !self.recovering.contains(&to) {
             return;
         }
@@ -2629,6 +2795,79 @@ impl<T: Transport> Runtime<T> {
             ),
         );
         self.finish_recovery(to);
+    }
+
+    /// Merges a replica's answer into a warm-restored peer (anti-entropy
+    /// reconciliation).  Unlike the cold path above, the replayed state is
+    /// the baseline: same partition path → union of entries, replicas and
+    /// routing references; diverged path (the partition split or moved
+    /// while the peer was down) → adopt the replica's identity wholesale
+    /// and keep only the replayed entries it still covers.
+    fn apply_replica_diff(
+        &mut self,
+        index: IndexId,
+        to: usize,
+        path: Path,
+        entries: Vec<DataEntry>,
+        routing: Vec<(u8, PeerId, Path)>,
+        replicas: Vec<PeerId>,
+    ) {
+        let fanout = self.config.routing_fanout;
+        let own_path = index_state(&self.nodes, &self.secondary, index, to).path;
+        let merged = if own_path == path {
+            let mut table = std::mem::replace(
+                &mut index_state_mut(&mut self.nodes, &mut self.secondary, index, to).routing,
+                pgrid_core::routing::RoutingTable::new(fanout),
+            );
+            for (level, peer, rpath) in routing {
+                let level = level as usize;
+                if !table.level(level).iter().any(|e| e.peer == peer) {
+                    table.add(level, RoutingEntry { peer, path: rpath }, &mut self.rng);
+                }
+            }
+            let state = index_state_mut(&mut self.nodes, &mut self.secondary, index, to);
+            state.routing = table;
+            for r in replicas {
+                if r.0 as usize != to && !state.replicas.contains(&r) {
+                    state.replicas.push(r);
+                }
+            }
+            state.store.merge_batch(entries)
+        } else {
+            let mut table = pgrid_core::routing::RoutingTable::new(fanout);
+            for (level, peer, rpath) in routing {
+                table.add(
+                    level as usize,
+                    RoutingEntry { peer, path: rpath },
+                    &mut self.rng,
+                );
+            }
+            let state = index_state_mut(&mut self.nodes, &mut self.secondary, index, to);
+            let old = state.store.drain();
+            state.path = path;
+            state.routing = table;
+            state.store = KeyStore::from_entries(entries);
+            state.replicas = replicas;
+            state.replicas.retain(|p| p.0 as usize != to);
+            let covered: Vec<DataEntry> = old.into_iter().filter(|e| path.covers(e.key)).collect();
+            state.store.merge_batch(covered)
+        };
+        self.reconciling.remove(&to);
+        self.metrics.peers_reconciled += 1;
+        self.metrics.reconciled_entries += merged;
+        self.invalidate_route_cache(to, index);
+        self.tracer.record(
+            AMBIENT_TRACE,
+            "replica_reconciled",
+            to as u64,
+            self.now,
+            || format!("index={} merged={merged}", index.0),
+        );
+        self.recorder.note(
+            self.now,
+            "recovery",
+            format!("peer {to} reconciled with a live replica ({merged} entries merged)"),
+        );
     }
 
     /// Brings a recovered peer back into service: joined + online, cache
@@ -3956,6 +4195,131 @@ mod tests {
         let got: Vec<DataEntry> = rt.nodes[15].state.store.iter().copied().collect();
         assert_eq!(got, want);
         assert_eq!(rt.metrics.peers_recovered_local, 1);
+    }
+
+    /// Runs a converged construction and returns (runtime, peer, replica)
+    /// where `peer` holds at least two entries and lists `replica`.
+    fn converged_with_replica(seed: u64) -> (Runtime, usize, usize) {
+        let mut rt = Runtime::new(NetConfig {
+            n_peers: 16,
+            seed,
+            ..NetConfig::default()
+        });
+        for i in 0..16 {
+            rt.join_peer(i, 4);
+        }
+        rt.replication_phase();
+        rt.run_until(10_000);
+        rt.start_construction();
+        rt.run_until(400_000);
+        for a in 0..16 {
+            let state = &rt.nodes[a].state;
+            if state.store.len() >= 2 && !state.path.is_empty() {
+                if let Some(r) = state.replicas.first() {
+                    let r = r.0 as usize;
+                    return (rt, a, r);
+                }
+            }
+        }
+        panic!("no converged peer with data and a replica");
+    }
+
+    #[test]
+    fn warm_restore_then_reconcile_merges_missing_entries() {
+        let (mut rt, a, r) = converged_with_replica(9);
+        let path = rt.nodes[a].state.path;
+        let full: Vec<DataEntry> = rt.nodes[a].state.store.iter().copied().collect();
+        let replica_set: std::collections::BTreeSet<DataEntry> =
+            rt.nodes[r].state.store.iter().copied().collect();
+        // Drop an entry the replica also holds: a stale journal image.
+        let dropped = *full
+            .iter()
+            .find(|e| replica_set.contains(e))
+            .expect("replica shares at least one entry");
+        let stale: Vec<DataEntry> = full.iter().copied().filter(|e| *e != dropped).collect();
+        let routing: Vec<(u8, PeerId, Path)> = rt.nodes[a]
+            .state
+            .routing
+            .entries()
+            .map(|(level, e)| (level as u8, e.peer, e.path))
+            .collect();
+        let replicas = rt.nodes[a].state.replicas.clone();
+
+        rt.restore_peer(
+            IndexId::PRIMARY,
+            a,
+            path,
+            stale.clone(),
+            routing,
+            replicas,
+            false,
+        );
+        assert_eq!(rt.metrics.peers_recovered_warm, 1);
+        assert_eq!(rt.nodes[a].state.store.len(), full.len() - 1);
+        assert!(rt.nodes[a].state.online);
+
+        rt.begin_replica_diff(a, r);
+        assert_eq!(rt.pending_reconciliations(), 1);
+        assert_eq!(rt.reconciling_peers(), vec![a]);
+        let deadline = rt.now() + 30_000;
+        while rt.pending_reconciliations() > 0 && rt.now() < deadline {
+            let next = rt.now() + 50;
+            rt.run_until(next);
+        }
+        assert_eq!(rt.pending_reconciliations(), 0, "diff must complete");
+        assert_eq!(rt.metrics.peers_reconciled, 1);
+        assert!(rt.metrics.reconciled_entries >= 1);
+        // Same partition: the replica's answer is merged, not adopted —
+        // the dropped entry is back and nothing replayed was lost.
+        let got: std::collections::BTreeSet<DataEntry> =
+            rt.nodes[a].state.store.iter().copied().collect();
+        assert_eq!(rt.nodes[a].state.path, path);
+        assert!(got.contains(&dropped), "reconciliation restores the gap");
+        for e in &stale {
+            assert!(got.contains(e), "merge must not lose replayed entries");
+        }
+    }
+
+    #[test]
+    fn reconcile_adopts_diverged_partition_path() {
+        let (mut rt, a, r) = converged_with_replica(13);
+        let path = rt.nodes[a].state.path;
+        let full: Vec<DataEntry> = rt.nodes[a].state.store.iter().copied().collect();
+        let replicas = rt.nodes[a].state.replicas.clone();
+        // Journal image from before the partition's last split: one bit
+        // shorter than the live replicas' path.
+        let mut parent = Path::ROOT;
+        for i in 0..path.len() - 1 {
+            parent = parent.child(path.bit(i));
+        }
+        rt.restore_peer(
+            IndexId::PRIMARY,
+            a,
+            parent,
+            full.clone(),
+            Vec::new(),
+            replicas,
+            false,
+        );
+        assert_eq!(rt.nodes[a].state.path, parent);
+
+        rt.begin_replica_diff(a, r);
+        let deadline = rt.now() + 30_000;
+        while rt.pending_reconciliations() > 0 && rt.now() < deadline {
+            let next = rt.now() + 50;
+            rt.run_until(next);
+        }
+        assert_eq!(rt.pending_reconciliations(), 0, "diff must complete");
+        assert_eq!(rt.metrics.peers_reconciled, 1);
+        // Diverged path: the replica's identity wins; replayed entries it
+        // still covers are kept.
+        let live_path = rt.nodes[a].state.path;
+        assert_eq!(live_path, rt.nodes[r].state.path);
+        let got: std::collections::BTreeSet<DataEntry> =
+            rt.nodes[a].state.store.iter().copied().collect();
+        for e in full.iter().filter(|e| live_path.covers(e.key)) {
+            assert!(got.contains(e), "covered replayed entries survive adoption");
+        }
     }
 
     #[test]

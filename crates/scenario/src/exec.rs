@@ -15,6 +15,10 @@ pub struct ScenarioReport {
     pub phases_run: usize,
     /// Virtual time at the end of the run, in minutes.
     pub end_min: u64,
+    /// Opt-in store captures, one per [`Phase::Snapshot`]; empty unless
+    /// [`Scenario::capture_stores`] is set (the default takes none and
+    /// allocates nothing).
+    pub store_captures: Vec<StoreCapture>,
 }
 
 impl ScenarioReport {
@@ -27,6 +31,25 @@ impl ScenarioReport {
     pub fn final_snapshot(&self) -> &OverlaySnapshot {
         self.snapshots.last().expect("every run takes one")
     }
+
+    /// The store capture with the given label, if taken.
+    pub fn store_capture(&self, label: &str) -> Option<&StoreCapture> {
+        self.store_captures.iter().find(|c| c.label == label)
+    }
+}
+
+/// The key stores of the hosted peers at one [`Phase::Snapshot`], captured
+/// through [`Overlay::capture_stores`].  On copy-on-write engines every
+/// handle shares storage with the live peer until either side mutates, so
+/// a capture is O(1) per peer, not O(entries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreCapture {
+    /// The label of the snapshot phase that took this capture.
+    pub label: String,
+    /// Virtual time of the capture, in minutes.
+    pub at_min: u64,
+    /// `(peer, store)` pairs, one per hosted peer.
+    pub stores: Vec<(usize, pgrid_core::store::KeyStore)>,
 }
 
 /// Hooks called between phases — the cluster worker uses them to report
@@ -80,6 +103,8 @@ where
         boundary_min: 0,
         next_query: None,
         snapshots: Vec::new(),
+        capture_stores: scenario.capture_stores,
+        store_captures: Vec::new(),
     };
     for (i, phase) in scenario.phases.iter().enumerate() {
         execute_phase(overlay, &mut ctx, phase);
@@ -96,6 +121,7 @@ where
         snapshots: ctx.snapshots,
         phases_run: scenario.phases.len(),
         end_min: overlay.now() / MINUTE_MS,
+        store_captures: ctx.store_captures,
     })
 }
 
@@ -110,6 +136,8 @@ struct Context {
     boundary_min: u64,
     next_query: Option<Millis>,
     snapshots: Vec<OverlaySnapshot>,
+    capture_stores: bool,
+    store_captures: Vec<StoreCapture>,
 }
 
 /// Stable phase label of the executor's progress logs.
@@ -306,6 +334,13 @@ fn execute_phase<O: Overlay + ?Sized>(overlay: &mut O, ctx: &mut Context, phase:
         Phase::Snapshot { label } => {
             let snapshot = overlay.snapshot(label);
             ctx.snapshots.push(snapshot);
+            if ctx.capture_stores {
+                ctx.store_captures.push(StoreCapture {
+                    label: label.clone(),
+                    at_min: overlay.now() / MINUTE_MS,
+                    stores: overlay.capture_stores(),
+                });
+            }
         }
         Phase::Drain => {
             overlay.advance_to(ctx.boundary_min * MINUTE_MS + overlay.query_timeout_ms());

@@ -56,7 +56,7 @@ pub mod scenario;
 pub mod sim;
 pub mod sweeps;
 
-pub use exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport};
+pub use exec::{run, run_with_hooks, NoHooks, ScenarioHooks, ScenarioReport, StoreCapture};
 pub use overlay::{IndexSnapshot, Overlay, OverlaySnapshot};
 pub use scenario::{
     ChurnEvent, JoinEvent, Phase, QuerySpec, Scenario, ScenarioBuilder, RANGE_LOAD_WIDTH,

@@ -73,6 +73,10 @@ impl<T: Transport> Overlay for Runtime<T> {
         self.config.query_timeout_ms
     }
 
+    fn capture_stores(&self) -> Vec<(usize, pgrid_core::store::KeyStore)> {
+        self.capture_primary_stores()
+    }
+
     fn inject_partition(&mut self, groups: &[Vec<usize>], from: Millis, until: Millis) -> bool {
         let groups = groups
             .iter()

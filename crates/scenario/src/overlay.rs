@@ -97,6 +97,15 @@ pub trait Overlay {
     fn inject_partition(&mut self, _groups: &[Vec<usize>], _from: Millis, _until: Millis) -> bool {
         false
     }
+
+    /// Captures the primary-index key stores of the peers this engine
+    /// hosts, as `(peer, store)` pairs.  Engines with copy-on-write
+    /// stores return O(1) handles that share storage with the live peers
+    /// until either side mutates; the default returns nothing.  Only
+    /// called when [`crate::Scenario::capture_stores`] opted in.
+    fn capture_stores(&self) -> Vec<(usize, pgrid_core::store::KeyStore)> {
+        Vec::new()
+    }
 }
 
 /// One labelled measurement of an overlay, taken by [`Phase::Snapshot`]

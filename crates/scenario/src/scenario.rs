@@ -206,6 +206,11 @@ pub struct Scenario {
     pub control_seed: u64,
     /// The phases, executed in order.
     pub phases: Vec<Phase>,
+    /// Whether [`Phase::Snapshot`] also captures the hosted peers' key
+    /// stores through [`crate::Overlay::capture_stores`].  Off by default:
+    /// plain metric snapshots allocate nothing extra (engines with
+    /// copy-on-write stores make the opt-in capture O(1) per peer).
+    pub capture_stores: bool,
 }
 
 impl Scenario {
@@ -215,6 +220,7 @@ impl Scenario {
         ScenarioBuilder {
             control_seed: seed ^ CONTROL_SEED_SALT,
             phases: Vec::new(),
+            capture_stores: false,
         }
     }
 
@@ -274,6 +280,7 @@ impl Scenario {
 pub struct ScenarioBuilder {
     control_seed: u64,
     phases: Vec<Phase>,
+    capture_stores: bool,
 }
 
 impl ScenarioBuilder {
@@ -439,11 +446,19 @@ impl ScenarioBuilder {
         self.phase(Phase::Drain)
     }
 
+    /// Makes every [`Phase::Snapshot`] also capture the hosted peers' key
+    /// stores (copy-on-write handles on engines that support it).
+    pub fn capture_stores(mut self) -> ScenarioBuilder {
+        self.capture_stores = true;
+        self
+    }
+
     /// Finishes the program.
     pub fn build(self) -> Scenario {
         Scenario {
             control_seed: self.control_seed,
             phases: self.phases,
+            capture_stores: self.capture_stores,
         }
     }
 }
