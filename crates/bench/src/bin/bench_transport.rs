@@ -1,0 +1,419 @@
+//! Transport backend shootout: the threaded TCP backend (one listener +
+//! acceptor thread per hosted peer) against the epoll reactor (every peer
+//! behind one multiplexed listener) — emitted as an aligned text report
+//! and a `BENCH_transport.json` snapshot for CI archival.
+//!
+//! ```text
+//! cargo run --release -p pgrid-bench --bin bench_transport
+//! cargo run --release -p pgrid-bench --bin bench_transport -- --quick
+//! cargo run --release -p pgrid-bench --bin bench_transport -- \
+//!     --peers 1000 --frames 20000 --out BENCH_transport.json
+//! ```
+//!
+//! Two measurements per backend:
+//!
+//! * **hosting cost** — a child process (fresh allocator, fresh fd table)
+//!   registers N local peers and reports the resident-set and descriptor
+//!   delta, giving honest bytes/peer and fds/peer numbers;
+//! * **wire throughput** — a sender transport pushes realistic exchange
+//!   frames to N peers hosted by a second transport in the same process
+//!   (over real sockets for both backends) and the wall clock gives
+//!   frames/sec; for the reactor the epoll wake-up counter also yields
+//!   wakeups/frame.
+//!
+//! Hard gates (the PR's claims): the reactor must be **no slower** than
+//! the threaded backend at the comparison point and **materially lighter**
+//! per hosted peer, on a constant number of descriptors.  The deep phase
+//! (skipped with `--quick`) repeats both measurements at 50k peers —
+//! a scale the threaded backend cannot reach at all.
+
+use bytes::Bytes;
+use pgrid_core::key::{DataEntry, DataId, Key};
+use pgrid_core::path::Path;
+use pgrid_core::routing::PeerId;
+use pgrid_net::message::Message;
+use pgrid_reactor::ReactorTransport;
+use pgrid_transport::frame::encode_frame;
+use pgrid_transport::tcp::TcpTransport;
+use pgrid_transport::{PeerAddr, SocketTransport, Transport};
+use std::time::{Duration, Instant};
+
+/// Resident set size of this process in bytes (`VmRSS` of
+/// `/proc/self/status`); 0 where procfs is unavailable.
+fn vm_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Open descriptors of this process; 0 where procfs is unavailable.
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|dir| dir.count() as u64)
+        .unwrap_or(0)
+}
+
+/// One exchange frame the way the deployment runtime sends them: a single
+/// `Exchange` message with a realistic entry batch.
+fn payload() -> Bytes {
+    let entries: Vec<DataEntry> = (0..10)
+        .map(|j| DataEntry::new(Key::from_fraction(j as f64 / 10.0), DataId(j as u64)))
+        .collect();
+    encode_frame(std::slice::from_ref(
+        &Message::Exchange {
+            from: PeerId(0),
+            path: Path::parse("0101"),
+            entries,
+        }
+        .encode(),
+    ))
+}
+
+/// Hosting-cost numbers reported by a `--host-probe` child process.
+struct HostCost {
+    rss_delta_bytes: u64,
+    fds_delta: u64,
+    wall_s: f64,
+}
+
+impl HostCost {
+    fn bytes_per_peer(&self, peers: u64) -> f64 {
+        self.rss_delta_bytes as f64 / peers.max(1) as f64
+    }
+}
+
+/// Child-process entry point: register `peers` local endpoints on the
+/// chosen backend, report the RSS/fd delta on stdout, exit.  Run in a
+/// separate process so the two backends never share allocator arenas or
+/// fd tables — the deltas are attributable.
+fn host_probe(backend: &str, peers: u64) -> ! {
+    let rss0 = vm_rss_bytes();
+    let fds0 = open_fds();
+    let start = Instant::now();
+    let (rss1, fds1) = match backend {
+        "threaded" => {
+            let mut transport = TcpTransport::new();
+            for p in 0..peers {
+                transport.register(PeerId(p)).expect("register");
+            }
+            (vm_rss_bytes(), open_fds())
+        }
+        "reactor" => {
+            let mut transport = ReactorTransport::new();
+            for p in 0..peers {
+                transport.register(PeerId(p)).expect("register");
+            }
+            (vm_rss_bytes(), open_fds())
+        }
+        other => panic!("unknown backend {other:?}"),
+    };
+    println!(
+        "HOST_PROBE rss_delta_bytes={} fds_delta={} wall_s={:.3}",
+        rss1.saturating_sub(rss0),
+        fds1.saturating_sub(fds0),
+        start.elapsed().as_secs_f64()
+    );
+    std::process::exit(0);
+}
+
+/// Runs the `--host-probe` child for one backend and parses its report.
+fn probe_host_cost(backend: &str, peers: u64) -> HostCost {
+    let exe = std::env::current_exe().expect("current_exe");
+    let output = std::process::Command::new(exe)
+        .args(["--host-probe", backend, "--peers", &peers.to_string()])
+        .output()
+        .expect("host probe child must spawn");
+    assert!(
+        output.status.success(),
+        "host probe ({backend}, {peers} peers) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("HOST_PROBE "))
+        .unwrap_or_else(|| panic!("no HOST_PROBE line in {stdout:?}"));
+    let field = |name: &str| -> f64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {name} in {line:?}"))
+    };
+    HostCost {
+        rss_delta_bytes: field("rss_delta_bytes") as u64,
+        fds_delta: field("fds_delta") as u64,
+        wall_s: field("wall_s"),
+    }
+}
+
+/// Wire-throughput numbers of one backend.
+struct WireRun {
+    wall_s: f64,
+    frames_per_s: f64,
+    /// epoll wake-ups per delivered frame (reactor only).
+    wakeups_per_frame: Option<f64>,
+    /// Descriptors the hosting side holds (reactor only — constant).
+    host_fds: Option<u64>,
+}
+
+/// Pushes `frames` exchange frames from a sender transport to `n_peers`
+/// endpoints hosted by `host`, round-robin, draining the host as it goes,
+/// and returns the steady-state throughput.  Both instances live in this
+/// process but every frame crosses a real socket.
+fn wire_throughput<T: SocketTransport>(
+    mut host: T,
+    mut sender: T,
+    n_peers: u64,
+    frames: u64,
+    frame: &Bytes,
+) -> WireRun {
+    let mut addrs = Vec::with_capacity(n_peers as usize);
+    for p in 0..n_peers {
+        match host.register(PeerId(p)).expect("host register") {
+            PeerAddr::Socket(addr) => addrs.push(addr),
+            PeerAddr::Local(_) => unreachable!("socket backends return socket addresses"),
+        }
+    }
+    // The sender hosts one endpoint of its own (so the backend is fully
+    // started) and knows every hosted peer by address.
+    sender
+        .register(PeerId(u64::MAX - 1))
+        .expect("sender register");
+    for (p, addr) in addrs.iter().enumerate() {
+        sender
+            .register_remote(PeerId(p as u64), *addr)
+            .expect("register_remote");
+    }
+
+    let wakeups_before = host.stats().reactor.map(|r| r.epoll_wakeups);
+    let start = Instant::now();
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    while sent < frames {
+        // Batches keep the reactor's bounded write queue comfortably below
+        // capacity while the same thread also drains the hosting side.
+        let batch = 256.min(frames - sent);
+        for i in 0..batch {
+            let dest = (sent + i) % n_peers;
+            sender
+                .send(0, PeerId(dest), frame.clone())
+                .expect("send must succeed");
+        }
+        sent += batch;
+        delivered += host.poll(u64::MAX).len() as u64;
+    }
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while delivered < frames {
+        delivered += host.poll(u64::MAX).len() as u64;
+        if delivered < frames {
+            assert!(
+                Instant::now() < deadline,
+                "backend stalled: {delivered}/{frames} frames delivered"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        delivered, frames,
+        "socket delivery within a process is lossless"
+    );
+
+    let host_stats = host.stats();
+    let wakeups_per_frame = match (wakeups_before, host_stats.reactor.as_ref()) {
+        (Some(before), Some(after)) => {
+            Some(after.epoll_wakeups.saturating_sub(before) as f64 / frames as f64)
+        }
+        _ => None,
+    };
+    WireRun {
+        wall_s,
+        frames_per_s: frames as f64 / wall_s,
+        wakeups_per_frame,
+        host_fds: host_stats.reactor.map(|r| r.registered_fds),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let option = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|at| args.get(at + 1))
+            .cloned()
+    };
+    if let Some(backend) = option("--host-probe") {
+        let peers: u64 = option("--peers")
+            .map(|v| v.parse().expect("--peers must be an integer"))
+            .unwrap_or(1_000);
+        host_probe(&backend, peers);
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let peers: u64 = option("--peers")
+        .map(|v| v.parse().expect("--peers must be an integer"))
+        .unwrap_or(if quick { 200 } else { 1_000 });
+    let frames: u64 = option("--frames")
+        .map(|v| v.parse().expect("--frames must be an integer"))
+        .unwrap_or(if quick { 5_000 } else { 20_000 });
+    let deep_peers: u64 = option("--deep-peers")
+        .map(|v| v.parse().expect("--deep-peers must be an integer"))
+        .unwrap_or(50_000);
+    let out = option("--out").unwrap_or_else(|| "BENCH_transport.json".to_string());
+    let frame = payload();
+
+    // --- hosting cost (child processes, one per backend) -----------------
+    let threaded_host = probe_host_cost("threaded", peers);
+    println!(
+        "host   : threaded {peers} peers — {:.0} B/peer rss, {} fds, {:.2}s",
+        threaded_host.bytes_per_peer(peers),
+        threaded_host.fds_delta,
+        threaded_host.wall_s
+    );
+    let reactor_host = pgrid_reactor::supported().then(|| {
+        let cost = probe_host_cost("reactor", peers);
+        println!(
+            "host   : reactor  {peers} peers — {:.0} B/peer rss, {} fds, {:.2}s",
+            cost.bytes_per_peer(peers),
+            cost.fds_delta,
+            cost.wall_s
+        );
+        cost
+    });
+
+    // --- wire throughput --------------------------------------------------
+    let threaded_wire = wire_throughput(
+        TcpTransport::new(),
+        TcpTransport::new(),
+        peers,
+        frames,
+        &frame,
+    );
+    println!(
+        "wire   : threaded {frames} frames to {peers} peers in {:.3}s — {:.0} frames/s",
+        threaded_wire.wall_s, threaded_wire.frames_per_s
+    );
+    let reactor_wire = pgrid_reactor::supported().then(|| {
+        let run = wire_throughput(
+            ReactorTransport::new(),
+            ReactorTransport::new(),
+            peers,
+            frames,
+            &frame,
+        );
+        println!(
+            "wire   : reactor  {frames} frames to {peers} peers in {:.3}s — \
+             {:.0} frames/s, {:.2} wakeups/frame, {} host fds",
+            run.wall_s,
+            run.frames_per_s,
+            run.wakeups_per_frame.unwrap_or(0.0),
+            run.host_fds.unwrap_or(0)
+        );
+        run
+    });
+
+    // --- the PR's hard gates ----------------------------------------------
+    if let (Some(reactor_host), Some(reactor_wire)) = (&reactor_host, &reactor_wire) {
+        assert!(
+            reactor_wire.frames_per_s >= threaded_wire.frames_per_s,
+            "the reactor must be no slower than the threaded backend: \
+             {:.0} vs {:.0} frames/s",
+            reactor_wire.frames_per_s,
+            threaded_wire.frames_per_s
+        );
+        assert!(
+            reactor_host.bytes_per_peer(peers) * 2.0 <= threaded_host.bytes_per_peer(peers),
+            "the reactor must be materially lighter per hosted peer: \
+             {:.0} vs {:.0} B/peer",
+            reactor_host.bytes_per_peer(peers),
+            threaded_host.bytes_per_peer(peers)
+        );
+        assert!(
+            reactor_host.fds_delta < 16,
+            "reactor descriptors must not scale with peers: {} fds",
+            reactor_host.fds_delta
+        );
+        assert!(
+            threaded_host.fds_delta >= peers,
+            "the threaded backend binds one listener per peer: {} fds",
+            threaded_host.fds_delta
+        );
+    } else {
+        println!("wire   : reactor skipped — epoll is Linux-only");
+    }
+
+    // --- deep phase: the scale the threaded backend cannot reach ----------
+    let deep = (!quick && pgrid_reactor::supported()).then(|| {
+        let cost = probe_host_cost("reactor", deep_peers);
+        println!(
+            "deep   : reactor  {deep_peers} peers — {:.0} B/peer rss, {} fds, {:.2}s",
+            cost.bytes_per_peer(deep_peers),
+            cost.fds_delta,
+            cost.wall_s
+        );
+        assert!(
+            cost.fds_delta < 16,
+            "50k hosted peers must still fit a handful of fds: {}",
+            cost.fds_delta
+        );
+        let run = wire_throughput(
+            ReactorTransport::new(),
+            ReactorTransport::new(),
+            deep_peers,
+            frames,
+            &frame,
+        );
+        println!(
+            "deep   : reactor  {frames} frames to {deep_peers} peers in {:.3}s — \
+             {:.0} frames/s, {:.2} wakeups/frame",
+            run.wall_s,
+            run.frames_per_s,
+            run.wakeups_per_frame.unwrap_or(0.0)
+        );
+        (cost, run)
+    });
+
+    // --- snapshot ----------------------------------------------------------
+    let backend_json = |host: &HostCost, wire: &WireRun, n: u64| {
+        format!(
+            "{{\"peers\": {n}, \"host_rss_bytes_per_peer\": {:.0}, \"host_fds\": {}, \
+             \"host_wall_s\": {:.3}, \"frames\": {frames}, \"wire_wall_s\": {:.3}, \
+             \"frames_per_s\": {:.0}, \"wakeups_per_frame\": {}}}",
+            host.bytes_per_peer(n),
+            host.fds_delta,
+            host.wall_s,
+            wire.wall_s,
+            wire.frames_per_s,
+            wire.wakeups_per_frame
+                .map(|w| format!("{w:.3}"))
+                .unwrap_or_else(|| "null".to_string()),
+        )
+    };
+    let reactor_json = match (&reactor_host, &reactor_wire) {
+        (Some(host), Some(wire)) => backend_json(host, wire, peers),
+        _ => "null".to_string(),
+    };
+    let deep_json = deep
+        .as_ref()
+        .map(|(cost, run)| backend_json(cost, run, deep_peers))
+        .unwrap_or_else(|| "null".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"transport\",\n  \"quick\": {quick},\n  \
+         \"reactor_supported\": {},\n  \
+         \"threaded\": {},\n  \"reactor\": {reactor_json},\n  \"deep\": {deep_json}\n}}\n",
+        pgrid_reactor::supported(),
+        backend_json(&threaded_host, &threaded_wire, peers),
+    );
+    std::fs::write(&out, &json).expect("snapshot file must be writable");
+    println!("snapshot written to {out}");
+}

@@ -47,5 +47,7 @@ pub mod prelude {
     pub use crate::local::{run_local, run_local_observed, LocalOptions};
     pub use crate::plan::{churn_plan, join_plan, shard_assignment};
     pub use crate::proto::{ClusterMsg, ControlChannel, ReassignMove, ShardReport};
-    pub use crate::worker::{run_worker, worker_scenario, ShardOverlay, WorkerOptions};
+    pub use crate::worker::{
+        run_worker, worker_scenario, ShardOverlay, TransportChoice, WorkerOptions,
+    };
 }

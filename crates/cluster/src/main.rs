@@ -34,7 +34,7 @@ use pgrid_cluster::coordinator::{
     run_coordinator_observed, ClusterConfig, HealConfig, KillPlan, ObsOptions, ObsReport,
 };
 use pgrid_cluster::local::{run_local_observed, LocalOptions};
-use pgrid_cluster::worker::{run_worker, WorkerOptions};
+use pgrid_cluster::worker::{run_worker, TransportChoice, WorkerOptions};
 use pgrid_net::experiment::{DeploymentReport, Timeline};
 use pgrid_net::runtime::NetConfig;
 use pgrid_obs::scrape::{ScrapeServer, ScrapeState};
@@ -46,9 +46,9 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [--data-dir DIR] [--relaunch] [HEAL] [OBS]\n\
+        "usage: pgrid-cluster local --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [--data-dir DIR] [--relaunch] [--transport tcp|reactor] [--event-threads N] [HEAL] [OBS]\n\
          \x20      pgrid-cluster coordinator --listen ADDR --workers N [--peers N] [--seed S] [--n-min N] [--smoke] [HEAL] [OBS]\n\
-         \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH] [--data-dir DIR]\n\
+         \x20      pgrid-cluster worker --connect ADDR [--metrics-addr ADDR] [--flight-dump PATH] [--data-dir DIR] [--transport tcp|reactor] [--event-threads N]\n\
          \x20      HEAL: [--heartbeat-ms MS] [--failure-timeout-ms MS] [--no-heal]\n\
          \x20            [--rejoin-grace-ms MS] [--kill-worker INDEX [--kill-at-min MIN]]\n\
          \x20      OBS: [--metrics-out PATH] [--metrics-addr ADDR] [--trace] [--trace-out PATH]\n\
@@ -62,6 +62,18 @@ fn option(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|at| args.get(at + 1))
         .cloned()
+}
+
+/// The `--transport` / `--event-threads` pair shared by `local` and
+/// `worker`.
+fn transport_config(args: &[String]) -> (TransportChoice, usize) {
+    let choice = option(args, "--transport")
+        .map(|v| v.parse().unwrap_or_else(|e| panic!("{e}")))
+        .unwrap_or_default();
+    let threads = option(args, "--event-threads")
+        .map(|v| v.parse().expect("--event-threads takes an integer"))
+        .unwrap_or(0);
+    (choice, threads)
 }
 
 /// The run configuration of the coordinator-side subcommands.
@@ -211,6 +223,27 @@ fn print_report(report: &DeploymentReport, workers: usize) {
         report.transport.frames_delivered,
         report.transport.bytes_sent
     );
+    if let Some(reactor) = &report.transport.reactor {
+        println!(
+            "  reactor: {} peers on {} fds, {} epoll wakeups ({:.4}/frame), \
+             {} partial writes, {} reconnects, {} dropped",
+            reactor.registered_peers,
+            reactor.registered_fds,
+            reactor.epoll_wakeups,
+            reactor.epoll_wakeups as f64 / report.transport.frames_delivered.max(1) as f64,
+            reactor.partial_writes,
+            reactor.reconnects,
+            reactor.dropped_frames
+        );
+    }
+    if report.transport.frames_compressed > 0 {
+        println!(
+            "  compression: {} frames, {} -> {} bytes",
+            report.transport.frames_compressed,
+            report.transport.compressed_bytes_raw,
+            report.transport.compressed_bytes_wire
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -237,6 +270,7 @@ fn main() -> ExitCode {
                 config.n_peers,
                 config.seed
             );
+            let (transport, n_event_threads) = transport_config(&args);
             let options = LocalOptions {
                 workers,
                 worker_exe: None,
@@ -247,6 +281,8 @@ fn main() -> ExitCode {
                 heal: heal_config(&args),
                 data_dir: option(&args, "--data-dir").map(PathBuf::from),
                 relaunch: args.iter().any(|a| a == "--relaunch"),
+                transport,
+                n_event_threads,
             };
             match run_local_observed(&config, &timeline, &options) {
                 Ok((report, observed)) => {
@@ -317,6 +353,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            let (transport, n_event_threads) = transport_config(&args);
             let options = WorkerOptions {
                 metrics_addr: option(&args, "--metrics-addr").map(|a| {
                     a.parse()
@@ -324,6 +361,8 @@ fn main() -> ExitCode {
                 }),
                 flight_dump: option(&args, "--flight-dump").map(PathBuf::from),
                 data_dir: option(&args, "--data-dir").map(PathBuf::from),
+                transport,
+                n_event_threads,
             };
             match run_worker(addr, &options) {
                 Ok(()) => ExitCode::SUCCESS,

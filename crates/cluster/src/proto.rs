@@ -31,7 +31,7 @@ use pgrid_core::path::Path;
 use pgrid_net::experiment::Timeline;
 use pgrid_net::runtime::{MinuteLatency, NetConfig, QueryAggregates};
 use pgrid_transport::frame::{decode_frame, encode_frame, FrameReader};
-use pgrid_transport::{LinkStats, TransportStats};
+use pgrid_transport::{LinkStats, ReactorStats, TransportStats};
 use pgrid_workload::distributions::Distribution;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpStream};
@@ -47,7 +47,7 @@ const MAGIC: u16 = 0x5047; // "PG"
 /// v6 adds the warm-restart handshake (`Rejoin` / `Resume`: a relaunched
 /// worker offers its durability-log shard back instead of waiting for a
 /// `Welcome`) and the replica-pull retry pacing fields of the run config.
-const VERSION: u8 = 6;
+const VERSION: u8 = 7;
 
 /// Phases of the Section-5 timeline the cluster barriers on, in order.
 pub const PHASE_WIRED: u8 = 0;
@@ -397,6 +397,25 @@ impl ClusterMsg {
                     buf.put_u64(link.reconnects);
                     buf.put_u64(link.send_failures);
                 }
+                // v7: frame-compression counters and the optional reactor
+                // block (flag byte, then the eight reactor fields).
+                buf.put_u64(report.transport.frames_compressed);
+                buf.put_u64(report.transport.compressed_bytes_raw);
+                buf.put_u64(report.transport.compressed_bytes_wire);
+                match &report.transport.reactor {
+                    Some(reactor) => {
+                        buf.put_u8(1);
+                        buf.put_u64(reactor.registered_peers);
+                        buf.put_u64(reactor.registered_fds);
+                        buf.put_u64(reactor.epoll_wakeups);
+                        buf.put_u64(reactor.write_queue_frames);
+                        buf.put_u64(reactor.write_queue_bytes);
+                        buf.put_u64(reactor.partial_writes);
+                        buf.put_u64(reactor.reconnects);
+                        buf.put_u64(reactor.dropped_frames);
+                    }
+                    None => buf.put_u8(0),
+                }
                 buf.put_u64(report.messages_delivered);
                 buf.put_u64(report.messages_lost);
                 buf.put_u32(report.extra_paths.len() as u32);
@@ -606,6 +625,21 @@ impl ClusterMsg {
                         send_failures: get_u64(&mut data)?,
                     };
                     transport.per_peer.insert(peer, link);
+                }
+                transport.frames_compressed = get_u64(&mut data)?;
+                transport.compressed_bytes_raw = get_u64(&mut data)?;
+                transport.compressed_bytes_wire = get_u64(&mut data)?;
+                if get_u8(&mut data)? != 0 {
+                    transport.reactor = Some(ReactorStats {
+                        registered_peers: get_u64(&mut data)?,
+                        registered_fds: get_u64(&mut data)?,
+                        epoll_wakeups: get_u64(&mut data)?,
+                        write_queue_frames: get_u64(&mut data)?,
+                        write_queue_bytes: get_u64(&mut data)?,
+                        partial_writes: get_u64(&mut data)?,
+                        reconnects: get_u64(&mut data)?,
+                        dropped_frames: get_u64(&mut data)?,
+                    });
                 }
                 let messages_delivered = get_u64(&mut data)?;
                 let messages_lost = get_u64(&mut data)?;
@@ -1266,6 +1300,19 @@ mod tests {
                 ]
                 .into_iter()
                 .collect(),
+                frames_compressed: 12,
+                compressed_bytes_raw: 48_000,
+                compressed_bytes_wire: 1_900,
+                reactor: Some(ReactorStats {
+                    registered_peers: 32,
+                    registered_fds: 3,
+                    epoll_wakeups: 777,
+                    write_queue_frames: 2,
+                    write_queue_bytes: 512,
+                    partial_writes: 5,
+                    reconnects: 1,
+                    dropped_frames: 0,
+                }),
             },
             messages_delivered: 2048,
             messages_lost: 17,

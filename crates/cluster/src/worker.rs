@@ -2,9 +2,12 @@
 //! boundary.
 //!
 //! A worker connects to the coordinator, receives its shard assignment and
-//! the run configuration, registers a TCP endpoint for every hosted peer,
-//! publishes the listen addresses, wires every *other* peer as a remote
-//! via [`TcpTransport::register_remote`], and then drives the Section-5
+//! the run configuration, registers a wire endpoint for every hosted peer
+//! on its configured backend ([`TransportChoice`]: the threaded
+//! [`TcpTransport`] or the epoll-driven
+//! [`pgrid_reactor::ReactorTransport`]), publishes the listen addresses,
+//! wires every *other* peer as a remote
+//! via [`SocketTransport::register_remote`], and then drives the Section-5
 //! timeline over its shard **through the scenario executor**: the phases
 //! are the same [`pgrid_scenario::Scenario`] program the single-process
 //! driver runs, with the deterministic join/churn plans substituted for
@@ -25,7 +28,7 @@
 //! Since proto v5 the worker is also one node of the self-healing loop: it
 //! heartbeats on the control channel while advancing and while parked, and
 //! when the coordinator reassigns a dead worker's shard it takes over the
-//! orphaned endpoints ([`TcpTransport::register_takeover`]), adopts the
+//! orphaned endpoints ([`SocketTransport::register_takeover`]), adopts the
 //! peers, and rebuilds their state from live P-Grid replicas — the paper's
 //! own replication doubling as the recovery mechanism — with the seeded
 //! local regeneration as the guaranteed-termination fallback.
@@ -41,7 +44,8 @@
 //!
 //! [`Phase::JoinSchedule`]: pgrid_scenario::Phase::JoinSchedule
 //! [`Phase::ChurnSchedule`]: pgrid_scenario::Phase::ChurnSchedule
-//! [`TcpTransport::register_takeover`]: pgrid_transport::tcp::TcpTransport::register_takeover
+//! [`SocketTransport::register_takeover`]: pgrid_transport::SocketTransport::register_takeover
+//! [`SocketTransport::register_remote`]: pgrid_transport::SocketTransport::register_remote
 
 use crate::plan::{churn_plan, join_plan, MINUTE_MS};
 use crate::proto::{
@@ -58,10 +62,11 @@ use pgrid_net::runtime::{Millis, NetConfig, Runtime};
 use pgrid_obs::recorder::{install_panic_dump, shared, SharedRecorder};
 use pgrid_obs::registry::MetricsRegistry;
 use pgrid_obs::scrape::{ScrapeServer, ScrapeState};
+use pgrid_reactor::{ReactorConfig, ReactorTransport};
 use pgrid_scenario::scenario::CONTROL_SEED_SALT;
 use pgrid_scenario::{Overlay, OverlaySnapshot, Phase, QuerySpec, Scenario, ScenarioHooks};
 use pgrid_transport::tcp::TcpTransport;
-use pgrid_transport::{PeerAddr, Transport};
+use pgrid_transport::{PeerAddr, SocketTransport, Transport};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::io::{Error, ErrorKind, Result};
@@ -124,6 +129,43 @@ fn protocol_error(what: &str, got: &ClusterMsg) -> Error {
 /// split.
 const TRACE_BATCH_MAX: usize = 4_096;
 
+/// Which data-plane backend a worker hosts its shard on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// The threaded TCP backend: one listener and one reader thread per
+    /// hosted peer ([`TcpTransport`]).
+    #[default]
+    Threaded,
+    /// The poll-driven multiplexed backend: all hosted peers behind one
+    /// listener, serviced by a fixed epoll worker pool
+    /// ([`ReactorTransport`]).  Falls back to the threaded backend (with
+    /// one warning) on platforms without epoll.
+    Reactor,
+}
+
+impl std::str::FromStr for TransportChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<TransportChoice, String> {
+        match s {
+            "tcp" | "threaded" => Ok(TransportChoice::Threaded),
+            "reactor" => Ok(TransportChoice::Reactor),
+            other => Err(format!(
+                "unknown transport {other:?} (expected \"tcp\" or \"reactor\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportChoice::Threaded => f.write_str("tcp"),
+            TransportChoice::Reactor => f.write_str("reactor"),
+        }
+    }
+}
+
 /// Observability options of one worker process.
 #[derive(Clone, Debug, Default)]
 pub struct WorkerOptions {
@@ -139,6 +181,11 @@ pub struct WorkerOptions {
     /// holds a matching log at startup, the worker attempts a warm rejoin
     /// instead of a fresh rendezvous.
     pub data_dir: Option<PathBuf>,
+    /// The data-plane backend hosting this worker's shard.
+    pub transport: TransportChoice,
+    /// Reactor event threads (0 = one per core); ignored by the threaded
+    /// backend.
+    pub n_event_threads: usize,
 }
 
 /// Observability state threaded through the worker's barriers.
@@ -157,9 +204,9 @@ impl WorkerObs {
     /// Renders the worker's current metrics registry: the runtime's
     /// network counters, the transport link stats, the shard assignment,
     /// and — when journaling — the durability counters.
-    fn registry(
+    fn registry<T: Transport>(
         &self,
-        runtime: &Runtime<TcpTransport>,
+        runtime: &Runtime<T>,
         durable: Option<&DurableStore>,
     ) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
@@ -245,10 +292,10 @@ impl WorkerObs {
 
     /// Publishes the current registry and any freshly drained trace
     /// events locally, and streams both to the coordinator.
-    fn publish(
+    fn publish<T: Transport>(
         &mut self,
         ctl: &mut ControlChannel,
-        runtime: &mut Runtime<TcpTransport>,
+        runtime: &mut Runtime<T>,
         durable: Option<&DurableStore>,
         phase: u8,
     ) -> Result<()> {
@@ -302,9 +349,9 @@ struct HealState {
 /// delegates to the sharded [`Runtime`], except that advancing virtual
 /// time is paced against the wire (see the module docs), heartbeats the
 /// control channel, and honours a scheduled self-kill.
-pub struct ShardOverlay {
+pub struct ShardOverlay<T: SocketTransport = TcpTransport> {
     /// The sharded runtime this worker hosts.
-    pub runtime: Runtime<TcpTransport>,
+    pub runtime: Runtime<T>,
     ctl: Rc<RefCell<ControlChannel>>,
     heal: HealState,
     /// The shard's durable journal, when `--data-dir` was given.
@@ -314,7 +361,7 @@ pub struct ShardOverlay {
     durable_phase: u8,
 }
 
-impl ShardOverlay {
+impl<T: SocketTransport> ShardOverlay<T> {
     /// Sends a heartbeat if the interval elapsed; send errors are ignored
     /// here (a dead coordinator surfaces at the next barrier anyway).
     fn maybe_heartbeat(&mut self) {
@@ -385,7 +432,7 @@ impl ShardOverlay {
     }
 }
 
-impl Overlay for ShardOverlay {
+impl<T: SocketTransport> Overlay for ShardOverlay<T> {
     fn n_peers(&self) -> usize {
         Overlay::n_peers(&self.runtime)
     }
@@ -533,12 +580,12 @@ fn barrier_plan(scenario: &Scenario) -> Vec<Option<u8>> {
     plan
 }
 
-impl ScenarioHooks<ShardOverlay> for BarrierHooks<'_> {
+impl<T: SocketTransport> ScenarioHooks<ShardOverlay<T>> for BarrierHooks<'_> {
     type Error = Error;
 
     fn after_phase(
         &mut self,
-        overlay: &mut ShardOverlay,
+        overlay: &mut ShardOverlay<T>,
         phase_index: usize,
         _phase: &Phase,
     ) -> Result<()> {
@@ -591,17 +638,42 @@ fn connect_with_retry(coordinator: SocketAddr) -> Result<TcpStream> {
 /// already holding a matching log routes through the warm-rejoin path
 /// instead of the fresh rendezvous.
 pub fn run_worker(coordinator: SocketAddr, options: &WorkerOptions) -> Result<()> {
+    match options.transport {
+        TransportChoice::Reactor if pgrid_reactor::supported() => {
+            let transport = ReactorTransport::with_config(ReactorConfig {
+                n_event_threads: options.n_event_threads,
+                ..ReactorConfig::default()
+            });
+            run_worker_on(coordinator, options, transport)
+        }
+        TransportChoice::Reactor => {
+            pgrid_obs::warn!(
+                "cluster::worker",
+                "--transport reactor needs Linux epoll; falling back to the threaded TCP backend"
+            );
+            run_worker_on(coordinator, options, TcpTransport::new())
+        }
+        TransportChoice::Threaded => run_worker_on(coordinator, options, TcpTransport::new()),
+    }
+}
+
+/// [`run_worker`] once the backend is chosen.
+fn run_worker_on<T: SocketTransport>(
+    coordinator: SocketAddr,
+    options: &WorkerOptions,
+    transport: T,
+) -> Result<()> {
     let durable = match &options.data_dir {
         Some(dir) => {
             let store = DurableStore::open(dir, LogOptions::default())?;
             if store.recovered() && store.meta().is_some() && store.peer_count() > 0 {
-                return run_rejoin(coordinator, options, store);
+                return run_rejoin(coordinator, options, store, transport);
             }
             Some(store)
         }
         None => None,
     };
-    run_fresh(coordinator, options, durable)
+    run_fresh(coordinator, options, durable, transport)
 }
 
 /// Builds the worker's observability state: the optional scrape endpoint
@@ -638,30 +710,31 @@ fn worker_obs(
     })
 }
 
-/// Registers a TCP endpoint for every hosted peer and returns the
-/// transport plus the announced `(peer, address)` pairs.
-fn register_shard(
+/// Registers a wire endpoint for every hosted peer and returns the
+/// announced `(peer, address)` pairs.  Under the threaded backend every
+/// peer gets its own listener; under the reactor they all share one.
+fn register_shard<T: SocketTransport>(
+    transport: &mut T,
     shard: &std::ops::Range<usize>,
-) -> Result<(TcpTransport, Vec<(u64, SocketAddr)>)> {
-    let mut transport = TcpTransport::new();
+) -> Result<Vec<(u64, SocketAddr)>> {
     let mut peer_addrs = Vec::with_capacity(shard.len());
     for peer in shard.clone() {
         let addr = transport
             .register(PeerId(peer as u64))
             .map_err(|e| Error::other(e.to_string()))?;
         let PeerAddr::Socket(addr) = addr else {
-            unreachable!("the TCP backend returns socket addresses");
+            unreachable!("socket transports return socket addresses");
         };
         peer_addrs.push((peer as u64, addr));
     }
-    Ok((transport, peer_addrs))
+    Ok(peer_addrs)
 }
 
 /// Streams the remaining bandwidth minutes and sends the final
 /// [`ShardReport`].
-fn send_report(
+fn send_report<T: Transport>(
     ctl: &mut ControlChannel,
-    runtime: &Runtime<TcpTransport>,
+    runtime: &Runtime<T>,
     shard_start: u64,
     streamed: &mut BTreeSet<u64>,
 ) -> Result<()> {
@@ -692,10 +765,11 @@ fn send_report(
 }
 
 /// The fresh-rendezvous worker run (the only path before proto v6).
-fn run_fresh(
+fn run_fresh<T: SocketTransport>(
     coordinator: SocketAddr,
     options: &WorkerOptions,
     durable: Option<DurableStore>,
+    mut transport: T,
 ) -> Result<()> {
     let stream = connect_with_retry(coordinator)?;
     let ctl = Rc::new(RefCell::new(ControlChannel::new(stream)?));
@@ -728,7 +802,7 @@ fn run_fresh(
     );
 
     let mut obs = worker_obs(options, worker_index, shard_start, shard_len)?;
-    let (mut transport, peer_addrs) = register_shard(&shard)?;
+    let peer_addrs = register_shard(&mut transport, &shard)?;
     ctl.borrow_mut().send(&ClusterMsg::Hello {
         shard_start,
         peer_addrs,
@@ -819,10 +893,11 @@ fn run_fresh(
 ///    *without* re-reporting `PhaseDone` (the coordinator collected that
 ///    barrier without us), and
 /// 5. run the remaining suffix of the phase program.
-fn run_rejoin(
+fn run_rejoin<T: SocketTransport>(
     coordinator: SocketAddr,
     options: &WorkerOptions,
     durable: DurableStore,
+    mut transport: T,
 ) -> Result<()> {
     let meta = durable.meta().expect("caller checked recovery").clone();
     pgrid_obs::info!(
@@ -875,7 +950,7 @@ fn run_rejoin(
     }
     let shard = shard_start as usize..(shard_start + shard_len) as usize;
     let mut obs = worker_obs(options, worker_index, shard_start, shard_len)?;
-    let (mut transport, peer_addrs) = register_shard(&shard)?;
+    let peer_addrs = register_shard(&mut transport, &shard)?;
     ctl.borrow_mut().send(&ClusterMsg::Hello {
         shard_start,
         peer_addrs,
@@ -1152,9 +1227,9 @@ pub fn worker_scenario(
 
 /// Streams every completed, not-yet-reported bandwidth minute below
 /// `before` to the coordinator.
-fn stream_minutes(
+fn stream_minutes<T: Transport>(
     ctl: &mut ControlChannel,
-    runtime: &Runtime<TcpTransport>,
+    runtime: &Runtime<T>,
     streamed: &mut BTreeSet<u64>,
     before: u64,
 ) -> Result<()> {
@@ -1178,8 +1253,8 @@ fn stream_minutes(
 /// Takes over the endpoints of every orphan reassigned to this worker,
 /// adopts the peers, and reports the fresh listen addresses; the actual
 /// state rebuild waits for the updated address book (see [`run_recovery`]).
-fn handle_reassign(
-    overlay: &mut ShardOverlay,
+fn handle_reassign<T: SocketTransport>(
+    overlay: &mut ShardOverlay<T>,
     epoch: u64,
     moves: &[ReassignMove],
     obs: &mut WorkerObs,
@@ -1225,7 +1300,7 @@ fn handle_reassign(
 /// Re-points every non-hosted peer at its (possibly moved) endpoint and
 /// clears the link state towards it: a peer that was unreachable because
 /// its worker died is reachable again once a survivor re-hosts it.
-fn apply_book(overlay: &mut ShardOverlay, book: &[(u64, SocketAddr)]) {
+fn apply_book<T: SocketTransport>(overlay: &mut ShardOverlay<T>, book: &[(u64, SocketAddr)]) {
     for &(peer, addr) in book {
         let p = peer as usize;
         if overlay.runtime.hosted(p) {
@@ -1245,14 +1320,17 @@ fn apply_book(overlay: &mut ShardOverlay, book: &[(u64, SocketAddr)]) {
 /// (local replica scan first, then the coordinator's hint), the seeded
 /// local regeneration as the fallback, and a `RecoveryDone` acknowledgment
 /// once the shard is whole again.
-fn run_recovery(overlay: &mut ShardOverlay, obs: &mut WorkerObs) -> Result<()> {
+fn run_recovery<T: SocketTransport>(
+    overlay: &mut ShardOverlay<T>,
+    obs: &mut WorkerObs,
+) -> Result<()> {
     if overlay.heal.pending.is_empty() {
         return Ok(());
     }
     let pending = std::mem::take(&mut overlay.heal.pending);
     let epoch = overlay.heal.epoch;
     let mut local: BTreeSet<usize> = BTreeSet::new();
-    let source_of = |overlay: &ShardOverlay, peer: usize, hint: usize| {
+    let source_of = |overlay: &ShardOverlay<T>, peer: usize, hint: usize| {
         overlay
             .runtime
             .find_replica_source(peer)
@@ -1351,8 +1429,8 @@ fn run_recovery(overlay: &mut ShardOverlay, obs: &mut WorkerObs) -> Result<()> {
 /// Reports the end of `phase` and parks until the coordinator releases the
 /// barrier, servicing the data transport (and the healing protocol) the
 /// whole time.
-fn barrier(
-    overlay: &mut ShardOverlay,
+fn barrier<T: SocketTransport>(
+    overlay: &mut ShardOverlay<T>,
     phase: u8,
     streamed: &mut BTreeSet<u64>,
     obs: &mut WorkerObs,

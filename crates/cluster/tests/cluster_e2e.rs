@@ -12,6 +12,7 @@
 //! have mixed the two shards.
 
 use pgrid_cluster::local::{run_local, LocalOptions};
+use pgrid_cluster::worker::TransportChoice;
 use pgrid_net::experiment::{run_deployment, Timeline};
 use pgrid_net::runtime::NetConfig;
 use pgrid_workload::distributions::Distribution;
@@ -187,6 +188,63 @@ fn two_worker_processes_resolve_range_queries_across_shards() {
         "query success rate {}",
         cluster.query_success_rate
     );
+}
+
+#[test]
+fn two_reactor_worker_processes_complete_the_timeline() {
+    // The same two-process smoke run with every worker hosting its shard
+    // on the epoll reactor (`--transport reactor`): frames of all 16 peers
+    // per process share one multiplexed connection pair instead of 16x16
+    // threaded links.  On platforms without epoll the flag falls back to
+    // the threaded backend, so the run must complete either way.
+    let config = config();
+    let timeline = short_timeline();
+    let cluster = run_local(
+        &config,
+        &timeline,
+        &LocalOptions {
+            workers: 2,
+            worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_pgrid-cluster"))),
+            inherit_stderr: true,
+            transport: TransportChoice::Reactor,
+            ..LocalOptions::default()
+        },
+    )
+    .expect("the 2-process reactor run must complete");
+    assert!(
+        cluster.balance_deviation < 1.5,
+        "deviation {}",
+        cluster.balance_deviation
+    );
+    assert!(
+        cluster.mean_path_length >= 1.5,
+        "mean path length {:.2}: the shards never mixed",
+        cluster.mean_path_length
+    );
+    assert!(
+        cluster.query_success_rate > 0.8,
+        "query success rate {}",
+        cluster.query_success_rate
+    );
+    assert!(
+        cluster.transport.frames_sent > 500,
+        "{:?}",
+        cluster.transport
+    );
+    if pgrid_reactor::supported() {
+        let stats = cluster
+            .transport
+            .reactor
+            .expect("reactor workers report reactor stats in the merged view");
+        assert_eq!(
+            stats.registered_peers, config.n_peers as u64,
+            "both shards' registrations must merge: {stats:?}"
+        );
+        assert!(
+            stats.registered_fds < 32,
+            "fds must not scale with peers: {stats:?}"
+        );
+    }
 }
 
 #[test]

@@ -31,6 +31,7 @@ pub use pgrid_cluster as cluster;
 pub use pgrid_core as core;
 pub use pgrid_net as net;
 pub use pgrid_partition as partition;
+pub use pgrid_reactor as reactor;
 pub use pgrid_scenario as scenario;
 pub use pgrid_sim as sim;
 pub use pgrid_transport as transport;
@@ -42,6 +43,7 @@ pub mod prelude {
     pub use pgrid_core::prelude::*;
     pub use pgrid_net::prelude::*;
     pub use pgrid_partition::prelude::*;
+    pub use pgrid_reactor::prelude::*;
     pub use pgrid_scenario::prelude::*;
     pub use pgrid_sim::prelude::*;
     pub use pgrid_transport::prelude::*;

@@ -1,0 +1,98 @@
+//! # pgrid-reactor
+//!
+//! Poll-driven multiplexed transport: tens of thousands of P-Grid peers
+//! per process on a handful of file descriptors.
+//!
+//! The threaded TCP backend (`pgrid_transport::tcp`) spawns one listener +
+//! acceptor thread per hosted peer and one reader thread per connection,
+//! which caps a `pgrid-cluster` worker at a few hundred peers.  This crate
+//! replaces that with a hand-rolled **epoll** (Linux) event loop — no
+//! external dependencies, raw FFI against the C library `std` already
+//! links:
+//!
+//! * **one** listening socket serves *all* locally hosted peers; each wire
+//!   record carries its destination peer id (see [`mux`]),
+//! * **one** connection per remote process, shared by every peer pair
+//!   crossing it, with a bounded per-link write queue, edge-triggered
+//!   readiness, and partial-write resume,
+//! * a fixed pool of `n_event_threads` event threads multiplexes every
+//!   socket; reconnects use the same capped backoff + deterministic jitter
+//!   as the threaded backend,
+//! * per-link compression negotiation (RLE/varint, off by default) via the
+//!   connection hello — the frame-compression hook the threaded wire
+//!   format never had room for.
+//!
+//! [`ReactorTransport`] implements `Transport` *and* `SocketTransport`, so
+//! `net::Runtime<T>`, the scenario executor, and the cluster worker adopt
+//! it with zero call-site changes.  On non-Linux platforms the type exists
+//! but refuses to start ([`supported`] returns `false`); `pgrid-cluster`
+//! falls back to the threaded backend with a warning.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mux;
+
+#[cfg(target_os = "linux")]
+mod event;
+#[cfg(target_os = "linux")]
+mod linux;
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+#[cfg(target_os = "linux")]
+pub use linux::ReactorTransport;
+
+#[cfg(not(target_os = "linux"))]
+mod stub;
+#[cfg(not(target_os = "linux"))]
+pub use stub::ReactorTransport;
+
+use pgrid_transport::frame::FrameCodec;
+use std::time::Duration;
+
+/// Whether this platform can run the reactor (epoll is Linux-only).
+///
+/// Callers offering `--transport reactor` should fall back to the threaded
+/// backend — with a warning, not an error — when this is `false`.
+pub fn supported() -> bool {
+    cfg!(target_os = "linux")
+}
+
+/// Reactor tuning knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ReactorConfig {
+    /// Event threads multiplexing all sockets; `0` means one per available
+    /// core.
+    pub n_event_threads: usize,
+    /// Wire-side inbox bound in frames: event threads pause reading (TCP
+    /// flow control pushes back on the remote) rather than buffer past it.
+    /// Mirrors the threaded backend's bounded inbox.
+    pub inbox_capacity: usize,
+    /// Per-link write queue bound in bytes; a full queue makes `send` wait
+    /// up to [`ReactorConfig::send_timeout`] before reporting failure.
+    pub write_queue_bytes: usize,
+    /// How long a send may wait for write-queue space before it errors
+    /// (feeding the runtime's Suspect/Dead link life-cycle).
+    pub send_timeout: Duration,
+    /// Frame compression offered during link negotiation (off by default;
+    /// both ends must opt in for compressed records to flow).
+    pub codec: FrameCodec,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            n_event_threads: 0,
+            inbox_capacity: 4096,
+            write_queue_bytes: 8 << 20,
+            send_timeout: Duration::from_secs(2),
+            codec: FrameCodec::disabled(),
+        }
+    }
+}
+
+/// Convenient re-exports of the most frequently used items.
+pub mod prelude {
+    pub use crate::{supported, ReactorConfig, ReactorTransport};
+}

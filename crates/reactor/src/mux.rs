@@ -1,0 +1,247 @@
+//! Multiplexed wire records.
+//!
+//! The reactor hosts *all* local peers behind **one** listening socket, so
+//! the stream between two processes carries frames for many destination
+//! peers.  Each frame travels as one record:
+//!
+//! ```text
+//! [u8 kind] [u64 dest_peer] [u32 len] [len bytes]     (big-endian)
+//! ```
+//!
+//! `kind` 0 is a raw frame exactly as [`pgrid_transport::frame::encode_frame`]
+//! produced it; `kind` 1 is the same frame RLE-compressed (see
+//! [`pgrid_transport::frame::FrameCodec`]) — only sent after the peer's
+//! hello advertised that it accepts compressed records.
+//!
+//! Every connection opens with a 6-byte hello in each direction:
+//!
+//! ```text
+//! [b"PGRX"] [u8 version] [u8 flags]      flags bit 0: accepts RLE records
+//! ```
+//!
+//! The hello is the negotiation channel the threaded TCP backend never had:
+//! compression is strictly opt-in per link, and a reactor with compression
+//! off interoperates with one that has it on (frames simply travel raw).
+
+use bytes::Bytes;
+use pgrid_transport::frame::MAX_FRAME_BYTES;
+
+/// First four bytes of every connection, both directions.
+pub const MUX_MAGIC: [u8; 4] = *b"PGRX";
+
+/// Mux wire version.
+pub const MUX_VERSION: u8 = 1;
+
+/// Hello length in bytes.
+pub const HELLO_LEN: usize = 6;
+
+/// Hello flag: the sender accepts RLE-compressed records.
+pub const FLAG_ACCEPT_RLE: u8 = 1;
+
+/// Record kind: raw frame bytes.
+pub const KIND_RAW: u8 = 0;
+
+/// Record kind: RLE-compressed frame bytes.
+pub const KIND_RLE: u8 = 1;
+
+/// Fixed record header length (`kind + dest + len`).
+pub const RECORD_HEADER: usize = 1 + 8 + 4;
+
+/// Why a byte stream could not be parsed as mux records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MuxError {
+    /// The hello did not start with [`MUX_MAGIC`].
+    BadMagic,
+    /// The hello carried an unknown [`MUX_VERSION`].
+    BadVersion(u8),
+    /// A record declared an unknown kind byte.
+    BadKind(u8),
+    /// A record length exceeds the frame size bound; the stream is corrupt.
+    Oversized(usize),
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxError::BadMagic => write!(f, "mux hello magic mismatch"),
+            MuxError::BadVersion(v) => write!(f, "unsupported mux version {v}"),
+            MuxError::BadKind(k) => write!(f, "unknown mux record kind {k}"),
+            MuxError::Oversized(n) => write!(f, "mux record of {n} bytes exceeds the bound"),
+        }
+    }
+}
+
+impl std::error::Error for MuxError {}
+
+/// Builds the connection-opening hello.
+pub fn hello(accept_rle: bool) -> [u8; HELLO_LEN] {
+    let flags = if accept_rle { FLAG_ACCEPT_RLE } else { 0 };
+    [
+        MUX_MAGIC[0],
+        MUX_MAGIC[1],
+        MUX_MAGIC[2],
+        MUX_MAGIC[3],
+        MUX_VERSION,
+        flags,
+    ]
+}
+
+/// Validates a received hello, returning its flags byte.
+pub fn parse_hello(bytes: &[u8]) -> Result<u8, MuxError> {
+    debug_assert_eq!(bytes.len(), HELLO_LEN);
+    if bytes[..4] != MUX_MAGIC {
+        return Err(MuxError::BadMagic);
+    }
+    if bytes[4] != MUX_VERSION {
+        return Err(MuxError::BadVersion(bytes[4]));
+    }
+    Ok(bytes[5])
+}
+
+/// Appends one record to `out`.
+pub fn encode_record(out: &mut Vec<u8>, kind: u8, dest: u64, payload: &[u8]) {
+    out.reserve(RECORD_HEADER + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&dest.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// One parsed record: kind, destination peer, payload bytes.
+pub type Record = (u8, u64, Bytes);
+
+/// Incremental record reassembly over a byte stream, including the hello.
+///
+/// Feed received chunks with [`MuxReader::extend`]; call
+/// [`MuxReader::take_hello`] until it yields the peer's flags, then
+/// [`MuxReader::next_record`] for each complete record.
+#[derive(Debug, Default)]
+pub struct MuxReader {
+    buf: Vec<u8>,
+}
+
+impl MuxReader {
+    /// Creates an empty reader.
+    pub fn new() -> MuxReader {
+        MuxReader::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Number of buffered, not yet consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes the peer hello once its 6 bytes are buffered, returning the
+    /// flags byte; `None` while incomplete.
+    pub fn take_hello(&mut self) -> Result<Option<u8>, MuxError> {
+        if self.buf.len() < HELLO_LEN {
+            return Ok(None);
+        }
+        let flags = parse_hello(&self.buf[..HELLO_LEN])?;
+        self.buf.drain(..HELLO_LEN);
+        Ok(Some(flags))
+    }
+
+    /// Returns the next complete record, `None` when more bytes are needed.
+    pub fn next_record(&mut self) -> Result<Option<Record>, MuxError> {
+        if self.buf.len() < RECORD_HEADER {
+            return Ok(None);
+        }
+        let kind = self.buf[0];
+        if kind != KIND_RAW && kind != KIND_RLE {
+            return Err(MuxError::BadKind(kind));
+        }
+        let dest = u64::from_be_bytes(self.buf[1..9].try_into().expect("8 bytes"));
+        let len = u32::from_be_bytes(self.buf[9..13].try_into().expect("4 bytes")) as usize;
+        // A compressed payload is never larger than raw (the codec declines
+        // otherwise), so one bound covers both kinds.
+        if len > MAX_FRAME_BYTES + 4 {
+            return Err(MuxError::Oversized(len));
+        }
+        let total = RECORD_HEADER + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(total);
+        let mut record = std::mem::replace(&mut self.buf, rest);
+        record.drain(..RECORD_HEADER);
+        Ok(Some((kind, dest, Bytes::from(record))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips_and_rejects_garbage() {
+        for accept in [false, true] {
+            let h = hello(accept);
+            let flags = parse_hello(&h).unwrap();
+            assert_eq!(flags & FLAG_ACCEPT_RLE != 0, accept);
+        }
+        assert_eq!(parse_hello(b"PGRY\x01\x00"), Err(MuxError::BadMagic));
+        assert_eq!(
+            parse_hello(b"PGRX\x63\x00"),
+            Err(MuxError::BadVersion(0x63))
+        );
+    }
+
+    #[test]
+    fn records_reassemble_at_every_chunk_size() {
+        let payloads: Vec<(u8, u64, Vec<u8>)> = vec![
+            (KIND_RAW, 0, vec![]),
+            (KIND_RAW, 42, vec![7u8; 300]),
+            (KIND_RLE, u64::MAX, (0..=255u8).collect()),
+        ];
+        let mut stream: Vec<u8> = hello(true).to_vec();
+        for (kind, dest, payload) in &payloads {
+            encode_record(&mut stream, *kind, *dest, payload);
+        }
+        for chunk_size in [1usize, 2, 5, 13, 64, stream.len()] {
+            let mut reader = MuxReader::new();
+            let mut hello_flags = None;
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                reader.extend(chunk);
+                if hello_flags.is_none() {
+                    hello_flags = reader.take_hello().unwrap();
+                    if hello_flags.is_none() {
+                        continue;
+                    }
+                }
+                while let Some(record) = reader.next_record().unwrap() {
+                    got.push(record);
+                }
+            }
+            assert_eq!(hello_flags, Some(FLAG_ACCEPT_RLE), "chunks of {chunk_size}");
+            assert_eq!(got.len(), payloads.len());
+            for ((kind, dest, payload), (got_kind, got_dest, got_payload)) in
+                payloads.iter().zip(&got)
+            {
+                assert_eq!(kind, got_kind);
+                assert_eq!(dest, got_dest);
+                assert_eq!(payload.as_slice(), got_payload.as_slice());
+            }
+            assert_eq!(reader.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected() {
+        let mut reader = MuxReader::new();
+        reader.extend(&[9u8; RECORD_HEADER]);
+        assert!(matches!(reader.next_record(), Err(MuxError::BadKind(9))));
+        let mut reader = MuxReader::new();
+        let mut huge = vec![KIND_RAW];
+        huge.extend_from_slice(&0u64.to_be_bytes());
+        huge.extend_from_slice(&u32::MAX.to_be_bytes());
+        reader.extend(&huge);
+        assert!(matches!(reader.next_record(), Err(MuxError::Oversized(_))));
+    }
+}

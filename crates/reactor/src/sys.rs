@@ -1,0 +1,318 @@
+//! Hand-rolled Linux epoll / socket FFI — no `libc` crate.
+//!
+//! The workspace builds without registry access, so the raw syscall wrappers
+//! the event loop needs are declared directly against the C library `std`
+//! already links.  Everything here is Linux-only (`lib.rs` gates the module)
+//! and deliberately minimal: epoll, eventfd, non-blocking connect/accept,
+//! and plain `read`/`write` on raw descriptors.
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+// Values from the Linux UAPI headers (x86-64 and aarch64 agree on all of
+// these except the epoll_event packing, handled below).
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the descriptor.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (peer closed both directions).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered mode.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_ERROR: c_int = 4;
+const IPPROTO_TCP: c_int = 6;
+const TCP_NODELAY: c_int = 1;
+const EINPROGRESS: i32 = 115;
+const EINTR: i32 = 4;
+
+/// One epoll readiness event.  Packed on x86-64 (the kernel ABI there has
+/// no padding between `events` and `data`); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Copy, Clone)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLL*`).
+    pub events: u32,
+    /// Caller token identifying the descriptor.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const SockAddrIn, len: c_uint) -> c_int;
+    fn accept4(fd: c_int, addr: *mut c_void, len: *mut c_uint, flags: c_int) -> c_int;
+    fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut c_uint,
+    ) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: c_uint,
+    ) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn check(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Closes a raw descriptor, ignoring errors (shutdown path).
+pub fn close_fd(fd: RawFd) {
+    unsafe {
+        let _ = close(fd);
+    }
+}
+
+/// Reads into `buf`; `WouldBlock` when the socket is drained.
+pub fn read_fd(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+    let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Writes from `buf`; `WouldBlock` when the socket buffer is full.
+pub fn write_fd(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+    let n = unsafe { write(fd, buf.as_ptr().cast(), buf.len()) };
+    if n < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(n as usize)
+    }
+}
+
+/// Disables Nagle on a connected socket (frame batches must not wait).
+pub fn set_nodelay(fd: RawFd) {
+    let one: c_int = 1;
+    unsafe {
+        let _ = setsockopt(
+            fd,
+            IPPROTO_TCP,
+            TCP_NODELAY,
+            (&one as *const c_int).cast(),
+            std::mem::size_of::<c_int>() as c_uint,
+        );
+    }
+}
+
+/// Reads and clears the socket's pending error — the result of a
+/// non-blocking connect once `EPOLLOUT` fires.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: c_int = 0;
+    let mut len = std::mem::size_of::<c_int>() as c_uint;
+    unsafe {
+        check(getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_ERROR,
+            (&mut err as *mut c_int).cast(),
+            &mut len,
+        ))?;
+    }
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}
+
+/// Starts a non-blocking IPv4 connect; returns the socket and whether it
+/// connected synchronously (loopback usually does not even need the
+/// `EPOLLOUT` round-trip).  IPv6 targets are dialled through `std` and
+/// flipped to non-blocking after the fact — the cluster only ever speaks
+/// `127.0.0.1`, so this path is a compatibility fallback.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<(RawFd, bool)> {
+    let v4 = match addr {
+        SocketAddr::V4(v4) => v4,
+        SocketAddr::V6(_) => {
+            use std::os::fd::IntoRawFd;
+            let stream = std::net::TcpStream::connect(addr)?;
+            stream.set_nonblocking(true)?;
+            return Ok((stream.into_raw_fd(), true));
+        }
+    };
+    let fd = unsafe {
+        check(socket(
+            AF_INET,
+            SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+            0,
+        ))?
+    };
+    let sockaddr = SockAddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: v4.port().to_be(),
+        sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+        sin_zero: [0; 8],
+    };
+    let ret = unsafe { connect(fd, &sockaddr, std::mem::size_of::<SockAddrIn>() as c_uint) };
+    if ret == 0 {
+        return Ok((fd, true));
+    }
+    let err = io::Error::last_os_error();
+    match err.raw_os_error() {
+        Some(EINPROGRESS) | Some(EINTR) => Ok((fd, false)),
+        _ => {
+            close_fd(fd);
+            Err(err)
+        }
+    }
+}
+
+/// Accepts one pending connection on a non-blocking listener; `Ok(None)`
+/// when the backlog is drained.
+pub fn accept_nonblocking(listener: RawFd) -> io::Result<Option<RawFd>> {
+    let ret = unsafe {
+        accept4(
+            listener,
+            std::ptr::null_mut(),
+            std::ptr::null_mut(),
+            SOCK_NONBLOCK | SOCK_CLOEXEC,
+        )
+    };
+    if ret >= 0 {
+        return Ok(Some(ret));
+    }
+    let err = io::Error::last_os_error();
+    match err.kind() {
+        io::ErrorKind::WouldBlock => Ok(None),
+        io::ErrorKind::Interrupted => Ok(None),
+        _ => Err(err),
+    }
+}
+
+/// An epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates the instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { check(epoll_create1(EPOLL_CLOEXEC))? };
+        Ok(Epoll { fd })
+    }
+
+    /// Registers `fd` for `events`, tagging readiness with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        unsafe { check(epoll_ctl(self.fd, EPOLL_CTL_ADD, fd, &mut event)).map(|_| ()) }
+    }
+
+    /// Deregisters `fd`.
+    pub fn del(&self, fd: RawFd) {
+        unsafe {
+            let _ = epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, std::ptr::null_mut());
+        }
+    }
+
+    /// Waits up to `timeout_ms` (`-1` blocks) and fills `events`; EINTR
+    /// reports as zero events.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if ret >= 0 {
+            return Ok(ret as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            Ok(0)
+        } else {
+            Err(err)
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+/// An eventfd used to wake an event thread out of `epoll_wait`.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a non-blocking eventfd.
+    pub fn new() -> io::Result<EventFd> {
+        let fd = unsafe { check(eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK))? };
+        Ok(EventFd { fd })
+    }
+
+    /// The raw descriptor (for epoll registration).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes the owner; coalesces with pending wakes.
+    pub fn ring(&self) {
+        let one = 1u64.to_ne_bytes();
+        let _ = write_fd(self.fd, &one);
+    }
+
+    /// Clears pending wakes after the owner woke up.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = read_fd(self.fd, &mut buf);
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}

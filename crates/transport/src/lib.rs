@@ -133,6 +133,47 @@ pub struct LinkStats {
     pub send_failures: u64,
 }
 
+/// Event-loop gauges of the reactor backend (`pgrid-reactor`).
+///
+/// Carried inside [`TransportStats`] so the existing report/metrics plumbing
+/// (worker `/metrics`, coordinator merge) surfaces them without new wiring.
+/// Depth/bytes fields are point-in-time gauges; the rest are counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Peers hosted by this transport (they share the one mux listener).
+    pub registered_peers: u64,
+    /// File descriptors registered with the event loops (listener,
+    /// eventfds, live connections).
+    pub registered_fds: u64,
+    /// Times an event thread returned from `epoll_wait` with work.
+    pub epoll_wakeups: u64,
+    /// Frames currently parked in per-link write queues.
+    pub write_queue_frames: u64,
+    /// Bytes currently parked in per-link write queues.
+    pub write_queue_bytes: u64,
+    /// Writes that moved only part of the queue front and resumed later.
+    pub partial_writes: u64,
+    /// Connections re-dialled after an error or peer close.
+    pub reconnects: u64,
+    /// Frames dropped when a link died with its queue non-empty.
+    pub dropped_frames: u64,
+}
+
+impl ReactorStats {
+    /// Folds another snapshot into this one (sums everything; gauges sum
+    /// too, which is what the coordinator wants when it merges workers).
+    pub fn merge(&mut self, other: &ReactorStats) {
+        self.registered_peers += other.registered_peers;
+        self.registered_fds += other.registered_fds;
+        self.epoll_wakeups += other.epoll_wakeups;
+        self.write_queue_frames += other.write_queue_frames;
+        self.write_queue_bytes += other.write_queue_bytes;
+        self.partial_writes += other.partial_writes;
+        self.reconnects += other.reconnects;
+        self.dropped_frames += other.dropped_frames;
+    }
+}
+
 /// Counters every backend maintains.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TransportStats {
@@ -144,8 +185,17 @@ pub struct TransportStats {
     pub bytes_sent: u64,
     /// Total frame bytes handed out by [`Transport::poll`].
     pub bytes_delivered: u64,
-    /// Per-peer connection counters (TCP backend only; empty on loopback).
+    /// Frames that crossed the wire compressed (per-link negotiation).
+    pub frames_compressed: u64,
+    /// Pre-compression byte total of those frames.
+    pub compressed_bytes_raw: u64,
+    /// Post-compression (wire) byte total of those frames.
+    pub compressed_bytes_wire: u64,
+    /// Per-peer connection counters (socket backends only; empty on
+    /// loopback).
     pub per_peer: std::collections::BTreeMap<u64, LinkStats>,
+    /// Event-loop gauges of the reactor backend; `None` elsewhere.
+    pub reactor: Option<ReactorStats>,
 }
 
 impl TransportStats {
@@ -174,8 +224,73 @@ impl TransportStats {
                 "Total frame bytes delivered.",
                 self.bytes_delivered,
             ),
+            (
+                "pgrid_transport_frames_compressed_total",
+                "Frames that crossed the wire compressed.",
+                self.frames_compressed,
+            ),
+            (
+                "pgrid_transport_compressed_bytes_raw_total",
+                "Pre-compression byte total of compressed frames.",
+                self.compressed_bytes_raw,
+            ),
+            (
+                "pgrid_transport_compressed_bytes_wire_total",
+                "Post-compression (wire) byte total of compressed frames.",
+                self.compressed_bytes_wire,
+            ),
         ] {
             registry.counter(name, help, &[], value);
+        }
+        if let Some(reactor) = &self.reactor {
+            for (name, help, value) in [
+                (
+                    "pgrid_reactor_epoll_wakeups_total",
+                    "Times an event thread returned from epoll_wait with work.",
+                    reactor.epoll_wakeups,
+                ),
+                (
+                    "pgrid_reactor_partial_writes_total",
+                    "Writes that moved only part of a queue front.",
+                    reactor.partial_writes,
+                ),
+                (
+                    "pgrid_reactor_reconnects_total",
+                    "Connections re-dialled after an error or peer close.",
+                    reactor.reconnects,
+                ),
+                (
+                    "pgrid_reactor_dropped_frames_total",
+                    "Frames dropped when a link died with a non-empty queue.",
+                    reactor.dropped_frames,
+                ),
+            ] {
+                registry.counter(name, help, &[], value);
+            }
+            for (name, help, value) in [
+                (
+                    "pgrid_reactor_registered_peers",
+                    "Peers hosted by the reactor transport.",
+                    reactor.registered_peers,
+                ),
+                (
+                    "pgrid_reactor_registered_fds",
+                    "File descriptors registered with the event loops.",
+                    reactor.registered_fds,
+                ),
+                (
+                    "pgrid_reactor_write_queue_frames",
+                    "Frames currently parked in per-link write queues.",
+                    reactor.write_queue_frames,
+                ),
+                (
+                    "pgrid_reactor_write_queue_bytes",
+                    "Bytes currently parked in per-link write queues.",
+                    reactor.write_queue_bytes,
+                ),
+            ] {
+                registry.gauge(name, help, &[], value as f64);
+            }
         }
         for (name, help, get) in [
             (
@@ -233,6 +348,14 @@ impl TransportStats {
         self.frames_delivered += other.frames_delivered;
         self.bytes_sent += other.bytes_sent;
         self.bytes_delivered += other.bytes_delivered;
+        self.frames_compressed += other.frames_compressed;
+        self.compressed_bytes_raw += other.compressed_bytes_raw;
+        self.compressed_bytes_wire += other.compressed_bytes_wire;
+        if let Some(other_reactor) = &other.reactor {
+            self.reactor
+                .get_or_insert_with(ReactorStats::default)
+                .merge(other_reactor);
+        }
         for (&peer, link) in &other.per_peer {
             let entry = self.per_peer.entry(peer).or_default();
             entry.frames_sent += link.frames_sent;
@@ -303,12 +426,49 @@ pub trait Transport {
     fn addr_of(&self, peer: PeerId) -> Option<PeerAddr>;
 }
 
+/// A socket-addressed backend the cluster worker can drive.
+///
+/// Beyond plain frame carriage, a multi-process deployment needs to amend
+/// the address book mid-run: peers hosted by *other* processes are
+/// registered by socket address, re-pointed when a shard moves, and adopted
+/// locally when their host dies.  Both the threaded TCP backend and the
+/// reactor backend implement this, which is what lets the worker be generic
+/// over its transport.
+pub trait SocketTransport: Transport {
+    /// Registers a peer that listens in *another* process at `addr`;
+    /// frames can be sent to it but its inbound traffic is handled by that
+    /// process's own transport.
+    fn register_remote(
+        &mut self,
+        peer: PeerId,
+        addr: std::net::SocketAddr,
+    ) -> Result<PeerAddr, TransportError>;
+
+    /// Re-points an already known *remote* peer at a new address — it moved
+    /// to another process during shard reassignment — invalidating any
+    /// cached route to the old endpoint.
+    fn update_remote(
+        &mut self,
+        peer: PeerId,
+        addr: std::net::SocketAddr,
+    ) -> Result<(), TransportError>;
+
+    /// Takes over hosting of a peer previously registered as remote: the
+    /// peer becomes locally reachable and the returned address is what the
+    /// coordinator redistributes.  Used by a survivor worker adopting a
+    /// failed worker's peers.
+    fn register_takeover(&mut self, peer: PeerId) -> Result<PeerAddr, TransportError>;
+}
+
 /// Convenient re-exports of the most frequently used items.
 pub mod prelude {
-    pub use crate::frame::{decode_frame, encode_frame, FrameReader};
+    pub use crate::frame::{decode_frame, encode_frame, Compression, FrameCodec, FrameReader};
     pub use crate::loopback::{LoopbackConfig, LoopbackTransport};
     pub use crate::tcp::TcpTransport;
-    pub use crate::{LinkFault, LinkStats, PeerAddr, Transport, TransportError, TransportStats};
+    pub use crate::{
+        LinkFault, LinkStats, PeerAddr, ReactorStats, SocketTransport, Transport, TransportError,
+        TransportStats,
+    };
 }
 
 #[cfg(test)]
@@ -322,8 +482,13 @@ mod tests {
             frames_delivered: 9,
             bytes_sent: 1000,
             bytes_delivered: 900,
-            per_peer: Default::default(),
+            ..TransportStats::default()
         };
+        stats.reactor = Some(ReactorStats {
+            registered_peers: 2,
+            epoll_wakeups: 7,
+            ..ReactorStats::default()
+        });
         stats.per_peer.insert(
             3,
             LinkStats {
@@ -340,6 +505,8 @@ mod tests {
         assert!(text.contains("pgrid_transport_frames_sent_total 10"));
         assert!(text.contains("pgrid_transport_peer_frames_sent_total{peer=\"3\"} 4"));
         assert!(text.contains("pgrid_transport_peer_reconnects_total{peer=\"3\"} 1"));
+        assert!(text.contains("# TYPE pgrid_reactor_registered_peers gauge"));
+        assert!(text.contains("pgrid_reactor_epoll_wakeups_total 7"));
         // Every series line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(

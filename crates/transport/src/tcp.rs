@@ -14,21 +14,17 @@
 //! before letting their virtual clock race ahead.
 
 use crate::frame::FrameReader;
-use crate::{Millis, PeerAddr, Transport, TransportError, TransportStats};
+use crate::{Millis, PeerAddr, SocketTransport, Transport, TransportError, TransportStats};
 use bytes::Bytes;
 use pgrid_core::routing::PeerId;
 use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// How long reader threads block per `read` before re-checking the stop
-/// flag.
-const READ_TIMEOUT: Duration = Duration::from_millis(50);
 
 /// Outbound connect attempts before a send is reported as failed.
 ///
@@ -69,6 +65,12 @@ pub struct TcpTransport {
     inbox: Option<Receiver<(PeerId, Bytes)>>,
     inbox_tx: SyncSender<(PeerId, Bytes)>,
     stop: Arc<AtomicBool>,
+    /// Listener addresses of the locally hosted peers: [`Drop`] dials each
+    /// one to wake its acceptor out of the blocking `accept`.
+    listen_addrs: Vec<SocketAddr>,
+    /// Clones of every accepted connection: [`Drop`] shuts them down to
+    /// wake reader threads out of their blocking `read`.
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
     acceptors: Vec<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     stats: TransportStats,
@@ -103,6 +105,8 @@ impl TcpTransport {
             inbox: Some(inbox),
             inbox_tx,
             stop: Arc::new(AtomicBool::new(false)),
+            listen_addrs: Vec::new(),
+            accepted: Arc::new(Mutex::new(Vec::new())),
             acceptors: Vec::new(),
             readers: Arc::new(Mutex::new(Vec::new())),
             stats: TransportStats::default(),
@@ -148,6 +152,31 @@ impl TcpTransport {
         self.addrs.remove(&peer);
         self.outbound.remove(&peer);
         self.register(peer)
+    }
+
+    /// Blocks up to `timeout` for the first frame, then also drains
+    /// whatever else has already arrived — the no-busy-wait receive for
+    /// callers (tests, benches) whose only job is to wait for the wire.
+    pub fn poll_timeout(&mut self, timeout: Duration) -> Vec<(PeerId, Bytes)> {
+        let mut out = Vec::new();
+        let Some(inbox) = self.inbox.as_ref() else {
+            return out;
+        };
+        match inbox.recv_timeout(timeout) {
+            Ok(delivery) => out.push(delivery),
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => return out,
+        }
+        while let Ok(delivery) = inbox.try_recv() {
+            out.push(delivery);
+        }
+        for (peer, frame) in &out {
+            self.stats.frames_delivered += 1;
+            self.stats.bytes_delivered += frame.len() as u64;
+            let link = self.stats.per_peer.entry(peer.0).or_default();
+            link.frames_received += 1;
+            link.bytes_received += frame.len() as u64;
+        }
+        out
     }
 
     fn connect(&mut self, to: PeerId) -> Result<&mut TcpStream, TransportError> {
@@ -216,9 +245,7 @@ fn read_connection(
                     }
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue
-            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
     }
@@ -226,18 +253,32 @@ fn read_connection(
 
 /// Accepts connections for `peer` until shutdown, spawning one reader
 /// thread per connection.
+///
+/// The accept is *blocking* — no polling sleep burning CPU per hosted
+/// peer.  Shutdown wakes it by dialling the listener ([`Drop`]); the stop
+/// flag is re-checked right after every accept so the wake connection is
+/// never handed to a reader.
 fn accept_connections(
     listener: TcpListener,
     peer: PeerId,
     inbox: SyncSender<(PeerId, Bytes)>,
     stop: Arc<AtomicBool>,
+    accepted: Arc<Mutex<Vec<TcpStream>>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    accepted
+                        .lock()
+                        .expect("accepted registry poisoned")
+                        .push(clone);
+                }
                 let inbox = inbox.clone();
                 let stop = stop.clone();
                 let handle = std::thread::spawn(move || read_connection(stream, peer, inbox, stop));
@@ -246,9 +287,7 @@ fn accept_connections(
                     .expect("reader registry poisoned")
                     .push(handle);
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => break,
         }
     }
@@ -260,15 +299,16 @@ impl Transport for TcpTransport {
             return Err(TransportError::AlreadyRegistered(peer));
         }
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         self.addrs.insert(peer, addr);
         self.local.insert(peer);
+        self.listen_addrs.push(addr);
         let inbox = self.inbox_tx.clone();
         let stop = self.stop.clone();
+        let accepted = self.accepted.clone();
         let readers = self.readers.clone();
         self.acceptors.push(std::thread::spawn(move || {
-            accept_connections(listener, peer, inbox, stop, readers)
+            accept_connections(listener, peer, inbox, stop, accepted, readers)
         }));
         Ok(PeerAddr::Socket(addr))
     }
@@ -358,6 +398,24 @@ impl Transport for TcpTransport {
     }
 }
 
+impl SocketTransport for TcpTransport {
+    fn register_remote(
+        &mut self,
+        peer: PeerId,
+        addr: SocketAddr,
+    ) -> Result<PeerAddr, TransportError> {
+        TcpTransport::register_remote(self, peer, addr)
+    }
+
+    fn update_remote(&mut self, peer: PeerId, addr: SocketAddr) -> Result<(), TransportError> {
+        TcpTransport::update_remote(self, peer, addr)
+    }
+
+    fn register_takeover(&mut self, peer: PeerId) -> Result<PeerAddr, TransportError> {
+        TcpTransport::register_takeover(self, peer)
+    }
+}
+
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
@@ -366,6 +424,22 @@ impl Drop for TcpTransport {
         self.inbox = None;
         // Closing the cached outbound streams unblocks readers on EOF.
         self.outbound.clear();
+        // Shutting down the accepted-connection clones wakes the remaining
+        // readers out of their blocking reads.
+        for stream in self
+            .accepted
+            .lock()
+            .expect("accepted registry poisoned")
+            .drain(..)
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Acceptors block in `accept`; one throwaway connection per
+        // listener wakes each, and the stop flag (already set) makes it
+        // exit instead of spawning a reader.
+        for addr in self.listen_addrs.drain(..) {
+            let _ = TcpStream::connect(addr);
+        }
         for handle in self.acceptors.drain(..) {
             let _ = handle.join();
         }
@@ -389,11 +463,11 @@ mod tests {
     fn poll_n(t: &mut TcpTransport, count: usize) -> Vec<(PeerId, Bytes)> {
         let mut out = Vec::new();
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while out.len() < count && std::time::Instant::now() < deadline {
-            out.extend(t.poll(0));
-            if out.len() < count {
-                std::thread::sleep(Duration::from_micros(200));
-            }
+        while out.len() < count {
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                break;
+            };
+            out.extend(t.poll_timeout(remaining));
         }
         out
     }

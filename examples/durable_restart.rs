@@ -47,6 +47,7 @@ fn worker_main(args: &[String]) -> ! {
         metrics_addr: None,
         flight_dump: None,
         data_dir: option("--data-dir").map(PathBuf::from),
+        ..WorkerOptions::default()
     };
     match run_worker(addr, &options) {
         Ok(()) => std::process::exit(0),

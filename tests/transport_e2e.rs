@@ -87,6 +87,80 @@ fn tcp_and_loopback_deployments_converge_to_comparable_overlays() {
 }
 
 #[test]
+fn reactor_tcp_and_loopback_deployments_agree() {
+    // Three backends, one seed: the deterministic loopback, the threaded
+    // TCP backend (one listener per peer), and the epoll reactor (every
+    // peer behind one multiplexed listener).  The protocol statistics must
+    // not care which one carried the frames.
+    if !pgrid::reactor::supported() {
+        eprintln!("skipping: the reactor transport needs Linux epoll");
+        return;
+    }
+    let config = config(21);
+    let timeline = short_timeline();
+
+    let loopback = run_deployment(&config, &timeline);
+    let tcp = run_deployment_with(&config, &timeline, TcpTransport::new())
+        .expect("tcp endpoints must register");
+    let reactor = run_deployment_with(&config, &timeline, ReactorTransport::new())
+        .expect("reactor endpoints must register");
+
+    for (name, report) in [
+        ("loopback", &loopback),
+        ("tcp", &tcp),
+        ("reactor", &reactor),
+    ] {
+        assert!(
+            report.balance_deviation < 1.5,
+            "{name} deviation {}",
+            report.balance_deviation
+        );
+    }
+    for (name, report) in [("tcp", &tcp), ("reactor", &reactor)] {
+        assert!(
+            (loopback.balance_deviation - report.balance_deviation).abs() < 0.75,
+            "{name} disagrees on balance: loopback {:.3} vs {name} {:.3}",
+            loopback.balance_deviation,
+            report.balance_deviation
+        );
+        assert!(
+            (loopback.mean_path_length - report.mean_path_length).abs() < 1.5,
+            "{name} disagrees on trie depth: loopback {:.2} vs {name} {:.2}",
+            loopback.mean_path_length,
+            report.mean_path_length
+        );
+        assert!(
+            report.query_success_rate > 0.8,
+            "{name} query success rate {}",
+            report.query_success_rate
+        );
+    }
+
+    // The reactor actually moved the frames (single-process, so they ride
+    // the local fast path) and hosted the whole population on a handful of
+    // descriptors.
+    assert!(
+        reactor.transport.frames_sent > 500,
+        "{:?}",
+        reactor.transport
+    );
+    assert_eq!(
+        reactor.transport.frames_delivered, reactor.transport.frames_sent,
+        "local reactor delivery is lossless: {:?}",
+        reactor.transport
+    );
+    let stats = reactor
+        .transport
+        .reactor
+        .expect("reactor runs report reactor stats");
+    assert_eq!(stats.registered_peers, config.n_peers as u64);
+    assert!(
+        stats.registered_fds < 16,
+        "fds must not scale with peers: {stats:?}"
+    );
+}
+
+#[test]
 fn per_tick_batching_packs_messages_into_shared_frames() {
     // The two runs follow different random trajectories (loss is drawn per
     // frame), so total frame counts are not directly comparable; what the
